@@ -1,0 +1,38 @@
+"""Shared benchmark configuration.
+
+Benchmarks reproduce the paper's tables and figures on capacity-scaled
+devices (see DESIGN.md): the topology, page size, and timing constants
+match Section 7; block count and wordline count are reduced so a full
+run finishes in minutes.  Every benchmark prints the regenerated
+table/figure rows so the output can be compared with the paper.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ssd.config import SSDConfig, scaled_config
+
+
+def pytest_configure(config):
+    # one round per benchmark: these are macro-benchmarks reproducing
+    # experiments, not micro-benchmarks hunting nanoseconds.
+    config.option.benchmark_min_rounds = 1
+    config.option.benchmark_warmup = False
+
+
+@pytest.fixture(scope="session")
+def versioning_config() -> SSDConfig:
+    """Device used for the Section 3 study (Table 1 / Figure 4)."""
+    return scaled_config(blocks_per_chip=24, wordlines_per_block=16)
+
+
+@pytest.fixture(scope="session")
+def system_config() -> SSDConfig:
+    """Device used for the Section 7 evaluation (Figure 14)."""
+    return scaled_config(blocks_per_chip=28, wordlines_per_block=24)
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,91 @@
+"""Ablation -- OSR damage vs. cell density (the Section 1 extrapolation).
+
+"As the MLC technique advances to support more bits per cell ...
+reprogram operations quickly degrade the reliability of flash memory."
+This ablation runs the Figure 6 experiment across MLC, TLC, and QLC and
+shows reprogram-based sanitization aging out of viability, while
+Evanesco's flag cells are SLC-mode and density-independent.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.analysis.tables import render_table
+from repro.core.flag_cells import FlagCellModel, default_plock_pulse
+from repro.flash.geometry import CellType, PageRole
+from repro.flash.osr import osr_study
+
+DENSITIES = (CellType.MLC, CellType.TLC, CellType.QLC)
+
+
+def _adjacent_study(cell_type: CellType, seed: int = 21):
+    """Sanitize the low page(s), measure the page adjacent to them.
+
+    MLC/TLC keep Figure 6's exact setup (sanitize all but the top page);
+    on QLC we measure the MSB page -- the survivor whose read boundary
+    borders the reprogram targets -- since the distant TSB boundary
+    would understate the damage.
+    """
+    roles = PageRole.for_cell_type(cell_type)
+    if cell_type is CellType.QLC:
+        return osr_study(
+            cell_type,
+            n_wordlines=300,
+            seed=seed,
+            sanitize_roles=roles[:2],
+            measure_role=PageRole.MSB,
+        )
+    return osr_study(cell_type, n_wordlines=300, seed=seed)
+
+
+def test_ablation_osr_vs_density(benchmark):
+    studies = run_once(
+        benchmark, lambda: {ct: _adjacent_study(ct) for ct in DENSITIES}
+    )
+
+    rows = []
+    for ct, study in studies.items():
+        rows.append(
+            [
+                ct.name,
+                study.pe_cycles,
+                f"{study.box_stats('after_sanitize')['median']:.2f}",
+                f"{study.fraction_exceeding_limit('after_sanitize'):.1%}",
+                f"{study.fraction_exceeding_limit('after_retention'):.1%}",
+            ]
+        )
+    print()
+    print(
+        render_table(
+            ["density", "P/E point", "median RBER after OSR",
+             "unreadable (fresh)", "unreadable (1y)"],
+            rows,
+            title="OSR damage to the surviving page vs cell density",
+        )
+    )
+
+    # the paper's claim: beyond MLC, reprogram-based sanitization stops
+    # being viable.  MLC loses a few percent of its neighbours; TLC and
+    # QLC lose the majority outright (their margins cannot absorb the
+    # one-shot pulse's spread), and retention only makes it worse.
+    fresh = {
+        ct: studies[ct].fraction_exceeding_limit("after_sanitize")
+        for ct in DENSITIES
+    }
+    aged = {
+        ct: studies[ct].fraction_exceeding_limit("after_retention")
+        for ct in DENSITIES
+    }
+    assert fresh[CellType.MLC] < 0.15
+    assert fresh[CellType.TLC] >= 0.999
+    assert fresh[CellType.QLC] >= 0.5
+    for ct in DENSITIES:
+        assert aged[ct] >= fresh[ct] - 1e-9
+
+    # Evanesco's flag cells, by contrast, are density-independent: the
+    # same SLC-mode pulse qualifies for every chip generation
+    model = FlagCellModel()
+    pulse = default_plock_pulse()
+    assert model.programs_reliably(pulse)
+    assert model.flag_failure_prob(pulse, 1825.0) < 0.01

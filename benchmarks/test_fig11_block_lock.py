@@ -1,0 +1,51 @@
+"""Figure 11(b) -- RBER vs. center Vth of the SSL.
+
+Paper: programming a block's SSL cells above ~3 V cuts the bitline
+current enough that any read of the block fails (RBER beyond the ECC
+limit), which is the physical mechanism behind bLock.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import run_once
+
+from repro.analysis.tables import render_table
+from repro.core.ssl_lock import read_rber_vs_ssl_vth
+from repro.flash import constants
+
+VTH_GRID = tuple(np.arange(0.5, 5.01, 0.25))
+
+
+def test_fig11b_rber_vs_ssl_vth(benchmark):
+    def sweep():
+        return {
+            pe: [read_rber_vs_ssl_vth(v, pe) for v in VTH_GRID]
+            for pe in (0, 1000)
+        }
+
+    curves = run_once(benchmark, sweep)
+    rows = [
+        [f"{pe} P/E", *(f"{r:.2f}" for r in series)]
+        for pe, series in curves.items()
+    ]
+    print()
+    print(
+        render_table(
+            ["condition", *(f"{v:.2f}V" for v in VTH_GRID)],
+            rows,
+            title="Figure 11(b): normalized RBER vs SSL center Vth",
+        )
+    )
+
+    for pe, series in curves.items():
+        assert series == sorted(series), "RBER must rise with SSL Vth"
+
+    # below the cutoff reads succeed; above, they fail (at 1K P/E)
+    aged = dict(zip(VTH_GRID, curves[1000]))
+    assert aged[2.0] < 1.0
+    cutoff_idx = VTH_GRID.index(constants.SSL_CUTOFF_VTH)
+    assert curves[1000][cutoff_idx] >= 0.95
+    assert aged[4.0] > 1.0
+    # cycling shifts the whole curve up
+    assert all(a > f for a, f in zip(curves[1000], curves[0]))

@@ -1,0 +1,61 @@
+"""Figure 12 -- bLock design-space exploration.
+
+Paper: from a 6-voltage x 3-latency grid, Region I (cannot program the
+SSL past the 3 V cutoff) is pruned; the six candidates' SSL Vth decay
+curves qualify combinations against the retention requirement, selecting
+(ii) = (Vb6, 300 us) -> tbLock = 300 us.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.analysis.tables import render_table
+from repro.core.design_space import RETENTION_DAYS_GRID, explore_block_design
+from repro.flash import constants
+
+
+def test_fig12_block_design_space(benchmark):
+    result = run_once(benchmark, explore_block_design)
+
+    rows = [
+        [str(p.pulse), f"{p.initial_vth:.2f}", p.region, p.label or ""]
+        for p in result.points
+    ]
+    print()
+    print(
+        render_table(
+            ["pulse", "initial SSL Vth", "region", "label"],
+            rows,
+            title="Figure 12(a): bLock design grid",
+        )
+    )
+    day_headers = [f"{d:g}d" for d in RETENTION_DAYS_GRID]
+    rows = [
+        [label, *(f"{v:.2f}" for v in result.vth_curves[label])]
+        for label in result.candidates
+    ]
+    print()
+    print(
+        render_table(
+            ["candidate", *day_headers],
+            rows,
+            title="Figure 12(b): center SSL Vth vs retention time",
+        )
+    )
+    print(f"selected: ({result.selected_label}) {result.selected_pulse}")
+
+    regions = [p.region for p in result.points]
+    assert regions.count("candidate") == 6
+    assert result.selected_label == "ii"
+    assert result.selected_pulse.latency_us == constants.T_BLOCK_LOCK_US
+
+    grid = list(RETENTION_DAYS_GRID)
+    one_year = grid.index(constants.RETENTION_1Y_DAYS)
+    five_years = grid.index(constants.RETENTION_5Y_DAYS)
+    # (i) stays above 4 V even after 5 years
+    assert result.vth_curves["i"][five_years] > 4.0
+    # (vi) drops below the cutoff before 1 year
+    assert result.vth_curves["vi"][one_year] < constants.SSL_CUTOFF_VTH
+    # the selected combination holds the cutoff for the full requirement
+    assert result.vth_curves["ii"][five_years] > constants.SSL_CUTOFF_VTH

@@ -1,0 +1,51 @@
+"""Figure 14(c) -- secSSD IOPS vs. fraction of securely-managed data.
+
+Paper: the fewer the secured pages, the closer secSSD gets to the
+baseline; at 60 % secured data it is at most 6.2 % (2.8 % on average)
+below the baseline, with DBServer the worst case.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from conftest import run_once
+
+from repro.analysis.experiments import run_secure_fraction_sweep
+from repro.analysis.tables import format_secure_fraction
+
+FRACTIONS = (0.6, 0.7, 0.8, 0.9, 1.0)
+
+
+def test_fig14c_secure_fraction_sweep(benchmark, system_config):
+    sweep = run_once(
+        benchmark,
+        lambda: run_secure_fraction_sweep(
+            system_config, fractions=FRACTIONS, write_multiplier=1.0
+        ),
+    )
+    print()
+    print(format_secure_fraction(sweep))
+
+    gaps_at_60 = []
+    for workload, series in sweep.items():
+        # monotone: fewer secured pages never hurts (small tolerance for
+        # GC-path noise between runs)
+        ordered = [series[f] for f in FRACTIONS]
+        for lighter, heavier in zip(ordered, ordered[1:]):
+            assert lighter >= heavier - 0.02, workload
+        # even fully-secured stays within a few percent of baseline
+        assert series[1.0] > 0.90, workload
+        gaps_at_60.append(1.0 - series[0.6])
+
+    # paper: at 60 % secured data the gap is <= 6.2 % (avg 2.8 %)
+    assert max(gaps_at_60) <= 0.10
+    assert statistics.mean(gaps_at_60) <= 0.05
+
+    # the write-intensive workloads (DBServer, Mobile) pay the most for
+    # selective sanitization (Section 7 singles out DBServer)
+    for fraction in FRACTIONS:
+        worst = min(sweep, key=lambda wl: sweep[wl][fraction])
+        assert worst in ("DBServer", "Mobile"), fraction
+    assert sweep["DBServer"][1.0] <= sweep["MailServer"][1.0]
+    assert sweep["DBServer"][1.0] <= sweep["FileServer"][1.0]

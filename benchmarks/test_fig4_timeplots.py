@@ -1,0 +1,70 @@
+"""Figure 4 -- N_valid / N_invalid timeplots of a UV and an MV file.
+
+Paper: fmb (append-only file from Mobile) shows invalid pages appearing
+purely from GC copies; fdb (heavily-updated file from DBServer) shows
+invalid counts racing past the valid count and decaying only slowly
+after GC starts.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.analysis.experiments import run_timeplot_study
+
+
+def _sparkline(series, width=60):
+    if not series:
+        return ""
+    peak = max(series) or 1
+    chars = " .:-=+*#%@"
+    step = max(1, len(series) // width)
+    out = []
+    for i in range(0, len(series), step):
+        v = series[i]
+        out.append(chars[min(len(chars) - 1, int(v / peak * (len(chars) - 1)))])
+    return "".join(out)
+
+
+def test_fig4a_uni_version_file_mobile(benchmark, versioning_config):
+    plots = run_once(
+        benchmark,
+        lambda: run_timeplot_study(versioning_config, "Mobile", write_multiplier=4.0),
+    )
+    uv = plots["uv"]
+    valid = [s.valid for s in uv]
+    invalid = [s.invalid for s in uv]
+    print()
+    print("fmb (UV)   valid  :", _sparkline(valid))
+    print("fmb (UV)   invalid:", _sparkline(invalid))
+    print(f"max_valid={max(valid)} max_invalid={max(invalid)}")
+
+    # a UV file never loses valid pages to the host...
+    assert max(valid) == valid[-1] or max(valid) > 0
+    # ...yet it accumulates invalid copies purely from GC moves
+    assert max(invalid) > 0
+    assert max(invalid) <= max(valid)
+
+
+def test_fig4b_multi_version_file_dbserver(benchmark, versioning_config):
+    plots = run_once(
+        benchmark,
+        lambda: run_timeplot_study(
+            versioning_config, "DBServer", write_multiplier=4.0
+        ),
+    )
+    mv = plots["mv"]
+    valid = [s.valid for s in mv]
+    invalid = [s.invalid for s in mv]
+    print()
+    print("fdb (MV)   valid  :", _sparkline(valid))
+    print("fdb (MV)   invalid:", _sparkline(invalid))
+    print(f"max_valid={max(valid)} max_invalid={max(invalid)}")
+
+    # the hot file's stale copies dwarf its live footprint...
+    assert max(invalid) > 2 * max(valid)
+    # ...while its valid page count stays flat (in-place update pattern)
+    tail_valid = valid[len(valid) // 2 :]
+    assert max(tail_valid) - min(tail_valid) <= max(2, max(valid) // 4)
+    # invalid count decays after GC kicks in but never collapses to zero
+    assert invalid[-1] > 0

@@ -1,0 +1,68 @@
+"""Figure 6 -- RBER of MSB pages under one-shot reprogramming (OSR).
+
+Paper anchors:
+* MLC (3K P/E): 7.4 % of MSB pages exceed the ECC limit right after the
+  LSB page is sanitized; after 1-year retention most exceed it, some by
+  more than 1.5x.
+* TLC (1K P/E): after sanitizing LSB+CSB, *all* MSB pages are
+  unreadable, before and after retention.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.analysis.tables import render_table
+from repro.flash.geometry import CellType
+from repro.flash.osr import OSR_CONDITIONS, osr_study
+
+N_WORDLINES = 600
+
+
+def _report(study):
+    rows = []
+    for cond in OSR_CONDITIONS:
+        stats = study.box_stats(cond)
+        rows.append(
+            [
+                cond,
+                f"{stats['q1']:.2f}",
+                f"{stats['median']:.2f}",
+                f"{stats['q3']:.2f}",
+                f"{stats['max']:.2f}",
+                f"{study.fraction_exceeding_limit(cond):.1%}",
+            ]
+        )
+    return render_table(
+        ["condition", "q1", "median", "q3", "max", "frac > ECC limit"],
+        rows,
+        title=f"Figure 6 ({study.cell_type.name}, {study.pe_cycles} P/E cycles), "
+        "normalized RBER of MSB pages",
+    )
+
+
+def test_fig6a_mlc(benchmark):
+    study = run_once(
+        benchmark, lambda: osr_study(CellType.MLC, n_wordlines=N_WORDLINES, seed=42)
+    )
+    print()
+    print(_report(study))
+
+    assert study.fraction_exceeding_limit("initial") == 0.0
+    frac = study.fraction_exceeding_limit("after_sanitize")
+    assert 0.03 <= frac <= 0.13  # paper: 7.4 %
+    assert study.fraction_exceeding_limit("after_retention") > 0.5
+    assert study.box_stats("after_retention")["max"] > 1.5
+
+
+def test_fig6b_tlc(benchmark):
+    study = run_once(
+        benchmark, lambda: osr_study(CellType.TLC, n_wordlines=N_WORDLINES, seed=42)
+    )
+    print()
+    print(_report(study))
+
+    assert study.fraction_exceeding_limit("initial") == 0.0
+    # paper: ALL TLC MSB pages become unreadable
+    assert study.fraction_exceeding_limit("after_sanitize") == 1.0
+    assert study.fraction_exceeding_limit("after_retention") == 1.0

@@ -1,0 +1,94 @@
+"""Figure 9 -- pLock design-space exploration.
+
+Panels:
+(a/b) the (program voltage x latency) grid with Region I pruned for data
+      disturbance; (c) flag-cell program success with Region II pruned;
+(d)   retention errors of the six candidates at k = 9, which qualifies
+      combination (ii) = (Vp4, 100 us) as the final design.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.analysis.tables import render_table
+from repro.core.design_space import RETENTION_DAYS_GRID, explore_plock_design
+from repro.core.qualification import qualify_candidates
+from repro.flash import constants
+
+
+def test_fig9_plock_design_space(benchmark):
+    result = run_once(benchmark, explore_plock_design)
+
+    rows = [
+        [
+            str(p.pulse),
+            f"{p.data_rber_factor:.3f}",
+            f"{p.program_success:.3f}",
+            p.region,
+            p.label or "",
+        ]
+        for p in result.points
+    ]
+    print()
+    print(
+        render_table(
+            ["pulse", "data RBER factor", "flag success", "region", "label"],
+            rows,
+            title="Figure 9(a-c): pLock design grid",
+        )
+    )
+    day_headers = [f"{d:g}d" for d in RETENTION_DAYS_GRID]
+    rows = [
+        [label, *(f"{e:.2f}" for e in result.retention_errors[label])]
+        for label in result.candidates
+    ]
+    print()
+    print(
+        render_table(
+            ["candidate", *day_headers],
+            rows,
+            title="Figure 9(d): expected flipped flag cells (k=9) vs retention",
+        )
+    )
+    quals = qualify_candidates(result.candidates, n_flags=20_000)
+    rows = [
+        [
+            label,
+            f"{q.mean_errors:.2f}",
+            q.max_errors,
+            f"{q.fail_open_rate:.2%}",
+            "qualifies" if q.qualifies else "FAILS",
+        ]
+        for label, q in quals.items()
+    ]
+    print()
+    print(
+        render_table(
+            ["candidate", "mean errors", "max observed", "fail-open rate",
+             "5-year verdict"],
+            rows,
+            title="Figure 9(d) Monte-Carlo qualification (20K flags, k=9, 5y)",
+        )
+    )
+    print(f"selected: ({result.selected_label}) {result.selected_pulse}")
+
+    # the Monte-Carlo qualification agrees with the paper's observations
+    assert quals["vi"].max_errors >= 5      # "(vi) leads to 5 retention errors"
+    assert quals["i"].mean_errors <= 2.0    # "(i) leads to at most 2 errors"
+    assert not quals["vi"].qualifies
+    assert quals["ii"].fail_open_rate < 0.02
+
+    # the paper's pruning structure and final selection
+    regions = [p.region for p in result.points]
+    assert regions.count("region-i") == 4
+    assert regions.count("region-ii") == 5
+    assert result.selected_label == "ii"
+    assert result.selected_pulse.latency_us == constants.T_PLOCK_US
+    # Fig. 9(c) anchor: the weakest pulse programs ~47.3 % of flag cells
+    weakest = min(result.points, key=lambda p: (p.pulse.vpgm, p.pulse.latency_us))
+    assert abs(weakest.program_success - 0.473) < 0.05
+    # Fig. 9(d) anchor: (vi) loses ~5 of 9 cells at 5 years, (i) at most ~2
+    five_years = list(RETENTION_DAYS_GRID).index(constants.RETENTION_5Y_DAYS)
+    assert result.retention_errors["vi"][five_years] > 3.0
+    assert result.retention_errors["i"][five_years] <= 2.0

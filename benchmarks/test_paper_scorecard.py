@@ -1,0 +1,29 @@
+"""The reproduction scorecard: every tracked paper value in one table.
+
+Runs the chip-level studies and one medium system sweep, evaluates all
+measurements against :mod:`repro.analysis.paper_targets`, and prints the
+full paper-vs-measured scorecard.  This is the one benchmark to run when
+asking "does the reproduction still match the paper?".
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.analysis.paper_targets import evaluate, format_scorecard
+from repro.analysis.scorecard import collect_measurements
+
+
+def test_paper_scorecard(benchmark, system_config):
+    measurements = run_once(benchmark, lambda: collect_measurements(system_config))
+    checks = evaluate(measurements)
+    print()
+    print(format_scorecard(checks))
+
+    assert checks, "scorecard must not be empty"
+    failed = [c for c in checks if not c.passed]
+    assert not failed, "targets failed: " + ", ".join(
+        f"{c.target.experiment}/{c.target.metric}={c.measured}" for c in failed
+    )
+    # every registered target with a measurement must have been checked
+    assert len(checks) == len(measurements)

@@ -1,0 +1,55 @@
+"""Table 1 -- data versioning study (Section 3).
+
+Paper values for reference (avg / max):
+
+    Workload    UV VAF        UV Tinsecure   MV VAF      MV Tinsecure
+    Mobile      0.24 / 1.5    0.020 / 0.43   1.0 / 2.0   0.41 / 2.3
+    MailServer  0.22 / 1.0    0.021 / 1.7    0.93 / 2.4  0.50 / 2.5
+    DBServer    0.0048 / 0.24 0.52 / 2.6     3.2 / 7.8   3.5 / 3.5
+
+We assert the qualitative structure the paper draws conclusions from,
+not the absolute values (different traces, scaled device).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.analysis.experiments import run_versioning_study
+from repro.analysis.tables import format_table1
+
+TABLE1_WORKLOADS = ("Mobile", "MailServer", "DBServer")
+
+
+def test_table1_data_versioning(benchmark, versioning_config):
+    def experiment():
+        return {
+            workload: run_versioning_study(
+                versioning_config, workload, write_multiplier=4.0
+            ).summary
+            for workload in TABLE1_WORKLOADS
+        }
+
+    summaries = run_once(benchmark, experiment)
+    print()
+    print(format_table1(summaries))
+
+    for workload, summary in summaries.items():
+        uv, mv = summary["uv"], summary["mv"]
+        # both classes are populated
+        assert uv["count"] > 0, workload
+        assert mv["count"] > 0, workload
+        # UV files pick up stale copies only through GC: modest VAF
+        assert uv["vaf_max"] <= 2.0, workload
+        # MV files are strictly more version-amplified than UV files
+        assert mv["vaf_avg"] > uv["vaf_avg"], workload
+
+    # observation 1: heavily-updated DBServer MV files reach high VAF
+    assert summaries["DBServer"]["mv"]["vaf_max"] > 4.0
+    assert summaries["DBServer"]["mv"]["vaf_avg"] > 2.0
+    # observation 2: even UV files have stale copies (GC) in Mobile/Mail
+    assert summaries["Mobile"]["uv"]["vaf_max"] > 0.0
+    assert summaries["MailServer"]["uv"]["vaf_max"] > 0.0
+    # observation 3: DBServer MV files stay insecure ~the whole run (4
+    # capacities of writes -> Tinsecure close to 4)
+    assert summaries["DBServer"]["mv"]["tinsec_avg"] > 3.0

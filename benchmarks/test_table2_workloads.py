@@ -1,0 +1,85 @@
+"""Table 2 -- I/O characteristics of the four benchmarks.
+
+The generators *declare* the paper's characteristics; this benchmark
+measures the traces they actually emit and verifies the empirical
+read:write ratio, write pattern, and write-size range match the table:
+
+    Benchmark   read:write  file write pattern               write size
+    MailServer  1:1         create/append/delete e-mails     16-32 KiB
+    DBServer    1:10        overwrite data and log files     16-256 KiB
+    FileServer  3:4         create/append/delete files       32-128 KiB
+    Mobile      1:50        create/delete pictures           0.5-8 MiB
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import run_once
+
+from repro.analysis.tables import render_table
+from repro.host.trace import TraceKind
+from repro.workloads import WORKLOADS
+
+CAPACITY = 16384
+PAGE_KIB = 16
+
+
+def _measure(name):
+    gen = WORKLOADS[name](capacity_pages=CAPACITY, seed=11)
+    list(gen.setup())
+    ops = list(gen.steady(CAPACITY))
+    reads = sum(1 for op in ops if op.kind is TraceKind.READ)
+    writes = [op for op in ops if op.kind in (TraceKind.WRITE, TraceKind.APPEND)]
+    overwrites = sum(1 for op in ops if op.kind is TraceKind.WRITE)
+    deletes = sum(1 for op in ops if op.kind is TraceKind.DELETE)
+    creates = sum(1 for op in ops if op.kind is TraceKind.CREATE)
+    sizes = [op.npages for op in writes]
+    return {
+        "ratio": reads / len(writes),
+        "min_kib": min(sizes) * PAGE_KIB,
+        "max_kib": max(sizes) * PAGE_KIB,
+        "overwrite_share": overwrites / len(writes),
+        "creates": creates,
+        "deletes": deletes,
+    }
+
+
+def test_table2_workload_characteristics(benchmark):
+    measured = run_once(
+        benchmark, lambda: {name: _measure(name) for name in WORKLOADS}
+    )
+
+    rows = [
+        [
+            name,
+            f"1:{1 / m['ratio']:.1f}" if m["ratio"] else "0",
+            f"{m['min_kib']}-{m['max_kib']} KiB",
+            f"{m['overwrite_share']:.0%} overwrites",
+            f"{m['creates']} creates / {m['deletes']} deletes",
+        ]
+        for name, m in measured.items()
+    ]
+    print()
+    print(
+        render_table(
+            ["benchmark", "read:write", "write sizes", "pattern", "churn"],
+            rows,
+            title="Table 2 (measured from generated traces)",
+        )
+    )
+
+    profiles = {n: cls.profile for n, cls in WORKLOADS.items()}
+    for name, m in measured.items():
+        p = profiles[name]
+        assert m["ratio"] == pytest.approx(p.reads_per_write, rel=0.3), name
+        lo, hi = p.write_size_pages
+        assert m["min_kib"] >= lo * PAGE_KIB
+        assert m["max_kib"] <= hi * PAGE_KIB
+
+    # write patterns: DBServer overwrites; the others create/append/delete
+    assert measured["DBServer"]["overwrite_share"] > 0.95
+    assert measured["DBServer"]["deletes"] == 0
+    for churny in ("MailServer", "FileServer", "Mobile"):
+        assert measured[churny]["overwrite_share"] == 0.0
+        assert measured[churny]["creates"] > 0
+        assert measured[churny]["deletes"] > 0

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Section 3 reproduction: how many stale versions does a file leave?
+
+Replays the Mobile, MailServer, and DBServer traces on a plain SSD with
+the VerTrace profiler attached, then prints Table 1 (VAF / Tinsecure per
+file class) and Figure 4-style trajectories for the most interesting
+uni-version and multi-version files.
+
+Run:  python examples/data_versioning_study.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import (
+    format_table1,
+    run_timeplot_study,
+    run_versioning_study,
+)
+from repro.ssd import scaled_config
+
+WORKLOADS = ("Mobile", "MailServer", "DBServer")
+
+
+def sparkline(series: list[int], width: int = 64) -> str:
+    if not series:
+        return ""
+    peak = max(series) or 1
+    chars = " .:-=+*#%@"
+    step = max(1, len(series) // width)
+    return "".join(
+        chars[min(len(chars) - 1, int(series[i] / peak * (len(chars) - 1)))]
+        for i in range(0, len(series), step)
+    )
+
+
+def main() -> None:
+    config = scaled_config(blocks_per_chip=24, wordlines_per_block=16)
+    print(f"device: {config.logical_bytes / 2**20:.0f} MiB logical, "
+          f"{config.n_chips} chips, {config.geometry.pages_per_block} pages/block")
+    print("protocol: fill 75 % of capacity, then write 4 capacities of traffic\n")
+
+    summaries = {}
+    for workload in WORKLOADS:
+        result = run_versioning_study(config, workload, write_multiplier=4.0)
+        summaries[workload] = result.summary
+        print(f"{workload}: replayed "
+              f"{result.run.stats.host_writes} page writes, "
+              f"WAF={result.run.waf:.2f}")
+    print()
+    print(format_table1(summaries))
+    print()
+
+    print("Figure 4: valid/invalid page trajectories")
+    for workload, cls in (("Mobile", "uv"), ("DBServer", "mv")):
+        plots = run_timeplot_study(config, workload, write_multiplier=4.0)
+        series = plots[cls]
+        valid = [s.valid for s in series]
+        invalid = [s.invalid for s in series]
+        label = "fmb (append-only)" if cls == "uv" else "fdb (hot-updated)"
+        print(f"\n  {workload} / {label}")
+        print(f"    valid   |{sparkline(valid)}|  peak {max(valid)}")
+        print(f"    invalid |{sparkline(invalid)}|  peak {max(invalid)}")
+
+    print()
+    print("Takeaway: even never-updated files leave stale copies (GC moves),")
+    print("and hot-updated files keep several times their size in stale")
+    print("versions for most of the device's lifetime -- the data that")
+    print("Evanesco's pLock/bLock make unreadable.")
+
+
+if __name__ == "__main__":
+    main()

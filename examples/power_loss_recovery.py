@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Crash-consistency walkthrough: do sanitization guarantees survive
+power loss?
+
+A crash wipes the FTL's RAM tables; recovery rebuilds them by scanning
+every readable page's spare-area annotations. That scan is exactly where
+a plain SSD resurrects "deleted" data -- and where Evanesco's flash-cell
+lock flags keep sanitized data dead with no metadata at all.
+
+Run:  python examples/power_loss_recovery.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import render_table
+from repro.ftl.recovery import PowerLossRecovery
+from repro.host import FileSystem
+from repro.security import RawChipAttacker
+from repro.ssd import SSD, scaled_config
+
+
+def crash_scenario(variant: str):
+    config = scaled_config(blocks_per_chip=16, wordlines_per_block=8)
+    ssd = SSD(config, variant)
+    fs = FileSystem(ssd)
+
+    fs.create("tax-returns")
+    fs.append("tax-returns", 10)
+    fs.create("notes")
+    fs.append("notes", 6)
+    secret_fid = fs.lookup("tax-returns").fid
+    fs.delete("tax-returns")          # secure delete...
+    # ... and the machine loses power before GC ever erases anything
+
+    recovery = PowerLossRecovery(ssd.ftl)
+    recovery.simulate_power_loss()
+    report = recovery.recover()
+
+    attacker = RawChipAttacker(ssd)
+    ghost_pages = attacker.recover_file(secret_fid)
+    notes_ok = all(
+        ssd.ftl.mapped_gppa(lpa) >= 0 for lpa in fs.lookup("notes").lpas
+    )
+    return report, ghost_pages, notes_ok
+
+
+def main() -> None:
+    rows = []
+    for variant in ("baseline", "secSSD"):
+        report, ghosts, notes_ok = crash_scenario(variant)
+        rows.append(
+            [
+                variant,
+                report.pages_scanned,
+                report.live_pages_recovered,
+                report.locked_pages_skipped,
+                "intact" if notes_ok else "LOST",
+                f"{len(ghosts)} pages" if ghosts else "none",
+            ]
+        )
+    print(
+        render_table(
+            ["variant", "pages scanned", "live recovered", "locked skipped",
+             "surviving file", "deleted data resurrected"],
+            rows,
+            title="Power-loss recovery after a secure delete",
+        )
+    )
+    print()
+    print("On the plain SSD the recovery scan cannot distinguish the deleted")
+    print("file's pages from live ones -- the 'deleted' tax returns come back.")
+    print("On SecureSSD the pAP flags are flash cells: they survive the crash,")
+    print("the scan reads zeros, and the deletion stays permanent.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Quickstart: secure file deletion with Evanesco.
+
+Walks the paper's core story end to end:
+
+1. write a secret file to a plain SSD, delete it, and recover it with a
+   raw-chip forensic attack (the Section 3 vulnerability);
+2. do the same on SecureSSD and watch the attack come back empty;
+3. peek at the device counters to see what the lock manager did.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import SSD, scaled_config
+from repro.host import FileSystem
+from repro.security import RawChipAttacker
+
+
+def demo(variant: str) -> None:
+    print(f"=== {variant} " + "=" * (40 - len(variant)))
+    config = scaled_config(blocks_per_chip=16, wordlines_per_block=8)
+    ssd = SSD(config, variant=variant)
+    fs = FileSystem(ssd)
+
+    # the user saves a private photo, then deletes it
+    fs.create("vacation-photo.jpg")
+    fs.append("vacation-photo.jpg", 12)  # 12 x 16 KiB pages
+    photo_id = fs.lookup("vacation-photo.jpg").fid
+    fs.delete("vacation-photo.jpg")
+
+    # ... later, an attacker de-solders the chips and reads them raw
+    attacker = RawChipAttacker(ssd)
+    recovered = attacker.recover_file(photo_id)
+    if recovered:
+        print(f"ATTACK SUCCEEDED: recovered {len(recovered)} pages of the "
+              "'deleted' photo, e.g.", recovered[0].payload)
+    else:
+        print("attack failed: no page of the deleted photo is readable")
+
+    stats = ssd.stats
+    print(
+        f"device counters: {stats.plocks} pLock, {stats.block_locks} bLock, "
+        f"{stats.flash_erases} erases, WAF={stats.waf:.2f}"
+    )
+    print()
+
+
+def main() -> None:
+    demo("baseline")   # a standard SSD: deleted data lingers
+    demo("secSSD")     # Evanesco: deleted data locks instantly
+
+    print("Evanesco sanitizes at invalidation time: the deleted pages are")
+    print("locked inside the flash chips and unlock only after the block")
+    print("is physically erased -- C1 and C2 hold against the raw-chip")
+    print("attacker, at the cost of a 100 us pLock per stale page.")
+
+
+if __name__ == "__main__":
+    main()

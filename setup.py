@@ -1,0 +1,10 @@
+"""Setuptools shim for environments without PEP-517 build isolation.
+
+All project metadata lives in pyproject.toml; this file only enables
+``pip install -e . --no-build-isolation`` / ``python setup.py develop``
+on machines without the ``wheel`` package or network access.
+"""
+
+from setuptools import setup
+
+setup()

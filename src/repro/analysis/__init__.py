@@ -1,0 +1,53 @@
+"""Experiment runners, metric aggregation, and table rendering."""
+
+from repro.analysis.experiments import (
+    FIGURE14_VARIANTS,
+    FIGURE14_WORKLOADS,
+    Figure14Result,
+    VariantOutcome,
+    VersioningStudyResult,
+    run_figure14,
+    run_secure_fraction_sweep,
+    run_timeplot_study,
+    run_versioning_study,
+    run_workload_on_variant,
+)
+from repro.analysis.lifetime import (
+    LifetimeEstimate,
+    WearStats,
+    erase_reduction,
+)
+from repro.analysis.overheads import (
+    AreaOverhead,
+    LatencyOverhead,
+    summarize_overheads,
+)
+from repro.analysis.tables import (
+    format_figure14,
+    format_secure_fraction,
+    format_table1,
+    render_table,
+)
+
+__all__ = [
+    "AreaOverhead",
+    "FIGURE14_VARIANTS",
+    "FIGURE14_WORKLOADS",
+    "Figure14Result",
+    "LatencyOverhead",
+    "LifetimeEstimate",
+    "WearStats",
+    "erase_reduction",
+    "VariantOutcome",
+    "VersioningStudyResult",
+    "format_figure14",
+    "format_secure_fraction",
+    "format_table1",
+    "render_table",
+    "run_figure14",
+    "run_secure_fraction_sweep",
+    "run_timeplot_study",
+    "run_versioning_study",
+    "run_workload_on_variant",
+    "summarize_overheads",
+]

@@ -1,0 +1,91 @@
+"""Implementation-overhead accounting -- Section 5.5.
+
+The paper quantifies Evanesco's costs:
+
+* **latency**: tpLock <= 14.3 % of tPROG (100 us vs 700 us) and
+  tbLock <= 8.6 % of tBERS (300 us vs 3.5 ms);
+* **area**: one 9-bit majority circuit per chip (~200 transistors), 27
+  flag cells per wordline taken from the unused spare area, and one
+  bridge transistor per data-out pin (8 for a x8 chip).
+
+These helpers compute the same ratios from the library's configured
+constants so a configuration change keeps the claims honest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.flash import constants
+from repro.flash.geometry import CellType, Geometry
+
+
+@dataclass(frozen=True)
+class LatencyOverhead:
+    """Lock-command latency relative to the operations they shadow."""
+
+    plock_us: float = constants.T_PLOCK_US
+    prog_us: float = constants.T_PROG_US
+    block_lock_us: float = constants.T_BLOCK_LOCK_US
+    erase_us: float = constants.T_BERS_US
+
+    @property
+    def plock_vs_program(self) -> float:
+        """tpLock / tPROG -- the paper reports < 14.3 %."""
+        return self.plock_us / self.prog_us
+
+    @property
+    def block_lock_vs_erase(self) -> float:
+        """tbLock / tBERS -- the paper reports < 8.6 %."""
+        return self.block_lock_us / self.erase_us
+
+
+@dataclass(frozen=True)
+class AreaOverhead:
+    """Flag-cell and peripheral-logic footprint of Evanesco."""
+
+    geometry: Geometry
+    k: int = constants.PAP_REDUNDANCY_K
+    majority_transistors: int = 200  # 9-bit majority circuit [56]
+    io_pins: int = 8                 # x8 NAND interface
+
+    @property
+    def flag_cells_per_wordline(self) -> int:
+        """k cells per page of the wordline (27 for TLC at k = 9)."""
+        return self.k * self.geometry.pages_per_wordline
+
+    @property
+    def spare_cells_per_wordline(self) -> int:
+        """Spare-area cells available per wordline (per bit plane)."""
+        return self.geometry.spare_bytes_per_page * 8
+
+    @property
+    def spare_fraction_used(self) -> float:
+        """Fraction of the spare area consumed by pAP flags."""
+        return self.flag_cells_per_wordline / (
+            self.spare_cells_per_wordline * self.geometry.pages_per_wordline
+        )
+
+    @property
+    def bridge_transistors(self) -> int:
+        """One bridge transistor per data-out pin."""
+        return self.io_pins
+
+    def fits_in_spare(self) -> bool:
+        """Whether the flags fit in existing spare cells (no area cost)."""
+        return self.flag_cells_per_wordline <= self.spare_cells_per_wordline
+
+
+def summarize_overheads(geometry: Geometry | None = None) -> dict[str, float]:
+    """One-call summary of Section 5.5's numbers."""
+    geometry = geometry or Geometry(cell_type=CellType.TLC)
+    latency = LatencyOverhead()
+    area = AreaOverhead(geometry)
+    return {
+        "plock_vs_program": latency.plock_vs_program,
+        "block_lock_vs_erase": latency.block_lock_vs_erase,
+        "flag_cells_per_wordline": float(area.flag_cells_per_wordline),
+        "spare_fraction_used": area.spare_fraction_used,
+        "majority_transistors": float(area.majority_transistors),
+        "bridge_transistors": float(area.bridge_transistors),
+    }

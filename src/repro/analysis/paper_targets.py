@@ -1,0 +1,162 @@
+"""Declarative registry of the paper's reported values.
+
+Every quantitative claim the reproduction tracks lives here once, as a
+:class:`Target` with an acceptance band (for measured quantities whose
+shape, not magnitude, must match) or an exact expectation (for discrete
+outcomes like the selected design point).  Benchmarks and the scorecard
+evaluate measurements against this registry so that "does the
+reproduction still match the paper?" is a single function call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Target:
+    """One tracked paper value."""
+
+    experiment: str
+    metric: str
+    paper: str             # the paper's reported value, verbatim-ish
+    lo: float | None = None
+    hi: float | None = None
+    exact: str | None = None
+    note: str = ""
+
+    def check(self, measured: float | str) -> bool:
+        if self.exact is not None:
+            return str(measured) == self.exact
+        value = float(measured)
+        if self.lo is not None and value < self.lo:
+            return False
+        if self.hi is not None and value > self.hi:
+            return False
+        return True
+
+
+PAPER_TARGETS: tuple[Target, ...] = (
+    # -- Figure 9 / Section 5.3: pLock design ---------------------------
+    Target("fig9", "selected_combination", "(ii) = (Vp4, 100us)", exact="ii"),
+    Target("fig9", "tplock_us", "100 us", exact="100.0"),
+    Target("fig9", "region_i_count", "4 combinations", exact="4"),
+    Target("fig9", "region_ii_count", "5 combinations", exact="5"),
+    Target("fig9", "weakest_pulse_success", "47.3 %", lo=0.42, hi=0.53),
+    Target("fig9", "flag_redundancy_k", "9 cells", exact="9"),
+    # -- Figure 12 / Section 5.4: bLock design --------------------------
+    Target("fig12", "selected_combination", "(ii) = (Vb6, 300us)", exact="ii"),
+    Target("fig12", "tblock_us", "300 us", exact="300.0"),
+    Target("fig12", "combination_i_vth_5y", "> 4 V", lo=4.0),
+    Target("fig12", "combination_vi_vth_1y", "< 3 V", hi=3.0),
+    # -- Figure 6 / Section 4: OSR -------------------------------------
+    Target(
+        "fig6", "mlc_unreadable_after_osr", "7.4 % of MSB pages",
+        lo=0.02, hi=0.15,
+    ),
+    Target("fig6", "tlc_unreadable_after_osr", "100 %", lo=0.999),
+    Target(
+        "fig6", "mlc_unreadable_after_retention", "most pages", lo=0.5,
+    ),
+    # -- Figure 10 / Section 5.4: open interval -------------------------
+    Target(
+        "fig10", "penalty_after_cycling", "~30 % RBER increase",
+        lo=0.10, hi=0.60,
+    ),
+    # -- Figure 11(b): SSL cutoff ---------------------------------------
+    Target(
+        "fig11b", "rber_at_3v_1k_pe", "crosses the ECC limit at ~3 V",
+        lo=0.9, hi=1.1,
+    ),
+    # -- Section 5.5: overheads ------------------------------------------
+    Target("sec5.5", "tplock_vs_tprog", "< 14.3 %", hi=0.143),
+    Target("sec5.5", "tblock_vs_tbers", "< 8.6 %", hi=0.086),
+    Target("sec5.5", "flag_cells_per_wl", "27", exact="27"),
+    # -- Figure 14 / Section 7: system results ---------------------------
+    Target(
+        "fig14a", "secssd_norm_iops_avg", "94.5 % of baseline",
+        lo=0.90, hi=1.0,
+    ),
+    Target(
+        "fig14a", "scrssd_norm_iops_avg", "~34 % of baseline",
+        lo=0.15, hi=0.55,
+    ),
+    Target(
+        "fig14a", "erssd_norm_iops_max", "< 4 % of baseline",
+        hi=0.12,
+    ),
+    Target(
+        "fig14b", "secssd_norm_waf", "~= baseline WAF", lo=0.95, hi=1.05,
+    ),
+    Target(
+        "headline", "iops_vs_scrssd_avg", "2.9x (up to 4.8x)",
+        lo=2.0, hi=4.5,
+    ),
+    Target(
+        "headline", "erase_reduction_avg", "62 % (up to 79 %)",
+        lo=0.45, hi=0.85,
+    ),
+    Target(
+        "headline", "plock_reduction_avg", "28 % (up to 57 %)",
+        lo=0.10, hi=0.65,
+    ),
+    Target(
+        "fig14c", "gap_at_60pct_secure_max", "<= 6.2 % below baseline",
+        hi=0.10,
+    ),
+)
+
+
+@dataclass(frozen=True)
+class TargetCheck:
+    """Outcome of checking one measurement against its target."""
+
+    target: Target
+    measured: str
+    passed: bool
+
+
+def find_target(experiment: str, metric: str) -> Target:
+    for target in PAPER_TARGETS:
+        if target.experiment == experiment and target.metric == metric:
+            return target
+    raise KeyError(f"no target registered for {experiment}/{metric}")
+
+
+def evaluate(measurements: dict[tuple[str, str], float | str]) -> list[TargetCheck]:
+    """Check a measurement dict against the registry.
+
+    ``measurements`` maps (experiment, metric) to the measured value;
+    targets without a measurement are skipped (they may belong to a
+    different benchmark).
+    """
+    checks = []
+    for target in PAPER_TARGETS:
+        key = (target.experiment, target.metric)
+        if key not in measurements:
+            continue
+        measured = measurements[key]
+        checks.append(
+            TargetCheck(target, str(measured), target.check(measured))
+        )
+    return checks
+
+
+def format_scorecard(checks: list[TargetCheck]) -> str:
+    from repro.analysis.tables import render_table
+
+    rows = [
+        [
+            c.target.experiment,
+            c.target.metric,
+            c.target.paper,
+            c.measured,
+            "PASS" if c.passed else "FAIL",
+        ]
+        for c in checks
+    ]
+    return render_table(
+        ["experiment", "metric", "paper", "measured", "verdict"],
+        rows,
+        title="Reproduction scorecard (paper vs measured)",
+    )

@@ -1,0 +1,130 @@
+"""One-call collection of every tracked paper measurement.
+
+:func:`collect_measurements` runs the chip-level studies and one system
+sweep, returning the (experiment, metric) -> value dict that
+:mod:`repro.analysis.paper_targets` evaluates.  Both the scorecard
+benchmark and ``python -m repro scorecard`` go through this function, so
+"does the reproduction match the paper?" has exactly one definition.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.analysis.experiments import (
+    FIGURE14_WORKLOADS,
+    run_figure14,
+    run_secure_fraction_sweep,
+)
+from repro.analysis.overheads import summarize_overheads
+from repro.core.design_space import explore_block_design, explore_plock_design
+from repro.core.ssl_lock import read_rber_vs_ssl_vth
+from repro.flash import constants
+from repro.flash.geometry import CellType
+from repro.flash.osr import osr_study
+from repro.flash.reliability import open_interval_penalty, open_interval_study
+from repro.ssd.config import SSDConfig
+
+
+def collect_chip_measurements(seed: int = 42) -> dict:
+    """Chip-level targets only (fast: a few seconds)."""
+    m: dict = {}
+
+    plock = explore_plock_design()
+    weakest = min(plock.points, key=lambda p: (p.pulse.vpgm, p.pulse.latency_us))
+    regions = [p.region for p in plock.points]
+    m[("fig9", "selected_combination")] = plock.selected_label
+    m[("fig9", "tplock_us")] = str(plock.selected_pulse.latency_us)
+    m[("fig9", "region_i_count")] = str(regions.count("region-i"))
+    m[("fig9", "region_ii_count")] = str(regions.count("region-ii"))
+    m[("fig9", "weakest_pulse_success")] = weakest.program_success
+    m[("fig9", "flag_redundancy_k")] = str(constants.PAP_REDUNDANCY_K)
+
+    block = explore_block_design()
+    m[("fig12", "selected_combination")] = block.selected_label
+    m[("fig12", "tblock_us")] = str(block.selected_pulse.latency_us)
+    m[("fig12", "combination_i_vth_5y")] = block.model.vth_after(
+        block.candidates["i"], constants.RETENTION_5Y_DAYS
+    )
+    m[("fig12", "combination_vi_vth_1y")] = block.model.vth_after(
+        block.candidates["vi"], constants.RETENTION_1Y_DAYS
+    )
+
+    mlc = osr_study(CellType.MLC, n_wordlines=400, seed=seed)
+    tlc = osr_study(CellType.TLC, n_wordlines=400, seed=seed)
+    m[("fig6", "mlc_unreadable_after_osr")] = mlc.fraction_exceeding_limit(
+        "after_sanitize"
+    )
+    m[("fig6", "tlc_unreadable_after_osr")] = tlc.fraction_exceeding_limit(
+        "after_sanitize"
+    )
+    m[("fig6", "mlc_unreadable_after_retention")] = mlc.fraction_exceeding_limit(
+        "after_retention"
+    )
+
+    m[("fig10", "penalty_after_cycling")] = open_interval_penalty(
+        open_interval_study(), "After P/E cycling"
+    )
+    m[("fig11b", "rber_at_3v_1k_pe")] = read_rber_vs_ssl_vth(3.0, 1000)
+
+    overheads = summarize_overheads()
+    m[("sec5.5", "tplock_vs_tprog")] = overheads["plock_vs_program"]
+    m[("sec5.5", "tblock_vs_tbers")] = overheads["block_lock_vs_erase"]
+    m[("sec5.5", "flag_cells_per_wl")] = str(
+        int(overheads["flag_cells_per_wordline"])
+    )
+    return m
+
+
+def collect_system_measurements(
+    config: SSDConfig, seed: int = 1, write_multiplier: float = 1.0
+) -> dict:
+    """Figure-14 family targets (slow: replays every workload x variant)."""
+    m: dict = {}
+    results = run_figure14(config, seed=seed, write_multiplier=write_multiplier)
+    m[("fig14a", "secssd_norm_iops_avg")] = statistics.mean(
+        r.outcomes["secSSD"].normalized_iops for r in results.values()
+    )
+    m[("fig14a", "scrssd_norm_iops_avg")] = statistics.mean(
+        r.outcomes["scrSSD"].normalized_iops for r in results.values()
+    )
+    m[("fig14a", "erssd_norm_iops_max")] = max(
+        r.outcomes["erSSD"].normalized_iops for r in results.values()
+    )
+    m[("fig14b", "secssd_norm_waf")] = statistics.mean(
+        r.outcomes["secSSD"].normalized_waf for r in results.values()
+    )
+    m[("headline", "iops_vs_scrssd_avg")] = statistics.mean(
+        r.iops_ratio("secSSD", "scrSSD") for r in results.values()
+    )
+    m[("headline", "erase_reduction_avg")] = statistics.mean(
+        r.erase_reduction_vs("scrSSD") for r in results.values()
+    )
+    m[("headline", "plock_reduction_avg")] = statistics.mean(
+        r.plock_reduction_from_block_lock() for r in results.values()
+    )
+
+    sweep = run_secure_fraction_sweep(
+        config,
+        workloads=FIGURE14_WORKLOADS,
+        fractions=(0.6, 1.0),
+        seed=seed,
+        write_multiplier=write_multiplier,
+    )
+    m[("fig14c", "gap_at_60pct_secure_max")] = max(
+        1.0 - series[0.6] for series in sweep.values()
+    )
+    return m
+
+
+def collect_measurements(
+    config: SSDConfig, seed: int = 1, write_multiplier: float = 1.0
+) -> dict:
+    """All tracked measurements (chip-level + system-level)."""
+    measurements = collect_chip_measurements()
+    measurements.update(
+        collect_system_measurements(
+            config, seed=seed, write_multiplier=write_multiplier
+        )
+    )
+    return measurements

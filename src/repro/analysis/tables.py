@@ -1,0 +1,75 @@
+"""Plain-text rendering of the reproduced tables and figures.
+
+Benchmarks print these so a run's output can be compared side by side
+with the paper's tables; no plotting dependency is required.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Fixed-width ASCII table."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_table1(summaries: dict[str, dict[str, dict[str, float]]]) -> str:
+    """Table 1: per-workload UV/MV VAF and Tinsecure aggregates."""
+    headers = [
+        "Workload",
+        "UV VAF avg", "UV VAF max", "UV Tins avg", "UV Tins max",
+        "MV VAF avg", "MV VAF max", "MV Tins avg", "MV Tins max",
+    ]
+    rows = []
+    for workload, summary in summaries.items():
+        uv, mv = summary["uv"], summary["mv"]
+        rows.append([
+            workload,
+            f"{uv['vaf_avg']:.3g}", f"{uv['vaf_max']:.3g}",
+            f"{uv['tinsec_avg']:.3g}", f"{uv['tinsec_max']:.3g}",
+            f"{mv['vaf_avg']:.3g}", f"{mv['vaf_max']:.3g}",
+            f"{mv['tinsec_avg']:.3g}", f"{mv['tinsec_max']:.3g}",
+        ])
+    return render_table(headers, rows, title="Table 1: data versioning summary")
+
+
+def format_figure14(results) -> str:
+    """Figure 14(a)+(b): normalized IOPS and WAF per workload x variant."""
+    variants = None
+    rows = []
+    for workload, fig in results.items():
+        if variants is None:
+            variants = list(fig.outcomes)
+        iops = [f"{fig.outcomes[v].normalized_iops:.3f}" for v in variants]
+        waf = [f"{fig.outcomes[v].normalized_waf:.2f}" for v in variants]
+        rows.append([workload, "IOPS", *iops])
+        rows.append([workload, "WAF", *waf])
+    headers = ["Workload", "Metric", *(variants or [])]
+    return render_table(headers, rows, title="Figure 14(a)/(b): normalized IOPS and WAF")
+
+
+def format_secure_fraction(series: dict[str, dict[float, float]]) -> str:
+    """Figure 14(c): secSSD normalized IOPS vs secured-data fraction."""
+    fractions = None
+    rows = []
+    for workload, points in series.items():
+        if fractions is None:
+            fractions = sorted(points)
+        rows.append([workload, *(f"{points[f]:.3f}" for f in fractions)])
+    headers = ["Workload", *(f"{f:.0%}" for f in (fractions or []))]
+    return render_table(headers, rows, title="Figure 14(c): IOPS vs secured fraction")

@@ -1,0 +1,194 @@
+"""Command-line interface: regenerate any reproduced table or figure.
+
+Usage::
+
+    python -m repro table1                 # Section 3 versioning study
+    python -m repro fig6                   # OSR reliability (MLC + TLC)
+    python -m repro fig9                   # pLock design space
+    python -m repro fig10                  # open-interval effect
+    python -m repro fig12                  # bLock design space
+    python -m repro fig14                  # system IOPS/WAF comparison
+    python -m repro fig14c                 # secured-fraction sweep
+    python -m repro overheads              # Section 5.5 accounting
+
+Common options: ``--blocks``, ``--wordlines`` (device scale), ``--seed``,
+``--multiplier`` (steady-state writes as a multiple of capacity).
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.analysis import (
+    format_figure14,
+    format_secure_fraction,
+    format_table1,
+    render_table,
+    run_figure14,
+    run_secure_fraction_sweep,
+    run_versioning_study,
+    summarize_overheads,
+)
+from repro.core import explore_block_design, explore_plock_design
+from repro.flash.geometry import CellType
+from repro.flash.osr import OSR_CONDITIONS, osr_study
+from repro.flash.reliability import (
+    OPEN_INTERVAL_CONDITIONS,
+    open_interval_penalty,
+    open_interval_study,
+)
+from repro.ssd import scaled_config
+
+
+def _config(args: argparse.Namespace):
+    return scaled_config(
+        blocks_per_chip=args.blocks, wordlines_per_block=args.wordlines
+    )
+
+
+def cmd_table1(args: argparse.Namespace) -> None:
+    config = _config(args)
+    summaries = {
+        workload: run_versioning_study(
+            config, workload, seed=args.seed, write_multiplier=args.multiplier
+        ).summary
+        for workload in ("Mobile", "MailServer", "DBServer")
+    }
+    print(format_table1(summaries))
+
+
+def cmd_fig6(args: argparse.Namespace) -> None:
+    for cell_type in (CellType.MLC, CellType.TLC):
+        study = osr_study(cell_type, n_wordlines=400, seed=args.seed)
+        rows = [
+            [
+                cond,
+                f"{study.box_stats(cond)['median']:.2f}",
+                f"{study.fraction_exceeding_limit(cond):.1%}",
+            ]
+            for cond in OSR_CONDITIONS
+        ]
+        print(
+            render_table(
+                ["condition", "median RBER (norm.)", "unreadable"],
+                rows,
+                title=f"Figure 6: {cell_type.name} MSB pages under OSR",
+            )
+        )
+        print()
+
+
+def cmd_fig9(args: argparse.Namespace) -> None:
+    result = explore_plock_design()
+    rows = [
+        [
+            str(p.pulse),
+            f"{p.data_rber_factor:.3f}",
+            f"{p.program_success:.3f}",
+            p.region,
+            p.label or "",
+        ]
+        for p in result.points
+    ]
+    print(
+        render_table(
+            ["pulse", "disturb factor", "program success", "region", "label"],
+            rows,
+            title="Figure 9: pLock design space",
+        )
+    )
+    print(f"selected: ({result.selected_label}) {result.selected_pulse}")
+
+
+def cmd_fig10(args: argparse.Namespace) -> None:
+    points = open_interval_study()
+    for cond in OPEN_INTERVAL_CONDITIONS:
+        print(f"{cond}: +{open_interval_penalty(points, cond):.0%} "
+              "RBER at the longest open interval")
+
+
+def cmd_fig12(args: argparse.Namespace) -> None:
+    result = explore_block_design()
+    rows = [
+        [str(p.pulse), f"{p.initial_vth:.2f} V", p.region, p.label or ""]
+        for p in result.points
+    ]
+    print(
+        render_table(
+            ["pulse", "initial SSL Vth", "region", "label"],
+            rows,
+            title="Figure 12: bLock design space",
+        )
+    )
+    print(f"selected: ({result.selected_label}) {result.selected_pulse}")
+
+
+def cmd_fig14(args: argparse.Namespace) -> None:
+    results = run_figure14(
+        _config(args), seed=args.seed, write_multiplier=args.multiplier
+    )
+    print(format_figure14(results))
+
+
+def cmd_fig14c(args: argparse.Namespace) -> None:
+    sweep = run_secure_fraction_sweep(
+        _config(args), seed=args.seed, write_multiplier=args.multiplier
+    )
+    print(format_secure_fraction(sweep))
+
+
+def cmd_overheads(args: argparse.Namespace) -> None:
+    rows = [[key, f"{value:.4g}"] for key, value in summarize_overheads().items()]
+    print(render_table(["metric", "value"], rows, title="Section 5.5 overheads"))
+
+
+def cmd_scorecard(args: argparse.Namespace) -> None:
+    from repro.analysis.paper_targets import evaluate, format_scorecard
+    from repro.analysis.scorecard import collect_measurements
+
+    measurements = collect_measurements(
+        _config(args), seed=args.seed, write_multiplier=args.multiplier
+    )
+    checks = evaluate(measurements)
+    print(format_scorecard(checks))
+    failed = sum(1 for c in checks if not c.passed)
+    print(f"\n{len(checks) - failed}/{len(checks)} targets pass")
+
+
+COMMANDS = {
+    "table1": cmd_table1,
+    "fig6": cmd_fig6,
+    "fig9": cmd_fig9,
+    "fig10": cmd_fig10,
+    "fig12": cmd_fig12,
+    "fig14": cmd_fig14,
+    "fig14c": cmd_fig14c,
+    "overheads": cmd_overheads,
+    "scorecard": cmd_scorecard,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate tables/figures of the Evanesco reproduction.",
+    )
+    parser.add_argument("command", choices=sorted(COMMANDS))
+    parser.add_argument("--blocks", type=int, default=20,
+                        help="blocks per chip (device scale)")
+    parser.add_argument("--wordlines", type=int, default=16,
+                        help="wordlines per block (device scale)")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--multiplier", type=float, default=1.0,
+                        help="steady-state writes as a multiple of capacity")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    COMMANDS[args.command](args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,139 @@
+"""Per-block pAP flag arrays with k-modular redundancy -- Section 5.3.
+
+Each page of a block owns one pAP flag implemented as ``k`` spare-area
+flash cells (k = 9 in the paper's final design) read through a majority
+circuit: the flag reads *disabled* when a majority of its cells are
+programmed.  There is no unlock command -- only a block erase resets the
+cells to the enabled state.
+
+Physical fidelity: when a flag is locked we sample, from the calibrated
+:class:`~repro.core.flag_cells.FlagCellModel`,
+
+* how many of the ``k`` cells the one-shot pulse actually programmed, and
+* a per-cell *retention flip day* (the day the cell's charge decays below
+  the flag read level), drawn by inverse-CDF so that repeated queries are
+  deterministic.
+
+``is_disabled(day)`` then evaluates the majority circuit at any later
+time, which is how the Figure 9(d) qualification is checked end-to-end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.flag_cells import FlagCellModel, PulseSettings, default_plock_pulse
+from repro.flash import constants
+from repro.flash.errors import AddressError
+
+
+@dataclass
+class PapFlag:
+    """State of one page's pAP flag (k redundant cells)."""
+
+    k: int
+    #: number of cells the lock pulse successfully programmed.
+    programmed_cells: int = 0
+    #: per-cell uniform draws; cell i flips once retention_flip_prob >= u_i.
+    flip_thresholds: np.ndarray | None = None
+    lock_day: float | None = None
+
+    @property
+    def locked(self) -> bool:
+        return self.lock_day is not None
+
+    def cells_reading_programmed(
+        self, model: FlagCellModel, pulse: PulseSettings, day: float
+    ) -> int:
+        """Cells still reading as programmed ``day`` days into the mission."""
+        if not self.locked:
+            return 0
+        elapsed = max(0.0, day - float(self.lock_day))
+        q = model.retention_flip_prob(pulse, elapsed)
+        flipped = int(np.count_nonzero(self.flip_thresholds <= q))
+        return self.programmed_cells - flipped
+
+    def majority_disabled(
+        self, model: FlagCellModel, pulse: PulseSettings, day: float
+    ) -> bool:
+        """Output of the k-bit majority circuit: True == access disabled."""
+        need = self.k // 2 + 1
+        return self.cells_reading_programmed(model, pulse, day) >= need
+
+
+@dataclass
+class PageApArray:
+    """pAP flags for every page of one block."""
+
+    pages_per_block: int
+    model: FlagCellModel = field(default_factory=FlagCellModel)
+    pulse: PulseSettings = field(default_factory=default_plock_pulse)
+    k: int = constants.PAP_REDUNDANCY_K
+    seed: int = 0
+    _flags: dict[int, PapFlag] = field(init=False, default_factory=dict)
+    _rng: np.random.Generator = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.pages_per_block <= 0:
+            raise ValueError("pages_per_block must be positive")
+        if self.k < 1 or self.k % 2 == 0:
+            raise ValueError("k must be a positive odd number (majority vote)")
+        self._rng = np.random.default_rng(self.seed)
+
+    # ------------------------------------------------------------------
+    def _check(self, page_offset: int) -> None:
+        if not 0 <= page_offset < self.pages_per_block:
+            raise AddressError(
+                f"page offset {page_offset} out of range [0, {self.pages_per_block})"
+            )
+
+    def lock(self, page_offset: int, day: float = 0.0) -> PapFlag:
+        """Execute the flag-programming half of a pLock command.
+
+        Locking an already-locked page re-applies the pulse; cells that
+        were missed the first time get another chance (idempotent from the
+        security standpoint, monotonic in programmed cells).
+        """
+        self._check(page_offset)
+        flag = self._flags.get(page_offset)
+        success = self.model.program_success_prob(self.pulse)
+        if flag is None:
+            programmed = int(self._rng.binomial(self.k, success))
+            flag = PapFlag(
+                k=self.k,
+                programmed_cells=programmed,
+                flip_thresholds=self._rng.random(programmed),
+                lock_day=day,
+            )
+            self._flags[page_offset] = flag
+            return flag
+        missed = flag.k - flag.programmed_cells
+        newly = int(self._rng.binomial(missed, success))
+        if newly:
+            flag.programmed_cells += newly
+            flag.flip_thresholds = np.concatenate(
+                [flag.flip_thresholds, self._rng.random(newly)]
+            )
+        return flag
+
+    def is_locked(self, page_offset: int) -> bool:
+        """Whether a pLock was ever issued for the page (intent view)."""
+        self._check(page_offset)
+        return page_offset in self._flags
+
+    def is_disabled(self, page_offset: int, day: float = 0.0) -> bool:
+        """What the majority circuit reports at mission time ``day``."""
+        self._check(page_offset)
+        flag = self._flags.get(page_offset)
+        if flag is None:
+            return False
+        return flag.majority_disabled(self.model, self.pulse, day)
+
+    def locked_offsets(self) -> list[int]:
+        return sorted(self._flags)
+
+    def erase(self) -> None:
+        """Block erase: every flag cell returns to the enabled state."""
+        self._flags.clear()

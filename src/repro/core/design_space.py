@@ -1,0 +1,248 @@
+"""Design-space exploration for pLock and bLock -- Figures 9 and 12.
+
+The paper's methodology, reproduced end to end:
+
+1. start from an initial (program voltage x program latency) grid;
+2. prune **Region I** -- combinations that measurably disturb the data
+   cells on the wordline (pLock, Fig. 9b) or, for bLock, combinations
+   that cannot program the SSL past the 3 V cutoff (Fig. 12a);
+3. prune **Region II** (pLock only) -- combinations too weak to program
+   the flag cells reliably (Fig. 9c);
+4. label the surviving six combinations (i)..(vi) in order of decreasing
+   programming strength -- this ordering reproduces all three labelled
+   anchors the paper gives: pLock (i)=(Vp4,150us), (ii)=(Vp4,100us),
+   (vi)=(Vp2,200us); bLock (i)=(Vb6,400us), (ii)=(Vb6,300us),
+   (vi)=(Vb5,200us);
+5. qualify candidates against the retention requirement (Fig. 9d /
+   Fig. 12b) and select the qualifying combination with the **shortest
+   latency** -- the paper's stated criterion -- which yields combination
+   (ii) in both cases: tpLock = 100 us and tbLock = 300 us.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.flag_cells import FlagCellModel, PulseSettings, plock_design_space
+from repro.core.ssl_lock import SslLockModel, block_design_space
+from repro.flash import constants
+
+ROMAN_LABELS = ("i", "ii", "iii", "iv", "v", "vi")
+
+#: days grid used for the retention panels (Fig. 9d / 12b x-axis:
+#: 10 .. 10^4 days, with the 1-year and 5-year requirements marked).
+RETENTION_DAYS_GRID: tuple[float, ...] = (
+    10.0,
+    30.0,
+    100.0,
+    300.0,
+    constants.RETENTION_1Y_DAYS,
+    1000.0,
+    constants.RETENTION_5Y_DAYS,
+    3000.0,
+    10000.0,
+)
+
+
+# ---------------------------------------------------------------------------
+# pLock (Figure 9)
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class PlockDesignPoint:
+    """One grid cell of the Figure 9(a) design space."""
+
+    pulse: PulseSettings
+    data_rber_factor: float
+    program_success: float
+    region: str  # "region-i" | "region-ii" | "candidate"
+    label: str | None = None  # roman numeral for candidates
+
+
+@dataclass
+class PlockDesignResult:
+    """Full Figure 9 exploration output."""
+
+    model: FlagCellModel
+    points: list[PlockDesignPoint]
+    candidates: dict[str, PulseSettings]
+    selected_label: str
+    #: label -> expected retention errors (k cells) per RETENTION_DAYS_GRID.
+    retention_errors: dict[str, np.ndarray] = field(default_factory=dict)
+    #: label -> flag fail-open probability per RETENTION_DAYS_GRID.
+    failure_probs: dict[str, np.ndarray] = field(default_factory=dict)
+
+    @property
+    def selected_pulse(self) -> PulseSettings:
+        return self.candidates[self.selected_label]
+
+    def point_for(self, pulse: PulseSettings) -> PlockDesignPoint:
+        for p in self.points:
+            if p.pulse == pulse:
+                return p
+        raise KeyError(pulse)
+
+
+def explore_plock_design(
+    model: FlagCellModel | None = None,
+    k: int = constants.PAP_REDUNDANCY_K,
+    qualify_days: float = constants.RETENTION_5Y_DAYS,
+    max_failure_prob: float = 0.01,
+) -> PlockDesignResult:
+    """Run the full Figure 9 exploration and selection."""
+    model = model or FlagCellModel()
+    points: list[PlockDesignPoint] = []
+    survivors: list[PulseSettings] = []
+    for pulse in plock_design_space():
+        factor = model.data_rber_factor(pulse)
+        success = model.program_success_prob(pulse)
+        if model.disturbs_data(pulse):
+            region = "region-i"
+        elif not model.programs_reliably(pulse):
+            region = "region-ii"
+        else:
+            region = "candidate"
+            survivors.append(pulse)
+        points.append(PlockDesignPoint(pulse, factor, success, region))
+
+    if len(survivors) != len(ROMAN_LABELS):
+        raise RuntimeError(
+            f"expected {len(ROMAN_LABELS)} candidates, model yields {len(survivors)}"
+        )
+    # label by decreasing program energy (strongest pulse first)
+    survivors.sort(key=model.program_energy, reverse=True)
+    candidates = dict(zip(ROMAN_LABELS, survivors))
+    labelled_points = []
+    label_of = {pulse: label for label, pulse in candidates.items()}
+    for p in points:
+        labelled_points.append(
+            PlockDesignPoint(
+                p.pulse, p.data_rber_factor, p.program_success, p.region,
+                label_of.get(p.pulse),
+            )
+        )
+
+    days = np.asarray(RETENTION_DAYS_GRID)
+    retention_errors = {
+        label: np.asarray(
+            [model.expected_retention_errors(pulse, d, k=k) for d in days]
+        )
+        for label, pulse in candidates.items()
+    }
+    failure_probs = {
+        label: np.asarray(
+            [model.flag_failure_prob(pulse, d, k=k) for d in days]
+        )
+        for label, pulse in candidates.items()
+    }
+
+    qualifying = [
+        label
+        for label, pulse in candidates.items()
+        if model.flag_failure_prob(pulse, qualify_days, k=k) <= max_failure_prob
+    ]
+    if not qualifying:
+        raise RuntimeError("no candidate meets the retention requirement")
+    selected = min(
+        qualifying,
+        key=lambda lbl: (
+            candidates[lbl].latency_us,
+            candidates[lbl].vpgm,
+        ),
+    )
+    return PlockDesignResult(
+        model=model,
+        points=labelled_points,
+        candidates=candidates,
+        selected_label=selected,
+        retention_errors=retention_errors,
+        failure_probs=failure_probs,
+    )
+
+
+# ---------------------------------------------------------------------------
+# bLock (Figure 12)
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class BlockDesignPoint:
+    """One grid cell of the Figure 12(a) design space."""
+
+    pulse: PulseSettings
+    initial_vth: float
+    region: str  # "region-i" | "candidate"
+    label: str | None = None
+
+
+@dataclass
+class BlockDesignResult:
+    """Full Figure 12 exploration output."""
+
+    model: SslLockModel
+    points: list[BlockDesignPoint]
+    candidates: dict[str, PulseSettings]
+    selected_label: str
+    #: label -> center SSL Vth per RETENTION_DAYS_GRID day.
+    vth_curves: dict[str, np.ndarray] = field(default_factory=dict)
+
+    @property
+    def selected_pulse(self) -> PulseSettings:
+        return self.candidates[self.selected_label]
+
+
+def explore_block_design(
+    model: SslLockModel | None = None,
+    qualify_days: float = constants.RETENTION_5Y_DAYS,
+) -> BlockDesignResult:
+    """Run the full Figure 12 exploration and selection."""
+    model = model or SslLockModel()
+    points: list[BlockDesignPoint] = []
+    survivors: list[PulseSettings] = []
+    for pulse in block_design_space():
+        v0 = model.initial_vth(pulse)
+        if model.reaches_cutoff(pulse):
+            region = "candidate"
+            survivors.append(pulse)
+        else:
+            region = "region-i"
+        points.append(BlockDesignPoint(pulse, v0, region))
+
+    if len(survivors) != len(ROMAN_LABELS):
+        raise RuntimeError(
+            f"expected {len(ROMAN_LABELS)} candidates, model yields {len(survivors)}"
+        )
+    survivors.sort(key=model.initial_vth, reverse=True)
+    candidates = dict(zip(ROMAN_LABELS, survivors))
+    label_of = {pulse: label for label, pulse in candidates.items()}
+    points = [
+        BlockDesignPoint(p.pulse, p.initial_vth, p.region, label_of.get(p.pulse))
+        for p in points
+    ]
+
+    days = np.asarray(RETENTION_DAYS_GRID)
+    vth_curves = {
+        label: np.asarray([model.vth_after(pulse, d) for d in days])
+        for label, pulse in candidates.items()
+    }
+
+    qualifying = [
+        label
+        for label, pulse in candidates.items()
+        if model.is_blocking(pulse, qualify_days)
+    ]
+    if not qualifying:
+        raise RuntimeError("no candidate blocks for the full retention requirement")
+    selected = min(
+        qualifying,
+        key=lambda lbl: (
+            candidates[lbl].latency_us,
+            candidates[lbl].vpgm,
+        ),
+    )
+    return BlockDesignResult(
+        model=model,
+        points=points,
+        candidates=candidates,
+        selected_label=selected,
+        vth_curves=vth_curves,
+    )

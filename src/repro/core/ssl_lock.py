@@ -1,0 +1,156 @@
+"""bLock: block-level sanitization via SSL-cell programming -- Section 5.4.
+
+3D NAND uses normal flash cells as the source-select-line (SSL)
+transistors of each block.  bLock one-shot-programs the SSL above the
+read pass voltage margin: once the SSL's center Vth exceeds ~3 V no
+bitline current can flow for *any* page of the block, so every read
+returns zeros.  Only a full block erase (which also erases the SSL cells)
+restores access.
+
+The calibrated model covers the paper's two bLock figures:
+
+* Figure 11(b): normalized RBER of a read versus the SSL's center Vth,
+  crossing the ECC limit at ~3 V;
+* Figure 12(b): center SSL Vth versus retention time for the candidate
+  (voltage, latency) combinations -- weakly-programmed SSLs decay below
+  the cutoff before the 1- or 5-year requirement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import exp, log, log1p
+
+from repro.core.flag_cells import PulseSettings
+from repro.flash import constants
+
+
+def block_design_space() -> list[PulseSettings]:
+    """The paper's initial bLock space: 6 voltages x 3 latencies (Fig 12a)."""
+    voltages = [
+        constants.BLOCK_VPGM_BASE + i * constants.BLOCK_VPGM_STEP
+        for i in range(constants.BLOCK_VPGM_COUNT)
+    ]
+    return [
+        PulseSettings(v, t)
+        for t in constants.BLOCK_LATENCIES_US
+        for v in voltages
+    ]
+
+
+@dataclass(frozen=True)
+class SslLockModel:
+    """Calibrated SSL programming and retention behaviour.
+
+    ``initial_vth`` is linear in program voltage and logarithmic in pulse
+    duration; the retention decay rate shrinks exponentially with how
+    deeply the SSL was programmed (shallow charge detraps faster), which
+    is what separates the viable Figure 12 combinations from the ones
+    that drop below the 3 V cutoff within the retention requirement.
+    """
+
+    volt_coef: float = 0.85
+    volt_base: float = 12.8
+    time_coef: float = 0.6
+    time_ref_us: float = 200.0
+    #: decay rate (V per log1p(day)) = floor + amp * exp(-slope*(v0-cutoff)).
+    #: The steep slope encodes that shallowly-programmed SSL charge sits in
+    #: fast-detrapping states: combination (iii) = (Vb6, 200 us) programs to
+    #: 4.42 V yet still decays below the 3 V cutoff before 5 years -- which
+    #: is why the paper settles on the 300 us pulse despite the latency.
+    decay_floor: float = 0.04
+    decay_amp: float = 60.0
+    decay_slope: float = 4.0
+    #: SSL cells cannot decay below their neutral (erased) Vth.
+    vth_floor: float = 0.5
+    #: minimum as-programmed Vth for a combination to count as reaching
+    #: the cutoff with engineering margin (Region I predicate).
+    program_margin: float = 0.45
+
+    # ------------------------------------------------------------------
+    def initial_vth(self, pulse: PulseSettings) -> float:
+        """Center SSL Vth right after the one-shot bLock pulse."""
+        return self.volt_coef * (pulse.vpgm - self.volt_base) + self.time_coef * log(
+            pulse.latency_us / self.time_ref_us
+        )
+
+    def decay_rate(self, initial_vth: float) -> float:
+        """V per log1p(day) lost to retention, given programming depth."""
+        return self.decay_floor + self.decay_amp * exp(
+            -self.decay_slope * (initial_vth - constants.SSL_CUTOFF_VTH)
+        )
+
+    def vth_after(self, pulse: PulseSettings, days: float) -> float:
+        """Center SSL Vth ``days`` after the bLock pulse."""
+        v0 = self.initial_vth(pulse)
+        if days <= 0.0:
+            return v0
+        return max(self.vth_floor, v0 - self.decay_rate(v0) * log1p(days))
+
+    # ------------------------------------------------------------------
+    def reaches_cutoff(self, pulse: PulseSettings) -> bool:
+        """Region I predicate: pulse programs the SSL past cutoff + margin."""
+        return self.initial_vth(pulse) >= constants.SSL_CUTOFF_VTH + self.program_margin
+
+    def is_blocking(self, pulse: PulseSettings, days: float = 0.0) -> bool:
+        """Whether the block still blocks reads ``days`` after bLock."""
+        return self.vth_after(pulse, days) > constants.SSL_CUTOFF_VTH
+
+    def blocking_horizon_days(
+        self, pulse: PulseSettings, max_days: float = 20.0 * 365.0
+    ) -> float:
+        """Days until the SSL decays to the cutoff (capped at ``max_days``)."""
+        v0 = self.initial_vth(pulse)
+        margin = v0 - constants.SSL_CUTOFF_VTH
+        if margin <= 0.0:
+            return 0.0
+        rate = self.decay_rate(v0)
+        # v0 - rate * log1p(d) == cutoff  =>  d = expm1(margin / rate)
+        horizon = exp(margin / rate) - 1.0
+        return min(horizon, max_days)
+
+
+def read_rber_vs_ssl_vth(center_vth: float, pe_cycles: int = 0) -> float:
+    """Normalized RBER of a page read as a function of SSL center Vth.
+
+    Reproduces Figure 11(b): as the SSL Vth approaches the pass-voltage
+    margin, bitline current degrades and errors grow; the curve crosses
+    the ECC limit (normalized 1.0) at ~3 V and saturates near 4.5x.
+    """
+    base = 0.55 + 0.20 * (pe_cycles / 1000.0)
+    return base + 4.0 / (1.0 + exp(-(center_vth - 3.68) / 0.25))
+
+
+def default_block_pulse() -> PulseSettings:
+    """The paper's final bLock choice: combination (ii) = (Vb6, 300 us)."""
+    return PulseSettings(
+        constants.BLOCK_VPGM_BASE
+        + (constants.BLOCK_VPGM_COUNT - 1) * constants.BLOCK_VPGM_STEP,
+        constants.T_BLOCK_LOCK_US,
+    )
+
+
+@dataclass
+class BlockApFlag:
+    """Runtime bAP state of one block (used by the Evanesco chip)."""
+
+    model: SslLockModel
+    pulse: PulseSettings
+    lock_day: float | None = None
+
+    @property
+    def locked(self) -> bool:
+        return self.lock_day is not None
+
+    def lock(self, day: float = 0.0) -> None:
+        if self.lock_day is None:
+            self.lock_day = day
+
+    def erase(self) -> None:
+        self.lock_day = None
+
+    def is_disabled(self, day: float = 0.0) -> bool:
+        if self.lock_day is None:
+            return False
+        elapsed = max(0.0, day - self.lock_day)
+        return self.model.is_blocking(self.pulse, elapsed)

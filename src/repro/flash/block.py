@@ -1,0 +1,144 @@
+"""Behavioural model of one flash block.
+
+Enforces the NAND rules the paper's design leans on:
+
+* erase-before-program (a page can only be programmed once per erase);
+* sequential page programming within a block (3D NAND programs wordlines
+  in order to bound interference);
+* erase works on the whole block and resets every page;
+* per-block program/erase cycle counting against the endurance limit;
+* open-interval tracking (Section 5.4): the block records when it was
+  erased so callers can measure how long it stayed open before the first
+  program.
+
+The Evanesco lock state is *not* stored here -- it lives in the
+:mod:`repro.core` structures that model the spare-area flag cells and the
+SSL, and the Evanesco chip consults those on every read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any
+
+from repro.flash.errors import (
+    EraseStateError,
+    ProgramOrderError,
+    WearOutError,
+)
+from repro.flash.geometry import Geometry
+from repro.flash.page import Page, PageState
+
+
+class BlockState(Enum):
+    """Lifecycle of a block as the FTL sees it."""
+
+    FREE = "free"          # erased, no page programmed yet
+    OPEN = "open"          # partially programmed (the "active" block)
+    FULL = "full"          # every page programmed
+    ERASE_PENDING = "erase_pending"  # GC victim awaiting its lazy erase
+
+
+@dataclass
+class Block:
+    """One physical block of ``geometry.pages_per_block`` pages."""
+
+    geometry: Geometry
+    index: int
+    pe_limit: int | None = None
+    pages: list[Page] = field(init=False)
+    state: BlockState = field(init=False, default=BlockState.FREE)
+    erase_count: int = field(init=False, default=0)
+    next_page: int = field(init=False, default=0)
+    #: simulation time (us) of the last erase; basis of the open interval.
+    last_erase_time: float = field(init=False, default=0.0)
+    #: per-wordline count of inhibited program pulses (pLock disturb).
+    wl_disturb_pulses: list[int] = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.geometry.check_block(self.index)
+        self.pages = [Page() for _ in range(self.geometry.pages_per_block)]
+        self.wl_disturb_pulses = [0] * self.geometry.wordlines_per_block
+
+    # ------------------------------------------------------------------
+    @property
+    def is_full(self) -> bool:
+        return self.next_page >= self.geometry.pages_per_block
+
+    @property
+    def programmed_pages(self) -> int:
+        return self.next_page
+
+    def page(self, page_offset: int) -> Page:
+        return self.pages[page_offset]
+
+    def open_interval_us(self, now: float) -> float:
+        """Time this block has spent erased-but-unprogrammed."""
+        if self.state is not BlockState.FREE:
+            return 0.0
+        return max(0.0, now - self.last_erase_time)
+
+    # ------------------------------------------------------------------
+    def program(
+        self,
+        page_offset: int,
+        data: Any,
+        spare: dict[str, Any] | None,
+        now: float,
+    ) -> None:
+        """Program the next page in sequence.
+
+        Raises
+        ------
+        ProgramOrderError
+            If the target is not the next sequential page or is already
+            programmed.
+        EraseStateError
+            If the block is pending erase.
+        """
+        if self.state is BlockState.ERASE_PENDING:
+            raise EraseStateError(
+                f"block {self.index} is erase-pending; erase before programming"
+            )
+        if page_offset != self.next_page:
+            raise ProgramOrderError(
+                f"block {self.index}: page {page_offset} out of order "
+                f"(next programmable is {self.next_page})"
+            )
+        page = self.pages[page_offset]
+        if page.state is not PageState.ERASED:
+            raise ProgramOrderError(
+                f"block {self.index} page {page_offset} already programmed"
+            )
+        page.program(data, spare, now)
+        self.next_page += 1
+        self.state = BlockState.FULL if self.is_full else BlockState.OPEN
+
+    def erase(self, now: float) -> None:
+        """Erase the whole block, destroying all page data.
+
+        Raises
+        ------
+        WearOutError
+            If the block would exceed its endurance limit.
+        """
+        if self.pe_limit is not None and self.erase_count >= self.pe_limit:
+            raise WearOutError(
+                f"block {self.index} reached its P/E limit of {self.pe_limit}"
+            )
+        for page in self.pages:
+            page.erase()
+        self.erase_count += 1
+        self.next_page = 0
+        self.state = BlockState.FREE
+        self.last_erase_time = now
+        self.wl_disturb_pulses = [0] * self.geometry.wordlines_per_block
+
+    def mark_erase_pending(self) -> None:
+        """Tag the block as a GC victim awaiting lazy erase (Section 5.4)."""
+        self.state = BlockState.ERASE_PENDING
+
+    def record_wl_disturb(self, wordline: int) -> None:
+        """Count one inhibited program pulse on a wordline (pLock)."""
+        self.wl_disturb_pulses[wordline] += 1

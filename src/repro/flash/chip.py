@@ -1,0 +1,177 @@
+"""Behavioural model of one NAND flash chip.
+
+The chip exposes the standard command set (read / program / erase) with
+the paper's timing constants and keeps operation statistics.  The
+Evanesco-enhanced chip in :mod:`repro.core.evanesco_chip` subclasses this
+to add `pLock` / `bLock` and access-permission checks on the read path.
+
+Reads return a :class:`ReadResult` carrying the payload, spare metadata,
+and the operation latency; a read of an erased page returns the all-ones
+pattern token ``ERASED_DATA`` (erased cells read as '1').
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.flash import constants
+from repro.flash.block import Block, BlockState
+from repro.flash.errors import AddressError
+from repro.flash.geometry import Geometry
+
+#: Token returned when reading an erased page (all cells read '1').
+ERASED_DATA = "<erased:all-ones>"
+
+#: Token returned when reading a locked page/block (chip outputs zeros).
+ZERO_DATA = "<locked:all-zeros>"
+
+#: Token left behind by a scrub pulse (Vth states merged, data destroyed).
+SCRUBBED_DATA = "<scrubbed:destroyed>"
+
+
+@dataclass(frozen=True)
+class ReadResult:
+    """Outcome of a page read."""
+
+    data: Any
+    spare: dict[str, Any]
+    latency_us: float
+    #: whether the chip's AP logic suppressed the data (Evanesco chips).
+    blocked: bool = False
+
+
+@dataclass
+class ChipStats:
+    """Cumulative operation counts and busy time for one chip."""
+
+    reads: int = 0
+    programs: int = 0
+    erases: int = 0
+    plocks: int = 0
+    blocks_locked: int = 0
+    busy_time_us: float = 0.0
+
+    def snapshot(self) -> dict[str, float]:
+        return {
+            "reads": self.reads,
+            "programs": self.programs,
+            "erases": self.erases,
+            "plocks": self.plocks,
+            "blocks_locked": self.blocks_locked,
+            "busy_time_us": self.busy_time_us,
+        }
+
+
+@dataclass
+class FlashChip:
+    """One NAND die: an array of blocks plus the command interface."""
+
+    geometry: Geometry
+    pe_limit: int | None = None
+    t_read_us: float = constants.T_READ_US
+    t_prog_us: float = constants.T_PROG_US
+    t_erase_us: float = constants.T_BERS_US
+    blocks: list[Block] = field(init=False)
+    stats: ChipStats = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.blocks = [
+            Block(self.geometry, i, pe_limit=self.pe_limit)
+            for i in range(self.geometry.blocks_per_chip)
+        ]
+        self.stats = ChipStats()
+
+    # ------------------------------------------------------------------
+    def block(self, block_index: int) -> Block:
+        self.geometry.check_block(block_index)
+        return self.blocks[block_index]
+
+    def _locate(self, ppn: int) -> tuple[Block, int]:
+        block_index, page_offset = self.geometry.split_ppn(ppn)
+        return self.blocks[block_index], page_offset
+
+    # ------------------------------------------------------------------
+    def read_page(self, ppn: int, now: float = 0.0) -> ReadResult:
+        """Standard page read; subclasses overlay access control."""
+        block, page_offset = self._locate(ppn)
+        page = block.page(page_offset)
+        self.stats.reads += 1
+        self.stats.busy_time_us += self.t_read_us
+        if page.is_erased:
+            return ReadResult(ERASED_DATA, {}, self.t_read_us)
+        return ReadResult(page.data, dict(page.spare), self.t_read_us)
+
+    def program_page(
+        self,
+        ppn: int,
+        data: Any,
+        spare: dict[str, Any] | None = None,
+        now: float = 0.0,
+    ) -> float:
+        """Program one page; returns the operation latency (us)."""
+        block, page_offset = self._locate(ppn)
+        block.program(page_offset, data, spare, now)
+        self.stats.programs += 1
+        self.stats.busy_time_us += self.t_prog_us
+        return self.t_prog_us
+
+    def erase_block(self, block_index: int, now: float = 0.0) -> float:
+        """Erase one block; returns the operation latency (us)."""
+        block = self.block(block_index)
+        block.erase(now)
+        self.stats.erases += 1
+        self.stats.busy_time_us += self.t_erase_us
+        return self.t_erase_us
+
+    def scrub_wordline(
+        self, block_index: int, wordline: int, latency_us: float = 100.0
+    ) -> float:
+        """Destroy every page of a wordline with a one-shot scrub pulse.
+
+        Section 4: scrubbing merges the Vth states of all cells on the
+        wordline, so every page it stores becomes garbage.  The pages stay
+        *programmed* (their cells are high-Vth, not erased), so they cannot
+        be reused until the block is erased.  The caller must have moved
+        any live sibling pages elsewhere first.
+        """
+        block = self.block(block_index)
+        if not 0 <= wordline < self.geometry.wordlines_per_block:
+            raise AddressError(f"wordline {wordline} out of range")
+        base = wordline * self.geometry.pages_per_wordline
+        for offset in range(base, base + self.geometry.pages_per_wordline):
+            page = block.pages[offset]
+            if not page.is_erased:
+                page.data = SCRUBBED_DATA
+                page.spare = {}
+        self.stats.busy_time_us += latency_us
+        return latency_us
+
+    # ------------------------------------------------------------------
+    def next_programmable_page(self, block_index: int) -> int | None:
+        """Offset of the next in-order programmable page, if any."""
+        block = self.block(block_index)
+        if block.state is BlockState.ERASE_PENDING or block.is_full:
+            return None
+        return block.next_page
+
+    def free_blocks(self) -> list[int]:
+        """Indices of blocks that are erased and empty."""
+        return [b.index for b in self.blocks if b.state is BlockState.FREE]
+
+    def raw_dump(self) -> dict[int, Any]:
+        """Forensic view: payload of every programmed page, keyed by PPN.
+
+        This is what the Section-5.1 attacker obtains by de-soldering the
+        chip and replaying read commands on a *non*-Evanesco part: all
+        programmed data, regardless of the FTL's logical page status.
+        Evanesco chips override this to honour the AP flags, because the
+        blocking logic lives inside the chip, below every interface.
+        """
+        out: dict[int, Any] = {}
+        for block in self.blocks:
+            for offset, page in enumerate(block.pages):
+                if not page.is_erased:
+                    ppn = self.geometry.ppn(block.index, offset)
+                    out[ppn] = page.data
+        return out

@@ -1,0 +1,84 @@
+"""Timing, voltage, and reliability constants for the flash substrate.
+
+The values follow the paper's evaluation configuration (Section 7) and its
+chip-level characterization (Section 5):
+
+* ``tREAD`` = 80 us, ``tPROG`` = 700 us, ``tBERS`` = 3.5 ms (3D TLC NAND).
+* ``tPLOCK`` = 100 us, ``tBLOCK_LOCK`` = 300 us (chosen by the design-space
+  exploration of Figures 9 and 12).
+* TLC endurance of ~1K P/E cycles, MLC of ~3K (Section 2.1).
+
+All times are expressed in **microseconds** throughout the code base, and
+all voltages in **volts**.
+"""
+
+from __future__ import annotations
+
+# --------------------------------------------------------------------------
+# Flash operation latencies (microseconds). Section 7: "We set flash
+# operation timing parameters for tREAD, tPROG, and tBERS to 80us, 700us,
+# and 3.5ms" and "tpLock and tbLock to 100us and 300us".
+# --------------------------------------------------------------------------
+T_READ_US = 80.0
+T_PROG_US = 700.0
+T_BERS_US = 3500.0
+T_PLOCK_US = 100.0
+T_BLOCK_LOCK_US = 300.0
+
+#: Data-transfer time for one 16-KiB page over the channel. FlashBench-class
+#: emulators use ~400 MB/s channels; 16 KiB / 400 MBps = 40 us.
+T_XFER_US = 40.0
+
+# --------------------------------------------------------------------------
+# Voltages. Section 2.1 and Section 5.
+# --------------------------------------------------------------------------
+#: Pass voltage applied to unselected wordlines during a read. SSL cells
+#: programmed above this cut the bitline for every read (bLock, Sec. 5.4).
+V_READ_PASS = 6.0
+
+#: Program voltage bounds used by the design-space exploration (Fig. 9a);
+#: Psi = {Vp1..Vp5}, 0.5 V apart. We anchor Vp1 at 14.0 V (one-shot, low
+#: voltage relative to the >20 V ISPP peak described in Sec. 2.1).
+PLOCK_VPGM_BASE = 14.0
+PLOCK_VPGM_STEP = 0.5
+PLOCK_VPGM_COUNT = 5
+PLOCK_LATENCIES_US = (100.0, 150.0, 200.0)
+
+#: bLock design space (Fig. 12a): Psi = {Vb1..Vb6}, 1.0 V apart,
+#: T = {200, 300, 400} us.
+BLOCK_VPGM_BASE = 13.0
+BLOCK_VPGM_STEP = 1.0
+BLOCK_VPGM_COUNT = 6
+BLOCK_LATENCIES_US = (200.0, 300.0, 400.0)
+
+#: SSL center-Vth threshold above which every read of the block fails
+#: (Fig. 11b: "when the center Vth level of an SSL exceeds 3V, a read
+#: operation to any of the pages in the corresponding block fails").
+SSL_CUTOFF_VTH = 3.0
+
+# --------------------------------------------------------------------------
+# Endurance and reliability (Sections 2.1, 4, 5.3).
+# --------------------------------------------------------------------------
+MLC_PE_LIMIT = 3000
+TLC_PE_LIMIT = 1000
+
+#: Number of redundant flag cells per pAP flag; Section 5.3 selects k = 9.
+PAP_REDUNDANCY_K = 9
+
+#: pAP flags per wordline for TLC (one per page: LSB/CSB/MSB).
+PAP_FLAGS_PER_WL_TLC = 3
+
+#: Retention requirement used for qualification (JEDEC, Sec. 5.3): 1 year
+#: at 30C; the paper additionally explores a 5-year point.
+RETENTION_1Y_DAYS = 365.0
+RETENTION_5Y_DAYS = 5 * 365.0
+
+#: ECC limit: RBER (errors per bit) below which the ECC corrects all errors.
+#: Modern 3D TLC ships with ~1% correction capability per 1-KiB codeword
+#: (e.g. 72-bit/1KiB BCH or LDPC); the paper normalizes all RBER plots to
+#: this limit, so only the ratio matters.
+ECC_LIMIT_RBER = 0.010
+
+#: Logical-time unit for the versioning study (Section 3): one tick per
+#: 4-KiB host write.
+LOGICAL_TIME_WRITE_BYTES = 4096

@@ -1,0 +1,80 @@
+"""Error-correcting-code model.
+
+The paper reports every chip-level result normalized to "the maximum RBER
+value below which an ECC module can correct errors" (Fig. 6 note).  We
+model the ECC as a hard threshold on per-codeword raw bit-error count: a
+BCH-style code over 1-KiB codewords that corrects up to ``t`` bit errors.
+
+Two views are provided:
+
+* the *rate* view used by analytic experiments -- a page is readable iff
+  its expected RBER is below :attr:`EccModel.limit_rber`;
+* the *codeword* view used by the bit-accurate chip -- errors are counted
+  per codeword and the read fails if any codeword exceeds ``t``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.flash.constants import ECC_LIMIT_RBER
+
+
+@dataclass(frozen=True)
+class EccModel:
+    """BCH-style block ECC with hard correction threshold.
+
+    Parameters
+    ----------
+    codeword_bytes:
+        Payload bytes protected per codeword.
+    correctable_bits:
+        Maximum raw bit errors correctable per codeword.
+    """
+
+    codeword_bytes: int = 1024
+    correctable_bits: int = 82  # ~1% of 8192 bits, matching ECC_LIMIT_RBER
+
+    def __post_init__(self) -> None:
+        if self.codeword_bytes <= 0:
+            raise ValueError("codeword_bytes must be positive")
+        if self.correctable_bits < 0:
+            raise ValueError("correctable_bits must be non-negative")
+
+    @property
+    def codeword_bits(self) -> int:
+        return self.codeword_bytes * 8
+
+    @property
+    def limit_rber(self) -> float:
+        """RBER at which a codeword sits exactly at the correction limit."""
+        return self.correctable_bits / self.codeword_bits
+
+    # ------------------------------------------------------------------
+    def correctable_rber(self, rber: float) -> bool:
+        """Whether a page with expected RBER ``rber`` is reliably readable."""
+        return rber <= self.limit_rber
+
+    def normalized(self, rber: float) -> float:
+        """RBER normalized to the ECC limit (1.0 == at the limit)."""
+        return rber / self.limit_rber
+
+    def correct(self, error_counts: np.ndarray) -> bool:
+        """Codeword view: True iff every codeword's error count <= t."""
+        return bool(np.all(np.asarray(error_counts) <= self.correctable_bits))
+
+    def codewords_per_page(self, page_bytes: int) -> int:
+        if page_bytes % self.codeword_bytes:
+            raise ValueError(
+                f"page size {page_bytes} not a multiple of codeword size"
+            )
+        return page_bytes // self.codeword_bytes
+
+
+def default_ecc() -> EccModel:
+    """ECC matching :data:`repro.flash.constants.ECC_LIMIT_RBER`."""
+    model = EccModel()
+    assert abs(model.limit_rber - ECC_LIMIT_RBER) / ECC_LIMIT_RBER < 0.01
+    return model

@@ -1,0 +1,163 @@
+"""Gray-coded state encodings for multi-level NAND cells.
+
+A cell storing *m* bits uses ``2**m`` threshold-voltage (Vth) states.  The
+paper's Figure 2 gives the standard Gray maps:
+
+* MLC (Fig. 2a), codes written ``(MSB, LSB)``::
+
+      E = 11,  P1 = 10,  P2 = 00,  P3 = 01
+
+* TLC (Fig. 2b), codes written ``(MSB, CSB, LSB)``::
+
+      E = 111, P1 = 110, P2 = 100, P3 = 000,
+      P4 = 010, P5 = 011, P6 = 001, P7 = 101
+
+Reading one page of a wordline probes the cells against the subset of read
+reference voltages at which that page's bit flips between adjacent states;
+:meth:`Encoding.read_levels` exposes that subset, which the reliability
+model uses to count errors per page role.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from repro.flash.geometry import CellType, PageRole
+
+#: state-index -> bit tuple, LSB first (index 0 = LSB page bit).
+_SLC_CODES: tuple[tuple[int, ...], ...] = ((1,), (0,))
+
+_MLC_CODES: tuple[tuple[int, ...], ...] = (
+    # (LSB, MSB): E=11, P1=10, P2=00, P3=01 as (MSB, LSB) in the paper
+    (1, 1),  # E
+    (0, 1),  # P1
+    (0, 0),  # P2
+    (1, 0),  # P3
+)
+
+_TLC_CODES: tuple[tuple[int, ...], ...] = (
+    # (LSB, CSB, MSB): paper lists (MSB, CSB, LSB)
+    (1, 1, 1),  # E   = 111
+    (0, 1, 1),  # P1  = 110
+    (0, 0, 1),  # P2  = 100
+    (0, 0, 0),  # P3  = 000
+    (0, 1, 0),  # P4  = 010
+    (1, 1, 0),  # P5  = 011
+    (1, 0, 0),  # P6  = 001
+    (1, 0, 1),  # P7  = 101
+)
+
+def _validated_qlc() -> tuple[tuple[int, ...], ...]:
+    """Build a valid 16-state Gray sequence for QLC.
+
+    We generate the reflected binary Gray code and permute bit positions so
+    the LSB page has the fewest read levels, matching commercial layouts
+    closely enough for the simulator's purposes.
+    """
+    codes = []
+    for i in range(16):
+        g = i ^ (i >> 1)
+        codes.append(tuple((g >> b) & 1 for b in range(4)))
+    # Gray code of 0 is 0b0000 but the erased state must be all-ones, so
+    # complement every bit (complementing preserves the Gray property).
+    return tuple(tuple(1 - bit for bit in code) for code in codes)
+
+
+@dataclass(frozen=True)
+class Encoding:
+    """Bit encoding for one cell type."""
+
+    cell_type: CellType
+    codes: tuple[tuple[int, ...], ...]
+
+    def __post_init__(self) -> None:
+        n = self.cell_type.states
+        if len(self.codes) != n:
+            raise ValueError(f"{self.cell_type.name} needs {n} codes")
+        if len(set(self.codes)) != n:
+            raise ValueError("codes must be distinct")
+        for a, b in zip(self.codes, self.codes[1:]):
+            if sum(x != y for x, y in zip(a, b)) != 1:
+                raise ValueError(f"codes {a} -> {b} are not Gray-adjacent")
+        if any(bit != 1 for bit in self.codes[0]):
+            raise ValueError("erased state must encode all-ones")
+
+    # ------------------------------------------------------------------
+    @property
+    def bits_per_cell(self) -> int:
+        return int(self.cell_type)
+
+    def state_for_bits(self, bits: tuple[int, ...]) -> int:
+        """Vth state index encoding the given (LSB-first) bit tuple."""
+        return self.codes.index(bits)
+
+    def bit_of_state(self, state: int, role: PageRole) -> int:
+        """The bit the given page role reads from a cell in ``state``."""
+        return self.codes[state][int(role)]
+
+    def bits_table(self) -> np.ndarray:
+        """(states, bits_per_cell) uint8 array: table[s, r] = bit."""
+        return np.asarray(self.codes, dtype=np.uint8)
+
+    def read_levels(self, role: PageRole) -> tuple[int, ...]:
+        """Read-reference indices that the given page role senses.
+
+        Level *i* separates state *i* from state *i+1*; a role senses level
+        *i* iff its bit differs between those two states.  The number of
+        levels per role determines that page's read latency class and which
+        state-overlap tails produce bit errors on that page.
+        """
+        if int(role) >= self.bits_per_cell:
+            raise ValueError(
+                f"role {role!r} does not exist on {self.cell_type.name} cells"
+            )
+        levels = []
+        for i in range(len(self.codes) - 1):
+            if self.codes[i][int(role)] != self.codes[i + 1][int(role)]:
+                levels.append(i)
+        return tuple(levels)
+
+    def states_array_for_pages(self, page_bits: np.ndarray) -> np.ndarray:
+        """Map per-page bit planes to cell states.
+
+        Parameters
+        ----------
+        page_bits:
+            Array of shape ``(bits_per_cell, n_cells)`` with bit plane
+            ``page_bits[r]`` holding the data of page role *r* (LSB first).
+
+        Returns
+        -------
+        Array of shape ``(n_cells,)`` with the target Vth state per cell.
+        """
+        if page_bits.shape[0] != self.bits_per_cell:
+            raise ValueError(
+                f"expected {self.bits_per_cell} bit planes, got {page_bits.shape[0]}"
+            )
+        lut = np.zeros(1 << self.bits_per_cell, dtype=np.uint8)
+        for state, code in enumerate(self.codes):
+            key = 0
+            for r, bit in enumerate(code):
+                key |= int(bit) << r
+            lut[key] = state
+        keys = np.zeros(page_bits.shape[1], dtype=np.uint8)
+        for r in range(self.bits_per_cell):
+            keys |= (page_bits[r].astype(np.uint8) & 1) << r
+        return lut[keys]
+
+
+@lru_cache(maxsize=None)
+def encoding_for(cell_type: CellType) -> Encoding:
+    """Return the canonical encoding for a cell type."""
+    if cell_type is CellType.SLC:
+        return Encoding(cell_type, _SLC_CODES)
+    if cell_type is CellType.MLC:
+        return Encoding(cell_type, _MLC_CODES)
+    if cell_type is CellType.TLC:
+        return Encoding(cell_type, _TLC_CODES)
+    if cell_type is CellType.QLC:
+        return Encoding(cell_type, _validated_qlc())
+    raise ValueError(f"unsupported cell type: {cell_type!r}")

@@ -1,0 +1,67 @@
+"""Exception hierarchy for the NAND flash substrate.
+
+Every abnormal condition raised by the flash layer derives from
+:class:`FlashError` so callers can distinguish flash-level failures from
+programming mistakes.  The FTL layer catches the *recoverable* subset
+(e.g. :class:`UncorrectableError` from a read) and translates it into
+device-level responses; state-machine violations such as
+:class:`ProgramOrderError` indicate an FTL bug and are allowed to
+propagate.
+"""
+
+from __future__ import annotations
+
+
+class FlashError(Exception):
+    """Base class for all flash-substrate errors."""
+
+
+class AddressError(FlashError):
+    """A physical address is out of range for the chip geometry."""
+
+
+class ProgramOrderError(FlashError):
+    """A program violated NAND ordering rules.
+
+    Raised when programming a page that is not erased (erase-before-program)
+    or when programming wordlines of a block out of sequential order, which
+    real 3D NAND forbids to bound cell-to-cell interference.
+    """
+
+
+class EraseStateError(FlashError):
+    """An operation was attempted on a block in an incompatible state."""
+
+
+class UncorrectableError(FlashError):
+    """A read returned more raw bit errors than the ECC can correct.
+
+    Attributes
+    ----------
+    rber:
+        The raw bit-error rate observed for the failing codeword.
+    limit:
+        The ECC correction limit expressed as an RBER.
+    """
+
+    def __init__(self, message: str, rber: float, limit: float) -> None:
+        super().__init__(message)
+        self.rber = rber
+        self.limit = limit
+
+
+class LockedPageError(FlashError):
+    """A read targeted a page whose pAP flag is disabled.
+
+    The chip does not actually raise on locked reads -- it returns all-zero
+    data -- but the strict read API (`read_page(..., strict=True)`) raises
+    this so that tests and auditors can assert lock enforcement.
+    """
+
+
+class LockedBlockError(FlashError):
+    """A read targeted a block whose bAP flag (SSL) is disabled."""
+
+
+class WearOutError(FlashError):
+    """A block exceeded its rated program/erase cycle endurance."""

@@ -1,0 +1,171 @@
+"""Chip geometry and physical address arithmetic.
+
+The paper's SecureSSD configuration (Section 7): two channels, four 3D TLC
+chips per channel; each chip has 428 blocks; each block has 576 16-KiB pages
+organized as 192 wordlines times 3 pages/WL (LSB, CSB, MSB).
+
+Addresses
+---------
+A *physical page number* (PPN) is flat within a chip::
+
+    ppn = block_index * pages_per_block + page_offset
+
+and a page maps onto a wordline as ``wl = page_offset // bits_per_cell``
+with page role ``page_offset % bits_per_cell`` (0=LSB, 1=CSB, 2=MSB for
+TLC).  This interleaved layout matches the WL-sequential program order used
+by real TLC parts and by the paper's Figure 8 example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+from repro.flash.errors import AddressError
+
+
+class CellType(IntEnum):
+    """Bits stored per flash cell."""
+
+    SLC = 1
+    MLC = 2
+    TLC = 3
+    QLC = 4
+
+    @property
+    def states(self) -> int:
+        """Number of distinct Vth states (2**bits)."""
+        return 1 << int(self)
+
+
+class PageRole(IntEnum):
+    """Which page of a multi-level wordline a PPN refers to."""
+
+    LSB = 0
+    CSB = 1
+    MSB = 2
+    TSB = 3  # top-significant bit, QLC only
+
+    @classmethod
+    def for_cell_type(cls, cell_type: CellType) -> tuple["PageRole", ...]:
+        return tuple(cls(i) for i in range(int(cell_type)))
+
+
+@dataclass(frozen=True)
+class Geometry:
+    """Immutable description of one flash chip's layout.
+
+    Parameters mirror the paper's configuration; the defaults give the
+    Section-7 chip (428 blocks x 192 WLs x 3 pages x 16 KiB = 4 GiB/chip).
+    """
+
+    blocks_per_chip: int = 428
+    wordlines_per_block: int = 192
+    cell_type: CellType = CellType.TLC
+    page_size_bytes: int = 16 * 1024
+    spare_bytes_per_page: int = 1024
+    cells_per_wordline: int = 8192
+
+    def __post_init__(self) -> None:
+        if self.blocks_per_chip <= 0:
+            raise ValueError("blocks_per_chip must be positive")
+        if self.wordlines_per_block <= 0:
+            raise ValueError("wordlines_per_block must be positive")
+        if self.page_size_bytes <= 0 or self.page_size_bytes % 4096:
+            raise ValueError("page_size_bytes must be a positive multiple of 4 KiB")
+        if self.cells_per_wordline <= 0:
+            raise ValueError("cells_per_wordline must be positive")
+
+    # -- derived sizes ----------------------------------------------------
+    @property
+    def bits_per_cell(self) -> int:
+        return int(self.cell_type)
+
+    @property
+    def pages_per_wordline(self) -> int:
+        return int(self.cell_type)
+
+    @property
+    def pages_per_block(self) -> int:
+        return self.wordlines_per_block * self.pages_per_wordline
+
+    @property
+    def pages_per_chip(self) -> int:
+        return self.blocks_per_chip * self.pages_per_block
+
+    @property
+    def block_bytes(self) -> int:
+        return self.pages_per_block * self.page_size_bytes
+
+    @property
+    def chip_bytes(self) -> int:
+        return self.blocks_per_chip * self.block_bytes
+
+    # -- address arithmetic ----------------------------------------------
+    def check_block(self, block: int) -> None:
+        if not 0 <= block < self.blocks_per_chip:
+            raise AddressError(
+                f"block {block} out of range [0, {self.blocks_per_chip})"
+            )
+
+    def check_ppn(self, ppn: int) -> None:
+        if not 0 <= ppn < self.pages_per_chip:
+            raise AddressError(f"ppn {ppn} out of range [0, {self.pages_per_chip})")
+
+    def ppn(self, block: int, page_offset: int) -> int:
+        """Flat physical page number for (block, in-block page offset)."""
+        self.check_block(block)
+        if not 0 <= page_offset < self.pages_per_block:
+            raise AddressError(
+                f"page offset {page_offset} out of range [0, {self.pages_per_block})"
+            )
+        return block * self.pages_per_block + page_offset
+
+    def split_ppn(self, ppn: int) -> tuple[int, int]:
+        """Inverse of :meth:`ppn`: returns (block, page_offset)."""
+        self.check_ppn(ppn)
+        return divmod(ppn, self.pages_per_block)
+
+    def wordline_of(self, page_offset: int) -> int:
+        """Wordline index inside the block for a page offset."""
+        if not 0 <= page_offset < self.pages_per_block:
+            raise AddressError(f"page offset {page_offset} out of range")
+        return page_offset // self.pages_per_wordline
+
+    def role_of(self, page_offset: int) -> PageRole:
+        """Page role (LSB/CSB/MSB/...) for a page offset."""
+        if not 0 <= page_offset < self.pages_per_block:
+            raise AddressError(f"page offset {page_offset} out of range")
+        return PageRole(page_offset % self.pages_per_wordline)
+
+    def page_offset(self, wordline: int, role: PageRole) -> int:
+        """Page offset inside a block for (wordline, role)."""
+        if not 0 <= wordline < self.wordlines_per_block:
+            raise AddressError(
+                f"wordline {wordline} out of range [0, {self.wordlines_per_block})"
+            )
+        if int(role) >= self.pages_per_wordline:
+            raise AddressError(f"role {role!r} invalid for {self.cell_type.name}")
+        return wordline * self.pages_per_wordline + int(role)
+
+    def sibling_offsets(self, page_offset: int) -> tuple[int, ...]:
+        """All page offsets sharing the wordline of ``page_offset``."""
+        wl = self.wordline_of(page_offset)
+        base = wl * self.pages_per_wordline
+        return tuple(base + i for i in range(self.pages_per_wordline))
+
+
+def small_geometry(
+    blocks: int = 8,
+    wordlines: int = 4,
+    cell_type: CellType = CellType.TLC,
+    page_size_bytes: int = 16 * 1024,
+) -> Geometry:
+    """A tiny geometry for unit tests (fast, but structurally faithful)."""
+    return Geometry(
+        blocks_per_chip=blocks,
+        wordlines_per_block=wordlines,
+        cell_type=cell_type,
+        page_size_bytes=page_size_bytes,
+        cells_per_wordline=64,
+    )

@@ -1,0 +1,159 @@
+"""Gaussian-mixture representation of a wordline's cell population.
+
+The OSR and scrubbing sanitization models (Section 4) transform cell
+populations in ways that break the one-Gaussian-per-state assumption of
+:mod:`repro.flash.vth` -- e.g. one-shot reprogramming moves the erased
+population *into* the P1 region with overshoot tails.  This module keeps a
+list of components, each remembering the *original* state whose data it
+carried, so we can compute the RBER of the still-valid pages after a
+sanitization pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.flash.vth import VthModel, StressState, _norm_cdf
+from repro.flash.geometry import PageRole
+
+
+@dataclass(frozen=True)
+class Component:
+    """One Gaussian sub-population of a wordline.
+
+    Attributes
+    ----------
+    original_state:
+        The Vth state originally programmed -- the ground truth against
+        which read bits are compared.
+    weight:
+        Fraction of the wordline's cells in this component.
+    mean, sigma:
+        Current Gaussian parameters (V).
+    """
+
+    original_state: int
+    weight: float
+    mean: float
+    sigma: float
+
+    def shifted(self, d_mean: float, extra_sigma: float) -> "Component":
+        """A copy with the mean moved and variance increased."""
+        return Component(
+            original_state=self.original_state,
+            weight=self.weight,
+            mean=self.mean + d_mean,
+            sigma=float(np.hypot(self.sigma, extra_sigma)),
+        )
+
+
+class WordlineMixture:
+    """Mutable mixture describing one wordline's Vth population."""
+
+    def __init__(self, model: VthModel, components: list[Component]):
+        self.model = model
+        self.components = list(components)
+        total = sum(c.weight for c in self.components)
+        if not np.isclose(total, 1.0, atol=1e-9):
+            raise ValueError(f"component weights sum to {total}, expected 1.0")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def programmed(
+        cls,
+        model: VthModel,
+        stress: StressState,
+        state_population: np.ndarray | None = None,
+    ) -> "WordlineMixture":
+        """Mixture for a freshly-evaluated wordline under ``stress``."""
+        n = model.params.cell_type.states
+        if state_population is None:
+            state_population = np.full(n, 1.0 / n)
+        else:
+            state_population = np.asarray(state_population, dtype=np.float64)
+            state_population = state_population / state_population.sum()
+        means, sigmas = model.state_distributions(stress)
+        comps = [
+            Component(s, float(state_population[s]), float(means[s]), float(sigmas[s]))
+            for s in range(n)
+            if state_population[s] > 0.0
+        ]
+        return cls(model, comps)
+
+    # ------------------------------------------------------------------
+    def transform(
+        self,
+        selector,
+        d_mean: float,
+        extra_sigma: float,
+    ) -> None:
+        """Shift every component matching ``selector(component)``."""
+        self.components = [
+            c.shifted(d_mean, extra_sigma) if selector(c) else c
+            for c in self.components
+        ]
+
+    def apply_retention(self, days: float, pe_cycles: int = 0) -> None:
+        """Apply retention loss to every component in place.
+
+        Retention moves each component down in proportion to how high it
+        currently sits (charge leaks more from fuller floating gates),
+        mirroring :meth:`VthModel.state_distributions`.
+        """
+        if days <= 0.0:
+            return
+        p = self.model.params
+        log_t = float(np.log1p(days))
+        accel = 1.0 + 0.8 * (pe_cycles / 1000.0)
+        lo = p.means[0]
+        hi = p.means[-1]
+        span = hi - lo
+        new = []
+        for c in self.components:
+            frac = min(max((c.mean - lo) / span, 0.0), 1.5)
+            new.append(
+                Component(
+                    original_state=c.original_state,
+                    weight=c.weight,
+                    mean=c.mean - p.retention_coef * accel * frac * log_t,
+                    sigma=c.sigma + p.retention_sigma_coef * accel * log_t,
+                )
+            )
+        self.components = new
+
+    # ------------------------------------------------------------------
+    def region_mass(self, component: Component) -> np.ndarray:
+        """Probability of the component's cells landing in each read region."""
+        refs = np.asarray(self.model.params.read_refs, dtype=np.float64)
+        cdf = np.asarray(_norm_cdf((refs - component.mean) / component.sigma))
+        n = len(refs) + 1
+        mass = np.empty(n, dtype=np.float64)
+        mass[0] = cdf[0]
+        for r in range(1, n - 1):
+            mass[r] = cdf[r] - cdf[r - 1]
+        mass[n - 1] = 1.0 - cdf[n - 2]
+        return np.clip(mass, 0.0, 1.0)
+
+    def rber(self, role: PageRole) -> float:
+        """Expected RBER of the given page role, against original data."""
+        bits = self.model.encoding.bits_table()[:, int(role)].astype(np.int64)
+        err = 0.0
+        for c in self.components:
+            mass = self.region_mass(c)
+            true_bit = bits[c.original_state]
+            wrong = mass[bits != true_bit].sum()
+            err += c.weight * wrong
+        return float(err)
+
+    def sample(
+        self, n_cells: int, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Draw (original_states, vths) samples from the mixture."""
+        weights = np.array([c.weight for c in self.components])
+        idx = rng.choice(len(self.components), size=n_cells, p=weights / weights.sum())
+        means = np.array([c.mean for c in self.components])[idx]
+        sigmas = np.array([c.sigma for c in self.components])[idx]
+        orig = np.array([c.original_state for c in self.components])[idx]
+        return orig, rng.normal(means, sigmas)

@@ -1,0 +1,220 @@
+"""One-shot-reprogramming (OSR) sanitization model -- Section 4.
+
+OSR (Lin et al., ICCAD'18) destroys one page of a multi-level wordline by
+applying a single low-voltage program pulse that moves the erased-state
+cells up into the next state's region (paper Figure 5a): after the shift
+the sanitized page can no longer be read correctly at its first read
+reference.  The risk is *over-programming* (Figure 5b): cells pushed past
+the following reference corrupt the bit of the page that is supposed to
+stay valid.
+
+The paper measures this on real chips (Figure 6):
+
+* 3D MLC at 3K P/E cycles -- after sanitizing the LSB page, 7.4 % of MSB
+  pages exceed the ECC limit;
+* 3D TLC at 1K P/E cycles -- after sanitizing LSB+CSB, *all* MSB pages
+  become unreadable;
+* after a 1-year retention both get substantially worse (beyond 1.5x the
+  ECC limit).
+
+We reproduce the experiment with the Gaussian-mixture machinery: the OSR
+pulse shifts the affected components by a per-wordline overshoot (process
+variation across wordlines is exactly why the paper says per-WL parameter
+tuning is infeasible), then RBER of the remaining valid page is evaluated
+before and after retention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.flash.ecc import EccModel, default_ecc
+from repro.flash.geometry import CellType, PageRole
+from repro.flash.mixture import WordlineMixture
+from repro.flash.vth import StressState, VthModel, model_for
+
+#: Figure 6's three measurement conditions.
+OSR_CONDITIONS: tuple[str, ...] = ("initial", "after_sanitize", "after_retention")
+
+
+@dataclass(frozen=True)
+class OsrConfig:
+    """Tunable parameters of the OSR pulse model.
+
+    ``overshoot_mean``/``overshoot_wl_sigma`` describe the per-wordline
+    placement error of the one-shot pulse (process variation across WLs);
+    ``oneshot_sigma`` is the extra per-cell spread a single uncalibrated
+    pulse adds compared to fine-grained ISPP.
+    """
+
+    overshoot_mean: float = -0.3
+    overshoot_wl_sigma: float = 0.15
+    oneshot_sigma: float = 0.35
+    retention_days: float = 365.0
+
+    def __post_init__(self) -> None:
+        if self.oneshot_sigma < 0 or self.overshoot_wl_sigma < 0:
+            raise ValueError("sigmas must be non-negative")
+
+    @classmethod
+    def for_cell_type(cls, cell_type: CellType) -> "OsrConfig":
+        """Default OSR pulse per cell type.
+
+        The *same physical pulse imprecision* (one-shot spread, per-WL
+        placement variation) is assumed for both densities; only the
+        nominal target differs because the state ladders differ.  TLC's
+        Vth window packs 8 states where MLC packs 4, so the fixed
+        imprecision eats a far larger fraction of the margin -- the core
+        reason the paper finds OSR unusable on 3D TLC.
+        """
+        if cell_type is CellType.MLC:
+            return cls(overshoot_mean=-0.285)
+        if cell_type is CellType.TLC:
+            return cls(overshoot_mean=-0.05)
+        if cell_type is CellType.QLC:
+            # QLC's margins are roughly half of TLC's: the pulse can
+            # barely aim *between* states at all
+            return cls(overshoot_mean=-0.02)
+        return cls()
+
+
+def sanitize_wordline_osr(
+    mixture: WordlineMixture,
+    role: PageRole,
+    overshoot: float,
+    oneshot_sigma: float,
+) -> None:
+    """Apply one OSR pulse destroying ``role``'s data in ``mixture``.
+
+    Every component whose current state sits at or below the role's first
+    read level is pushed to the mean of the next state plus ``overshoot``,
+    with ``oneshot_sigma`` extra spread (Figure 5 semantics).
+    """
+    levels = mixture.model.encoding.read_levels(role)
+    if not levels:
+        raise ValueError(f"role {role!r} senses no read level")
+    first_level = levels[0]
+    means, _ = mixture.model.state_distributions(StressState())
+    target = float(means[first_level + 1]) + overshoot
+
+    def selector(c):
+        return c.mean <= float(mixture.model.params.read_refs[first_level])
+
+    new_components = []
+    for c in mixture.components:
+        if selector(c):
+            new_components.append(
+                c.shifted(target - c.mean, oneshot_sigma)
+            )
+        else:
+            new_components.append(c)
+    mixture.components = new_components
+
+
+def _roles_to_sanitize(cell_type: CellType) -> tuple[PageRole, ...]:
+    """Pages destroyed in the Figure 6 experiment (all but MSB)."""
+    roles = PageRole.for_cell_type(cell_type)
+    return roles[:-1]
+
+
+@dataclass
+class OsrStudyResult:
+    """Normalized MSB-page RBER distributions under the three conditions."""
+
+    cell_type: CellType
+    pe_cycles: int
+    #: condition -> per-wordline normalized RBER array.
+    normalized_rber: dict[str, np.ndarray] = field(default_factory=dict)
+
+    def fraction_exceeding_limit(self, condition: str) -> float:
+        vals = self.normalized_rber[condition]
+        return float(np.mean(vals > 1.0))
+
+    def box_stats(self, condition: str) -> dict[str, float]:
+        vals = self.normalized_rber[condition]
+        q1, med, q3 = np.percentile(vals, [25, 50, 75])
+        return {
+            "min": float(vals.min()),
+            "q1": float(q1),
+            "median": float(med),
+            "q3": float(q3),
+            "max": float(vals.max()),
+        }
+
+
+def default_pe_cycles(cell_type: CellType) -> int:
+    """Endurance point used in Figure 6 (3K for MLC, 1K for TLC).
+
+    QLC is evaluated at its typical ~300-cycle endurance -- the paper's
+    "future MLC flash memory" extrapolation (Section 1).
+    """
+    if cell_type is CellType.MLC:
+        return 3000
+    if cell_type is CellType.QLC:
+        return 300
+    return 1000
+
+
+def osr_study(
+    cell_type: CellType,
+    n_wordlines: int = 256,
+    config: OsrConfig | None = None,
+    ecc: EccModel | None = None,
+    model: VthModel | None = None,
+    seed: int = 0,
+    sanitize_roles: tuple[PageRole, ...] | None = None,
+    measure_role: PageRole | None = None,
+) -> OsrStudyResult:
+    """Reproduce Figure 6 for one cell type.
+
+    For each simulated wordline we evaluate the surviving page's
+    normalized RBER (1) right after programming, (2) right after
+    OSR-sanitizing the target page(s) of the wordline, and (3) after
+    ``config.retention_days`` of retention following the sanitization.
+
+    Defaults match the paper's Figure 6: sanitize every page but the
+    top one and measure the top (MSB) page.  Density-scaling studies can
+    override ``sanitize_roles``/``measure_role``, e.g. to measure the
+    page *adjacent* to the reprogram targets on QLC.
+    """
+    if cell_type is CellType.SLC:
+        raise ValueError(
+            "OSR is a multi-level-cell problem; SLC wordlines hold one page"
+        )
+    config = config or OsrConfig.for_cell_type(cell_type)
+    ecc = ecc or default_ecc()
+    model = model or model_for(cell_type)
+    pe = default_pe_cycles(cell_type)
+    roles = PageRole.for_cell_type(cell_type)
+    if sanitize_roles is None:
+        sanitize_roles = _roles_to_sanitize(cell_type)
+    msb = measure_role if measure_role is not None else roles[-1]
+    if msb in sanitize_roles:
+        raise ValueError("the measured role must not be sanitized")
+    rng = np.random.default_rng(seed)
+
+    initial = np.empty(n_wordlines)
+    after_sanitize = np.empty(n_wordlines)
+    after_retention = np.empty(n_wordlines)
+    base_stress = StressState(pe_cycles=pe)
+    for i in range(n_wordlines):
+        mixture = WordlineMixture.programmed(model, base_stress)
+        initial[i] = ecc.normalized(mixture.rber(msb))
+
+        overshoot = rng.normal(config.overshoot_mean, config.overshoot_wl_sigma)
+        for role in sanitize_roles:
+            sanitize_wordline_osr(mixture, role, overshoot, config.oneshot_sigma)
+        after_sanitize[i] = ecc.normalized(mixture.rber(msb))
+
+        mixture.apply_retention(config.retention_days, pe_cycles=pe)
+        after_retention[i] = ecc.normalized(mixture.rber(msb))
+
+    result = OsrStudyResult(cell_type=cell_type, pe_cycles=pe)
+    result.normalized_rber = {
+        "initial": initial,
+        "after_sanitize": after_sanitize,
+        "after_retention": after_retention,
+    }
+    return result

@@ -1,0 +1,81 @@
+"""Scrubbing sanitization model -- Section 4 / related work [10].
+
+Scrubbing destroys *every* page of a wordline by raising the Vth of all
+its cells until the state distributions merge ("the Vth distributions of
+different states are mixed together, which makes it impossible to identify
+the original data").  Unlike OSR, scrubbing is safe for the scrubbed
+wordline's neighbours but cannot preserve any page of the scrubbed WL --
+in MLC/TLC flash the valid sibling pages must first be copied elsewhere.
+
+The scrSSD baseline (Section 7) relies on this model; the FTL layer
+accounts for the required sibling-page relocations, while this module
+provides the physics: after :func:`scrub_wordline`, every page of the
+wordline reads as garbage (RBER ~ 50 %), and :func:`is_recoverable`
+reports whether any original bit survives above chance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.flash.geometry import PageRole
+from repro.flash.mixture import WordlineMixture
+from repro.flash.vth import StressState
+
+#: One-shot scrub pulse spread (V): intentionally coarse, the goal is
+#: mixing, not placement.
+SCRUB_SIGMA = 0.45
+
+
+def scrub_wordline(mixture: WordlineMixture, target_vth: float | None = None) -> None:
+    """Push every component of the wordline to a common high Vth.
+
+    All components end up centred on ``target_vth`` (default: the top
+    programmed state's nominal mean), with a wide one-shot spread, so that
+    no read reference separates former states any more.
+    """
+    model = mixture.model
+    if target_vth is None:
+        means, _ = model.state_distributions(StressState())
+        target_vth = float(means[-1])
+    mixture.components = [
+        c.shifted(target_vth - c.mean, SCRUB_SIGMA) for c in mixture.components
+    ]
+
+
+def page_read_entropy(mixture: WordlineMixture, role: PageRole) -> float:
+    """Fraction of cells whose read bit still matches the original data.
+
+    For a perfectly scrubbed wordline this approaches the bias of the
+    all-merged distribution (most cells read as the top state, whose bit
+    is fixed), i.e. the *mutual information* with the original data is
+    zero even when raw match rate is above 0.5.
+    """
+    return 1.0 - mixture.rber(role)
+
+
+def is_recoverable(
+    mixture: WordlineMixture,
+    role: PageRole,
+    advantage_threshold: float = 0.05,
+) -> bool:
+    """Whether reading ``role`` gives an attacker a statistical advantage.
+
+    We compare the read bit's correlation with the original data against
+    what a data-independent strategy achieves.  After scrubbing, cells
+    from *different original states* land in the same region, so the read
+    bit no longer depends on the original state; formally we check whether
+    the per-original-state read-bit distributions differ by more than
+    ``advantage_threshold`` in total variation.
+    """
+    bits = mixture.model.encoding.bits_table()[:, int(role)].astype(np.int64)
+    # P[read bit = 1 | original state]
+    per_state: dict[int, list[float]] = {}
+    for c in mixture.components:
+        mass = mixture.region_mass(c)
+        p_one = float(mass[bits == 1].sum())
+        per_state.setdefault(c.original_state, []).append(p_one)
+    probs = [float(np.mean(v)) for v in per_state.values()]
+    if len(probs) < 2:
+        return False
+    return (max(probs) - min(probs)) > advantage_threshold

@@ -1,0 +1,56 @@
+"""Flash translation layers: the baseline and every evaluated variant.
+
+* :class:`~repro.ftl.base.PageMappedFtl` -- baseline append-only FTL
+  with greedy GC and lazy erase (no sanitization);
+* :class:`~repro.ftl.secure.SecureFtl` -- secSSD (pLock + bLock);
+* :class:`~repro.ftl.secure.SecureFtlNoBlockLock` -- secSSD_nobLock;
+* :class:`~repro.ftl.erase_based.EraseBasedFtl` -- erSSD;
+* :class:`~repro.ftl.scrub_based.ScrubBasedFtl` -- scrSSD.
+"""
+
+from repro.ftl.allocator import BlockAllocator
+from repro.ftl.base import InvalidationEvent, PageMappedFtl
+from repro.ftl.crypto_based import CryptoFtl
+from repro.ftl.erase_based import EraseBasedFtl
+from repro.ftl.gc_policies import GC_POLICIES, VictimView, policy_by_name
+from repro.ftl.mapping import L2PTable, UNMAPPED
+from repro.ftl.observer import FtlObserver, NullObserver
+from repro.ftl.page_status import PageStatus, StatusTable
+from repro.ftl.recovery import PowerLossRecovery, RecoveryReport
+from repro.ftl.scrub_based import ScrubBasedFtl
+from repro.ftl.secure import SecureFtl, SecureFtlNoBlockLock
+
+FTL_VARIANTS = {
+    cls.name: cls
+    for cls in (
+        PageMappedFtl,
+        SecureFtl,
+        SecureFtlNoBlockLock,
+        EraseBasedFtl,
+        ScrubBasedFtl,
+        CryptoFtl,
+    )
+}
+
+__all__ = [
+    "BlockAllocator",
+    "CryptoFtl",
+    "EraseBasedFtl",
+    "FTL_VARIANTS",
+    "FtlObserver",
+    "GC_POLICIES",
+    "InvalidationEvent",
+    "L2PTable",
+    "NullObserver",
+    "PageMappedFtl",
+    "PageStatus",
+    "PowerLossRecovery",
+    "RecoveryReport",
+    "ScrubBasedFtl",
+    "SecureFtl",
+    "SecureFtlNoBlockLock",
+    "StatusTable",
+    "UNMAPPED",
+    "VictimView",
+    "policy_by_name",
+]

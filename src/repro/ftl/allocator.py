@@ -1,0 +1,189 @@
+"""Per-chip block allocation with lazy erase -- Section 5.4.
+
+Each chip keeps a pool of erased free blocks, a pool of *erase-pending*
+GC victims, and one or more open ("active") blocks that absorb page
+writes.  Blocks are erased **lazily**: a GC victim is not erased when it
+is reclaimed but right before it is reused, which minimizes the open
+interval (the time a block sits erased before programming) and thus the
+Figure-10 reliability penalty.
+
+Writes are grouped into *streams*: by default everything shares the
+``"host"`` stream (one open block per chip, the paper's FlashBench FTL);
+an FTL may route GC relocations to a separate ``"gc"`` stream so that
+colder relocated data does not intermix with fresh host writes -- the
+classic hot/cold separation whose effect the ablation benchmarks
+quantify.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+HOST_STREAM = "host"
+GC_STREAM = "gc"
+
+
+@dataclass
+class StreamState:
+    """Open-block cursor of one write stream on one chip."""
+
+    active_block: int | None = None
+    next_offset: int = 0
+
+
+@dataclass
+class ChipAllocState:
+    """Allocation state for one chip."""
+
+    free_blocks: deque[int] = field(default_factory=deque)   # erased, empty
+    pending_blocks: deque[int] = field(default_factory=deque)  # lazy-erase queue
+    streams: dict[str, StreamState] = field(default_factory=dict)
+
+    def stream(self, name: str) -> StreamState:
+        state = self.streams.get(name)
+        if state is None:
+            state = StreamState()
+            self.streams[name] = state
+        return state
+
+
+class BlockAllocator:
+    """Free-space manager across all chips.
+
+    Blocks are identified by *local* index within their chip; the FTL
+    translates to global ids.  The allocator never talks to the chips --
+    it returns decisions ("erase block b now", "write page p of block b")
+    and the FTL performs the flash operations and timing accounting.
+    """
+
+    def __init__(self, n_chips: int, blocks_per_chip: int, pages_per_block: int):
+        if min(n_chips, blocks_per_chip, pages_per_block) <= 0:
+            raise ValueError("dimensions must be positive")
+        self._pages_per_block = pages_per_block
+        self._blocks_per_chip = blocks_per_chip
+        self._chips = [ChipAllocState() for _ in range(n_chips)]
+        for state in self._chips:
+            state.free_blocks.extend(range(blocks_per_chip))
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_layout(
+        cls,
+        n_chips: int,
+        blocks_per_chip: int,
+        pages_per_block: int,
+        free_blocks: list[list[int]],
+    ) -> "BlockAllocator":
+        """Rebuild an allocator from a scanned device layout.
+
+        ``free_blocks[chip]`` lists the chip's erased, empty blocks; every
+        other block is considered closed (GC will reclaim it later).  Used
+        by power-loss recovery, which must not treat written blocks as
+        allocatable.
+        """
+        if len(free_blocks) != n_chips:
+            raise ValueError("free_blocks must list one entry per chip")
+        alloc = cls(n_chips, blocks_per_chip, pages_per_block)
+        for chip_id, free in enumerate(free_blocks):
+            state = alloc._chips[chip_id]
+            state.free_blocks.clear()
+            state.free_blocks.extend(sorted(free))
+            state.pending_blocks.clear()
+            state.streams.clear()
+        return alloc
+
+    # ------------------------------------------------------------------
+    @property
+    def pages_per_block(self) -> int:
+        return self._pages_per_block
+
+    def reserve_blocks(self, chip_id: int) -> int:
+        """Blocks available for reuse (erased + pending lazy erase)."""
+        st = self._chips[chip_id]
+        return len(st.free_blocks) + len(st.pending_blocks)
+
+    def active_block(self, chip_id: int, stream: str = HOST_STREAM) -> int | None:
+        return self._chips[chip_id].stream(stream).active_block
+
+    def active_blocks(self, chip_id: int) -> list[int]:
+        """Every stream's open block on a chip (for victim exclusion)."""
+        return [
+            s.active_block
+            for s in self._chips[chip_id].streams.values()
+            if s.active_block is not None
+        ]
+
+    def retire_victim(self, chip_id: int, block: int) -> None:
+        """Queue a fully-collected GC victim for lazy erase."""
+        self._chips[chip_id].pending_blocks.append(block)
+
+    def add_erased(self, chip_id: int, block: int) -> None:
+        """Return an already-erased block to the free pool."""
+        self._chips[chip_id].free_blocks.append(block)
+
+    # ------------------------------------------------------------------
+    def allocate_page(
+        self, chip_id: int, stream: str = HOST_STREAM
+    ) -> tuple[int, int, int | None]:
+        """Pick the next page to program on a chip's stream.
+
+        Returns ``(block, page_offset, erase_block)`` where ``erase_block``
+        is a block the caller must erase *now* (lazy erase at reuse) or
+        ``None``.  Raises ``RuntimeError`` when the chip is out of space --
+        the FTL must GC before that happens.
+        """
+        chip = self._chips[chip_id]
+        st = chip.stream(stream)
+        erase_needed: int | None = None
+        if st.active_block is None:
+            if chip.free_blocks:
+                st.active_block = chip.free_blocks.popleft()
+            elif chip.pending_blocks:
+                st.active_block = chip.pending_blocks.popleft()
+                erase_needed = st.active_block
+            else:
+                raise RuntimeError(f"chip {chip_id} has no reusable blocks")
+            st.next_offset = 0
+        block = st.active_block
+        offset = st.next_offset
+        st.next_offset += 1
+        if st.next_offset >= self._pages_per_block:
+            st.active_block = None
+            st.next_offset = 0
+        return block, offset, erase_needed
+
+    def active_position(
+        self, chip_id: int, stream: str = HOST_STREAM
+    ) -> tuple[int, int] | None:
+        """(active block, next offset) for a chip's stream, or None."""
+        st = self._chips[chip_id].stream(stream)
+        if st.active_block is None:
+            return None
+        return st.active_block, st.next_offset
+
+    def stream_of_block(self, chip_id: int, block: int) -> str | None:
+        """Which stream (if any) currently has ``block`` open."""
+        for name, st in self._chips[chip_id].streams.items():
+            if st.active_block == block:
+                return name
+        return None
+
+    def close_active(self, chip_id: int, stream: str = HOST_STREAM) -> int | None:
+        """Abandon a stream's open block (e.g. it must be erased now).
+
+        Returns the closed block's index or None.  The caller owns the
+        block afterwards; its unwritten tail pages are lost until erase.
+        """
+        st = self._chips[chip_id].stream(stream)
+        block = st.active_block
+        st.active_block = None
+        st.next_offset = 0
+        return block
+
+    def active_pages_left(self, chip_id: int, stream: str = HOST_STREAM) -> int:
+        """Unwritten pages remaining in the stream's open block (0 if none)."""
+        st = self._chips[chip_id].stream(stream)
+        if st.active_block is None:
+            return 0
+        return self._pages_per_block - st.next_offset

@@ -1,0 +1,426 @@
+"""Baseline page-mapped FTL (no sanitization support).
+
+Implements the standard append-only FTL of Section 2.2: host writes go to
+the next free page of a per-chip active block (round-robin striping
+across chips for parallelism), the L2P table is updated, the overwritten
+physical page is merely marked *invalid*, and greedy garbage collection
+reclaims the most-invalidated blocks with **lazy erase** (Section 5.4).
+
+This class is also the extension point for every evaluated SSD variant:
+
+* :class:`~repro.ftl.secure.SecureFtl` (secSSD / secSSD_nobLock)
+  overrides the sanitization hooks with pLock/bLock;
+* :class:`~repro.ftl.erase_based.EraseBasedFtl` (erSSD) relocates and
+  immediately erases;
+* :class:`~repro.ftl.scrub_based.ScrubBasedFtl` (scrSSD) relocates
+  wordline siblings and scrubs.
+
+The baseline itself records every write as plain ``valid`` data -- it is
+the "SSD with no data sanitization support" all Figure 14 results are
+normalized to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.flash.chip import FlashChip
+from repro.flash.constants import LOGICAL_TIME_WRITE_BYTES
+from repro.ftl.allocator import BlockAllocator, GC_STREAM, HOST_STREAM
+from repro.ftl.gc_policies import VictimView, policy_by_name
+from repro.ftl.mapping import L2PTable, UNMAPPED
+from repro.ftl.observer import FtlObserver, NullObserver
+from repro.ftl.page_status import PageStatus, StatusTable
+from repro.ssd.config import SSDConfig
+from repro.ssd.request import IoRequest, RequestOp
+from repro.ssd.stats import DeviceStats
+from repro.ssd.timing import TimingModel
+
+
+@dataclass(frozen=True)
+class InvalidationEvent:
+    """One physical page turning stale, with its prior status."""
+
+    gppa: int
+    lpa: int
+    was_secured: bool
+    reason: str  # "host-update" | "host-trim" | "gc"
+
+
+class PageMappedFtl:
+    """Baseline append-only page-mapped FTL."""
+
+    name = "baseline"
+    #: whether writes without INSEC_WRITE are tracked as SECURED.
+    tracks_secure = False
+
+    def __init__(
+        self,
+        config: SSDConfig,
+        observer: FtlObserver | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.config = config
+        self.geometry = config.geometry
+        self.observer: FtlObserver = observer or NullObserver()
+        self.seed = seed
+        self.timing = TimingModel(
+            n_channels=config.n_channels,
+            chips_per_channel=config.chips_per_channel,
+            t_read_us=config.t_read_us,
+            t_prog_us=config.t_prog_us,
+            t_erase_us=config.t_erase_us,
+            t_plock_us=config.t_plock_us,
+            t_block_lock_us=config.t_block_lock_us,
+            t_xfer_us=config.t_xfer_us,
+        )
+        self.stats = DeviceStats()
+        self.chips: list[FlashChip] = [
+            self._make_chip(i) for i in range(config.n_chips)
+        ]
+        self.l2p = L2PTable(config.logical_pages, config.physical_pages)
+        self.status = StatusTable(
+            config.physical_pages, self.geometry.pages_per_block
+        )
+        self.alloc = BlockAllocator(
+            config.n_chips,
+            self.geometry.blocks_per_chip,
+            self.geometry.pages_per_block,
+        )
+        self._pending_victims: set[int] = set()  # global block ids
+        self._rr_chip = 0
+        self._write_seq = 0
+        self._logical_time = 0
+        self._gc_policy = policy_by_name(config.gc_policy)
+        n_blocks = config.n_chips * self.geometry.blocks_per_chip
+        self._block_last_program: list[int] = [0] * n_blocks
+        #: host reads per block since the last erase (read-disturb cap).
+        self._block_reads: list[int] = [0] * n_blocks
+
+    # ------------------------------------------------------------------
+    # chip construction and address arithmetic
+    # ------------------------------------------------------------------
+    def _make_chip(self, chip_id: int) -> FlashChip:
+        return FlashChip(self.geometry)
+
+    @property
+    def n_chips(self) -> int:
+        return self.config.n_chips
+
+    @property
+    def pages_per_chip(self) -> int:
+        return self.geometry.pages_per_chip
+
+    def split_gppa(self, gppa: int) -> tuple[int, int]:
+        """Global PPA -> (chip id, chip-local ppn)."""
+        return divmod(gppa, self.pages_per_chip)
+
+    def make_gppa(self, chip_id: int, ppn: int) -> int:
+        return chip_id * self.pages_per_chip + ppn
+
+    def global_block(self, chip_id: int, local_block: int) -> int:
+        return chip_id * self.geometry.blocks_per_chip + local_block
+
+    def split_global_block(self, global_block: int) -> tuple[int, int]:
+        return divmod(global_block, self.geometry.blocks_per_chip)
+
+    def block_of_gppa(self, gppa: int) -> int:
+        return gppa // self.geometry.pages_per_block
+
+    @property
+    def logical_time(self) -> int:
+        """Logical clock: one tick per 4-KiB of host writes (Section 3)."""
+        return self._logical_time
+
+    # ------------------------------------------------------------------
+    # host interface
+    # ------------------------------------------------------------------
+    def submit(self, request: IoRequest) -> None:
+        """Execute one host request synchronously."""
+        if request.op is RequestOp.READ:
+            self._host_read(request)
+        elif request.op is RequestOp.WRITE:
+            self._host_write(request)
+        elif request.op is RequestOp.TRIM:
+            self._host_trim(request)
+        else:  # pragma: no cover - enum is closed
+            raise ValueError(f"unknown op {request.op!r}")
+
+    def _host_read(self, request: IoRequest) -> None:
+        refresh_candidates: set[int] = set()
+        for lpa in request.lpas():
+            self.stats.host_reads += 1
+            gppa = self.l2p.lookup(lpa)
+            if gppa == UNMAPPED:
+                continue  # unmapped reads return zeros without flash access
+            chip_id, ppn = self.split_gppa(gppa)
+            self.chips[chip_id].read_page(ppn)
+            self.timing.read(chip_id)
+            self.stats.flash_reads += 1
+            threshold = self.config.read_refresh_threshold
+            if threshold is not None:
+                gb = self.block_of_gppa(gppa)
+                self._block_reads[gb] += 1
+                if self._block_reads[gb] >= threshold:
+                    refresh_candidates.add(gb)
+        for gb in refresh_candidates:
+            self._refresh_block(gb)
+
+    def _host_write(self, request: IoRequest) -> None:
+        secure = request.secure and self.tracks_secure
+        events: list[InvalidationEvent] = []
+        for lpa in request.lpas():
+            self.stats.host_writes += 1
+            chip_id = self._pick_chip()
+            self._ensure_space(chip_id)
+            gppa = self._program_new_page(
+                chip_id,
+                data=(lpa, request.tag, self._write_seq),
+                # spare-area annotations: everything power-loss recovery
+                # needs to rebuild the L2P table (Section 2.2 / Fig. 8)
+                spare={
+                    "lpa": lpa,
+                    "tag": request.tag,
+                    "seq": self._write_seq,
+                    "secure": secure,
+                },
+            )
+            self._write_seq += 1
+            # the L2P update is the commit point: the old copy turns stale
+            # in the same instant the new copy becomes the live version.
+            old = self.l2p.map(lpa, gppa)
+            if old != UNMAPPED:
+                events.append(self._invalidate(old, lpa, "host-update"))
+            self.status.set_written(gppa, secure)
+            self.observer.on_program(gppa, lpa, request.tag, secure)
+        # sanitization is part of the same request: it completes before
+        # logical time advances (the lock manager acts "immediately").
+        self._sanitize_host_batch(events)
+        self._ensure_space_all_touched(events)
+        ticks = request.npages * (
+            self.geometry.page_size_bytes // LOGICAL_TIME_WRITE_BYTES
+        )
+        self._logical_time += ticks
+        self.observer.on_logical_tick(ticks)
+
+    def _host_trim(self, request: IoRequest) -> None:
+        events: list[InvalidationEvent] = []
+        for lpa in request.lpas():
+            self.stats.host_trims += 1
+            old = self.l2p.unmap(lpa)
+            if old != UNMAPPED:
+                events.append(self._invalidate(old, lpa, "host-trim"))
+        self._sanitize_host_batch(events)
+        self._ensure_space_all_touched(events)
+
+    # ------------------------------------------------------------------
+    # write-path plumbing
+    # ------------------------------------------------------------------
+    def _pick_chip(self) -> int:
+        chip_id = self._rr_chip
+        self._rr_chip = (self._rr_chip + 1) % self.n_chips
+        return chip_id
+
+    def _program_new_page(
+        self, chip_id: int, data: object, spare: dict, stream: str = HOST_STREAM
+    ) -> int:
+        """Allocate + program one page on a chip (no GC trigger)."""
+        block, offset, erase_block = self.alloc.allocate_page(chip_id, stream)
+        if erase_block is not None:
+            self._erase_block_now(chip_id, erase_block)
+        ppn = self.geometry.ppn(block, offset)
+        self.chips[chip_id].program_page(ppn, data, spare)
+        self.timing.program(chip_id)
+        self.stats.flash_programs += 1
+        self._block_last_program[
+            self.global_block(chip_id, block)
+        ] = self.stats.flash_programs
+        return self.make_gppa(chip_id, ppn)
+
+    def _erase_block_now(self, chip_id: int, local_block: int) -> None:
+        gb = self.global_block(chip_id, local_block)
+        self.chips[chip_id].erase_block(local_block)
+        self.timing.erase(chip_id)
+        self.stats.flash_erases += 1
+        self.status.set_erased_block(gb)
+        self._pending_victims.discard(gb)
+        self._block_reads[gb] = 0
+        self.observer.on_erase(gb)
+
+    def _invalidate(self, gppa: int, lpa: int, reason: str) -> InvalidationEvent:
+        prev = self.status.set_invalid(gppa)
+        self.observer.on_invalidate(gppa, lpa, reason)
+        return InvalidationEvent(
+            gppa=gppa,
+            lpa=lpa,
+            was_secured=prev is PageStatus.SECURED,
+            reason=reason,
+        )
+
+    # ------------------------------------------------------------------
+    # garbage collection
+    # ------------------------------------------------------------------
+    def _ensure_space(self, chip_id: int) -> None:
+        """Run GC on a chip until its block reserve is healthy.
+
+        GC starts when the reserve drops below ``gc_threshold_blocks`` and
+        keeps collecting until ``gc_target_blocks`` (hysteresis, so GC
+        work arrives in bursts instead of once per write).
+        """
+        if self.alloc.reserve_blocks(chip_id) >= self.config.gc_threshold_blocks:
+            return
+        guard = self.geometry.blocks_per_chip + 1
+        while (
+            self.alloc.reserve_blocks(chip_id) < self.config.gc_target_blocks
+            and guard > 0
+        ):
+            if not self._collect_chip(chip_id):
+                break
+            guard -= 1
+
+    def _ensure_space_all_touched(self, events: list[InvalidationEvent]) -> None:
+        """Re-check reserves of chips touched by sanitization relocations."""
+        touched = {self.split_gppa(e.gppa)[0] for e in events}
+        for chip_id in touched:
+            self._ensure_space(chip_id)
+
+    def _select_victim(self, chip_id: int) -> int | None:
+        """Pick a GC victim using the configured policy.
+
+        Only fully-programmed, non-pending, non-active blocks with at
+        least one invalid page are candidates (a fully-live victim would
+        make no progress regardless of policy).
+        """
+        chip = self.chips[chip_id]
+        actives = set(self.alloc.active_blocks(chip_id))
+        best: int | None = None
+        best_score = float("-inf")
+        for local_block in range(self.geometry.blocks_per_chip):
+            gb = self.global_block(chip_id, local_block)
+            if gb in self._pending_victims or local_block in actives:
+                continue
+            block = chip.blocks[local_block]
+            if not block.is_full:
+                continue
+            invalid = self.status.invalid_count(gb)
+            if invalid == 0:
+                continue
+            score = self._gc_policy(
+                VictimView(
+                    global_block=gb,
+                    invalid_pages=invalid,
+                    live_pages=self.status.live_count(gb),
+                    pages_per_block=self.geometry.pages_per_block,
+                    erase_count=block.erase_count,
+                    last_program_seq=self._block_last_program[gb],
+                    now_seq=self.stats.flash_programs,
+                )
+            )
+            if score > best_score:
+                best_score = score
+                best = local_block
+        return best
+
+    def _collect_chip(self, chip_id: int) -> bool:
+        """One GC round: evacuate one victim block; returns success."""
+        victim = self._select_victim(chip_id)
+        if victim is None:
+            return False
+        gb = self.global_block(chip_id, victim)
+        self.stats.gc_invocations += 1
+        events = [
+            self._move_page(gppa, reason="gc")
+            for gppa in self.status.live_pages(gb)
+        ]
+        self.stats.gc_copies += len(events)
+        self._finish_victim(chip_id, victim, events)
+        return True
+
+    def _move_page(self, gppa: int, reason: str) -> InvalidationEvent:
+        """Copy one live page to a fresh page on the same chip and remap.
+
+        Used by GC and by the relocation passes of the erase- and
+        scrub-based sanitization baselines.  The caller accounts the copy
+        in the appropriate stats bucket.
+        """
+        chip_id, ppn = self.split_gppa(gppa)
+        lpa = self.l2p.reverse(gppa)
+        was_secure = self.status.get(gppa) is PageStatus.SECURED
+        result = self.chips[chip_id].read_page(ppn)
+        self.timing.read(chip_id)
+        self.stats.flash_reads += 1
+        stream = GC_STREAM if self.config.separate_gc_stream else HOST_STREAM
+        new_gppa = self._program_new_page(
+            chip_id, data=result.data, spare=dict(result.spare), stream=stream
+        )
+        old = self.l2p.map(lpa, new_gppa)
+        assert old == gppa, "page move raced with the L2P table"
+        event = self._invalidate(gppa, lpa, reason)
+        self.status.set_written(new_gppa, was_secure)
+        self.observer.on_program(new_gppa, lpa, result.spare.get("tag"), was_secure)
+        return event
+
+    # ------------------------------------------------------------------
+    # read-disturb refresh (Section 6's "flash management task" family)
+    # ------------------------------------------------------------------
+    def _refresh_block(self, gb: int) -> None:
+        """Relocate a heavily-read block's live data and retire it.
+
+        Like GC, refresh is a flash-management move of valid pages --
+        so the variant's sanitization hook runs on the stale copies it
+        leaves behind (a secured page's old copy gets locked/scrubbed/
+        erased exactly as if GC had moved it).
+        """
+        chip_id, local_block = self.split_global_block(gb)
+        if gb in self._pending_victims:
+            return  # already collected; erase will reset the counter
+        if local_block in self.alloc.active_blocks(chip_id):
+            return  # open blocks are not refreshable; retry once closed
+        self.stats.refreshes += 1
+        events = [
+            self._move_page(gppa, reason="refresh")
+            for gppa in self.status.live_pages(gb)
+        ]
+        self.stats.refresh_copies += len(events)
+        self._block_reads[gb] = 0
+        self._finish_victim(chip_id, local_block, events)
+        self._ensure_space(chip_id)
+
+    # ------------------------------------------------------------------
+    # sanitization hooks (overridden by the evaluated variants)
+    # ------------------------------------------------------------------
+    def _sanitize_host_batch(self, events: list[InvalidationEvent]) -> None:
+        """Called after each host write/trim with its invalidations."""
+        # baseline: stale data just sits there until GC (Section 2.2).
+
+    def _finish_victim(
+        self,
+        chip_id: int,
+        local_block: int,
+        events: list[InvalidationEvent],
+    ) -> None:
+        """Called after GC evacuated a victim; default: lazy erase."""
+        self._retire_victim(chip_id, local_block)
+
+    def _retire_victim(self, chip_id: int, local_block: int) -> None:
+        gb = self.global_block(chip_id, local_block)
+        self.chips[chip_id].blocks[local_block].mark_erase_pending()
+        self.alloc.retire_victim(chip_id, local_block)
+        self._pending_victims.add(gb)
+
+    # ------------------------------------------------------------------
+    # inspection helpers
+    # ------------------------------------------------------------------
+    def mapped_gppa(self, lpa: int) -> int:
+        return self.l2p.lookup(lpa)
+
+    def raw_device_dump(self) -> dict[int, object]:
+        """Forensic attacker view across all chips (gppa -> payload)."""
+        out: dict[int, object] = {}
+        for chip_id, chip in enumerate(self.chips):
+            for ppn, data in chip.raw_dump().items():
+                out[self.make_gppa(chip_id, ppn)] = data
+        return out
+
+    def elapsed_us(self) -> float:
+        return self.timing.elapsed_us

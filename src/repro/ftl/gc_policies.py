@@ -1,0 +1,97 @@
+"""Garbage-collection victim-selection policies.
+
+The paper's FlashBench FTL uses greedy victim selection; this module
+makes the policy pluggable so the design choice can be ablated:
+
+* **greedy** -- the fully-programmed block with the most invalid pages;
+  minimizes copies *now* (the paper's policy, and our default);
+* **cost-benefit** -- classic Rosenblum/Ousterhout score
+  ``benefit/cost = (1 - u) * age / (1 + u)`` with ``u`` the live
+  fraction; prefers old, mostly-dead blocks, which segregates hot and
+  cold data over time;
+* **fifo** -- oldest-programmed block first, regardless of liveness
+  (a deliberately-bad baseline that bounds the policy headroom);
+* **wear-aware greedy** -- greedy, tie-broken toward low-erase-count
+  blocks so wear stays even (the wear-levelling design point).
+
+Policies are pure functions over the FTL's tables: they receive a
+:class:`VictimView` per candidate block and return a score; the FTL
+collects the argmax.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+
+@dataclass(frozen=True)
+class VictimView:
+    """Everything a policy may inspect about one candidate block."""
+
+    global_block: int
+    invalid_pages: int
+    live_pages: int
+    pages_per_block: int
+    erase_count: int
+    #: write sequence number of the block's last program (age proxy).
+    last_program_seq: int
+    #: current global write sequence number.
+    now_seq: int
+
+    @property
+    def utilization(self) -> float:
+        """Live fraction u of the block."""
+        return self.live_pages / self.pages_per_block
+
+    @property
+    def age(self) -> float:
+        """Writes since the block was last programmed."""
+        return float(max(0, self.now_seq - self.last_program_seq))
+
+
+PolicyFn = Callable[[VictimView], float]
+
+
+def greedy(view: VictimView) -> float:
+    """Most invalid pages wins (the paper's FTL)."""
+    return float(view.invalid_pages)
+
+
+def cost_benefit(view: VictimView) -> float:
+    """Rosenblum/Ousterhout benefit-to-cost score."""
+    u = view.utilization
+    if u >= 1.0:
+        return -1.0
+    return (1.0 - u) * (1.0 + view.age) / (1.0 + u)
+
+
+def fifo(view: VictimView) -> float:
+    """Oldest block first (bounds the bad end of the policy space)."""
+    return view.age
+
+
+def wear_aware_greedy(view: VictimView) -> float:
+    """Greedy with a low-wear tie-break.
+
+    The erase-count term is scaled far below one page so it only breaks
+    ties between equally-invalid candidates.
+    """
+    return float(view.invalid_pages) - view.erase_count / 1e6
+
+
+GC_POLICIES: dict[str, PolicyFn] = {
+    "greedy": greedy,
+    "cost-benefit": cost_benefit,
+    "fifo": fifo,
+    "wear-aware": wear_aware_greedy,
+}
+
+
+def policy_by_name(name: str) -> PolicyFn:
+    try:
+        return GC_POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown GC policy {name!r}; choose from {sorted(GC_POLICIES)}"
+        ) from None

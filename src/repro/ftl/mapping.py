@@ -1,0 +1,84 @@
+"""Logical-to-physical mapping table (L2P) with reverse lookup.
+
+The FTL maps each logical page address (LPA) to the physical page (global
+PPA) holding its current data, exactly as in the paper's Figure 3.  The
+reverse map (P2L) is what GC uses to re-map a victim's live pages; real
+FTLs reconstruct it from the spare-area LPA annotation, which our chips
+also carry, but keeping it in RAM mirrors production page-mapped FTLs.
+"""
+
+from __future__ import annotations
+
+UNMAPPED = -1
+
+
+class L2PTable:
+    """Bidirectional page map over fixed logical/physical ranges."""
+
+    def __init__(self, logical_pages: int, physical_pages: int) -> None:
+        if logical_pages <= 0 or physical_pages <= 0:
+            raise ValueError("page counts must be positive")
+        if logical_pages > physical_pages:
+            raise ValueError("logical space cannot exceed physical space")
+        self._l2p = [UNMAPPED] * logical_pages
+        self._p2l = [UNMAPPED] * physical_pages
+
+    # ------------------------------------------------------------------
+    @property
+    def logical_pages(self) -> int:
+        return len(self._l2p)
+
+    @property
+    def physical_pages(self) -> int:
+        return len(self._p2l)
+
+    def _check_lpa(self, lpa: int) -> None:
+        if not 0 <= lpa < len(self._l2p):
+            raise IndexError(f"lpa {lpa} out of range [0, {len(self._l2p)})")
+
+    def _check_gppa(self, gppa: int) -> None:
+        if not 0 <= gppa < len(self._p2l):
+            raise IndexError(f"gppa {gppa} out of range [0, {len(self._p2l)})")
+
+    # ------------------------------------------------------------------
+    def lookup(self, lpa: int) -> int:
+        """Current physical page of an LPA, or UNMAPPED."""
+        self._check_lpa(lpa)
+        return self._l2p[lpa]
+
+    def reverse(self, gppa: int) -> int:
+        """LPA currently mapped to a physical page, or UNMAPPED."""
+        self._check_gppa(gppa)
+        return self._p2l[gppa]
+
+    def is_mapped(self, lpa: int) -> bool:
+        return self.lookup(lpa) != UNMAPPED
+
+    def map(self, lpa: int, gppa: int) -> int:
+        """Point ``lpa`` at ``gppa``; returns the displaced old gppa.
+
+        The displaced physical page's reverse entry is cleared -- the
+        caller is responsible for invalidating its status.
+        """
+        self._check_lpa(lpa)
+        self._check_gppa(gppa)
+        if self._p2l[gppa] != UNMAPPED:
+            raise ValueError(f"gppa {gppa} is already mapped to lpa {self._p2l[gppa]}")
+        old = self._l2p[lpa]
+        if old != UNMAPPED:
+            self._p2l[old] = UNMAPPED
+        self._l2p[lpa] = gppa
+        self._p2l[gppa] = lpa
+        return old
+
+    def unmap(self, lpa: int) -> int:
+        """Remove the LPA's mapping (trim); returns the old gppa."""
+        self._check_lpa(lpa)
+        old = self._l2p[lpa]
+        if old != UNMAPPED:
+            self._p2l[old] = UNMAPPED
+        self._l2p[lpa] = UNMAPPED
+        return old
+
+    def mapped_count(self) -> int:
+        return sum(1 for g in self._l2p if g != UNMAPPED)

@@ -1,0 +1,110 @@
+"""Extended page-status table -- Section 6.
+
+A page in SecureSSD is ``free``, ``valid``, ``invalid``, or ``secured``
+(the fourth state is the paper's extension: written data whose future
+invalidation must be sanitized).  The table also keeps per-block live and
+invalid counters so greedy GC victim selection and the lock manager's
+"is the whole block dead?" test are O(1).
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+
+class PageStatus(IntEnum):
+    """FTL view of one physical page."""
+
+    FREE = 0
+    VALID = 1      # live, security-insensitive
+    INVALID = 2    # dead, awaiting erase
+    SECURED = 3    # live, security-sensitive
+
+
+class StatusTable:
+    """Per-page status plus per-block aggregates."""
+
+    def __init__(self, physical_pages: int, pages_per_block: int) -> None:
+        if physical_pages <= 0 or pages_per_block <= 0:
+            raise ValueError("sizes must be positive")
+        if physical_pages % pages_per_block:
+            raise ValueError("physical_pages must be a multiple of pages_per_block")
+        self._status = [PageStatus.FREE] * physical_pages
+        self._pages_per_block = pages_per_block
+        n_blocks = physical_pages // pages_per_block
+        self._live = [0] * n_blocks       # VALID + SECURED
+        self._secured = [0] * n_blocks    # SECURED only
+        self._invalid = [0] * n_blocks
+
+    # ------------------------------------------------------------------
+    @property
+    def physical_pages(self) -> int:
+        return len(self._status)
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self._live)
+
+    def block_of(self, gppa: int) -> int:
+        return gppa // self._pages_per_block
+
+    def get(self, gppa: int) -> PageStatus:
+        return self._status[gppa]
+
+    # ------------------------------------------------------------------
+    def set_written(self, gppa: int, secure: bool) -> None:
+        """FREE -> VALID/SECURED on program."""
+        if self._status[gppa] is not PageStatus.FREE:
+            raise ValueError(f"gppa {gppa} is {self._status[gppa].name}, not FREE")
+        blk = self.block_of(gppa)
+        self._status[gppa] = PageStatus.SECURED if secure else PageStatus.VALID
+        self._live[blk] += 1
+        if secure:
+            self._secured[blk] += 1
+
+    def set_invalid(self, gppa: int) -> PageStatus:
+        """VALID/SECURED -> INVALID; returns the previous status."""
+        prev = self._status[gppa]
+        if prev not in (PageStatus.VALID, PageStatus.SECURED):
+            raise ValueError(f"gppa {gppa} is {prev.name}, cannot invalidate")
+        blk = self.block_of(gppa)
+        self._status[gppa] = PageStatus.INVALID
+        self._live[blk] -= 1
+        self._invalid[blk] += 1
+        if prev is PageStatus.SECURED:
+            self._secured[blk] -= 1
+        return prev
+
+    def set_erased_block(self, block_id: int) -> None:
+        """All pages of a block -> FREE (block erase)."""
+        base = block_id * self._pages_per_block
+        for gppa in range(base, base + self._pages_per_block):
+            self._status[gppa] = PageStatus.FREE
+        self._live[block_id] = 0
+        self._secured[block_id] = 0
+        self._invalid[block_id] = 0
+
+    # ------------------------------------------------------------------
+    def live_count(self, block_id: int) -> int:
+        return self._live[block_id]
+
+    def secured_count(self, block_id: int) -> int:
+        return self._secured[block_id]
+
+    def invalid_count(self, block_id: int) -> int:
+        return self._invalid[block_id]
+
+    def live_pages(self, block_id: int) -> list[int]:
+        """Physical pages of the block that are VALID or SECURED."""
+        base = block_id * self._pages_per_block
+        return [
+            gppa
+            for gppa in range(base, base + self._pages_per_block)
+            if self._status[gppa] in (PageStatus.VALID, PageStatus.SECURED)
+        ]
+
+    def counts(self) -> dict[PageStatus, int]:
+        out = {s: 0 for s in PageStatus}
+        for s in self._status:
+            out[s] += 1
+        return out

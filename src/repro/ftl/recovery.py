@@ -1,0 +1,198 @@
+"""Power-loss recovery: rebuild the FTL's volatile state from flash.
+
+A real SSD loses its RAM-resident L2P table, page-status table, and
+allocation state on power failure; the FTL reconstructs them by scanning
+every programmed page's spare-area annotations (LPA + write sequence
+number + security bit -- exactly what the write path stores, Section 2.2
+/ Figure 8's OOB usage).  The newest sequence number wins per LPA; every
+older copy is stale.
+
+The Evanesco interaction is the interesting part and a direct corollary
+of the paper's design: pAP/bAP flags live in *flash cells*, so locks
+survive power loss, and the recovery scan simply cannot read a locked
+page -- the chip returns zeros, the scanner classifies the page as dead,
+and sanitized data stays sanitized across power cycles with no FTL
+metadata needed.
+
+Recovery also closes half-written blocks by padding them with dummy
+programs (standard practice: it keeps the sequential-program invariant
+and makes the block reclaimable by GC).
+
+Note on cryptSSD: the key store is modelled as persistent (real designs
+journal it to flash); only the mapping structures are rebuilt here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.flash.block import BlockState
+from repro.ftl.allocator import BlockAllocator
+from repro.ftl.base import PageMappedFtl
+from repro.ftl.mapping import L2PTable
+from repro.ftl.page_status import StatusTable
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """What the recovery scan found and rebuilt."""
+
+    pages_scanned: int
+    live_pages_recovered: int
+    stale_pages_discarded: int
+    locked_pages_skipped: int
+    blocks_padded: int
+    pad_programs: int
+
+    @property
+    def mapped_lpas(self) -> int:
+        return self.live_pages_recovered
+
+
+class PowerLossRecovery:
+    """Rebuilds one FTL's volatile tables by scanning its chips."""
+
+    def __init__(self, ftl: PageMappedFtl) -> None:
+        self.ftl = ftl
+
+    # ------------------------------------------------------------------
+    def simulate_power_loss(self) -> None:
+        """Drop every volatile structure (what a crash would destroy).
+
+        Chip-resident state -- page contents, lock flags, erase counts --
+        survives; the FTL's RAM tables and in-flight intents (the
+        lazy-erase queue, the open-block cursor) do not.
+        """
+        ftl = self.ftl
+        ftl.l2p = L2PTable(ftl.config.logical_pages, ftl.config.physical_pages)
+        ftl.status = StatusTable(
+            ftl.config.physical_pages, ftl.geometry.pages_per_block
+        )
+        ftl._pending_victims.clear()
+        # the erase-pending *intent* is gone; physically these blocks are
+        # just fully-programmed blocks again
+        for chip in ftl.chips:
+            for block in chip.blocks:
+                if block.state is BlockState.ERASE_PENDING:
+                    block.state = (
+                        BlockState.FULL if block.is_full else BlockState.OPEN
+                    )
+
+    # ------------------------------------------------------------------
+    def recover(self) -> RecoveryReport:
+        """Scan, pad, and rebuild; returns the recovery report."""
+        ftl = self.ftl
+        blocks_padded, pad_programs = self._pad_open_blocks()
+        candidates, invalid, locked, scanned = self._scan()
+        winners = self._resolve(candidates)
+
+        l2p = L2PTable(ftl.config.logical_pages, ftl.config.physical_pages)
+        status = StatusTable(
+            ftl.config.physical_pages, ftl.geometry.pages_per_block
+        )
+        stale = 0
+        for lpa, (seq, gppa, secure) in winners.items():
+            l2p.map(lpa, gppa)
+            status.set_written(gppa, secure and ftl.tracks_secure)
+        for seq, gppa, secure, lpa in candidates:
+            if winners.get(lpa, (None, None, None))[1] != gppa:
+                status.set_written(gppa, False)
+                status.set_invalid(gppa)
+                stale += 1
+        for gppa in invalid:
+            status.set_written(gppa, False)
+            status.set_invalid(gppa)
+
+        free_layout = [
+            [
+                block.index
+                for block in chip.blocks
+                if block.state is BlockState.FREE
+            ]
+            for chip in ftl.chips
+        ]
+        ftl.l2p = l2p
+        ftl.status = status
+        ftl.alloc = BlockAllocator.from_layout(
+            ftl.config.n_chips,
+            ftl.geometry.blocks_per_chip,
+            ftl.geometry.pages_per_block,
+            free_layout,
+        )
+        ftl._pending_victims.clear()
+        ftl._write_seq = (
+            max((seq for seq, *_ in candidates), default=-1) + 1
+        )
+        return RecoveryReport(
+            pages_scanned=scanned,
+            live_pages_recovered=len(winners),
+            stale_pages_discarded=stale,
+            locked_pages_skipped=locked,
+            blocks_padded=blocks_padded,
+            pad_programs=pad_programs,
+        )
+
+    # ------------------------------------------------------------------
+    def _pad_open_blocks(self) -> tuple[int, int]:
+        """Dummy-program the unwritten tail of every half-open block."""
+        ftl = self.ftl
+        blocks_padded = 0
+        pad_programs = 0
+        for chip_id, chip in enumerate(ftl.chips):
+            for block in chip.blocks:
+                if block.state is not BlockState.OPEN:
+                    continue
+                blocks_padded += 1
+                while not block.is_full:
+                    ppn = ftl.geometry.ppn(block.index, block.next_page)
+                    chip.program_page(ppn, None, {"pad": True})
+                    ftl.timing.program(chip_id)
+                    ftl.stats.flash_programs += 1
+                    pad_programs += 1
+        return blocks_padded, pad_programs
+
+    def _scan(self):
+        """Read every programmed page's spare annotations."""
+        ftl = self.ftl
+        candidates: list[tuple[int, int, bool, int]] = []  # seq,gppa,secure,lpa
+        invalid: list[int] = []
+        locked = 0
+        scanned = 0
+        for chip_id, chip in enumerate(ftl.chips):
+            for block in chip.blocks:
+                for offset in range(block.next_page):
+                    ppn = ftl.geometry.ppn(block.index, offset)
+                    gppa = ftl.make_gppa(chip_id, ppn)
+                    result = chip.read_page(ppn)
+                    ftl.timing.read(chip_id)
+                    ftl.stats.flash_reads += 1
+                    scanned += 1
+                    if result.blocked:
+                        locked += 1
+                        invalid.append(gppa)
+                        continue
+                    spare = result.spare
+                    if "lpa" not in spare or "seq" not in spare:
+                        invalid.append(gppa)  # pads, scrub residue, ...
+                        continue
+                    candidates.append(
+                        (
+                            int(spare["seq"]),
+                            gppa,
+                            bool(spare.get("secure", False)),
+                            int(spare["lpa"]),
+                        )
+                    )
+        return candidates, invalid, locked, scanned
+
+    @staticmethod
+    def _resolve(
+        candidates: list[tuple[int, int, bool, int]],
+    ) -> dict[int, tuple[int, int, bool]]:
+        """Newest sequence number wins per LPA."""
+        winners: dict[int, tuple[int, int, bool]] = {}
+        for seq, gppa, secure, lpa in candidates:
+            current = winners.get(lpa)
+            if current is None or seq > current[0]:
+                winners[lpa] = (seq, gppa, secure)
+        return winners

@@ -1,0 +1,102 @@
+"""Evanesco-aware FTL: the secSSD lock manager -- Section 6.
+
+When a *secured* page is invalidated (host update, trim, or a GC copy),
+the lock manager sanitizes it immediately:
+
+* normally with a ``pLock`` of the single page;
+* with one ``bLock`` of the whole block when (1) every remaining page of
+  the block needs sanitization -- i.e. the block is fully programmed and
+  fully dead -- and (2) the estimated pLock cost for the batch exceeds
+  ``tbLock`` (Section 6's policy; with tpLock = 100 us and tbLock =
+  300 us, batches of 4+ pages take the block path).
+
+``secSSD_nobLock`` disables the second rule, which is the ablation the
+paper uses to isolate bLock's contribution (Fig. 14a discussion).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.core.evanesco_chip import EvanescoChip
+from repro.ftl.base import InvalidationEvent, PageMappedFtl
+
+
+class SecureFtl(PageMappedFtl):
+    """secSSD: Evanesco-aware FTL with the pLock/bLock lock manager."""
+
+    name = "secSSD"
+    tracks_secure = True
+    use_block_lock = True
+    #: minimum secured pages in a fully-dead block before bLock is used;
+    #: None derives the break-even from the latency constants (Section 6:
+    #: n * tpLock > tbLock, i.e. 4 pages at the paper's timings).
+    block_lock_threshold_pages: int | None = None
+
+    def _make_chip(self, chip_id: int) -> EvanescoChip:
+        return EvanescoChip(self.geometry, seed=self.seed * 7919 + chip_id)
+
+    # ------------------------------------------------------------------
+    def _sanitize_host_batch(self, events: list[InvalidationEvent]) -> None:
+        self._lock_invalidated(events)
+
+    def _finish_victim(
+        self,
+        chip_id: int,
+        local_block: int,
+        events: list[InvalidationEvent],
+    ) -> None:
+        # GC moved every live page out, so the victim is fully dead: a
+        # single bLock can cover all its secured stale copies at once.
+        self._lock_invalidated(events)
+        self._retire_victim(chip_id, local_block)
+
+    # ------------------------------------------------------------------
+    def _lock_invalidated(self, events: list[InvalidationEvent]) -> None:
+        """Sanitize the secured subset of an invalidation batch."""
+        by_block: dict[int, list[InvalidationEvent]] = defaultdict(list)
+        for event in events:
+            if event.was_secured:
+                by_block[self.block_of_gppa(event.gppa)].append(event)
+        for gb, block_events in by_block.items():
+            chip_id, local_block = self.split_global_block(gb)
+            chip = self.chips[chip_id]
+            if chip.block_locked(local_block):
+                # an earlier bLock already covers everything in the block
+                for event in block_events:
+                    self.observer.on_sanitize(event.gppa, "block_lock")
+                continue
+            if self._should_block_lock(gb, len(block_events)):
+                chip.block_lock(local_block)
+                self.timing.block_lock(chip_id)
+                self.stats.block_locks += 1
+                for event in block_events:
+                    self.observer.on_sanitize(event.gppa, "block_lock")
+            else:
+                for event in block_events:
+                    _, ppn = self.split_gppa(event.gppa)
+                    chip.plock(ppn)
+                    self.timing.plock(chip_id)
+                    self.stats.plocks += 1
+                    self.observer.on_sanitize(event.gppa, "plock")
+
+    def _should_block_lock(self, gb: int, n_secured: int) -> bool:
+        """Section 6 policy: whole-block lock only for fully-dead blocks
+        whose batch would cost more in pLocks than one bLock."""
+        if not self.use_block_lock:
+            return False
+        chip_id, local_block = self.split_global_block(gb)
+        block = self.chips[chip_id].blocks[local_block]
+        fully_dead = block.is_full and self.status.live_count(gb) == 0
+        if not fully_dead:
+            return False
+        if self.block_lock_threshold_pages is not None:
+            return n_secured >= self.block_lock_threshold_pages
+        return n_secured * self.config.t_plock_us > self.config.t_block_lock_us
+
+
+class SecureFtlNoBlockLock(SecureFtl):
+    """secSSD_nobLock: the pLock-only ablation."""
+
+    name = "secSSD_nobLock"
+    use_block_lock = False

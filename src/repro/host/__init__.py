@@ -1,0 +1,44 @@
+"""Host stack: file API, file system, trace replay, VerTrace profiler."""
+
+from repro.host.fileapi import (
+    FileInfo,
+    FileSystemError,
+    OpenFlags,
+    OutOfSpaceError,
+)
+from repro.host.filesystem import FileSystem
+from repro.host.trace import (
+    ReplayReport,
+    TraceKind,
+    TraceOp,
+    TraceReplayer,
+    append,
+    create,
+    delete,
+    read,
+    write,
+)
+from repro.host.tracefile import load_trace, save_trace
+from repro.host.vertrace import FileVersionState, TimeplotSample, VerTrace
+
+__all__ = [
+    "FileInfo",
+    "FileSystem",
+    "FileSystemError",
+    "FileVersionState",
+    "OpenFlags",
+    "OutOfSpaceError",
+    "ReplayReport",
+    "TimeplotSample",
+    "TraceKind",
+    "TraceOp",
+    "TraceReplayer",
+    "VerTrace",
+    "append",
+    "create",
+    "delete",
+    "load_trace",
+    "read",
+    "save_trace",
+    "write",
+]

@@ -1,0 +1,114 @@
+"""File-level trace records and the trace replayer.
+
+Workload generators emit :class:`TraceOp` streams (create / write /
+append / read / delete on named files); the replayer applies them to a
+:class:`~repro.host.filesystem.FileSystem`, which turns them into block
+I/O against the SSD under test.  Keeping the trace file-level (rather
+than block-level) mirrors the paper's methodology: the same file-level
+activity is replayed against every SSD variant, and each variant's FTL
+behaviour determines the physical outcome.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Iterable
+from enum import Enum
+
+from repro.host.fileapi import OpenFlags
+from repro.host.filesystem import FileSystem
+
+
+class TraceKind(Enum):
+    CREATE = "create"
+    WRITE = "write"     # in-place write at offset
+    APPEND = "append"
+    READ = "read"
+    DELETE = "delete"
+
+
+@dataclass(frozen=True)
+class TraceOp:
+    """One file-level operation."""
+
+    kind: TraceKind
+    name: str
+    offset_pages: int = 0
+    npages: int = 0
+    insec: bool = False
+
+    def __post_init__(self) -> None:
+        if self.npages < 0 or self.offset_pages < 0:
+            raise ValueError("offset/npages must be non-negative")
+
+
+def create(name: str, insec: bool = False) -> TraceOp:
+    return TraceOp(TraceKind.CREATE, name, insec=insec)
+
+
+def write(name: str, offset_pages: int, npages: int) -> TraceOp:
+    return TraceOp(TraceKind.WRITE, name, offset_pages, npages)
+
+
+def append(name: str, npages: int) -> TraceOp:
+    return TraceOp(TraceKind.APPEND, name, 0, npages)
+
+
+def read(name: str, offset_pages: int = 0, npages: int = 0) -> TraceOp:
+    return TraceOp(TraceKind.READ, name, offset_pages, npages)
+
+
+def delete(name: str) -> TraceOp:
+    return TraceOp(TraceKind.DELETE, name)
+
+
+@dataclass
+class ReplayReport:
+    """Counters from one trace replay."""
+
+    ops: int = 0
+    creates: int = 0
+    writes: int = 0
+    reads: int = 0
+    deletes: int = 0
+    pages_written: int = 0
+    pages_read: int = 0
+
+
+class TraceReplayer:
+    """Applies a TraceOp stream to a file system."""
+
+    def __init__(self, fs: FileSystem) -> None:
+        self.fs = fs
+
+    def replay(self, ops: Iterable[TraceOp]) -> ReplayReport:
+        report = ReplayReport()
+        for op in ops:
+            self.apply(op)
+            report.ops += 1
+            if op.kind is TraceKind.CREATE:
+                report.creates += 1
+            elif op.kind in (TraceKind.WRITE, TraceKind.APPEND):
+                report.writes += 1
+                report.pages_written += op.npages
+            elif op.kind is TraceKind.READ:
+                report.reads += 1
+                report.pages_read += op.npages
+            elif op.kind is TraceKind.DELETE:
+                report.deletes += 1
+        return report
+
+    def apply(self, op: TraceOp) -> None:
+        if op.kind is TraceKind.CREATE:
+            flags = OpenFlags.O_INSEC if op.insec else OpenFlags.NONE
+            self.fs.create(op.name, flags)
+        elif op.kind is TraceKind.WRITE:
+            self.fs.write(op.name, op.offset_pages, op.npages)
+        elif op.kind is TraceKind.APPEND:
+            self.fs.append(op.name, op.npages)
+        elif op.kind is TraceKind.READ:
+            self.fs.read(op.name, op.offset_pages, op.npages or None)
+        elif op.kind is TraceKind.DELETE:
+            self.fs.delete(op.name)
+        else:  # pragma: no cover - enum is closed
+            raise ValueError(f"unknown op kind {op.kind!r}")

@@ -1,0 +1,25 @@
+"""Threat model (Section 5.1) and sanitization auditing (C1/C2)."""
+
+from repro.security.attacker import (
+    ForensicImage,
+    KeyCompromiseAttacker,
+    RawChipAttacker,
+    RecoveredPage,
+)
+from repro.security.audit import (
+    AuditReport,
+    SanitizationAuditor,
+    Violation,
+    collect_live_versions,
+)
+
+__all__ = [
+    "AuditReport",
+    "ForensicImage",
+    "KeyCompromiseAttacker",
+    "RawChipAttacker",
+    "RecoveredPage",
+    "SanitizationAuditor",
+    "Violation",
+    "collect_live_versions",
+]

@@ -1,0 +1,138 @@
+"""The Section 5.1 threat model: a raw-chip forensic attacker.
+
+The attacker de-solders every flash chip and replays read commands over
+all known interfaces, bypassing the file system and the FTL entirely.
+Encryption does not stop them (they can obtain keys), but they cannot
+probe individual cells with an SEM -- they are limited to the chip's
+command interface, which is exactly the boundary Evanesco defends:
+the pAP/bAP checks run *inside* the chip on every read.
+
+:class:`RawChipAttacker` therefore sees, for each chip:
+
+* on a plain chip -- every programmed page, including logically-invalid
+  stale data (the data-versioning vulnerability of Section 3);
+* on an Evanesco chip -- only pages whose pAP flag and block bAP flag
+  are still enabled (locked data reads as zeros).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ftl.base import PageMappedFtl
+from repro.ssd.device import SSD
+
+
+@dataclass
+class RecoveredPage:
+    """One page of data the attacker managed to read."""
+
+    gppa: int
+    payload: object
+
+    @property
+    def lpa(self) -> int | None:
+        """LPA recorded in the payload token, if it is host data.
+
+        Host payload tokens are ``(lpa, file_tag, seq)``; opaque payloads
+        (scrub residue, ciphertext with no usable key) carry no metadata.
+        """
+        if (
+            isinstance(self.payload, tuple)
+            and len(self.payload) == 3
+            and isinstance(self.payload[0], int)
+        ):
+            return self.payload[0]
+        return None
+
+    @property
+    def file_tag(self) -> object:
+        """File id recorded in the payload token, if any."""
+        if self.lpa is None:
+            return None
+        return self.payload[1]
+
+
+@dataclass
+class ForensicImage:
+    """Everything the attacker recovered from the device."""
+
+    pages: list[RecoveredPage] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.pages)
+
+    def pages_of_file(self, file_tag: object) -> list[RecoveredPage]:
+        return [p for p in self.pages if p.file_tag == file_tag]
+
+    def payloads_of_lpa(self, lpa: int) -> list[object]:
+        return [p.payload for p in self.pages if p.lpa == lpa]
+
+    def file_tags(self) -> set[object]:
+        return {p.file_tag for p in self.pages if p.file_tag is not None}
+
+
+class RawChipAttacker:
+    """Executes the strongest read-everything attack the model allows."""
+
+    def __init__(self, ssd: SSD) -> None:
+        self.ssd = ssd
+
+    def image_device(self) -> ForensicImage:
+        """Dump every readable page from every chip."""
+        ftl: PageMappedFtl = self.ssd.ftl
+        image = ForensicImage()
+        for gppa, payload in sorted(ftl.raw_device_dump().items()):
+            image.pages.append(RecoveredPage(gppa, payload))
+        return image
+
+    def recover_file(self, file_tag: object) -> list[RecoveredPage]:
+        """All data of one file the attacker can still read."""
+        return self.image_device().pages_of_file(file_tag)
+
+    def stale_versions_of(self, lpa: int) -> list[object]:
+        """Every recoverable version of one logical page.
+
+        On an insecure SSD, an overwritten LPA yields multiple payload
+        tokens (the live one plus stale ones) -- the data versioning
+        problem.  A sanitizing SSD must yield at most the live version.
+        """
+        return self.image_device().payloads_of_lpa(lpa)
+
+
+class KeyCompromiseAttacker(RawChipAttacker):
+    """The stronger Section 5.1 attacker against encryption-based SSDs.
+
+    "If the storage system is encrypted, the attacker can obtain any
+    necessary passwords and encryption keys" -- modelled as a cold-boot
+    snapshot of the controller's key store.  Any ciphertext whose key is
+    in the snapshot decrypts, *even if the FTL deleted the key later*:
+    key deletion only sanitizes against attackers who never held the key.
+    """
+
+    def snapshot_keys(self) -> frozenset[int]:
+        """Cold-boot: capture every key currently in controller memory."""
+        store = getattr(self.ssd.ftl, "key_store", None)
+        if store is None:
+            return frozenset()
+        return frozenset(store)
+
+    def image_with_keys(self, keys: frozenset[int]) -> ForensicImage:
+        """Dump the chips and decrypt everything the snapshot unlocks."""
+        from repro.ftl.crypto_based import is_ciphertext
+
+        image = ForensicImage()
+        for gppa, payload in sorted(self.ssd.ftl.raw_device_dump().items()):
+            if is_ciphertext(payload):
+                _, key_id, plaintext = payload
+                if key_id in keys:
+                    image.pages.append(RecoveredPage(gppa, plaintext))
+                # ciphertext without the key is noise: omitted
+            else:
+                image.pages.append(RecoveredPage(gppa, payload))
+        return image
+
+    def recover_file_with_keys(
+        self, file_tag: object, keys: frozenset[int]
+    ) -> list[RecoveredPage]:
+        return self.image_with_keys(keys).pages_of_file(file_tag)

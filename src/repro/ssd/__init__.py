@@ -1,0 +1,31 @@
+"""SSD device model: topology, timing, requests, and run statistics."""
+
+from repro.ssd.config import SSDConfig, paper_config, scaled_config
+from repro.ssd.device import SSD, make_ssd
+from repro.ssd.request import (
+    IoRequest,
+    RequestFlags,
+    RequestOp,
+    read,
+    trim,
+    write,
+)
+from repro.ssd.stats import DeviceStats, RunResult
+from repro.ssd.timing import TimingModel
+
+__all__ = [
+    "DeviceStats",
+    "IoRequest",
+    "RequestFlags",
+    "RequestOp",
+    "RunResult",
+    "SSD",
+    "SSDConfig",
+    "TimingModel",
+    "make_ssd",
+    "paper_config",
+    "read",
+    "scaled_config",
+    "trim",
+    "write",
+]

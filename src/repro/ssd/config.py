@@ -1,0 +1,129 @@
+"""SSD configuration -- the Section 7 device and scaled test variants.
+
+The paper's SecureSSD: two channels, four 3D TLC chips per channel; each
+chip 428 blocks of 576 16-KiB pages (192 wordlines x 3), 32 GiB total,
+with timing tREAD=80us / tPROG=700us / tBERS=3.5ms / tpLock=100us /
+tbLock=300us.
+
+:func:`paper_config` reproduces that device.  :func:`scaled_config`
+shrinks capacity while keeping the topology, page size, and in-block
+structure identical, which preserves GC and lock dynamics at a fraction
+of the simulation cost -- the same trick the paper itself uses ("we limit
+its SSD capacity to 32 GiB for fast evaluation").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.flash import constants
+from repro.flash.geometry import CellType, Geometry
+
+
+@dataclass(frozen=True)
+class SSDConfig:
+    """Full device description."""
+
+    n_channels: int = 2
+    chips_per_channel: int = 4
+    geometry: Geometry = field(default_factory=Geometry)
+    #: fraction of physical capacity hidden from the host (overprovision).
+    overprovision: float = 0.125
+    #: GC starts when a chip's free+pending blocks drop to this count.
+    gc_threshold_blocks: int = 3
+    #: GC stops once it has reclaimed up to this many free blocks.
+    gc_target_blocks: int = 5
+    #: victim-selection policy (see repro.ftl.gc_policies.GC_POLICIES).
+    gc_policy: str = "greedy"
+    #: route GC relocations to a separate open block per chip (hot/cold
+    #: stream separation); False matches the paper's single-stream FTL.
+    separate_gc_stream: bool = False
+    #: host reads of one block before its data is refreshed (relocated)
+    #: to cap read disturbance; None disables read refresh.  Real TLC
+    #: parts refresh around 100K reads; scale with the device.
+    read_refresh_threshold: int | None = None
+    t_read_us: float = constants.T_READ_US
+    t_prog_us: float = constants.T_PROG_US
+    t_erase_us: float = constants.T_BERS_US
+    t_plock_us: float = constants.T_PLOCK_US
+    t_block_lock_us: float = constants.T_BLOCK_LOCK_US
+    t_xfer_us: float = constants.T_XFER_US
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.overprovision < 1.0:
+            raise ValueError("overprovision must be in (0, 1)")
+        if self.gc_threshold_blocks < 1:
+            raise ValueError("gc_threshold_blocks must be >= 1")
+        if self.gc_target_blocks < self.gc_threshold_blocks:
+            raise ValueError("gc_target_blocks must be >= gc_threshold_blocks")
+        min_blocks = self.gc_target_blocks + 2
+        if self.geometry.blocks_per_chip <= min_blocks:
+            raise ValueError(
+                f"need more than {min_blocks} blocks per chip for GC headroom"
+            )
+        from repro.ftl.gc_policies import GC_POLICIES
+
+        if self.gc_policy not in GC_POLICIES:
+            raise ValueError(
+                f"unknown gc_policy {self.gc_policy!r}; "
+                f"choose from {sorted(GC_POLICIES)}"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def n_chips(self) -> int:
+        return self.n_channels * self.chips_per_channel
+
+    @property
+    def physical_pages(self) -> int:
+        return self.n_chips * self.geometry.pages_per_chip
+
+    @property
+    def logical_pages(self) -> int:
+        """Host-visible pages after overprovisioning."""
+        return int(self.physical_pages * (1.0 - self.overprovision))
+
+    @property
+    def logical_bytes(self) -> int:
+        return self.logical_pages * self.geometry.page_size_bytes
+
+    @property
+    def physical_bytes(self) -> int:
+        return self.physical_pages * self.geometry.page_size_bytes
+
+
+def paper_config() -> SSDConfig:
+    """The exact Section-7 SecureSSD configuration (32 GiB)."""
+    return SSDConfig(
+        n_channels=2,
+        chips_per_channel=4,
+        geometry=Geometry(
+            blocks_per_chip=428,
+            wordlines_per_block=192,
+            cell_type=CellType.TLC,
+            page_size_bytes=16 * 1024,
+        ),
+    )
+
+
+def scaled_config(
+    blocks_per_chip: int = 56,
+    wordlines_per_block: int = 32,
+    n_channels: int = 2,
+    chips_per_channel: int = 4,
+) -> SSDConfig:
+    """A capacity-scaled device with the paper's topology and timing.
+
+    Default: 2x4 chips x 56 blocks x 96 pages x 16 KiB = ~656 MiB, small
+    enough for fast trace replay yet large enough for steady-state GC.
+    """
+    return SSDConfig(
+        n_channels=n_channels,
+        chips_per_channel=chips_per_channel,
+        geometry=Geometry(
+            blocks_per_chip=blocks_per_chip,
+            wordlines_per_block=wordlines_per_block,
+            cell_type=CellType.TLC,
+            page_size_bytes=16 * 1024,
+        ),
+    )

@@ -1,0 +1,105 @@
+"""SSD device facade: configuration + FTL variant + trace replay.
+
+The device is what the host stack and the benchmarks talk to.  It wires
+an :class:`~repro.ssd.config.SSDConfig` to one of the FTL variants,
+replays request streams, and reports the Figure-14 metrics
+(:class:`~repro.ssd.stats.RunResult`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.ftl import FTL_VARIANTS
+from repro.ftl.base import PageMappedFtl
+from repro.ftl.observer import FtlObserver
+from repro.ssd.config import SSDConfig
+from repro.ssd.request import IoRequest
+from repro.ssd.stats import RunResult
+from repro.ssd.worklog import WorkLog
+
+
+class SSD:
+    """One simulated SSD instance."""
+
+    def __init__(
+        self,
+        config: SSDConfig,
+        variant: str = "baseline",
+        observer: FtlObserver | None = None,
+        seed: int = 0,
+        ftl_class: type[PageMappedFtl] | None = None,
+    ) -> None:
+        """Build a device running ``variant``'s FTL.
+
+        ``ftl_class`` overrides the registry lookup -- used by ablation
+        studies that subclass an FTL with tweaked policy constants.
+        """
+        if ftl_class is None:
+            if variant not in FTL_VARIANTS:
+                raise ValueError(
+                    f"unknown variant {variant!r}; choose from {sorted(FTL_VARIANTS)}"
+                )
+            ftl_class = FTL_VARIANTS[variant]
+            self.variant = variant
+        else:
+            self.variant = ftl_class.name
+        self.config = config
+        self.ftl: PageMappedFtl = ftl_class(config, observer=observer, seed=seed)
+        #: per-request device-work log (sanitization-tail analysis).
+        self.work_log = WorkLog()
+
+    # ------------------------------------------------------------------
+    @property
+    def logical_pages(self) -> int:
+        return self.config.logical_pages
+
+    @property
+    def stats(self):
+        return self.ftl.stats
+
+    @property
+    def elapsed_us(self) -> float:
+        return self.ftl.elapsed_us()
+
+    def submit(self, request: IoRequest) -> None:
+        before = self._busy_total()
+        self.ftl.submit(request)
+        self.work_log.record(request.op, self._busy_total() - before)
+
+    def _busy_total(self) -> float:
+        return self.ftl.timing.total_work_us
+
+    def replay(self, requests: Iterable[IoRequest]) -> RunResult:
+        """Replay a request stream and return the run metrics."""
+        for request in requests:
+            self.ftl.submit(request)
+        return self.result()
+
+    def result(self) -> RunResult:
+        return RunResult(
+            name=self.variant,
+            stats=self.ftl.stats,
+            elapsed_us=self.ftl.elapsed_us(),
+            extra={
+                "logical_time": float(self.ftl.logical_time),
+                "chip_utilization_max": max(
+                    self.ftl.timing.utilization(), default=0.0
+                ),
+            },
+        )
+
+    # ------------------------------------------------------------------
+    def raw_dump(self) -> dict[int, object]:
+        """Forensic attacker view of all programmed, unlocked data."""
+        return self.ftl.raw_device_dump()
+
+
+def make_ssd(
+    config: SSDConfig,
+    variant: str,
+    observer: FtlObserver | None = None,
+    seed: int = 0,
+) -> SSD:
+    """Convenience constructor used by benchmarks and examples."""
+    return SSD(config, variant=variant, observer=observer, seed=seed)

@@ -1,0 +1,93 @@
+"""Host block-I/O request types and flags -- Section 6.
+
+SecureSSD extends the block-I/O interface with one new operation flag,
+``REQ_OP_INSEC_WRITE``: a write carrying it is *security-insensitive* and
+the FTL tracks it as a plain ``valid`` page; all other writes default to
+``secured`` so that Evanesco-unaware hosts get sanitization for free
+(backward compatibility, Section 6).
+
+Requests address 16-KiB logical pages (LPAs); the host layer is
+responsible for aligning byte-level file I/O to page boundaries, exactly
+like the paper's custom trace replayer does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, Flag, auto
+
+
+class RequestOp(Enum):
+    """Block-level operation."""
+
+    READ = "read"
+    WRITE = "write"
+    TRIM = "trim"
+
+
+class RequestFlags(Flag):
+    """Extended block-I/O flags."""
+
+    NONE = 0
+    #: the write's data is security-insensitive (O_INSEC file).
+    INSEC_WRITE = auto()
+
+
+@dataclass(frozen=True)
+class IoRequest:
+    """One host request over a contiguous LPA range.
+
+    Attributes
+    ----------
+    op:
+        Read, write, or trim.
+    lpa:
+        First logical page address.
+    npages:
+        Number of consecutive logical pages.
+    flags:
+        Extended flags (``INSEC_WRITE``).
+    tag:
+        Opaque host annotation (the file-system layer passes the file id,
+        which VerTrace uses to attribute physical pages to files).
+    """
+
+    op: RequestOp
+    lpa: int
+    npages: int = 1
+    flags: RequestFlags = RequestFlags.NONE
+    tag: object = None
+
+    def __post_init__(self) -> None:
+        if self.npages <= 0:
+            raise ValueError("npages must be positive")
+        if self.lpa < 0:
+            raise ValueError("lpa must be non-negative")
+
+    @property
+    def secure(self) -> bool:
+        """Whether written data must be tracked as secured."""
+        return self.op is RequestOp.WRITE and not (
+            self.flags & RequestFlags.INSEC_WRITE
+        )
+
+    def lpas(self) -> range:
+        return range(self.lpa, self.lpa + self.npages)
+
+
+def read(lpa: int, npages: int = 1, tag: object = None) -> IoRequest:
+    return IoRequest(RequestOp.READ, lpa, npages, tag=tag)
+
+
+def write(
+    lpa: int,
+    npages: int = 1,
+    secure: bool = True,
+    tag: object = None,
+) -> IoRequest:
+    flags = RequestFlags.NONE if secure else RequestFlags.INSEC_WRITE
+    return IoRequest(RequestOp.WRITE, lpa, npages, flags=flags, tag=tag)
+
+
+def trim(lpa: int, npages: int = 1, tag: object = None) -> IoRequest:
+    return IoRequest(RequestOp.TRIM, lpa, npages, tag=tag)

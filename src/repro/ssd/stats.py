@@ -1,0 +1,102 @@
+"""Device-level statistics: IOPS, WAF, erase counts, lock counts.
+
+These are the quantities Figure 14 and the Section 1 headline numbers are
+built from:
+
+* **IOPS** = host operations / elapsed device time;
+* **WAF** (write amplification factor) = flash page programs / host page
+  writes;
+* erase, pLock, bLock, and scrub counts for the lifetime comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class DeviceStats:
+    """Cumulative counters for one SSD run."""
+
+    host_reads: int = 0
+    host_writes: int = 0
+    host_trims: int = 0
+    flash_reads: int = 0
+    flash_programs: int = 0
+    flash_erases: int = 0
+    gc_copies: int = 0
+    gc_invocations: int = 0
+    plocks: int = 0
+    block_locks: int = 0
+    scrubs: int = 0
+    relocation_copies: int = 0  # sanitization-driven copies (erSSD/scrSSD)
+    sanitize_erases: int = 0    # immediate erases for sanitization (erSSD)
+    refreshes: int = 0          # read-disturb refresh rounds
+    refresh_copies: int = 0     # pages moved by read refresh
+
+    # ------------------------------------------------------------------
+    @property
+    def host_ops(self) -> int:
+        return self.host_reads + self.host_writes + self.host_trims
+
+    @property
+    def waf(self) -> float:
+        """Write amplification: flash programs per host page write."""
+        if self.host_writes == 0:
+            return 0.0
+        return self.flash_programs / self.host_writes
+
+    def iops(self, elapsed_us: float) -> float:
+        """Host I/O operations per second for the given elapsed time."""
+        if elapsed_us <= 0.0:
+            return 0.0
+        return self.host_ops / (elapsed_us / 1e6)
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, float]:
+        return {
+            "host_reads": self.host_reads,
+            "host_writes": self.host_writes,
+            "host_trims": self.host_trims,
+            "flash_reads": self.flash_reads,
+            "flash_programs": self.flash_programs,
+            "flash_erases": self.flash_erases,
+            "gc_copies": self.gc_copies,
+            "gc_invocations": self.gc_invocations,
+            "plocks": self.plocks,
+            "block_locks": self.block_locks,
+            "scrubs": self.scrubs,
+            "relocation_copies": self.relocation_copies,
+            "sanitize_erases": self.sanitize_erases,
+            "refreshes": self.refreshes,
+            "refresh_copies": self.refresh_copies,
+            "waf": self.waf,
+        }
+
+
+@dataclass
+class RunResult:
+    """Outcome of replaying one workload on one SSD configuration."""
+
+    name: str
+    stats: DeviceStats
+    elapsed_us: float
+    extra: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def iops(self) -> float:
+        return self.stats.iops(self.elapsed_us)
+
+    @property
+    def waf(self) -> float:
+        return self.stats.waf
+
+    def normalized_iops(self, baseline: "RunResult") -> float:
+        if baseline.iops == 0.0:
+            raise ValueError("baseline has zero IOPS")
+        return self.iops / baseline.iops
+
+    def normalized_waf(self, baseline: "RunResult") -> float:
+        if baseline.waf == 0.0:
+            raise ValueError("baseline has zero WAF")
+        return self.waf / baseline.waf

@@ -1,0 +1,130 @@
+"""Open-loop timing model for a multi-channel, multi-chip SSD.
+
+The paper evaluates IOPS on FlashBench, an emulation platform where the
+per-operation latencies (tREAD/tPROG/tBERS/tpLock/tbLock) and the
+channel/chip topology determine throughput.  We reproduce that with a
+resource-occupancy model:
+
+* each **chip** can run one cell operation at a time (read sense,
+  program, erase, pLock, bLock);
+* each **channel** can transfer one page at a time (reads transfer after
+  the sense; programs transfer before the cell operation);
+* host requests arrive open-loop (the benchmark queue is always full,
+  which is how IOPS is measured), so device throughput is limited purely
+  by resource occupancy;
+* elapsed time for a replay is the completion time of the last operation,
+  and IOPS = host operations / elapsed seconds.
+
+This captures exactly the effects the paper reports: erSSD's relocation
+storms serialize on chips; pLock costs hide behind other chips' work
+except when a workload (DBServer) concentrates small updates; bLock
+replaces trains of pLocks on the same chip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.flash import constants
+
+
+@dataclass
+class TimingModel:
+    """Per-chip and per-channel busy-until bookkeeping."""
+
+    n_channels: int
+    chips_per_channel: int
+    t_read_us: float = constants.T_READ_US
+    t_prog_us: float = constants.T_PROG_US
+    t_erase_us: float = constants.T_BERS_US
+    t_plock_us: float = constants.T_PLOCK_US
+    t_block_lock_us: float = constants.T_BLOCK_LOCK_US
+    t_scrub_us: float = constants.T_PLOCK_US  # one-shot scrub pulse (Sec. 7)
+    t_xfer_us: float = constants.T_XFER_US
+    chip_busy: list[float] = field(init=False)
+    channel_busy: list[float] = field(init=False)
+    #: total device work scheduled (pure operation durations, no idle).
+    total_work_us: float = field(init=False, default=0.0)
+
+    def __post_init__(self) -> None:
+        if self.n_channels <= 0 or self.chips_per_channel <= 0:
+            raise ValueError("topology dimensions must be positive")
+        self.chip_busy = [0.0] * self.n_chips
+        self.channel_busy = [0.0] * self.n_channels
+
+    # ------------------------------------------------------------------
+    @property
+    def n_chips(self) -> int:
+        return self.n_channels * self.chips_per_channel
+
+    def channel_of(self, chip_id: int) -> int:
+        self._check_chip(chip_id)
+        return chip_id // self.chips_per_channel
+
+    def _check_chip(self, chip_id: int) -> None:
+        if not 0 <= chip_id < self.n_chips:
+            raise ValueError(f"chip {chip_id} out of range [0, {self.n_chips})")
+
+    # ------------------------------------------------------------------
+    def read(self, chip_id: int) -> float:
+        """Schedule a page read: chip sense, then channel transfer out."""
+        ch = self.channel_of(chip_id)
+        sense_end = self.chip_busy[chip_id] + self.t_read_us
+        self.chip_busy[chip_id] = sense_end
+        xfer_start = max(sense_end, self.channel_busy[ch])
+        self.channel_busy[ch] = xfer_start + self.t_xfer_us
+        self.total_work_us += self.t_read_us + self.t_xfer_us
+        return self.channel_busy[ch]
+
+    def program(self, chip_id: int) -> float:
+        """Schedule a page program: channel transfer in, then cell op."""
+        ch = self.channel_of(chip_id)
+        xfer_start = max(self.channel_busy[ch], 0.0)
+        xfer_end = xfer_start + self.t_xfer_us
+        self.channel_busy[ch] = xfer_end
+        start = max(self.chip_busy[chip_id], xfer_end)
+        self.chip_busy[chip_id] = start + self.t_prog_us
+        self.total_work_us += self.t_prog_us + self.t_xfer_us
+        return self.chip_busy[chip_id]
+
+    def copy(self, src_chip: int, dst_chip: int) -> float:
+        """Schedule a page copy (GC move): read on src, program on dst."""
+        self.read(src_chip)
+        return self.program(dst_chip)
+
+    def erase(self, chip_id: int) -> float:
+        self._check_chip(chip_id)
+        self.chip_busy[chip_id] += self.t_erase_us
+        self.total_work_us += self.t_erase_us
+        return self.chip_busy[chip_id]
+
+    def plock(self, chip_id: int) -> float:
+        self._check_chip(chip_id)
+        self.chip_busy[chip_id] += self.t_plock_us
+        self.total_work_us += self.t_plock_us
+        return self.chip_busy[chip_id]
+
+    def block_lock(self, chip_id: int) -> float:
+        self._check_chip(chip_id)
+        self.chip_busy[chip_id] += self.t_block_lock_us
+        self.total_work_us += self.t_block_lock_us
+        return self.chip_busy[chip_id]
+
+    def scrub(self, chip_id: int) -> float:
+        self._check_chip(chip_id)
+        self.chip_busy[chip_id] += self.t_scrub_us
+        self.total_work_us += self.t_scrub_us
+        return self.chip_busy[chip_id]
+
+    # ------------------------------------------------------------------
+    @property
+    def elapsed_us(self) -> float:
+        """Completion time of the last scheduled operation."""
+        return max(max(self.chip_busy, default=0.0), max(self.channel_busy, default=0.0))
+
+    def utilization(self) -> list[float]:
+        """Per-chip busy fraction relative to the overall elapsed time."""
+        total = self.elapsed_us
+        if total <= 0.0:
+            return [0.0] * self.n_chips
+        return [b / total for b in self.chip_busy]

@@ -1,0 +1,74 @@
+"""Per-request device-work accounting (sanitization tail analysis).
+
+Average IOPS hides the paper's most user-visible difference between
+sanitization techniques: *tail behaviour*.  On erSSD a single secured
+overwrite can trigger a whole-block relocation storm; on secSSD it adds
+one 100-us pLock.  The work log records, per host request, how much
+device busy-time the request added across all chips and channels --
+i.e., the amount of flash work the request caused, including any GC or
+sanitization it triggered -- and reports percentiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ssd.request import RequestOp
+
+
+@dataclass
+class WorkLog:
+    """Per-request work samples, grouped by request type."""
+
+    samples: dict[RequestOp, list[float]] = field(
+        default_factory=lambda: {op: [] for op in RequestOp}
+    )
+
+    def record(self, op: RequestOp, work_us: float) -> None:
+        self.samples[op].append(work_us)
+
+    def count(self, op: RequestOp | None = None) -> int:
+        if op is not None:
+            return len(self.samples[op])
+        return sum(len(v) for v in self.samples.values())
+
+    # ------------------------------------------------------------------
+    def percentile(self, q: float, op: RequestOp | None = None) -> float:
+        """q-th percentile (0-100) of per-request work in microseconds."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("q must be in [0, 100]")
+        data = self._select(op)
+        if not data:
+            return 0.0
+        data = sorted(data)
+        # nearest-rank percentile
+        rank = max(0, min(len(data) - 1, round(q / 100.0 * (len(data) - 1))))
+        return data[rank]
+
+    def mean(self, op: RequestOp | None = None) -> float:
+        data = self._select(op)
+        if not data:
+            return 0.0
+        return sum(data) / len(data)
+
+    def max(self, op: RequestOp | None = None) -> float:
+        data = self._select(op)
+        return max(data, default=0.0)
+
+    def summary(self, op: RequestOp | None = None) -> dict[str, float]:
+        return {
+            "count": float(self.count(op)),
+            "mean_us": self.mean(op),
+            "p50_us": self.percentile(50, op),
+            "p99_us": self.percentile(99, op),
+            "max_us": self.max(op),
+        }
+
+    # ------------------------------------------------------------------
+    def _select(self, op: RequestOp | None) -> list[float]:
+        if op is not None:
+            return self.samples[op]
+        merged: list[float] = []
+        for values in self.samples.values():
+            merged.extend(values)
+        return merged

@@ -1,0 +1,29 @@
+"""Synthetic workload generators matching Table 2.
+
+``WORKLOADS`` maps benchmark names to generator classes; every generator
+emits the same file-level trace for a given (capacity, seed), so the
+Figure-14 comparison replays identical traffic on every SSD variant.
+"""
+
+from repro.workloads.base import WorkloadGenerator, WorkloadProfile
+from repro.workloads.dbserver import DBServerWorkload
+from repro.workloads.fileserver import FileServerWorkload
+from repro.workloads.mailserver import MailServerWorkload
+from repro.workloads.mobile import MobileWorkload
+
+WORKLOADS: dict[str, type[WorkloadGenerator]] = {
+    "MailServer": MailServerWorkload,
+    "DBServer": DBServerWorkload,
+    "FileServer": FileServerWorkload,
+    "Mobile": MobileWorkload,
+}
+
+__all__ = [
+    "DBServerWorkload",
+    "FileServerWorkload",
+    "MailServerWorkload",
+    "MobileWorkload",
+    "WORKLOADS",
+    "WorkloadGenerator",
+    "WorkloadProfile",
+]

@@ -1,0 +1,158 @@
+"""Workload generator framework reproducing Table 2's I/O characteristics.
+
+The paper replays four file-level traces (three Filebench-generated, one
+collected from a Galaxy S2).  We regenerate equivalent synthetic traces:
+each generator emits a setup phase that fills the device to a target
+utilization (the paper pre-fills 75 % of capacity) followed by a steady
+state whose
+
+* read:write request ratio,
+* file write pattern (create/append/delete vs. overwrite), and
+* write request size distribution
+
+match the corresponding Table 2 row.  Generators are pure and
+deterministic (seeded ``random.Random``); they track their own usage
+accounting so the emitted trace never overflows the file system.
+
+The ``secure_fraction`` knob marks a fraction of created files
+``O_INSEC`` so that roughly the complementary fraction of written data is
+security-sensitive -- the Figure 14(c) sweep.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from repro.host.trace import TraceOp
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Table 2 row: the workload's declared characteristics."""
+
+    name: str
+    reads_per_write: float
+    write_pattern: str
+    write_size_pages: tuple[int, int]  # inclusive range, 16-KiB pages
+
+
+class WorkloadGenerator:
+    """Base class for the four benchmark generators."""
+
+    profile: WorkloadProfile
+
+    def __init__(
+        self,
+        capacity_pages: int,
+        seed: int = 0,
+        secure_fraction: float = 1.0,
+        fill_fraction: float = 0.75,
+        high_water: float = 0.88,
+        low_water: float = 0.80,
+    ) -> None:
+        if capacity_pages <= 0:
+            raise ValueError("capacity_pages must be positive")
+        if not 0.0 <= secure_fraction <= 1.0:
+            raise ValueError("secure_fraction must be in [0, 1]")
+        if not 0.0 < fill_fraction < high_water <= 1.0:
+            raise ValueError("need 0 < fill_fraction < high_water <= 1")
+        self.capacity_pages = capacity_pages
+        self.rng = random.Random(seed)
+        self.secure_fraction = secure_fraction
+        self.fill_fraction = fill_fraction
+        self.high_water = high_water
+        self.low_water = low_water
+        self._sizes: dict[str, int] = {}
+        self._order: deque[str] = deque()  # creation order (lazy deletion)
+        self._names: list[str] = []        # O(1) random choice, swap-remove
+        self._name_pos: dict[str, int] = {}
+        self._used = 0
+        self._serial = 0
+        self._read_debt = 0.0
+
+    # ------------------------------------------------------------------
+    # bookkeeping helpers shared by the concrete generators
+    # ------------------------------------------------------------------
+    @property
+    def used_pages(self) -> int:
+        return self._used
+
+    def _new_name(self, prefix: str) -> str:
+        self._serial += 1
+        return f"{prefix}-{self._serial:08d}"
+
+    def _pick_insec(self) -> bool:
+        return self.rng.random() >= self.secure_fraction
+
+    def _write_size(self) -> int:
+        lo, hi = self.profile.write_size_pages
+        # cap request sizes on tiny (test-scale) devices
+        hi = min(hi, max(1, self.capacity_pages // 8))
+        lo = min(lo, hi)
+        return self.rng.randint(lo, hi)
+
+    def _track_create(self, name: str) -> None:
+        self._sizes[name] = 0
+        self._order.append(name)
+        self._name_pos[name] = len(self._names)
+        self._names.append(name)
+
+    def _track_grow(self, name: str, npages: int) -> None:
+        self._sizes[name] += npages
+        self._used += npages
+
+    def _track_delete(self, name: str) -> int:
+        pages = self._sizes.pop(name)
+        self._used -= pages
+        # swap-remove from the random-choice list
+        pos = self._name_pos.pop(name)
+        last = self._names.pop()
+        if last != name:
+            self._names[pos] = last
+            self._name_pos[last] = pos
+        return pages
+
+    def _oldest(self) -> str | None:
+        while self._order and self._order[0] not in self._sizes:
+            self._order.popleft()  # lazily drop deleted entries
+        return self._order[0] if self._order else None
+
+    def _random_file(self) -> str | None:
+        if not self._names:
+            return None
+        return self.rng.choice(self._names)
+
+    def _reads_due(self, writes: int = 1) -> int:
+        """Reads owed to keep the request mix at the profile's ratio.
+
+        ``writes`` is how many write requests were emitted since the last
+        call (generators that batch appends pass the batch size).
+        """
+        self._read_debt += self.profile.reads_per_write * writes
+        due = int(self._read_debt)
+        self._read_debt -= due
+        return due
+
+    # ------------------------------------------------------------------
+    # interface
+    # ------------------------------------------------------------------
+    def setup(self) -> Iterator[TraceOp]:
+        """Initial fill to ``fill_fraction`` of capacity."""
+        raise NotImplementedError
+
+    def steady(self, total_write_pages: int) -> Iterator[TraceOp]:
+        """Steady-state trace until ~``total_write_pages`` are written."""
+        raise NotImplementedError
+
+    def ops(self, write_multiplier: float = 4.0) -> Iterator[TraceOp]:
+        """Full trace: setup + steady state.
+
+        ``write_multiplier`` follows the paper's protocol: run until the
+        steady-state written volume reaches that multiple of capacity
+        (the paper writes 64 GiB against a 16-GiB device).
+        """
+        yield from self.setup()
+        yield from self.steady(int(self.capacity_pages * write_multiplier))

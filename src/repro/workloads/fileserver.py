@@ -1,0 +1,83 @@
+"""FileServer workload -- Table 2 row 3.
+
+Characteristics: read:write 3:4; create/append/delete files; write
+requests of 32-128 KiB (2-8 pages).  Similar churn pattern to
+MailServer but with larger files and a read-heavier mix (shared
+documents are fetched often).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.host.trace import TraceOp, append, create, delete, read
+from repro.workloads.base import WorkloadGenerator, WorkloadProfile
+
+
+class FileServerWorkload(WorkloadGenerator):
+    """Document churn: create / append / delete at 3:4 read:write."""
+
+    profile = WorkloadProfile(
+        name="FileServer",
+        reads_per_write=0.75,
+        write_pattern="create/append/delete files",
+        write_size_pages=(2, 8),
+    )
+
+    #: write requests composing a freshly-created file.
+    file_writes = 3
+
+    def setup(self) -> Iterator[TraceOp]:
+        target = int(self.capacity_pages * self.fill_fraction)
+        while self._used < target:
+            yield from self._create_file()
+
+    def steady(self, total_write_pages: int) -> Iterator[TraceOp]:
+        written = 0
+        while written < total_write_pages:
+            if self._used > self.capacity_pages * self.high_water:
+                yield from self._remove_oldest()
+                continue
+            roll = self.rng.random()
+            if roll < 0.45:
+                written += yield from self._create_file()
+            elif roll < 0.80:
+                name = self._random_file()
+                if name is None:
+                    continue
+                size = self._write_size()
+                self._track_grow(name, size)
+                yield append(name, size)
+                written += size
+                yield from self._reads()
+            else:
+                yield from self._remove_oldest()
+
+    # ------------------------------------------------------------------
+    def _create_file(self) -> Iterator[TraceOp]:
+        name = self._new_name("doc")
+        self._track_create(name)
+        yield create(name, insec=self._pick_insec())
+        pages = 0
+        for _ in range(self.rng.randint(1, self.file_writes)):
+            size = self._write_size()
+            self._track_grow(name, size)
+            yield append(name, size)
+            pages += size
+            yield from self._reads()
+        return pages
+
+    def _remove_oldest(self) -> Iterator[TraceOp]:
+        name = self._oldest()
+        if name is None:
+            return
+        self._track_delete(name)
+        yield delete(name)
+
+    def _reads(self) -> Iterator[TraceOp]:
+        for _ in range(self._reads_due()):
+            name = self._random_file()
+            if name is None or self._sizes[name] == 0:
+                continue
+            npages = min(self._sizes[name], self._write_size())
+            yield read(name, 0, npages)

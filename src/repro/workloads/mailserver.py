@@ -1,0 +1,84 @@
+"""MailServer workload -- Table 2 row 1.
+
+Characteristics: read:write 1:1; create/append/delete e-mails; write
+requests of 16-32 KiB (1-2 pages).  The file population is a large churn
+of small files: new messages arrive constantly, old messages are expired
+oldest-first, and a mailbox occasionally grows by appended messages.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.host.trace import TraceOp, append, create, delete, read
+from repro.workloads.base import WorkloadGenerator, WorkloadProfile
+
+
+class MailServerWorkload(WorkloadGenerator):
+    """Small-file churn: create / append / delete at 1:1 read:write."""
+
+    profile = WorkloadProfile(
+        name="MailServer",
+        reads_per_write=1.0,
+        write_pattern="create/append/delete e-mails",
+        write_size_pages=(1, 2),
+    )
+
+    #: average mail size in write requests (1-2 pages each).
+    mail_writes = 2
+
+    def setup(self) -> Iterator[TraceOp]:
+        target = int(self.capacity_pages * self.fill_fraction)
+        while self._used < target:
+            yield from self._create_mail()
+
+    def steady(self, total_write_pages: int) -> Iterator[TraceOp]:
+        written = 0
+        while written < total_write_pages:
+            if self._used > self.capacity_pages * self.high_water:
+                yield from self._expire_oldest()
+                continue
+            roll = self.rng.random()
+            if roll < 0.55:
+                written += yield from self._create_mail()
+            elif roll < 0.80:
+                name = self._random_file()
+                if name is None:
+                    continue
+                size = self._write_size()
+                self._track_grow(name, size)
+                yield append(name, size)
+                written += size
+                yield from self._reads()
+            else:
+                yield from self._expire_oldest()
+
+    # ------------------------------------------------------------------
+    def _create_mail(self) -> Iterator[TraceOp]:
+        """Create one message file from 1-2 appended write requests."""
+        name = self._new_name("mail")
+        self._track_create(name)
+        yield create(name, insec=self._pick_insec())
+        pages = 0
+        for _ in range(self.rng.randint(1, self.mail_writes)):
+            size = self._write_size()
+            self._track_grow(name, size)
+            yield append(name, size)
+            pages += size
+            yield from self._reads()
+        return pages
+
+    def _expire_oldest(self) -> Iterator[TraceOp]:
+        name = self._oldest()
+        if name is None:
+            return
+        self._track_delete(name)
+        yield delete(name)
+
+    def _reads(self) -> Iterator[TraceOp]:
+        for _ in range(self._reads_due()):
+            name = self._random_file()
+            if name is None or self._sizes[name] == 0:
+                continue
+            npages = min(self._sizes[name], self.rng.randint(1, 2))
+            yield read(name, 0, npages)

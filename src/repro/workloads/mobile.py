@@ -1,0 +1,110 @@
+"""Mobile workload -- Table 2 row 4.
+
+Characteristics: read:write 1:50 (heavily write-dominated); create and
+delete pictures; write requests of 0.5-8 MiB (32-512 pages).  Mirrors a
+camera-roll pattern collected from an Android phone: the user shoots
+large media files sequentially and the gallery app (or the user) expires
+the oldest ones when space runs low.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.host.trace import TraceOp, append, create, delete, read
+from repro.workloads.base import WorkloadGenerator, WorkloadProfile
+
+
+class MobileWorkload(WorkloadGenerator):
+    """Camera-roll pattern: large interleaved creates, expiry deletes.
+
+    Pictures are shot in bursts (a camera burst, or camera + background
+    sync writing concurrently), so consecutive chunks of different files
+    interleave on flash -- which is what makes GC copy the surviving
+    file's pages when the other one is deleted, giving Mobile's
+    uni-version files their non-zero VAF (Table 1).
+    """
+
+    profile = WorkloadProfile(
+        name="Mobile",
+        reads_per_write=0.02,
+        write_pattern="create/delete pictures",
+        write_size_pages=(32, 512),
+    )
+
+    #: pictures written concurrently in one burst.
+    burst_files = 3
+    #: chunk size (pages) in which a burst's files interleave; 32 pages
+    #: = 0.5 MiB, the smallest write request Table 2 lists for Mobile.
+    chunk_pages = 32
+    #: append requests emitted by the most recent burst.
+    _burst_appends = 0
+
+    def setup(self) -> Iterator[TraceOp]:
+        target = int(self.capacity_pages * self.fill_fraction)
+        while self._used < target:
+            yield from self._shoot_burst()
+
+    def steady(self, total_write_pages: int) -> Iterator[TraceOp]:
+        max_burst = self.burst_files * min(
+            self.profile.write_size_pages[1], max(1, self.capacity_pages // 8)
+        )
+        written = 0
+        while written < total_write_pages:
+            # expire until the worst-case burst fits below the high water
+            while self._names and (
+                self._used > self.capacity_pages * self.low_water
+                or self._used + max_burst > self.capacity_pages * self.high_water
+            ):
+                yield from self._expire_picture()
+            written += yield from self._shoot_burst()
+            yield from self._reads(self._burst_appends)
+
+    # ------------------------------------------------------------------
+    def _shoot_burst(self) -> Iterator[TraceOp]:
+        """Create a burst of pictures with chunk-interleaved appends."""
+        n = self.rng.randint(1, self.burst_files)
+        chunk = min(self.chunk_pages, max(1, self.capacity_pages // 8))
+        names: list[str] = []
+        remaining: list[int] = []
+        for _ in range(n):
+            name = self._new_name("img")
+            self._track_create(name)
+            names.append(name)
+            # picture sizes are whole chunks so every append request
+            # stays within Table 2's 0.5-8 MiB range
+            size = self._write_size()
+            remaining.append(max(chunk, size - size % chunk))
+            yield create(name, insec=self._pick_insec())
+        pages = 0
+        appends = 0
+        while any(remaining):
+            for i, name in enumerate(names):
+                if remaining[i] <= 0:
+                    continue
+                step = min(chunk, remaining[i])
+                remaining[i] -= step
+                self._track_grow(name, step)
+                yield append(name, step)
+                pages += step
+                appends += 1
+        self._burst_appends = appends
+        return pages
+
+    def _expire_picture(self) -> Iterator[TraceOp]:
+        """Delete the oldest picture, or sometimes a random one."""
+        if self.rng.random() < 0.7:
+            name = self._oldest()
+        else:
+            name = self._random_file()
+        if name is None:
+            return
+        self._track_delete(name)
+        yield delete(name)
+
+    def _reads(self, writes: int = 1) -> Iterator[TraceOp]:
+        for _ in range(self._reads_due(writes)):
+            name = self._random_file()
+            if name is None or self._sizes[name] == 0:
+                continue
+            yield read(name, 0, self._sizes[name])

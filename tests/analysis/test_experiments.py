@@ -1,0 +1,110 @@
+"""Experiment runners on miniature configurations."""
+
+import pytest
+
+from repro.analysis.experiments import (
+    run_figure14,
+    run_secure_fraction_sweep,
+    run_timeplot_study,
+    run_versioning_study,
+    run_workload_on_variant,
+)
+from repro.ssd.config import scaled_config
+
+
+@pytest.fixture(scope="module")
+def mini_config():
+    return scaled_config(blocks_per_chip=12, wordlines_per_block=8)
+
+
+class TestRunWorkload:
+    def test_single_run(self, mini_config):
+        result = run_workload_on_variant(
+            mini_config, "MailServer", "baseline", write_multiplier=0.25
+        )
+        assert result.iops > 0
+        assert result.stats.host_writes > 0
+
+    def test_unknown_workload(self, mini_config):
+        with pytest.raises(ValueError):
+            run_workload_on_variant(mini_config, "Nope", "baseline")
+
+
+class TestFigure14Runner:
+    @pytest.fixture(scope="class")
+    def results(self, mini_config):
+        return run_figure14(
+            mini_config,
+            workloads=("MailServer",),
+            variants=("baseline", "secSSD", "secSSD_nobLock"),
+            write_multiplier=0.5,
+        )
+
+    def test_baseline_normalizes_to_one(self, results):
+        fig = results["MailServer"]
+        assert fig.outcomes["baseline"].normalized_iops == pytest.approx(1.0)
+        assert fig.outcomes["baseline"].normalized_waf == pytest.approx(1.0)
+
+    def test_secssd_close_to_baseline(self, results):
+        assert results["MailServer"].outcomes["secSSD"].normalized_iops > 0.85
+
+    def test_block_lock_ablation_orders(self, results):
+        fig = results["MailServer"]
+        assert (
+            fig.outcomes["secSSD"].normalized_iops
+            >= fig.outcomes["secSSD_nobLock"].normalized_iops
+        )
+
+    def test_plock_reduction_metric(self, results):
+        red = results["MailServer"].plock_reduction_from_block_lock()
+        assert 0.0 <= red <= 1.0
+
+    def test_requires_baseline(self, mini_config):
+        with pytest.raises(ValueError):
+            run_figure14(mini_config, variants=("secSSD",))
+
+
+class TestSecureFractionSweep:
+    def test_monotone_tendency(self, mini_config):
+        sweep = run_secure_fraction_sweep(
+            mini_config,
+            workloads=("DBServer",),
+            fractions=(0.5, 1.0),
+            write_multiplier=0.5,
+        )
+        series = sweep["DBServer"]
+        assert series[0.5] >= series[1.0] - 0.02  # fewer locks -> no slower
+
+
+class TestVersioningStudy:
+    def test_summary_shape(self, mini_config):
+        out = run_versioning_study(
+            mini_config, "MailServer", write_multiplier=0.5
+        )
+        assert set(out.summary) == {"uv", "mv"}
+        assert out.summary["mv"]["count"] > 0
+
+    def test_secure_variant_suppresses_exposure(self, mini_config):
+        insecure = run_versioning_study(
+            mini_config, "MailServer", write_multiplier=0.5
+        )
+        secure = run_versioning_study(
+            mini_config, "MailServer", write_multiplier=0.5, variant="secSSD"
+        )
+        assert (
+            secure.summary["mv"]["tinsec_max"]
+            < insecure.summary["mv"]["tinsec_max"]
+        )
+
+
+class TestTimeplotStudy:
+    def test_returns_both_classes(self, mini_config):
+        plots = run_timeplot_study(mini_config, "MailServer", write_multiplier=0.5)
+        assert "uv" in plots and "mv" in plots
+        for series in plots.values():
+            assert series  # non-empty trajectories
+            assert all(s.tick >= 0 for s in series)
+
+    def test_mv_file_shows_invalid_pages(self, mini_config):
+        plots = run_timeplot_study(mini_config, "DBServer", write_multiplier=0.5)
+        assert max(s.invalid for s in plots["mv"]) > 0

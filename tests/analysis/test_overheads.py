@@ -1,0 +1,58 @@
+"""Section 5.5 overhead accounting."""
+
+import pytest
+
+from repro.analysis.overheads import (
+    AreaOverhead,
+    LatencyOverhead,
+    summarize_overheads,
+)
+from repro.flash.geometry import CellType, Geometry
+
+
+class TestLatencyOverhead:
+    def test_plock_under_14_3_percent_of_program(self):
+        """Paper: tpLock is less than 14.3 % of tPROG (100us / 700us)."""
+        assert LatencyOverhead().plock_vs_program <= 0.143
+
+    def test_block_lock_under_8_6_percent_of_erase(self):
+        """Paper: tbLock is less than 8.6 % of tBERS (300us / 3.5ms)."""
+        assert LatencyOverhead().block_lock_vs_erase <= 0.086
+
+    def test_ratios_exact(self):
+        lat = LatencyOverhead()
+        assert lat.plock_vs_program == pytest.approx(100 / 700)
+        assert lat.block_lock_vs_erase == pytest.approx(300 / 3500)
+
+
+class TestAreaOverhead:
+    def test_27_flag_cells_per_tlc_wordline(self):
+        """Paper: 27 flag cells per WL (9 per page x 3 pages)."""
+        area = AreaOverhead(Geometry(cell_type=CellType.TLC))
+        assert area.flag_cells_per_wordline == 27
+
+    def test_flags_fit_in_spare_area(self):
+        """Paper: flags use *existing* spare cells -> zero net area."""
+        area = AreaOverhead(Geometry(cell_type=CellType.TLC))
+        assert area.fits_in_spare()
+        assert area.spare_fraction_used < 0.01
+
+    def test_majority_circuit_small(self):
+        area = AreaOverhead(Geometry())
+        assert area.majority_transistors == 200
+
+    def test_one_bridge_transistor_per_pin(self):
+        area = AreaOverhead(Geometry())
+        assert area.bridge_transistors == 8
+
+    def test_mlc_uses_18_flag_cells(self):
+        area = AreaOverhead(Geometry(cell_type=CellType.MLC))
+        assert area.flag_cells_per_wordline == 18
+
+
+class TestSummary:
+    def test_summary_keys(self):
+        summary = summarize_overheads()
+        assert summary["plock_vs_program"] < 0.143
+        assert summary["block_lock_vs_erase"] < 0.086
+        assert summary["flag_cells_per_wordline"] == 27.0

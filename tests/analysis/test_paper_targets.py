@@ -1,0 +1,82 @@
+"""Paper-target registry and scorecard evaluation."""
+
+import pytest
+
+from repro.analysis.paper_targets import (
+    PAPER_TARGETS,
+    Target,
+    TargetCheck,
+    evaluate,
+    find_target,
+    format_scorecard,
+)
+
+
+class TestTarget:
+    def test_band_check(self):
+        t = Target("x", "m", "p", lo=1.0, hi=2.0)
+        assert t.check(1.5)
+        assert not t.check(0.5)
+        assert not t.check(2.5)
+
+    def test_one_sided_bands(self):
+        assert Target("x", "m", "p", lo=1.0).check(99.0)
+        assert Target("x", "m", "p", hi=1.0).check(-5.0)
+
+    def test_exact_check(self):
+        t = Target("x", "m", "p", exact="ii")
+        assert t.check("ii")
+        assert not t.check("iii")
+
+    def test_boundaries_inclusive(self):
+        t = Target("x", "m", "p", lo=1.0, hi=2.0)
+        assert t.check(1.0)
+        assert t.check(2.0)
+
+
+class TestRegistry:
+    def test_registry_nonempty(self):
+        assert len(PAPER_TARGETS) >= 20
+
+    def test_keys_unique(self):
+        keys = [(t.experiment, t.metric) for t in PAPER_TARGETS]
+        assert len(keys) == len(set(keys))
+
+    def test_every_target_has_criteria(self):
+        for t in PAPER_TARGETS:
+            assert t.exact is not None or t.lo is not None or t.hi is not None
+
+    def test_find_target(self):
+        t = find_target("fig9", "selected_combination")
+        assert t.exact == "ii"
+
+    def test_find_missing(self):
+        with pytest.raises(KeyError):
+            find_target("fig99", "nope")
+
+    def test_known_experiments_covered(self):
+        experiments = {t.experiment for t in PAPER_TARGETS}
+        assert {"fig6", "fig9", "fig10", "fig12", "fig14a", "headline"} <= experiments
+
+
+class TestEvaluate:
+    def test_partial_measurements_skip_missing(self):
+        checks = evaluate({("fig9", "selected_combination"): "ii"})
+        assert len(checks) == 1
+        assert checks[0].passed
+
+    def test_failure_detected(self):
+        checks = evaluate({("fig9", "selected_combination"): "vi"})
+        assert not checks[0].passed
+
+    def test_unknown_keys_ignored(self):
+        checks = evaluate({("nope", "nothing"): 1.0})
+        assert checks == []
+
+    def test_scorecard_rendering(self):
+        checks = [
+            TargetCheck(find_target("fig9", "selected_combination"), "ii", True)
+        ]
+        out = format_scorecard(checks)
+        assert "PASS" in out
+        assert "fig9" in out

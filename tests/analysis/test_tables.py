@@ -1,0 +1,48 @@
+"""Table rendering."""
+
+from repro.analysis.tables import (
+    format_secure_fraction,
+    format_table1,
+    render_table,
+)
+
+
+class TestRenderTable:
+    def test_basic_shape(self):
+        out = render_table(["a", "bb"], [[1, 2], [30, 40]])
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, separator, two rows
+        assert "a" in lines[0]
+
+    def test_title(self):
+        out = render_table(["x"], [[1]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_column_alignment(self):
+        out = render_table(["col"], [["xxxxxx"], ["y"]])
+        lines = out.splitlines()
+        assert len(lines[2]) == len(lines[3].rstrip()) or len(lines[2]) >= 6
+
+
+class TestFormatters:
+    def test_table1_formatting(self):
+        summary = {
+            "Mobile": {
+                "uv": {
+                    "vaf_avg": 0.24, "vaf_max": 1.5,
+                    "tinsec_avg": 0.02, "tinsec_max": 0.43,
+                },
+                "mv": {
+                    "vaf_avg": 1.0, "vaf_max": 2.0,
+                    "tinsec_avg": 0.41, "tinsec_max": 2.3,
+                },
+            }
+        }
+        out = format_table1(summary)
+        assert "Mobile" in out
+        assert "0.24" in out
+
+    def test_secure_fraction_formatting(self):
+        out = format_secure_fraction({"Mobile": {0.6: 0.99, 1.0: 0.97}})
+        assert "60%" in out
+        assert "0.990" in out

@@ -1,0 +1,59 @@
+"""Shared fixtures: small geometries and device configs for fast tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.flash.geometry import CellType, Geometry
+from repro.ssd.config import SSDConfig
+
+
+@pytest.fixture
+def tiny_geometry() -> Geometry:
+    """8 blocks x 4 WLs x 3 pages (TLC) -- smallest structurally-faithful chip."""
+    return Geometry(
+        blocks_per_chip=8,
+        wordlines_per_block=4,
+        cell_type=CellType.TLC,
+        page_size_bytes=16 * 1024,
+        cells_per_wordline=64,
+    )
+
+
+@pytest.fixture
+def small_geometry() -> Geometry:
+    """16 blocks x 8 WLs x 3 pages -- room for GC dynamics."""
+    return Geometry(
+        blocks_per_chip=16,
+        wordlines_per_block=8,
+        cell_type=CellType.TLC,
+        page_size_bytes=16 * 1024,
+        cells_per_wordline=256,
+    )
+
+
+@pytest.fixture
+def tiny_config(small_geometry) -> SSDConfig:
+    """2x2 chips of the small geometry: 1536 physical pages."""
+    return SSDConfig(
+        n_channels=2,
+        chips_per_channel=2,
+        geometry=small_geometry,
+        overprovision=0.2,
+    )
+
+
+@pytest.fixture
+def single_chip_config(small_geometry) -> SSDConfig:
+    return SSDConfig(
+        n_channels=1,
+        chips_per_channel=1,
+        geometry=small_geometry,
+        overprovision=0.2,
+    )
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

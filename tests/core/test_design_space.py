@@ -1,0 +1,116 @@
+"""Figure 9 / Figure 12 design-space exploration and selection."""
+
+import numpy as np
+import pytest
+
+from repro.core.design_space import (
+    RETENTION_DAYS_GRID,
+    ROMAN_LABELS,
+    explore_block_design,
+    explore_plock_design,
+)
+from repro.flash import constants
+
+
+@pytest.fixture(scope="module")
+def plock():
+    return explore_plock_design()
+
+
+@pytest.fixture(scope="module")
+def block():
+    return explore_block_design()
+
+
+class TestPlockExploration:
+    def test_grid_covered(self, plock):
+        assert len(plock.points) == 15
+
+    def test_region_counts_match_paper(self, plock):
+        """Paper: 4 combos in Region I, 5 in Region II, 6 candidates."""
+        regions = [p.region for p in plock.points]
+        assert regions.count("region-i") == 4
+        assert regions.count("region-ii") == 5
+        assert regions.count("candidate") == 6
+
+    def test_candidate_labels_complete(self, plock):
+        assert set(plock.candidates) == set(ROMAN_LABELS)
+
+    def test_paper_label_anchors(self, plock):
+        """(i)=(Vp4,150us), (ii)=(Vp4,100us), (vi)=(Vp2,200us)."""
+        assert plock.candidates["i"].vpgm == pytest.approx(15.5)
+        assert plock.candidates["i"].latency_us == 150.0
+        assert plock.candidates["ii"].vpgm == pytest.approx(15.5)
+        assert plock.candidates["ii"].latency_us == 100.0
+        assert plock.candidates["vi"].vpgm == pytest.approx(14.5)
+        assert plock.candidates["vi"].latency_us == 200.0
+
+    def test_selected_is_combination_ii(self, plock):
+        """The paper's final pLock design: (Vp4, 100us) -> tpLock = 100us."""
+        assert plock.selected_label == "ii"
+        assert plock.selected_pulse.latency_us == constants.T_PLOCK_US
+
+    def test_retention_curves_monotone(self, plock):
+        for label in ROMAN_LABELS:
+            errors = plock.retention_errors[label]
+            assert np.all(np.diff(errors) >= -1e-12)
+
+    def test_weaker_candidates_lose_more_cells(self, plock):
+        """(vi) loses more flag cells than (i) at every horizon."""
+        assert np.all(
+            plock.retention_errors["vi"] >= plock.retention_errors["i"]
+        )
+
+    def test_failure_probs_bounded(self, plock):
+        for label in ROMAN_LABELS:
+            probs = plock.failure_probs[label]
+            assert np.all((0.0 <= probs) & (probs <= 1.0))
+
+    def test_point_lookup(self, plock):
+        point = plock.point_for(plock.selected_pulse)
+        assert point.label == "ii"
+        assert point.region == "candidate"
+
+    def test_point_lookup_missing(self, plock):
+        from repro.core.flag_cells import PulseSettings
+
+        with pytest.raises(KeyError):
+            plock.point_for(PulseSettings(1.0, 1.0))
+
+
+class TestBlockExploration:
+    def test_grid_covered(self, block):
+        assert len(block.points) == 18
+
+    def test_six_candidates(self, block):
+        regions = [p.region for p in block.points]
+        assert regions.count("candidate") == 6
+        assert regions.count("region-i") == 12
+
+    def test_paper_label_anchors(self, block):
+        """(i)=(Vb6,400us), (ii)=(Vb6,300us), (vi)=(Vb5,200us)."""
+        assert block.candidates["i"].vpgm == pytest.approx(18.0)
+        assert block.candidates["i"].latency_us == 400.0
+        assert block.candidates["ii"].vpgm == pytest.approx(18.0)
+        assert block.candidates["ii"].latency_us == 300.0
+        assert block.candidates["vi"].vpgm == pytest.approx(17.0)
+        assert block.candidates["vi"].latency_us == 200.0
+
+    def test_selected_is_combination_ii(self, block):
+        """The paper's final bLock design: (Vb6, 300us) -> tbLock = 300us."""
+        assert block.selected_label == "ii"
+        assert block.selected_pulse.latency_us == constants.T_BLOCK_LOCK_US
+
+    def test_vth_curves_decay(self, block):
+        for label in ROMAN_LABELS:
+            curve = block.vth_curves[label]
+            assert np.all(np.diff(curve) <= 1e-12)
+
+    def test_vb5_candidates_fail_requirement(self, block):
+        """Fig. 12(b): (iv), (v), (vi) decay below 3 V within 5 years."""
+        for label in ("iv", "v", "vi"):
+            assert block.vth_curves[label][-3] < constants.SSL_CUTOFF_VTH
+
+    def test_days_grid_includes_requirements(self):
+        assert constants.RETENTION_1Y_DAYS in RETENTION_DAYS_GRID
+        assert constants.RETENTION_5Y_DAYS in RETENTION_DAYS_GRID

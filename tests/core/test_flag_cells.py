@@ -1,0 +1,145 @@
+"""Flag-cell physics: the calibrated responses behind Figure 9."""
+
+import numpy as np
+import pytest
+
+from repro.core.flag_cells import (
+    FlagCellModel,
+    PulseSettings,
+    default_plock_pulse,
+    plock_design_space,
+)
+from repro.flash import constants
+
+
+@pytest.fixture(scope="module")
+def model():
+    return FlagCellModel()
+
+
+def pulse(v_index: int, latency: float) -> PulseSettings:
+    return PulseSettings(
+        constants.PLOCK_VPGM_BASE + v_index * constants.PLOCK_VPGM_STEP, latency
+    )
+
+
+class TestDesignSpace:
+    def test_grid_size(self):
+        assert len(plock_design_space()) == 15  # 5 voltages x 3 latencies
+
+    def test_grid_unique(self):
+        assert len(set(plock_design_space())) == 15
+
+    def test_default_pulse_is_vp4_100us(self):
+        p = default_plock_pulse()
+        assert p.vpgm == pytest.approx(15.5)  # Vp4
+        assert p.latency_us == 100.0
+
+
+class TestProgramSuccess:
+    def test_weakest_pulse_near_paper_anchor(self, model):
+        """Paper: (Vp1, 100us) programs only 47.3 % of flag cells."""
+        success = model.program_success_prob(pulse(0, 100))
+        assert success == pytest.approx(0.473, abs=0.03)
+
+    def test_success_monotone_in_voltage(self, model):
+        probs = [model.program_success_prob(pulse(i, 100)) for i in range(5)]
+        assert probs == sorted(probs)
+
+    def test_success_monotone_in_latency(self, model):
+        probs = [
+            model.program_success_prob(pulse(1, t)) for t in (100, 150, 200)
+        ]
+        assert probs == sorted(probs)
+
+    def test_final_pulse_programs_reliably(self, model):
+        assert model.programs_reliably(default_plock_pulse())
+
+    def test_weak_pulses_fail_reliability(self, model):
+        for p in (pulse(0, 100), pulse(0, 150), pulse(0, 200), pulse(1, 100)):
+            assert not model.programs_reliably(p)
+
+
+class TestDataDisturb:
+    def test_factor_at_least_one(self, model):
+        for p in plock_design_space():
+            assert model.data_rber_factor(p) >= 1.0
+
+    def test_strongest_pulse_disturbs_about_20_percent(self, model):
+        """Fig. 9(b) tops out near a 1.2x RBER factor."""
+        worst = max(model.data_rber_factor(p) for p in plock_design_space())
+        assert 1.10 <= worst <= 1.25
+
+    def test_final_pulse_does_not_disturb(self, model):
+        assert not model.disturbs_data(default_plock_pulse())
+
+    def test_region_i_is_high_voltage_or_long_pulse(self, model):
+        region_i = [p for p in plock_design_space() if model.disturbs_data(p)]
+        assert len(region_i) == 4
+        for p in region_i:
+            assert p.vpgm >= 15.5  # Vp4 or Vp5
+
+    def test_disturb_monotone_in_voltage(self, model):
+        factors = [model.data_rber_factor(pulse(i, 200)) for i in range(5)]
+        assert factors == sorted(factors)
+
+
+class TestRetention:
+    def test_zero_days_no_flips(self, model):
+        assert model.retention_flip_prob(default_plock_pulse(), 0.0) == 0.0
+
+    def test_flip_prob_monotone_in_days(self, model):
+        p = default_plock_pulse()
+        probs = [model.retention_flip_prob(p, d) for d in (10, 100, 365, 1825)]
+        assert probs == sorted(probs)
+
+    def test_stronger_pulse_retains_better(self, model):
+        weak = model.retention_flip_prob(pulse(1, 200), 1825)
+        strong = model.retention_flip_prob(pulse(3, 150), 1825)
+        assert strong < weak
+
+    def test_paper_anchor_vi_loses_about_5_of_9(self, model):
+        """Fig. 9(d): combination (vi) = (Vp2, 200us) -> ~5 flipped cells."""
+        errors = model.expected_retention_errors(pulse(1, 200), 1825.0)
+        assert 3.0 <= errors <= 5.5
+
+    def test_paper_anchor_i_loses_at_most_2(self, model):
+        """Fig. 9(d): combination (i) = (Vp4, 150us) -> at most ~2 errors."""
+        errors = model.expected_retention_errors(pulse(3, 150), 1825.0)
+        assert errors <= 2.0
+
+    def test_selected_pulse_majority_safe_at_5_years(self, model):
+        fail = model.flag_failure_prob(default_plock_pulse(), 1825.0)
+        assert fail < 0.01
+
+    def test_weak_pulse_majority_unsafe_at_5_years(self, model):
+        fail = model.flag_failure_prob(pulse(1, 200), 1825.0)
+        assert fail > 0.10
+
+    def test_failure_prob_is_binomial_tail(self, model):
+        """k=1 degenerates to the per-cell flip probability."""
+        p = default_plock_pulse()
+        assert model.flag_failure_prob(p, 365.0, k=1) == pytest.approx(
+            model.retention_flip_prob(p, 365.0)
+        )
+
+
+class TestSampling:
+    def test_sample_programmed_cells_bounds(self, model, rng):
+        for _ in range(20):
+            n = model.sample_programmed_cells(pulse(0, 100), 9, rng)
+            assert 0 <= n <= 9
+
+    def test_sample_retention_errors_bounds(self, model, rng):
+        for _ in range(20):
+            n = model.sample_retention_errors(pulse(1, 200), 1825.0, 9, rng)
+            assert 0 <= n <= 9
+
+    def test_sampling_statistics_match_expectation(self, model, rng):
+        p = pulse(1, 200)
+        samples = [
+            model.sample_retention_errors(p, 1825.0, 9, rng) for _ in range(3000)
+        ]
+        assert np.mean(samples) == pytest.approx(
+            model.expected_retention_errors(p, 1825.0), rel=0.1
+        )

@@ -1,0 +1,100 @@
+"""Lock aging end-to-end: why the Figure 9/12 qualification matters.
+
+A lock is a physical charge state, not a database row.  If the design
+had shipped a Region-II pulse, locked flags would decay and 'sanitized'
+data would become readable again years later -- these tests demonstrate
+that failure mode on the full chip, and that the paper's selected design
+does not exhibit it.
+"""
+
+import pytest
+
+from repro.core.evanesco_chip import EvanescoChip, US_PER_DAY
+from repro.core.flag_cells import PulseSettings
+from repro.flash.chip import ZERO_DATA
+from repro.flash.geometry import small_geometry
+
+FIVE_YEARS_US = 1825.0 * US_PER_DAY
+
+#: the paper's selected pLock pulse (combination (ii)).
+SELECTED = PulseSettings(15.5, 100.0)
+
+#: a Region-II reject: programs only ~47 % of flag cells.
+REJECTED = PulseSettings(14.0, 100.0)
+
+#: a retention-marginal candidate: combination (vi) = (Vp2, 200us).
+MARGINAL = PulseSettings(14.5, 200.0)
+
+
+def make_chip(pulse: PulseSettings, seed: int = 0) -> EvanescoChip:
+    return EvanescoChip(
+        small_geometry(blocks=8, wordlines=8), plock_pulse=pulse, seed=seed
+    )
+
+
+class TestSelectedDesignHoldsForFiveYears:
+    def test_locked_pages_stay_zero_after_five_years(self):
+        chip = make_chip(SELECTED)
+        for ppn in range(24):
+            chip.program_page(ppn, f"secret-{ppn}")
+            chip.plock(ppn, now=0.0)
+        leaked = sum(
+            chip.read_page(ppn, now=FIVE_YEARS_US).data != ZERO_DATA
+            for ppn in range(24)
+        )
+        assert leaked == 0
+
+    def test_block_lock_stays_for_five_years(self):
+        chip = make_chip(SELECTED)
+        chip.program_page(0, "secret")
+        chip.block_lock(0, now=0.0)
+        assert chip.read_page(0, now=FIVE_YEARS_US).data == ZERO_DATA
+
+    def test_forensic_dump_empty_after_aging(self):
+        chip = make_chip(SELECTED)
+        chip.program_page(0, "secret")
+        chip.plock(0)
+        assert "secret" not in chip.raw_dump(now=FIVE_YEARS_US).values()
+
+
+class TestRejectedDesignsLeak:
+    def test_region_ii_pulse_fails_open_quickly(self):
+        """A 47 %-success pulse cannot even hold the majority at lock
+        time for many pages -- Region II is rejected for good reason."""
+        chip = make_chip(REJECTED, seed=3)
+        locked_but_readable = 0
+        for ppn in range(96):
+            chip.program_page(ppn, f"secret-{ppn}")
+            chip.plock(ppn, now=0.0)
+            if chip.read_page(ppn, now=0.0).data != ZERO_DATA:
+                locked_but_readable += 1
+        assert locked_but_readable > 10
+
+    def test_marginal_pulse_leaks_after_five_years(self):
+        """Fig. 9(d)'s point, end to end: combination (vi) loses the
+        majority over the 5-year horizon on a measurable fraction of
+        pages -- the attacker just has to wait."""
+        chip = make_chip(MARGINAL, seed=1)
+        n = chip.geometry.pages_per_chip
+        for ppn in range(n):
+            chip.program_page(ppn, f"secret-{ppn}")
+            chip.plock(ppn, now=0.0)
+        fresh_leaks = sum(
+            chip.read_page(ppn, now=0.0).data != ZERO_DATA for ppn in range(n)
+        )
+        aged_leaks = sum(
+            chip.read_page(ppn, now=FIVE_YEARS_US).data != ZERO_DATA
+            for ppn in range(n)
+        )
+        assert aged_leaks > fresh_leaks
+        assert aged_leaks / n > 0.05
+
+    def test_aged_leaks_visible_to_forensics(self):
+        chip = make_chip(MARGINAL, seed=2)
+        n = chip.geometry.pages_per_chip
+        for ppn in range(n):
+            chip.program_page(ppn, f"secret-{ppn}")
+            chip.plock(ppn, now=0.0)
+        fresh = chip.raw_dump(now=0.0)
+        aged = chip.raw_dump(now=FIVE_YEARS_US)
+        assert len(aged) > len(fresh)

@@ -1,0 +1,67 @@
+"""Monte-Carlo flag qualification (Figure 9(d) methodology)."""
+
+import pytest
+
+from repro.core.design_space import explore_plock_design
+from repro.core.flag_cells import PulseSettings
+from repro.core.qualification import qualify_candidates, qualify_pulse
+from repro.flash import constants
+
+STRONG = PulseSettings(15.5, 100.0)   # combination (ii), the final design
+WEAK = PulseSettings(14.5, 200.0)     # combination (vi)
+
+
+class TestQualifyPulse:
+    def test_fresh_flags_have_few_errors(self):
+        q = qualify_pulse(STRONG, days=0.0, n_flags=5000)
+        assert q.mean_errors < 0.5
+        assert q.fail_open == 0
+
+    def test_selected_design_qualifies_at_one_year(self):
+        q = qualify_pulse(STRONG, days=constants.RETENTION_1Y_DAYS, n_flags=20_000)
+        assert q.qualifies
+
+    def test_weak_design_fails_at_five_years(self):
+        """Fig. 9(d): combination (vi) cannot guarantee the flag value."""
+        q = qualify_pulse(WEAK, days=constants.RETENTION_5Y_DAYS, n_flags=5000)
+        assert not q.qualifies
+        assert q.fail_open_rate > 0.05
+
+    def test_observed_errors_match_paper_anchors(self):
+        """(vi) loses ~5 cells at 5 years; (i) at most ~2 typically."""
+        weak = qualify_pulse(WEAK, days=1825.0, n_flags=5000)
+        strong = qualify_pulse(PulseSettings(15.5, 150.0), days=1825.0, n_flags=5000)
+        assert weak.max_errors >= 5
+        assert weak.mean_errors > 3.0
+        assert strong.mean_errors <= 2.0
+
+    def test_deterministic_given_seed(self):
+        a = qualify_pulse(WEAK, 1825.0, n_flags=1000, seed=4)
+        b = qualify_pulse(WEAK, 1825.0, n_flags=1000, seed=4)
+        assert a == b
+
+    def test_rejects_bad_population(self):
+        with pytest.raises(ValueError):
+            qualify_pulse(STRONG, 0.0, n_flags=0)
+
+    def test_errors_monotone_in_days(self):
+        qs = [
+            qualify_pulse(WEAK, d, n_flags=5000).mean_errors
+            for d in (0.0, 365.0, 1825.0)
+        ]
+        assert qs == sorted(qs)
+
+
+class TestQualifyCandidates:
+    def test_full_figure9_candidate_set(self):
+        result = explore_plock_design()
+        quals = qualify_candidates(result.candidates, n_flags=5000)
+        assert set(quals) == set(result.candidates)
+        # the selected combination qualifies; the weakest does not
+        assert quals[result.selected_label].fail_open_rate < 0.02
+        assert not quals["vi"].qualifies
+
+    def test_stronger_labels_age_better(self):
+        result = explore_plock_design()
+        quals = qualify_candidates(result.candidates, n_flags=5000)
+        assert quals["i"].mean_errors <= quals["vi"].mean_errors

@@ -1,0 +1,139 @@
+"""bLock SSL-cell model (Figures 11 and 12)."""
+
+import pytest
+
+from repro.core.flag_cells import PulseSettings
+from repro.core.ssl_lock import (
+    BlockApFlag,
+    SslLockModel,
+    block_design_space,
+    default_block_pulse,
+    read_rber_vs_ssl_vth,
+)
+from repro.flash import constants
+
+
+@pytest.fixture(scope="module")
+def model():
+    return SslLockModel()
+
+
+def pulse(v_index: int, latency: float) -> PulseSettings:
+    return PulseSettings(
+        constants.BLOCK_VPGM_BASE + v_index * constants.BLOCK_VPGM_STEP, latency
+    )
+
+
+class TestDesignSpace:
+    def test_grid_size(self):
+        assert len(block_design_space()) == 18  # 6 voltages x 3 latencies
+
+    def test_default_pulse_is_vb6_300us(self):
+        p = default_block_pulse()
+        assert p.vpgm == pytest.approx(18.0)
+        assert p.latency_us == 300.0
+
+
+class TestInitialVth:
+    def test_monotone_in_voltage(self, model):
+        vths = [model.initial_vth(pulse(i, 300)) for i in range(6)]
+        assert vths == sorted(vths)
+
+    def test_monotone_in_latency(self, model):
+        vths = [model.initial_vth(pulse(5, t)) for t in (200, 300, 400)]
+        assert vths == sorted(vths)
+
+    def test_strongest_pulse_near_5v(self, model):
+        """Fig. 12(b): (i) = (Vb6, 400us) starts near the top of the axis."""
+        assert 4.5 <= model.initial_vth(pulse(5, 400)) <= 5.0
+
+    def test_low_voltages_miss_cutoff(self, model):
+        for i in range(4):  # Vb1..Vb4
+            for t in (200, 300, 400):
+                assert not model.reaches_cutoff(pulse(i, t))
+
+    def test_candidates_reach_cutoff(self, model):
+        for i in (4, 5):  # Vb5, Vb6
+            for t in (200, 300, 400):
+                assert model.reaches_cutoff(pulse(i, t))
+
+
+class TestRetentionDecay:
+    def test_vth_decays_over_time(self, model):
+        p = default_block_pulse()
+        vths = [model.vth_after(p, d) for d in (0, 10, 365, 1825)]
+        assert vths == sorted(vths, reverse=True)
+
+    def test_never_below_neutral_floor(self, model):
+        assert model.vth_after(pulse(4, 200), 1e6) >= model.vth_floor
+
+    def test_paper_anchor_i_above_4v_after_5_years(self, model):
+        """Fig. 12(b): combination (i) stays above 4 V after 5 years."""
+        assert model.vth_after(pulse(5, 400), 1825.0) > 4.0
+
+    def test_paper_anchor_vi_fails_within_a_year(self, model):
+        """Fig. 12(b): (vi) = (Vb5, 200us) drops below 3 V before 1 year."""
+        assert model.vth_after(pulse(4, 200), 365.0) < constants.SSL_CUTOFF_VTH
+
+    def test_selected_pulse_blocks_for_5_years(self, model):
+        assert model.is_blocking(default_block_pulse(), 1825.0)
+
+    def test_200us_pulse_fails_requirement(self, model):
+        """Why the paper chose 300us: (Vb6, 200us) misses the 5-year bar."""
+        assert not model.is_blocking(pulse(5, 200), 1825.0)
+
+    def test_blocking_horizon_consistent(self, model):
+        p = default_block_pulse()
+        horizon = model.blocking_horizon_days(p)
+        if horizon < 20 * 365:
+            assert model.is_blocking(p, horizon * 0.99)
+            assert not model.is_blocking(p, horizon * 1.01)
+
+    def test_horizon_zero_when_never_blocking(self, model):
+        assert model.blocking_horizon_days(pulse(0, 200)) == 0.0
+
+    def test_shallower_program_decays_faster(self, model):
+        shallow = model.decay_rate(3.5)
+        deep = model.decay_rate(4.8)
+        assert shallow > deep
+
+
+class TestFigure11b:
+    def test_rber_crosses_limit_at_3v(self):
+        """Fig. 11(b): reads fail once the SSL center Vth exceeds ~3 V."""
+        assert read_rber_vs_ssl_vth(3.0, pe_cycles=1000) == pytest.approx(1.0, abs=0.05)
+        assert read_rber_vs_ssl_vth(3.5, pe_cycles=1000) > 1.0
+        assert read_rber_vs_ssl_vth(2.0, pe_cycles=1000) < 1.0
+
+    def test_monotone_in_vth(self):
+        vals = [read_rber_vs_ssl_vth(v) for v in (1, 2, 3, 4, 5)]
+        assert vals == sorted(vals)
+
+    def test_cycling_raises_baseline(self):
+        assert read_rber_vs_ssl_vth(1.0, 1000) > read_rber_vs_ssl_vth(1.0, 0)
+
+    def test_saturates_below_5x(self):
+        assert read_rber_vs_ssl_vth(6.0, 1000) < 5.0
+
+
+class TestBlockApFlag:
+    def test_lock_unlock_cycle(self, model):
+        flag = BlockApFlag(model=model, pulse=default_block_pulse())
+        assert not flag.is_disabled()
+        flag.lock(day=0.0)
+        assert flag.locked
+        assert flag.is_disabled(day=0.0)
+        flag.erase()
+        assert not flag.is_disabled(day=0.0)
+
+    def test_lock_is_idempotent(self, model):
+        flag = BlockApFlag(model=model, pulse=default_block_pulse())
+        flag.lock(day=5.0)
+        flag.lock(day=500.0)  # second lock must not reset the clock
+        assert flag.lock_day == 5.0
+
+    def test_weak_lock_expires(self, model):
+        flag = BlockApFlag(model=model, pulse=pulse(4, 200))
+        flag.lock(day=0.0)
+        assert flag.is_disabled(day=0.0)
+        assert not flag.is_disabled(day=1825.0)

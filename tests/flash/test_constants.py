@@ -1,0 +1,59 @@
+"""Paper constants: the Section 7 configuration is encoded correctly."""
+
+from repro.flash import constants
+
+
+class TestTimingConstants:
+    def test_section7_timings(self):
+        """tREAD=80us, tPROG=700us, tBERS=3.5ms, tpLock=100us, tbLock=300us."""
+        assert constants.T_READ_US == 80.0
+        assert constants.T_PROG_US == 700.0
+        assert constants.T_BERS_US == 3500.0
+        assert constants.T_PLOCK_US == 100.0
+        assert constants.T_BLOCK_LOCK_US == 300.0
+
+    def test_lock_latencies_small_relative_to_ops(self):
+        """Section 5.5's latency-overhead claims follow from the constants."""
+        assert constants.T_PLOCK_US / constants.T_PROG_US <= 0.143
+        assert constants.T_BLOCK_LOCK_US / constants.T_BERS_US <= 0.086
+
+    def test_block_lock_breakeven_is_four_pages(self):
+        """Section 6's policy: n x tpLock > tbLock first holds at n = 4."""
+        n = 1
+        while n * constants.T_PLOCK_US <= constants.T_BLOCK_LOCK_US:
+            n += 1
+        assert n == 4
+
+
+class TestDesignSpaceConstants:
+    def test_plock_grid_shape(self):
+        assert constants.PLOCK_VPGM_COUNT == 5
+        assert len(constants.PLOCK_LATENCIES_US) == 3
+        assert constants.PLOCK_VPGM_STEP == 0.5  # "Vp(i+1) - Vp(i) = 0.5V"
+
+    def test_block_grid_shape(self):
+        assert constants.BLOCK_VPGM_COUNT == 6
+        assert len(constants.BLOCK_LATENCIES_US) == 3
+        assert constants.BLOCK_VPGM_STEP == 1.0  # "Vb(i+1) - Vb(i) = 1.0V"
+
+    def test_final_latencies_in_their_grids(self):
+        assert constants.T_PLOCK_US in constants.PLOCK_LATENCIES_US
+        assert constants.T_BLOCK_LOCK_US in constants.BLOCK_LATENCIES_US
+
+
+class TestReliabilityConstants:
+    def test_endurance_ordering(self):
+        """Section 2.1: MLC ~3K cycles, TLC ~1K."""
+        assert constants.MLC_PE_LIMIT == 3000
+        assert constants.TLC_PE_LIMIT == 1000
+
+    def test_retention_requirements(self):
+        assert constants.RETENTION_1Y_DAYS == 365.0
+        assert constants.RETENTION_5Y_DAYS == 5 * 365.0
+
+    def test_redundancy_is_odd(self):
+        assert constants.PAP_REDUNDANCY_K == 9
+        assert constants.PAP_REDUNDANCY_K % 2 == 1
+
+    def test_logical_tick_is_4kib(self):
+        assert constants.LOGICAL_TIME_WRITE_BYTES == 4096

@@ -1,0 +1,50 @@
+"""ECC model."""
+
+import numpy as np
+import pytest
+
+from repro.flash.constants import ECC_LIMIT_RBER
+from repro.flash.ecc import EccModel, default_ecc
+
+
+class TestEccModel:
+    def test_default_limit_matches_constant(self):
+        assert default_ecc().limit_rber == pytest.approx(ECC_LIMIT_RBER, rel=0.01)
+
+    def test_codeword_bits(self):
+        assert EccModel(codeword_bytes=1024).codeword_bits == 8192
+
+    def test_correctable_rber_threshold(self):
+        ecc = default_ecc()
+        assert ecc.correctable_rber(ecc.limit_rber)
+        assert not ecc.correctable_rber(ecc.limit_rber * 1.01)
+
+    def test_normalized(self):
+        ecc = default_ecc()
+        assert ecc.normalized(ecc.limit_rber) == pytest.approx(1.0)
+        assert ecc.normalized(0.0) == 0.0
+
+    def test_correct_codeword_view(self):
+        ecc = EccModel(correctable_bits=10)
+        assert ecc.correct(np.array([0, 5, 10]))
+        assert not ecc.correct(np.array([0, 11]))
+
+    def test_codewords_per_page(self):
+        ecc = EccModel(codeword_bytes=1024)
+        assert ecc.codewords_per_page(16 * 1024) == 16
+
+    def test_codewords_per_page_rejects_unaligned(self):
+        with pytest.raises(ValueError):
+            EccModel(codeword_bytes=1024).codewords_per_page(1000)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            EccModel(codeword_bytes=0)
+        with pytest.raises(ValueError):
+            EccModel(correctable_bits=-1)
+
+    def test_zero_correction_ecc(self):
+        ecc = EccModel(correctable_bits=0)
+        assert ecc.limit_rber == 0.0
+        assert ecc.correct(np.array([0]))
+        assert not ecc.correct(np.array([1]))

@@ -1,0 +1,135 @@
+"""Gray-code encodings and read-level derivation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.flash.encoding import Encoding, encoding_for
+from repro.flash.geometry import CellType, PageRole
+
+ALL_TYPES = [CellType.SLC, CellType.MLC, CellType.TLC, CellType.QLC]
+
+
+class TestEncodingValidity:
+    @pytest.mark.parametrize("cell_type", ALL_TYPES)
+    def test_code_count(self, cell_type):
+        enc = encoding_for(cell_type)
+        assert len(enc.codes) == cell_type.states
+
+    @pytest.mark.parametrize("cell_type", ALL_TYPES)
+    def test_codes_distinct(self, cell_type):
+        enc = encoding_for(cell_type)
+        assert len(set(enc.codes)) == cell_type.states
+
+    @pytest.mark.parametrize("cell_type", ALL_TYPES)
+    def test_gray_adjacency(self, cell_type):
+        enc = encoding_for(cell_type)
+        for a, b in zip(enc.codes, enc.codes[1:]):
+            assert sum(x != y for x, y in zip(a, b)) == 1
+
+    @pytest.mark.parametrize("cell_type", ALL_TYPES)
+    def test_erased_state_all_ones(self, cell_type):
+        enc = encoding_for(cell_type)
+        assert all(bit == 1 for bit in enc.codes[0])
+
+    def test_cached_instances(self):
+        assert encoding_for(CellType.TLC) is encoding_for(CellType.TLC)
+
+
+class TestPaperFigure2:
+    """The exact Figure 2 state maps."""
+
+    def test_mlc_codes_match_figure_2a(self):
+        enc = encoding_for(CellType.MLC)
+        # paper lists (MSB, LSB): E=11, P1=10, P2=00, P3=01
+        msb = [enc.bit_of_state(s, PageRole.CSB) for s in range(4)]
+        lsb = [enc.bit_of_state(s, PageRole.LSB) for s in range(4)]
+        assert msb == [1, 1, 0, 0]
+        assert lsb == [1, 0, 0, 1]
+
+    def test_tlc_codes_match_figure_2b(self):
+        enc = encoding_for(CellType.TLC)
+        # paper lists (MSB, CSB, LSB) for E..P7:
+        expected = ["111", "110", "100", "000", "010", "011", "001", "101"]
+        for state, code in enumerate(expected):
+            msb, csb, lsb = (int(c) for c in code)
+            assert enc.bit_of_state(state, PageRole.MSB) == msb
+            assert enc.bit_of_state(state, PageRole.CSB) == csb
+            assert enc.bit_of_state(state, PageRole.LSB) == lsb
+
+
+class TestEncodingRejections:
+    def test_rejects_wrong_count(self):
+        with pytest.raises(ValueError):
+            Encoding(CellType.MLC, ((1, 1), (0, 1)))
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            Encoding(CellType.MLC, ((1, 1), (0, 1), (0, 1), (1, 0)))
+
+    def test_rejects_non_gray(self):
+        with pytest.raises(ValueError):
+            Encoding(CellType.MLC, ((1, 1), (0, 0), (0, 1), (1, 0)))
+
+    def test_rejects_wrong_erased_state(self):
+        with pytest.raises(ValueError):
+            Encoding(CellType.MLC, ((0, 1), (1, 1), (1, 0), (0, 0)))
+
+
+class TestReadLevels:
+    def test_slc_single_level(self):
+        enc = encoding_for(CellType.SLC)
+        assert enc.read_levels(PageRole.LSB) == (0,)
+
+    def test_mlc_levels(self):
+        enc = encoding_for(CellType.MLC)
+        assert enc.read_levels(PageRole.LSB) == (0, 2)
+        assert enc.read_levels(PageRole.CSB) == (1,)
+
+    def test_tlc_level_partition(self):
+        """Every inter-state boundary is sensed by exactly one page role."""
+        enc = encoding_for(CellType.TLC)
+        seen: list[int] = []
+        for role in PageRole.for_cell_type(CellType.TLC):
+            seen.extend(enc.read_levels(role))
+        assert sorted(seen) == list(range(7))
+
+    @pytest.mark.parametrize("cell_type", ALL_TYPES)
+    def test_level_partition_generic(self, cell_type):
+        enc = encoding_for(cell_type)
+        seen: list[int] = []
+        for role in PageRole.for_cell_type(cell_type):
+            seen.extend(enc.read_levels(role))
+        assert sorted(seen) == list(range(cell_type.states - 1))
+
+
+class TestStateMapping:
+    def test_state_for_bits_roundtrip(self):
+        enc = encoding_for(CellType.TLC)
+        for state, code in enumerate(enc.codes):
+            assert enc.state_for_bits(code) == state
+
+    def test_bits_table_shape(self):
+        enc = encoding_for(CellType.TLC)
+        table = enc.bits_table()
+        assert table.shape == (8, 3)
+
+    def test_states_array_for_pages_roundtrip(self):
+        enc = encoding_for(CellType.TLC)
+        rng = np.random.default_rng(7)
+        bits = rng.integers(0, 2, size=(3, 100), dtype=np.uint8)
+        states = enc.states_array_for_pages(bits)
+        table = enc.bits_table()
+        recovered = table[states].T
+        assert np.array_equal(recovered, bits)
+
+    def test_states_array_rejects_wrong_planes(self):
+        enc = encoding_for(CellType.TLC)
+        with pytest.raises(ValueError):
+            enc.states_array_for_pages(np.zeros((2, 10), dtype=np.uint8))
+
+    @given(st.integers(min_value=0, max_value=7))
+    def test_bit_of_state_matches_codes(self, state):
+        enc = encoding_for(CellType.TLC)
+        for role in PageRole.for_cell_type(CellType.TLC):
+            assert enc.bit_of_state(state, role) == enc.codes[state][int(role)]

@@ -1,0 +1,152 @@
+"""Geometry and address arithmetic."""
+
+import pytest
+
+from repro.flash.errors import AddressError
+from repro.flash.geometry import CellType, Geometry, PageRole, small_geometry
+
+
+class TestCellType:
+    def test_bits(self):
+        assert int(CellType.SLC) == 1
+        assert int(CellType.MLC) == 2
+        assert int(CellType.TLC) == 3
+        assert int(CellType.QLC) == 4
+
+    def test_states(self):
+        assert CellType.SLC.states == 2
+        assert CellType.MLC.states == 4
+        assert CellType.TLC.states == 8
+        assert CellType.QLC.states == 16
+
+
+class TestPageRole:
+    def test_roles_for_tlc(self):
+        roles = PageRole.for_cell_type(CellType.TLC)
+        assert roles == (PageRole.LSB, PageRole.CSB, PageRole.MSB)
+
+    def test_roles_for_slc(self):
+        assert PageRole.for_cell_type(CellType.SLC) == (PageRole.LSB,)
+
+    def test_roles_for_qlc(self):
+        assert len(PageRole.for_cell_type(CellType.QLC)) == 4
+
+
+class TestGeometryConstruction:
+    def test_paper_chip_sizes(self):
+        g = Geometry()  # Section 7 defaults
+        assert g.blocks_per_chip == 428
+        assert g.pages_per_block == 576
+        assert g.wordlines_per_block == 192
+        assert g.pages_per_wordline == 3
+        assert g.page_size_bytes == 16 * 1024
+
+    def test_paper_chip_capacity_about_4gib(self):
+        g = Geometry()
+        assert g.chip_bytes == 428 * 576 * 16 * 1024
+
+    def test_rejects_nonpositive_blocks(self):
+        with pytest.raises(ValueError):
+            Geometry(blocks_per_chip=0)
+
+    def test_rejects_nonpositive_wordlines(self):
+        with pytest.raises(ValueError):
+            Geometry(wordlines_per_block=-1)
+
+    def test_rejects_unaligned_page_size(self):
+        with pytest.raises(ValueError):
+            Geometry(page_size_bytes=5000)
+
+    def test_rejects_nonpositive_cells(self):
+        with pytest.raises(ValueError):
+            Geometry(cells_per_wordline=0)
+
+    def test_small_geometry_helper(self):
+        g = small_geometry(blocks=4, wordlines=2)
+        assert g.blocks_per_chip == 4
+        assert g.pages_per_block == 6
+
+
+class TestAddressArithmetic:
+    @pytest.fixture
+    def geo(self):
+        return small_geometry(blocks=4, wordlines=4)  # 12 pages/block
+
+    def test_ppn_roundtrip(self, geo):
+        for block in range(geo.blocks_per_chip):
+            for offset in range(geo.pages_per_block):
+                ppn = geo.ppn(block, offset)
+                assert geo.split_ppn(ppn) == (block, offset)
+
+    def test_ppn_is_flat_and_dense(self, geo):
+        ppns = [
+            geo.ppn(b, o)
+            for b in range(geo.blocks_per_chip)
+            for o in range(geo.pages_per_block)
+        ]
+        assert ppns == list(range(geo.pages_per_chip))
+
+    def test_ppn_rejects_bad_block(self, geo):
+        with pytest.raises(AddressError):
+            geo.ppn(geo.blocks_per_chip, 0)
+
+    def test_ppn_rejects_bad_offset(self, geo):
+        with pytest.raises(AddressError):
+            geo.ppn(0, geo.pages_per_block)
+
+    def test_ppn_rejects_negative(self, geo):
+        with pytest.raises(AddressError):
+            geo.ppn(-1, 0)
+
+    def test_split_rejects_out_of_range(self, geo):
+        with pytest.raises(AddressError):
+            geo.split_ppn(geo.pages_per_chip)
+
+    def test_wordline_of_interleaved_layout(self, geo):
+        # TLC: offsets 0,1,2 -> WL0; 3,4,5 -> WL1; ...
+        assert geo.wordline_of(0) == 0
+        assert geo.wordline_of(2) == 0
+        assert geo.wordline_of(3) == 1
+        assert geo.wordline_of(geo.pages_per_block - 1) == geo.wordlines_per_block - 1
+
+    def test_role_of_cycles_through_pages(self, geo):
+        assert geo.role_of(0) is PageRole.LSB
+        assert geo.role_of(1) is PageRole.CSB
+        assert geo.role_of(2) is PageRole.MSB
+        assert geo.role_of(3) is PageRole.LSB
+
+    def test_page_offset_inverse_of_role(self, geo):
+        for wl in range(geo.wordlines_per_block):
+            for role in PageRole.for_cell_type(geo.cell_type):
+                off = geo.page_offset(wl, role)
+                assert geo.wordline_of(off) == wl
+                assert geo.role_of(off) is role
+
+    def test_page_offset_rejects_bad_wordline(self, geo):
+        with pytest.raises(AddressError):
+            geo.page_offset(geo.wordlines_per_block, PageRole.LSB)
+
+    def test_page_offset_rejects_role_too_high(self):
+        geo = small_geometry(cell_type=CellType.MLC)
+        with pytest.raises(AddressError):
+            geo.page_offset(0, PageRole.MSB)  # MLC has only LSB/CSB slots
+
+    def test_sibling_offsets(self, geo):
+        assert geo.sibling_offsets(4) == (3, 4, 5)
+        assert geo.sibling_offsets(3) == (3, 4, 5)
+
+    def test_sibling_offsets_contains_self(self, geo):
+        for off in range(geo.pages_per_block):
+            assert off in geo.sibling_offsets(off)
+
+    def test_slc_sibling_is_single(self):
+        geo = small_geometry(cell_type=CellType.SLC)
+        assert geo.sibling_offsets(0) == (0,)
+
+    def test_check_block_and_ppn(self, geo):
+        geo.check_block(0)
+        geo.check_ppn(0)
+        with pytest.raises(AddressError):
+            geo.check_block(99)
+        with pytest.raises(AddressError):
+            geo.check_ppn(-1)

@@ -1,0 +1,121 @@
+"""Gaussian-mixture wordline populations."""
+
+import numpy as np
+import pytest
+
+from repro.flash.geometry import CellType, PageRole
+from repro.flash.mixture import Component, WordlineMixture
+from repro.flash.vth import StressState, model_for
+
+
+@pytest.fixture(scope="module")
+def tlc():
+    return model_for(CellType.TLC)
+
+
+class TestComponent:
+    def test_shifted_moves_mean(self):
+        c = Component(0, 0.5, 1.0, 0.2)
+        s = c.shifted(0.5, 0.0)
+        assert s.mean == pytest.approx(1.5)
+        assert s.sigma == pytest.approx(0.2)
+
+    def test_shifted_adds_variance_in_quadrature(self):
+        c = Component(0, 0.5, 1.0, 0.3)
+        s = c.shifted(0.0, 0.4)
+        assert s.sigma == pytest.approx(0.5)
+
+    def test_shifted_preserves_identity(self):
+        c = Component(3, 0.25, 1.0, 0.2)
+        s = c.shifted(1.0, 0.1)
+        assert s.original_state == 3
+        assert s.weight == 0.25
+
+
+class TestConstruction:
+    def test_programmed_uniform(self, tlc):
+        mix = WordlineMixture.programmed(tlc, StressState())
+        assert len(mix.components) == 8
+        assert sum(c.weight for c in mix.components) == pytest.approx(1.0)
+
+    def test_programmed_with_population(self, tlc):
+        pop = np.zeros(8)
+        pop[0] = pop[7] = 1.0
+        mix = WordlineMixture.programmed(tlc, StressState(), state_population=pop)
+        assert len(mix.components) == 2
+        assert {c.original_state for c in mix.components} == {0, 7}
+
+    def test_rejects_bad_weights(self, tlc):
+        with pytest.raises(ValueError):
+            WordlineMixture(tlc, [Component(0, 0.5, 0.0, 0.1)])
+
+
+class TestRber:
+    def test_fresh_mixture_matches_model(self, tlc):
+        stress = StressState(pe_cycles=1000)
+        mix = WordlineMixture.programmed(tlc, stress)
+        for role in PageRole.for_cell_type(CellType.TLC):
+            assert mix.rber(role) == pytest.approx(
+                tlc.expected_rber(stress, role), rel=1e-6
+            )
+
+    def test_region_mass_sums_to_one(self, tlc):
+        mix = WordlineMixture.programmed(tlc, StressState())
+        for c in mix.components:
+            assert mix.region_mass(c).sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_transform_destroys_page(self, tlc):
+        """Merging E into P1 makes the LSB page unreadable at level 0."""
+        mix = WordlineMixture.programmed(tlc, StressState())
+        p1_mean = mix.components[1].mean
+        mix.transform(
+            lambda c: c.original_state == 0, p1_mean - mix.components[0].mean, 0.1
+        )
+        # every E cell now reads as P1: its LSB bit flips 1 -> 0
+        assert mix.rber(PageRole.LSB) > 0.1
+
+
+class TestRetention:
+    def test_retention_moves_components_down(self, tlc):
+        mix = WordlineMixture.programmed(tlc, StressState())
+        before = [c.mean for c in mix.components]
+        mix.apply_retention(365.0, pe_cycles=1000)
+        after = [c.mean for c in mix.components]
+        assert after[-1] < before[-1]
+
+    def test_retention_widens(self, tlc):
+        mix = WordlineMixture.programmed(tlc, StressState())
+        before = [c.sigma for c in mix.components]
+        mix.apply_retention(365.0)
+        after = [c.sigma for c in mix.components]
+        assert all(a > b for a, b in zip(after, before))
+
+    def test_zero_days_is_noop(self, tlc):
+        mix = WordlineMixture.programmed(tlc, StressState())
+        before = list(mix.components)
+        mix.apply_retention(0.0)
+        assert mix.components == before
+
+    def test_retention_increases_rber(self, tlc):
+        mix = WordlineMixture.programmed(tlc, StressState(pe_cycles=1000))
+        before = mix.rber(PageRole.CSB)
+        mix.apply_retention(365.0, pe_cycles=1000)
+        assert mix.rber(PageRole.CSB) > before
+
+
+class TestSampling:
+    def test_sample_distribution(self, tlc, rng):
+        mix = WordlineMixture.programmed(tlc, StressState())
+        orig, vths = mix.sample(50_000, rng)
+        assert len(orig) == len(vths) == 50_000
+        # state proportions approximately uniform
+        counts = np.bincount(orig, minlength=8) / 50_000
+        assert np.allclose(counts, 1 / 8, atol=0.01)
+
+    def test_sampled_rber_matches_analytic(self, tlc, rng):
+        mix = WordlineMixture.programmed(tlc, StressState(pe_cycles=1000))
+        orig, vths = mix.sample(200_000, rng)
+        read = tlc.read_states(vths)
+        bits = tlc.encoding.bits_table()[:, 1]  # CSB
+        sampled = float(np.mean(bits[orig] != bits[read]))
+        assert sampled == pytest.approx(mix.rber(PageRole.CSB), rel=0.2)

@@ -1,0 +1,132 @@
+"""One-shot reprogramming (OSR) -- the Figure 6 experiment."""
+
+import pytest
+
+from repro.flash.ecc import default_ecc
+from repro.flash.geometry import CellType, PageRole
+from repro.flash.mixture import WordlineMixture
+from repro.flash.osr import (
+    OsrConfig,
+    default_pe_cycles,
+    osr_study,
+    sanitize_wordline_osr,
+)
+from repro.flash.vth import StressState, model_for
+
+
+class TestOsrMechanics:
+    def test_sanitized_page_becomes_unreadable(self):
+        """After OSR, the target page's RBER explodes (data destroyed)."""
+        model = model_for(CellType.MLC)
+        mix = WordlineMixture.programmed(model, StressState())
+        before = mix.rber(PageRole.LSB)
+        sanitize_wordline_osr(mix, PageRole.LSB, overshoot=0.0, oneshot_sigma=0.35)
+        after = mix.rber(PageRole.LSB)
+        assert before < 0.01
+        assert after > 0.10
+
+    def test_valid_page_survives_nominal_pulse(self):
+        """With zero overshoot, the sibling MSB page stays near-clean."""
+        model = model_for(CellType.MLC)
+        mix = WordlineMixture.programmed(model, StressState())
+        sanitize_wordline_osr(mix, PageRole.LSB, overshoot=-0.4, oneshot_sigma=0.2)
+        assert default_ecc().correctable_rber(mix.rber(PageRole.CSB))
+
+    def test_overshoot_corrupts_valid_page(self):
+        """Figure 5(b): excessive shift crosses the next reference."""
+        model = model_for(CellType.MLC)
+        mix = WordlineMixture.programmed(model, StressState())
+        sanitize_wordline_osr(mix, PageRole.LSB, overshoot=1.0, oneshot_sigma=0.35)
+        assert not default_ecc().correctable_rber(mix.rber(PageRole.CSB))
+
+    def test_rejects_role_absent_from_cell_type(self):
+        model = model_for(CellType.MLC)  # MLC wordlines have no MSB page slot
+        mix = WordlineMixture.programmed(model, StressState())
+        with pytest.raises(ValueError):
+            sanitize_wordline_osr(mix, PageRole.MSB, 0.0, 0.35)
+
+
+class TestOsrConfig:
+    def test_per_cell_type_defaults(self):
+        assert OsrConfig.for_cell_type(CellType.MLC) != OsrConfig.for_cell_type(
+            CellType.TLC
+        )
+
+    def test_rejects_negative_sigma(self):
+        with pytest.raises(ValueError):
+            OsrConfig(oneshot_sigma=-1.0)
+
+    def test_default_pe_cycles(self):
+        """Figure 6 runs MLC at 3K P/E and TLC at 1K (endurance limits)."""
+        assert default_pe_cycles(CellType.MLC) == 3000
+        assert default_pe_cycles(CellType.TLC) == 1000
+
+
+@pytest.fixture(scope="module")
+def mlc_study():
+    return osr_study(CellType.MLC, n_wordlines=300, seed=7)
+
+
+@pytest.fixture(scope="module")
+def tlc_study():
+    return osr_study(CellType.TLC, n_wordlines=300, seed=7)
+
+
+class TestFigure6MLC:
+    def test_initial_pages_readable(self, mlc_study):
+        assert mlc_study.fraction_exceeding_limit("initial") == 0.0
+
+    def test_sanitize_fails_some_pages(self, mlc_study):
+        """Paper: 7.4 % of MSB pages exceed the ECC limit after OSR."""
+        frac = mlc_study.fraction_exceeding_limit("after_sanitize")
+        assert 0.02 <= frac <= 0.15
+
+    def test_retention_fails_most_pages(self, mlc_study):
+        """Paper: after 1-year retention most MSB pages are unreadable."""
+        assert mlc_study.fraction_exceeding_limit("after_retention") > 0.5
+
+    def test_retention_reaches_1_5x_limit(self, mlc_study):
+        assert mlc_study.box_stats("after_retention")["max"] > 1.5
+
+    def test_conditions_ordered(self, mlc_study):
+        med = [
+            mlc_study.box_stats(c)["median"]
+            for c in ("initial", "after_sanitize", "after_retention")
+        ]
+        assert med[0] < med[1] < med[2]
+
+
+class TestFigure6TLC:
+    def test_initial_pages_readable(self, tlc_study):
+        assert tlc_study.fraction_exceeding_limit("initial") == 0.0
+
+    def test_all_msb_pages_unreadable_after_sanitize(self, tlc_study):
+        """Paper: sanitizing LSB+CSB makes *all* TLC MSB pages unreadable."""
+        assert tlc_study.fraction_exceeding_limit("after_sanitize") == 1.0
+
+    def test_all_unreadable_after_retention_too(self, tlc_study):
+        assert tlc_study.fraction_exceeding_limit("after_retention") == 1.0
+
+    def test_tlc_damage_exceeds_mlc(self, tlc_study, mlc_study):
+        """Tighter TLC margins make OSR categorically worse (Section 4)."""
+        assert (
+            tlc_study.box_stats("after_sanitize")["median"]
+            > mlc_study.box_stats("after_sanitize")["median"]
+        )
+
+
+class TestStudyPlumbing:
+    def test_rejects_slc(self):
+        with pytest.raises(ValueError):
+            osr_study(CellType.SLC)
+
+    def test_deterministic_given_seed(self):
+        a = osr_study(CellType.MLC, n_wordlines=20, seed=3)
+        b = osr_study(CellType.MLC, n_wordlines=20, seed=3)
+        for cond in ("initial", "after_sanitize", "after_retention"):
+            assert (a.normalized_rber[cond] == b.normalized_rber[cond]).all()
+
+    def test_box_stats_keys(self, mlc_study):
+        stats = mlc_study.box_stats("initial")
+        assert set(stats) == {"min", "q1", "median", "q3", "max"}
+        assert stats["min"] <= stats["median"] <= stats["max"]

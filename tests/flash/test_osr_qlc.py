@@ -1,0 +1,70 @@
+"""OSR on QLC: the paper's 'future MLC' extrapolation (Section 1).
+
+"For future MLC flash memory, frequent reprogram operations may be
+difficult to use in practice" -- at QLC densities the Vth margins are
+roughly half of TLC's, so the one-shot pulse's fixed imprecision is
+proportionally twice as destructive.
+"""
+
+import pytest
+
+from repro.flash.geometry import CellType, PageRole
+from repro.flash.osr import OsrConfig, default_pe_cycles, osr_study
+from repro.flash.vth import StressState, model_for
+
+
+class TestQlcBaseline:
+    def test_qlc_endurance_point(self):
+        assert default_pe_cycles(CellType.QLC) == 300
+
+    def test_fresh_qlc_readable(self):
+        model = model_for(CellType.QLC)
+        stress = StressState(pe_cycles=300)
+        worst = max(model.expected_rber_all_roles(stress).values())
+        assert worst < 0.01  # below the ECC limit
+
+    def test_qlc_config_exists(self):
+        cfg = OsrConfig.for_cell_type(CellType.QLC)
+        assert cfg.oneshot_sigma == OsrConfig.for_cell_type(CellType.TLC).oneshot_sigma
+
+
+class TestQlcOsrStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return osr_study(CellType.QLC, n_wordlines=300, seed=3)
+
+    def test_initial_readable(self, study):
+        assert study.fraction_exceeding_limit("initial") == 0.0
+
+    def test_overprogramming_reaches_the_distant_tsb_page(self, study):
+        """The surviving TSB page's only read level sits several states
+        above the reprogram targets, yet per-WL pulse variation still
+        pushes some wordlines past the ECC limit -- at QLC margins there
+        is no safe amount of overshoot."""
+        assert study.box_stats("after_sanitize")["max"] > 1.0
+        assert study.fraction_exceeding_limit("after_sanitize") > 0.0
+
+    def test_retention_amplifies_the_damage(self, study):
+        assert (
+            study.box_stats("after_retention")["median"]
+            > study.box_stats("after_sanitize")["median"]
+        )
+
+    def test_single_pulse_cannot_fully_destroy_the_target(self):
+        """OSR's dirty secret at high densities: merging the erased state
+        into its neighbour (Figure 5 semantics) leaves the target page's
+        *upper* read levels intact, so an attacker retains a statistical
+        advantage on the 'sanitized' data."""
+        from repro.flash.mixture import WordlineMixture
+        from repro.flash.osr import sanitize_wordline_osr
+        from repro.flash.scrub import is_recoverable
+
+        model = model_for(CellType.QLC)
+        mix = WordlineMixture.programmed(model, StressState())
+        sanitize_wordline_osr(mix, PageRole.LSB, overshoot=0.0, oneshot_sigma=0.2)
+        assert is_recoverable(mix, PageRole.LSB)
+
+    def test_tsb_is_the_surviving_role(self):
+        """The study evaluates the top page (the only one not sanitized)."""
+        roles = PageRole.for_cell_type(CellType.QLC)
+        assert roles[-1] is PageRole.TSB

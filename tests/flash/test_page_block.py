@@ -1,0 +1,122 @@
+"""Page and block state machines: NAND ordering rules."""
+
+import pytest
+
+from repro.flash.block import Block, BlockState
+from repro.flash.errors import EraseStateError, ProgramOrderError, WearOutError
+from repro.flash.geometry import small_geometry
+from repro.flash.page import Page, PageState
+
+
+class TestPage:
+    def test_starts_erased(self):
+        page = Page()
+        assert page.is_erased
+        assert page.data is None
+
+    def test_program_sets_fields(self):
+        page = Page()
+        page.program("payload", {"lpa": 7}, now=42.0)
+        assert page.state is PageState.PROGRAMMED
+        assert page.data == "payload"
+        assert page.spare == {"lpa": 7}
+        assert page.program_time == 42.0
+
+    def test_erase_resets(self):
+        page = Page()
+        page.program("x", None, 0.0)
+        page.erase()
+        assert page.is_erased
+        assert page.data is None
+        assert page.spare == {}
+
+    def test_program_with_none_spare(self):
+        page = Page()
+        page.program("x", None, 0.0)
+        assert page.spare == {}
+
+
+@pytest.fixture
+def block():
+    return Block(small_geometry(blocks=2, wordlines=4), index=0)
+
+
+class TestBlockProgramOrder:
+    def test_sequential_program_ok(self, block):
+        for offset in range(block.geometry.pages_per_block):
+            block.program(offset, f"d{offset}", None, 0.0)
+        assert block.is_full
+        assert block.state is BlockState.FULL
+
+    def test_out_of_order_rejected(self, block):
+        with pytest.raises(ProgramOrderError):
+            block.program(1, "x", None, 0.0)
+
+    def test_double_program_rejected(self, block):
+        block.program(0, "x", None, 0.0)
+        with pytest.raises(ProgramOrderError):
+            block.program(0, "y", None, 0.0)
+
+    def test_state_transitions(self, block):
+        assert block.state is BlockState.FREE
+        block.program(0, "x", None, 0.0)
+        assert block.state is BlockState.OPEN
+
+    def test_erase_pending_blocks_programs(self, block):
+        block.program(0, "x", None, 0.0)
+        block.mark_erase_pending()
+        with pytest.raises(EraseStateError):
+            block.program(1, "y", None, 0.0)
+
+
+class TestBlockErase:
+    def test_erase_resets_everything(self, block):
+        for offset in range(3):
+            block.program(offset, "x", None, 0.0)
+        block.erase(now=10.0)
+        assert block.state is BlockState.FREE
+        assert block.next_page == 0
+        assert block.erase_count == 1
+        assert all(p.is_erased for p in block.pages)
+        assert block.last_erase_time == 10.0
+
+    def test_erase_allows_reprogramming(self, block):
+        block.program(0, "x", None, 0.0)
+        block.erase(0.0)
+        block.program(0, "y", None, 0.0)
+        assert block.pages[0].data == "y"
+
+    def test_wear_out(self):
+        block = Block(small_geometry(blocks=1, wordlines=1), index=0, pe_limit=2)
+        block.erase(0.0)
+        block.erase(0.0)
+        with pytest.raises(WearOutError):
+            block.erase(0.0)
+
+    def test_erase_clears_disturb_counters(self, block):
+        block.record_wl_disturb(0)
+        block.erase(0.0)
+        assert block.wl_disturb_pulses[0] == 0
+
+
+class TestOpenInterval:
+    def test_open_interval_counts_while_free(self, block):
+        block.erase(now=100.0)
+        assert block.open_interval_us(150.0) == pytest.approx(50.0)
+
+    def test_open_interval_zero_once_programmed(self, block):
+        block.erase(now=100.0)
+        block.program(0, "x", None, 120.0)
+        assert block.open_interval_us(500.0) == 0.0
+
+    def test_open_interval_never_negative(self, block):
+        block.erase(now=100.0)
+        assert block.open_interval_us(50.0) == 0.0
+
+
+class TestDisturbTracking:
+    def test_record_wl_disturb(self, block):
+        block.record_wl_disturb(2)
+        block.record_wl_disturb(2)
+        assert block.wl_disturb_pulses[2] == 2
+        assert block.wl_disturb_pulses[0] == 0

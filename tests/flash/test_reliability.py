@@ -1,0 +1,92 @@
+"""Reliability sweeps (Figure 10 and supporting studies)."""
+
+import pytest
+
+from repro.flash.geometry import CellType
+from repro.flash.reliability import (
+    OPEN_INTERVAL_BINS,
+    OPEN_INTERVAL_CONDITIONS,
+    open_interval_penalty,
+    open_interval_study,
+    pe_cycling_study,
+    program_disturb_study,
+    retention_study,
+)
+
+
+@pytest.fixture(scope="module")
+def study():
+    return open_interval_study()
+
+
+class TestOpenIntervalStudy:
+    def test_point_count(self, study):
+        assert len(study) == len(OPEN_INTERVAL_CONDITIONS) * len(OPEN_INTERVAL_BINS)
+
+    def test_rber_monotone_in_interval(self, study):
+        for cond in OPEN_INTERVAL_CONDITIONS:
+            series = sorted(
+                (p for p in study if p.condition == cond), key=lambda p: p.x_value
+            )
+            vals = [p.rber for p in series]
+            assert vals == sorted(vals)
+
+    def test_conditions_ordered_by_severity(self, study):
+        by_cond = {
+            cond: max(p.rber for p in study if p.condition == cond)
+            for cond in OPEN_INTERVAL_CONDITIONS
+        }
+        fresh, cycled, aged = (by_cond[c] for c in OPEN_INTERVAL_CONDITIONS)
+        assert fresh < cycled < aged
+
+    def test_penalty_about_30_percent(self, study):
+        """Paper: RBER ~30 % larger at the longest interval (Fig. 10)."""
+        penalty = open_interval_penalty(study, "After P/E cycling")
+        assert 0.15 <= penalty <= 0.50
+
+    def test_worst_case_crosses_limit(self, study):
+        aged = [p for p in study if p.condition == OPEN_INTERVAL_CONDITIONS[2]]
+        assert max(p.normalized_rber for p in aged) > 1.0
+
+    def test_penalty_requires_zero_point(self, study):
+        with pytest.raises(ValueError):
+            open_interval_penalty([], "After P/E cycling")
+
+
+class TestRetentionStudy:
+    def test_monotone(self):
+        pts = retention_study()
+        vals = [p.rber for p in sorted(pts, key=lambda p: p.x_value)]
+        assert vals == sorted(vals)
+
+    def test_normalization_consistent(self):
+        pts = retention_study()
+        for p in pts:
+            assert p.normalized_rber == pytest.approx(p.rber / 0.010, rel=0.02)
+
+
+class TestPeCyclingStudy:
+    def test_monotone(self):
+        pts = pe_cycling_study()
+        vals = [p.rber for p in sorted(pts, key=lambda p: p.x_value)]
+        assert vals == sorted(vals)
+
+    def test_mlc_tolerates_more_cycles(self):
+        """MLC at 3K should look no worse than TLC at 1K (Section 2.1)."""
+        mlc = pe_cycling_study(CellType.MLC, cycles_grid=(3000,))
+        tlc = pe_cycling_study(CellType.TLC, cycles_grid=(1000,))
+        assert mlc[0].rber <= tlc[0].rber
+
+
+class TestProgramDisturbStudy:
+    def test_monotone_in_pulses(self):
+        pts = program_disturb_study()
+        vals = [p.rber for p in sorted(pts, key=lambda p: p.x_value)]
+        assert vals == sorted(vals)
+
+    def test_single_pulse_is_mild(self):
+        """One pLock pulse must not push a wordline over the ECC limit."""
+        pts = program_disturb_study(pulses_grid=(0, 1))
+        zero, one = (p.normalized_rber for p in pts)
+        assert one < 1.0
+        assert one / zero < 1.10

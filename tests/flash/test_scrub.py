@@ -1,0 +1,59 @@
+"""Scrubbing physics: state merging destroys recoverability."""
+
+import pytest
+
+from repro.flash.geometry import CellType, PageRole
+from repro.flash.mixture import WordlineMixture
+from repro.flash.scrub import is_recoverable, page_read_entropy, scrub_wordline
+from repro.flash.vth import StressState, model_for
+
+
+@pytest.fixture
+def mix():
+    return WordlineMixture.programmed(model_for(CellType.TLC), StressState())
+
+
+class TestScrubWordline:
+    def test_all_components_merge(self, mix):
+        scrub_wordline(mix)
+        means = [c.mean for c in mix.components]
+        assert max(means) - min(means) < 1e-9
+
+    def test_custom_target(self, mix):
+        scrub_wordline(mix, target_vth=4.0)
+        assert all(c.mean == pytest.approx(4.0) for c in mix.components)
+
+    def test_every_page_destroyed(self, mix):
+        scrub_wordline(mix)
+        for role in PageRole.for_cell_type(CellType.TLC):
+            # bits no longer match original data beyond the trivial bias
+            assert mix.rber(role) > 0.2
+
+
+class TestRecoverability:
+    def test_fresh_wordline_is_recoverable(self, mix):
+        for role in PageRole.for_cell_type(CellType.TLC):
+            assert is_recoverable(mix, role)
+
+    def test_scrubbed_wordline_not_recoverable(self, mix):
+        scrub_wordline(mix)
+        for role in PageRole.for_cell_type(CellType.TLC):
+            assert not is_recoverable(mix, role)
+
+    def test_entropy_view(self, mix):
+        before = page_read_entropy(mix, PageRole.LSB)
+        scrub_wordline(mix)
+        after = page_read_entropy(mix, PageRole.LSB)
+        assert before > 0.99
+        # raw match rate can stay above 0.5 (biased), but information is gone
+        assert after < before
+
+    def test_single_state_population_trivially_unrecoverable(self):
+        import numpy as np
+
+        model = model_for(CellType.TLC)
+        pop = np.zeros(8)
+        pop[3] = 1.0
+        mix = WordlineMixture.programmed(model, StressState(), state_population=pop)
+        # only one original state: reading gives no distinguishing power
+        assert not is_recoverable(mix, PageRole.LSB)

@@ -1,0 +1,91 @@
+"""L2P mapping table."""
+
+import pytest
+
+from repro.ftl.mapping import L2PTable, UNMAPPED
+
+
+@pytest.fixture
+def table():
+    return L2PTable(logical_pages=8, physical_pages=16)
+
+
+class TestMapping:
+    def test_initially_unmapped(self, table):
+        for lpa in range(8):
+            assert table.lookup(lpa) == UNMAPPED
+            assert not table.is_mapped(lpa)
+
+    def test_map_and_lookup(self, table):
+        table.map(0, 5)
+        assert table.lookup(0) == 5
+        assert table.reverse(5) == 0
+
+    def test_remap_returns_old(self, table):
+        table.map(0, 5)
+        old = table.map(0, 6)
+        assert old == 5
+        assert table.lookup(0) == 6
+        assert table.reverse(5) == UNMAPPED
+
+    def test_map_fresh_returns_unmapped(self, table):
+        assert table.map(0, 5) == UNMAPPED
+
+    def test_unmap(self, table):
+        table.map(0, 5)
+        assert table.unmap(0) == 5
+        assert table.lookup(0) == UNMAPPED
+        assert table.reverse(5) == UNMAPPED
+
+    def test_unmap_unmapped(self, table):
+        assert table.unmap(3) == UNMAPPED
+
+    def test_mapped_count(self, table):
+        table.map(0, 5)
+        table.map(1, 6)
+        assert table.mapped_count() == 2
+        table.unmap(0)
+        assert table.mapped_count() == 1
+
+
+class TestIntegrity:
+    def test_rejects_double_physical_use(self, table):
+        """Two LPAs must never share one physical page."""
+        table.map(0, 5)
+        with pytest.raises(ValueError):
+            table.map(1, 5)
+
+    def test_bounds_checked(self, table):
+        with pytest.raises(IndexError):
+            table.lookup(8)
+        with pytest.raises(IndexError):
+            table.map(0, 16)
+        with pytest.raises(IndexError):
+            table.reverse(-17)
+
+    def test_rejects_logical_larger_than_physical(self):
+        with pytest.raises(ValueError):
+            L2PTable(logical_pages=10, physical_pages=5)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            L2PTable(0, 0)
+
+    def test_bidirectional_consistency_under_churn(self, table):
+        import random
+
+        rng = random.Random(0)
+        free = set(range(16))
+        for _ in range(200):
+            lpa = rng.randrange(8)
+            if table.is_mapped(lpa):
+                free.add(table.unmap(lpa))
+            else:
+                gppa = rng.choice(sorted(free))
+                free.discard(gppa)
+                table.map(lpa, gppa)
+            # invariant: forward and reverse maps agree
+            for lp in range(8):
+                g = table.lookup(lp)
+                if g != UNMAPPED:
+                    assert table.reverse(g) == lp

@@ -1,0 +1,101 @@
+"""Extended page-status table (free/valid/invalid/secured)."""
+
+import pytest
+
+from repro.ftl.page_status import PageStatus, StatusTable
+
+
+@pytest.fixture
+def table():
+    return StatusTable(physical_pages=24, pages_per_block=6)
+
+
+class TestTransitions:
+    def test_initially_free(self, table):
+        assert table.get(0) is PageStatus.FREE
+        assert table.counts()[PageStatus.FREE] == 24
+
+    def test_write_valid(self, table):
+        table.set_written(0, secure=False)
+        assert table.get(0) is PageStatus.VALID
+
+    def test_write_secured(self, table):
+        table.set_written(0, secure=True)
+        assert table.get(0) is PageStatus.SECURED
+
+    def test_invalidate_returns_previous(self, table):
+        table.set_written(0, secure=True)
+        assert table.set_invalid(0) is PageStatus.SECURED
+
+    def test_cannot_write_twice(self, table):
+        table.set_written(0, secure=False)
+        with pytest.raises(ValueError):
+            table.set_written(0, secure=False)
+
+    def test_cannot_invalidate_free(self, table):
+        with pytest.raises(ValueError):
+            table.set_invalid(0)
+
+    def test_cannot_invalidate_twice(self, table):
+        table.set_written(0, secure=False)
+        table.set_invalid(0)
+        with pytest.raises(ValueError):
+            table.set_invalid(0)
+
+    def test_erase_block_resets(self, table):
+        for gppa in range(6):
+            table.set_written(gppa, secure=bool(gppa % 2))
+        table.set_erased_block(0)
+        for gppa in range(6):
+            assert table.get(gppa) is PageStatus.FREE
+
+
+class TestBlockCounters:
+    def test_live_count(self, table):
+        table.set_written(0, secure=False)
+        table.set_written(1, secure=True)
+        assert table.live_count(0) == 2
+        assert table.secured_count(0) == 1
+
+    def test_counters_follow_invalidate(self, table):
+        table.set_written(0, secure=True)
+        table.set_invalid(0)
+        assert table.live_count(0) == 0
+        assert table.secured_count(0) == 0
+        assert table.invalid_count(0) == 1
+
+    def test_counters_per_block(self, table):
+        table.set_written(0, secure=False)   # block 0
+        table.set_written(6, secure=False)   # block 1
+        assert table.live_count(0) == 1
+        assert table.live_count(1) == 1
+        assert table.live_count(2) == 0
+
+    def test_live_pages_listing(self, table):
+        table.set_written(0, secure=False)
+        table.set_written(1, secure=True)
+        table.set_written(2, secure=False)
+        table.set_invalid(1)
+        assert table.live_pages(0) == [0, 2]
+
+    def test_block_of(self, table):
+        assert table.block_of(0) == 0
+        assert table.block_of(6) == 1
+        assert table.block_of(23) == 3
+
+    def test_erase_resets_counters(self, table):
+        table.set_written(0, secure=True)
+        table.set_invalid(0)
+        table.set_erased_block(0)
+        assert table.invalid_count(0) == 0
+        assert table.live_count(0) == 0
+
+
+class TestValidation:
+    def test_rejects_unaligned(self):
+        with pytest.raises(ValueError):
+            StatusTable(physical_pages=10, pages_per_block=3)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            StatusTable(0, 1)

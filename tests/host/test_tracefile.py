@@ -1,0 +1,63 @@
+"""Trace persistence (JSONL save/load)."""
+
+import pytest
+
+from repro.host.trace import TraceKind, TraceOp, append, create, delete, read, write
+from repro.host.tracefile import load_trace, op_from_dict, op_to_dict, save_trace
+from repro.workloads import WORKLOADS
+
+SAMPLE = [
+    create("a", insec=True),
+    append("a", 4),
+    write("a", 1, 2),
+    read("a", 0, 3),
+    delete("a"),
+]
+
+
+class TestRoundtrip:
+    def test_dict_roundtrip(self):
+        for op in SAMPLE:
+            assert op_from_dict(op_to_dict(op)) == op
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        count = save_trace(path, SAMPLE)
+        assert count == len(SAMPLE)
+        assert list(load_trace(path)) == SAMPLE
+
+    def test_workload_trace_roundtrip(self, tmp_path):
+        gen = WORKLOADS["MailServer"](capacity_pages=512, seed=3)
+        ops = list(gen.ops(write_multiplier=0.2))
+        path = tmp_path / "mail.jsonl"
+        save_trace(path, ops)
+        assert list(load_trace(path)) == ops
+
+    def test_lazy_streaming(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        save_trace(path, SAMPLE)
+        stream = load_trace(path)
+        assert next(stream) == SAMPLE[0]  # nothing else consumed yet
+
+
+class TestRobustness:
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"kind": "create", "name": "x"}\n\n\n')
+        ops = list(load_trace(path))
+        assert len(ops) == 1
+        assert ops[0].kind is TraceKind.CREATE
+
+    def test_invalid_json_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(ValueError, match="invalid JSON"):
+            list(load_trace(path))
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError, match="bad trace record"):
+            op_from_dict({"kind": "explode", "name": "x"})
+
+    def test_missing_fields_default(self):
+        op = op_from_dict({"kind": "read", "name": "f"})
+        assert op == TraceOp(TraceKind.READ, "f", 0, 0, False)

@@ -1,0 +1,173 @@
+"""VerTrace profiler: VAF, Tinsecure, UV/MV classification."""
+
+import pytest
+
+from repro.host.filesystem import FileSystem
+from repro.host.trace import TraceReplayer, append, create, delete, write
+from repro.host.vertrace import VerTrace
+from repro.ssd.device import SSD
+
+
+@pytest.fixture
+def setup(tiny_config):
+    vt = VerTrace.for_config(tiny_config, track_all=True)
+    ssd = SSD(tiny_config, "baseline", observer=vt)
+    return vt, TraceReplayer(FileSystem(ssd)), ssd
+
+
+class TestClassification:
+    def test_append_only_file_is_uv(self, setup):
+        vt, rep, _ = setup
+        rep.replay([create("f"), append("f", 4), append("f", 2)])
+        fid = rep.fs.lookup("f").fid
+        assert not vt.file_state(fid).multi_version
+
+    def test_overwritten_file_is_mv(self, setup):
+        vt, rep, _ = setup
+        rep.replay([create("f"), append("f", 4), write("f", 0, 1)])
+        fid = rep.fs.lookup("f").fid
+        assert vt.file_state(fid).multi_version
+
+    def test_deleted_file_is_mv(self, setup):
+        vt, rep, _ = setup
+        rep.replay([create("f"), append("f", 4)])
+        fid = rep.fs.lookup("f").fid
+        rep.replay([delete("f")])
+        assert vt.file_state(fid).multi_version
+
+
+class TestVaf:
+    def test_untouched_file_vaf_zero(self, setup):
+        vt, rep, _ = setup
+        rep.replay([create("f"), append("f", 4)])
+        fid = rep.fs.lookup("f").fid
+        assert vt.vaf(fid) == 0.0
+
+    def test_single_overwrite_vaf(self, setup):
+        vt, rep, _ = setup
+        rep.replay([create("f"), append("f", 4), write("f", 0, 2)])
+        fid = rep.fs.lookup("f").fid
+        assert vt.vaf(fid) == pytest.approx(2 / 4)
+
+    def test_repeated_overwrites_accumulate(self, setup):
+        vt, rep, _ = setup
+        rep.replay([create("f"), append("f", 2)])
+        fid = rep.fs.lookup("f").fid
+        for _ in range(5):
+            rep.replay([write("f", 0, 2)])
+        # 10 stale copies / 2 valid, all still un-erased at this scale
+        assert vt.vaf(fid) == pytest.approx(5.0)
+
+    def test_empty_file_vaf_zero(self, setup):
+        vt, rep, _ = setup
+        rep.replay([create("f")])
+        fid = [s.fid for s in vt.files()] or [None]
+        # file never wrote a page -> not even profiled
+        assert all(vt.vaf(f) == 0.0 for f in fid if f is not None)
+
+
+class TestTinsecure:
+    def test_secure_until_overwrite(self, setup):
+        vt, rep, _ = setup
+        rep.replay([create("f"), append("f", 4)])
+        fid = rep.fs.lookup("f").fid
+        assert vt.t_insecure(fid) == 0.0
+
+    def test_insecure_time_accumulates(self, setup):
+        vt, rep, _ = setup
+        rep.replay([create("f"), append("f", 1), write("f", 0, 1)])
+        fid = rep.fs.lookup("f").fid
+        rep.replay([create("g"), append("g", 10)])  # logical time advances
+        vt.close()
+        assert vt.t_insecure(fid) > 0.0
+
+    def test_normalization_to_capacity(self, setup, tiny_config):
+        vt, rep, _ = setup
+        rep.replay([create("f"), append("f", 1), write("f", 0, 1)])
+        fid = rep.fs.lookup("f").fid
+        # write exactly one capacity's worth across two files (the file
+        # system holds them simultaneously, so leave room for "f")
+        pages = (tiny_config.logical_pages - 2) // 2
+        rep.replay([create("g"), append("g", pages), delete("g")])
+        rep.replay([create("h"), append("h", pages * 2 - pages), delete("h")])
+        rep.replay([create("i"), append("i", 2)])
+        vt.close()
+        assert vt.t_insecure(fid) == pytest.approx(1.0, rel=0.1)
+
+
+class TestPhysicalEvents:
+    def test_erase_clears_invalid(self, tiny_config):
+        """Once a block is erased the stale copies stop counting."""
+        vt = VerTrace.for_config(tiny_config, track_all=True)
+        ssd = SSD(tiny_config, "baseline", observer=vt)
+        rep = TraceReplayer(FileSystem(ssd))
+        rep.replay([create("f"), append("f", 2)])
+        fid = rep.fs.lookup("f").fid
+        rep.replay([write("f", 0, 2)])
+        assert len(vt.file_state(fid).invalid) == 2
+        # churn until GC erases the stale block
+        import random
+
+        rng = random.Random(0)
+        rep.replay([create("x"), append("x", 1)])
+        for i in range(tiny_config.physical_pages * 2):
+            rep.replay([write("x", 0, 1)])
+        assert len(vt.file_state(fid).invalid) < 2
+
+    def test_sanitize_clears_invalid_immediately(self, tiny_config):
+        """On secSSD the stale copy stops being counted at lock time."""
+        vt = VerTrace.for_config(tiny_config, track_all=True)
+        ssd = SSD(tiny_config, "secSSD", observer=vt)
+        rep = TraceReplayer(FileSystem(ssd))
+        rep.replay([create("f"), append("f", 2), write("f", 0, 2)])
+        fid = rep.fs.lookup("f").fid
+        state = vt.file_state(fid)
+        assert len(state.invalid) == 0
+        vt.close()
+        assert vt.t_insecure(fid) == 0.0
+
+
+class TestTimeplots:
+    def test_samples_recorded(self, setup):
+        vt, rep, _ = setup
+        rep.replay([create("f"), append("f", 3), write("f", 0, 1)])
+        fid = rep.fs.lookup("f").fid
+        plot = vt.timeplot(fid)
+        assert plot[-1].valid == 3
+        assert plot[-1].invalid == 1
+
+    def test_selective_tracking(self, tiny_config):
+        vt = VerTrace.for_config(tiny_config)  # track nothing by default
+        ssd = SSD(tiny_config, "baseline", observer=vt)
+        rep = TraceReplayer(FileSystem(ssd))
+        rep.replay([create("f"), append("f", 1)])
+        fid = rep.fs.lookup("f").fid
+        with pytest.raises(KeyError):
+            vt.timeplot(fid)
+        vt.track_timeplot(fid)
+        rep.replay([append("f", 1)])
+        assert vt.timeplot(fid)
+
+
+class TestSummaries:
+    def test_summary_structure(self, setup):
+        vt, rep, _ = setup
+        rep.replay([create("uv"), append("uv", 2)])
+        rep.replay([create("mv"), append("mv", 2), write("mv", 0, 1)])
+        vt.close()
+        summary = vt.summarize()
+        assert summary["uv"]["count"] == 1.0
+        assert summary["mv"]["count"] == 1.0
+        assert summary["mv"]["vaf_max"] > 0
+
+    def test_empty_classes(self, tiny_config):
+        vt = VerTrace.for_config(tiny_config)
+        summary = vt.summarize()
+        assert summary["uv"]["count"] == 0.0
+        assert summary["mv"]["vaf_avg"] == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VerTrace(capacity_ticks=0, pages_per_block=4)
+        with pytest.raises(ValueError):
+            VerTrace(capacity_ticks=10, pages_per_block=0)

@@ -1,0 +1,49 @@
+"""Host request types and the INSEC_WRITE flag."""
+
+import pytest
+
+from repro.ssd.request import (
+    IoRequest,
+    RequestFlags,
+    RequestOp,
+    read,
+    trim,
+    write,
+)
+
+
+class TestConstruction:
+    def test_write_defaults_secure(self):
+        req = write(10)
+        assert req.secure
+        assert req.op is RequestOp.WRITE
+
+    def test_insecure_write(self):
+        req = write(10, secure=False)
+        assert not req.secure
+        assert req.flags & RequestFlags.INSEC_WRITE
+
+    def test_read_is_never_secure(self):
+        assert not read(0).secure
+
+    def test_trim_is_never_secure(self):
+        assert not trim(0).secure
+
+    def test_lpas_range(self):
+        req = write(5, npages=3)
+        assert list(req.lpas()) == [5, 6, 7]
+
+    def test_tag_carried(self):
+        assert write(0, tag=42).tag == 42
+
+    def test_rejects_zero_pages(self):
+        with pytest.raises(ValueError):
+            IoRequest(RequestOp.READ, 0, 0)
+
+    def test_rejects_negative_lpa(self):
+        with pytest.raises(ValueError):
+            IoRequest(RequestOp.READ, -1, 1)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            write(0).lpa = 5

@@ -1,0 +1,72 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import COMMANDS, build_parser, main
+
+
+class TestParser:
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        for command in COMMANDS:
+            args = parser.parse_args([command])
+            assert args.command == command
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["fig9"])
+        assert args.blocks == 20
+        assert args.seed == 1
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_options(self):
+        args = build_parser().parse_args(
+            ["fig14", "--blocks", "10", "--wordlines", "8", "--seed", "9",
+             "--multiplier", "0.5"]
+        )
+        assert (args.blocks, args.wordlines, args.seed) == (10, 8, 9)
+        assert args.multiplier == 0.5
+
+
+class TestExecution:
+    def test_fig9(self, capsys):
+        assert main(["fig9"]) == 0
+        out = capsys.readouterr().out
+        assert "selected: (ii)" in out
+
+    def test_fig12(self, capsys):
+        assert main(["fig12"]) == 0
+        out = capsys.readouterr().out
+        assert "selected: (ii)" in out
+        assert "region-i" in out
+
+    def test_fig10(self, capsys):
+        assert main(["fig10"]) == 0
+        assert "longest open interval" in capsys.readouterr().out
+
+    def test_overheads(self, capsys):
+        assert main(["overheads"]) == 0
+        out = capsys.readouterr().out
+        assert "plock_vs_program" in out
+
+    def test_fig6(self, capsys):
+        assert main(["fig6"]) == 0
+        out = capsys.readouterr().out
+        assert "MLC" in out and "TLC" in out
+
+    def test_fig14_small(self, capsys):
+        code = main(
+            ["fig14", "--blocks", "10", "--wordlines", "4", "--multiplier", "0.3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "secSSD" in out and "erSSD" in out
+
+    def test_table1_small(self, capsys):
+        code = main(
+            ["table1", "--blocks", "10", "--wordlines", "4", "--multiplier", "0.5"]
+        )
+        assert code == 0
+        assert "DBServer" in capsys.readouterr().out

@@ -1,0 +1,140 @@
+"""End-to-end integration scenarios across the full stack.
+
+Each test tells one complete story from the paper: host software writes
+files through the file system, the FTL and chips do their work, and the
+forensic attacker (or profiler) observes the outcome.
+"""
+
+import pytest
+
+from repro.host.fileapi import OpenFlags
+from repro.host.filesystem import FileSystem
+from repro.host.trace import TraceReplayer, append, create, delete, write
+from repro.host.vertrace import VerTrace
+from repro.security.attacker import RawChipAttacker
+from repro.security.audit import SanitizationAuditor, collect_live_versions
+from repro.ssd.device import SSD
+from repro.workloads import WORKLOADS
+
+
+class TestSecureDeleteStory:
+    """Section 1's motivating scenario: deleting a private photo."""
+
+    def test_photo_unrecoverable_after_delete_on_secssd(self, tiny_config):
+        ssd = SSD(tiny_config, "secSSD")
+        fs = FileSystem(ssd)
+        fs.create("photo.jpg")
+        fs.append("photo.jpg", 12)
+        fid = fs.lookup("photo.jpg").fid
+        fs.delete("photo.jpg")
+        assert not RawChipAttacker(ssd).recover_file(fid)
+
+    def test_photo_recoverable_after_delete_on_plain_ssd(self, tiny_config):
+        ssd = SSD(tiny_config, "baseline")
+        fs = FileSystem(ssd)
+        fs.create("photo.jpg")
+        fs.append("photo.jpg", 12)
+        fid = fs.lookup("photo.jpg").fid
+        fs.delete("photo.jpg")
+        recovered = RawChipAttacker(ssd).recover_file(fid)
+        assert len(recovered) == 12  # every page of the "deleted" photo
+
+    def test_update_leaves_no_old_version(self, tiny_config):
+        """C2: editing a document must destroy the previous contents."""
+        ssd = SSD(tiny_config, "secSSD")
+        fs = FileSystem(ssd)
+        fs.create("doc")
+        fs.append("doc", 4)
+        fs.overwrite_whole("doc")
+        fs.overwrite_whole("doc")
+        live = collect_live_versions(ssd)
+        report = SanitizationAuditor(ssd).audit_updated_lpas(live)
+        assert report.clean
+
+
+class TestSelectiveSecurity:
+    """Section 6: O_INSEC opts a file out, saving lock work."""
+
+    def test_insec_files_cost_no_locks(self, tiny_config):
+        ssd = SSD(tiny_config, "secSSD")
+        fs = FileSystem(ssd)
+        fs.create("cache", OpenFlags.O_INSEC)
+        fs.append("cache", 8)
+        for _ in range(4):
+            fs.overwrite_whole("cache")
+        assert ssd.stats.plocks == 0
+        assert ssd.stats.block_locks == 0
+
+    def test_mixed_files_lock_only_secure_traffic(self, tiny_config):
+        ssd = SSD(tiny_config, "secSSD")
+        fs = FileSystem(ssd)
+        fs.create("secret")
+        fs.create("cache", OpenFlags.O_INSEC)
+        fs.append("secret", 4)
+        fs.append("cache", 4)
+        fs.overwrite_whole("secret")
+        fs.overwrite_whole("cache")
+        assert ssd.stats.plocks == 4  # only the secret file's stale pages
+
+
+class TestWorkloadsOnEveryVariant:
+    @pytest.mark.parametrize("variant", ("secSSD", "erSSD", "scrSSD"))
+    def test_mailserver_runs_clean(self, variant):
+        from repro.ssd.config import scaled_config
+
+        config = scaled_config(blocks_per_chip=12, wordlines_per_block=8)
+        ssd = SSD(config, variant)
+        fs = FileSystem(ssd)
+        gen = WORKLOADS["MailServer"](capacity_pages=config.logical_pages, seed=5)
+        TraceReplayer(fs).replay(gen.ops(write_multiplier=0.5))
+        live = collect_live_versions(ssd)
+        assert SanitizationAuditor(ssd).audit_updated_lpas(live).clean
+
+
+class TestProfilerOnSecureDevice:
+    def test_vertrace_confirms_zero_exposure(self, tiny_config):
+        vt = VerTrace.for_config(tiny_config, track_all=True)
+        ssd = SSD(tiny_config, "secSSD", observer=vt)
+        rep = TraceReplayer(FileSystem(ssd))
+        rep.replay(
+            [
+                create("f"),
+                append("f", 6),
+                write("f", 0, 3),
+                write("f", 0, 3),
+                delete("f"),
+            ]
+        )
+        vt.close()
+        summary = vt.summarize()
+        assert summary["mv"]["vaf_max"] == 0.0
+        assert summary["mv"]["tinsec_max"] == 0.0
+
+
+class TestDeviceLongevity:
+    def test_stack_survives_sustained_churn(self, tiny_config):
+        """The whole stack stays consistent over many GC generations."""
+        import random
+
+        ssd = SSD(tiny_config, "secSSD")
+        fs = FileSystem(ssd)
+        rng = random.Random(0)
+        names = []
+        for i in range(12):
+            name = f"file-{i}"
+            fs.create(name)
+            fs.append(name, 8)
+            names.append(name)
+        for round_no in range(tiny_config.physical_pages // 4):
+            name = rng.choice(names)
+            fs.overwrite_whole(name)
+        assert ssd.stats.gc_invocations > 0
+        # every file still reads back its own pages
+        for name in names:
+            info = fs.lookup(name)
+            for lpa in info.lpas:
+                gppa = ssd.ftl.mapped_gppa(lpa)
+                chip_id, ppn = ssd.ftl.split_gppa(gppa)
+                data = ssd.ftl.chips[chip_id].read_page(ppn).data
+                assert data[0] == lpa
+                assert data[1] == info.fid

@@ -1,0 +1,150 @@
+"""Workload generators: Table 2 characteristics and replayability."""
+
+import pytest
+
+from repro.host.filesystem import FileSystem
+from repro.host.trace import TraceKind, TraceReplayer
+from repro.ssd.config import SSDConfig
+from repro.ssd.device import SSD
+from repro.flash.geometry import CellType, Geometry
+from repro.workloads import WORKLOADS
+from repro.workloads.base import WorkloadGenerator, WorkloadProfile
+
+CAPACITY = 4096
+
+
+@pytest.fixture(params=sorted(WORKLOADS))
+def workload_name(request):
+    return request.param
+
+
+def collect_ops(name, seed=1, multiplier=0.5, capacity=CAPACITY, **kwargs):
+    gen = WORKLOADS[name](capacity_pages=capacity, seed=seed, **kwargs)
+    return gen, list(gen.ops(write_multiplier=multiplier))
+
+
+class TestTable2Profiles:
+    def test_profiles_match_paper(self):
+        p = {n: cls.profile for n, cls in WORKLOADS.items()}
+        assert p["MailServer"].reads_per_write == pytest.approx(1.0)    # 1:1
+        assert p["DBServer"].reads_per_write == pytest.approx(0.1)      # 1:10
+        assert p["FileServer"].reads_per_write == pytest.approx(0.75)   # 3:4
+        assert p["Mobile"].reads_per_write == pytest.approx(0.02)       # 1:50
+
+    def test_write_sizes_match_paper(self):
+        """Table 2 write sizes in 16-KiB pages."""
+        p = {n: cls.profile.write_size_pages for n, cls in WORKLOADS.items()}
+        assert p["MailServer"] == (1, 2)     # 16-32 KiB
+        assert p["DBServer"] == (1, 16)      # 16-256 KiB
+        assert p["FileServer"] == (2, 8)     # 32-128 KiB
+        assert p["Mobile"] == (32, 512)      # 0.5-8 MiB
+
+
+class TestGeneratedTraces:
+    def test_deterministic_per_seed(self, workload_name):
+        _, a = collect_ops(workload_name, seed=7, multiplier=0.3)
+        _, b = collect_ops(workload_name, seed=7, multiplier=0.3)
+        assert a == b
+
+    def test_different_seeds_differ(self, workload_name):
+        _, a = collect_ops(workload_name, seed=1, multiplier=0.3)
+        _, b = collect_ops(workload_name, seed=2, multiplier=0.3)
+        assert a != b
+
+    def test_read_write_ratio_approximates_profile(self, workload_name):
+        """Table 2's read:write ratio holds over the steady state
+        (the setup/fill phase is warm-up, as in the paper's protocol)."""
+        gen = WORKLOADS[workload_name](capacity_pages=CAPACITY, seed=1)
+        list(gen.setup())
+        ops = list(gen.steady(CAPACITY))
+        reads = sum(1 for op in ops if op.kind is TraceKind.READ)
+        writes = sum(
+            1 for op in ops if op.kind in (TraceKind.WRITE, TraceKind.APPEND)
+        )
+        ratio = reads / writes
+        assert ratio == pytest.approx(gen.profile.reads_per_write, rel=0.3)
+
+    def test_usage_accounting_never_overflows(self, workload_name):
+        gen, ops = collect_ops(workload_name, multiplier=1.0)
+        assert gen.used_pages <= CAPACITY
+
+    def test_steady_state_reaches_write_target(self, workload_name):
+        gen, ops = collect_ops(workload_name, multiplier=0.5)
+        written = sum(
+            op.npages for op in ops if op.kind in (TraceKind.WRITE, TraceKind.APPEND)
+        )
+        # setup (~0.75 cap) + steady (0.5 cap)
+        assert written >= CAPACITY * (0.7 + 0.5)
+
+
+class TestReplayability:
+    def test_trace_replays_cleanly(self, workload_name):
+        """Every generated trace must apply without file-system errors."""
+        cfg = SSDConfig(
+            n_channels=2,
+            chips_per_channel=2,
+            geometry=Geometry(
+                blocks_per_chip=24,
+                wordlines_per_block=8,
+                cell_type=CellType.TLC,
+            ),
+            overprovision=0.15,
+        )
+        gen = WORKLOADS[workload_name](capacity_pages=cfg.logical_pages, seed=3)
+        fs = FileSystem(SSD(cfg, "baseline"))
+        report = TraceReplayer(fs).replay(gen.ops(write_multiplier=0.5))
+        assert report.ops > 0
+        assert fs.used_pages <= fs.capacity_pages
+
+    def test_setup_fills_to_target(self, workload_name):
+        gen = WORKLOADS[workload_name](capacity_pages=CAPACITY, seed=1)
+        list(gen.setup())
+        assert gen.used_pages >= CAPACITY * gen.fill_fraction * 0.9
+        assert gen.used_pages <= CAPACITY
+
+
+class TestSecureFraction:
+    def test_full_secure_by_default(self, workload_name):
+        _, ops = collect_ops(workload_name, multiplier=0.2)
+        creates = [op for op in ops if op.kind is TraceKind.CREATE]
+        assert all(not op.insec for op in creates)
+
+    def test_zero_secure_marks_everything_insec(self, workload_name):
+        _, ops = collect_ops(workload_name, multiplier=0.2, secure_fraction=0.0)
+        creates = [op for op in ops if op.kind is TraceKind.CREATE]
+        assert all(op.insec for op in creates)
+
+    def test_partial_fraction_mixes(self, workload_name):
+        _, ops = collect_ops(workload_name, multiplier=1.0, secure_fraction=0.5)
+        creates = [op for op in ops if op.kind is TraceKind.CREATE]
+        insec = sum(op.insec for op in creates)
+        assert 0 < insec < len(creates)
+
+
+class TestBaseValidation:
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            WORKLOADS["Mobile"](capacity_pages=0)
+
+    def test_rejects_bad_secure_fraction(self):
+        with pytest.raises(ValueError):
+            WORKLOADS["Mobile"](capacity_pages=64, secure_fraction=1.5)
+
+    def test_rejects_bad_watermarks(self):
+        with pytest.raises(ValueError):
+            WORKLOADS["Mobile"](
+                capacity_pages=64, fill_fraction=0.9, high_water=0.8
+            )
+
+    def test_write_size_capped_on_tiny_devices(self):
+        gen = WORKLOADS["Mobile"](capacity_pages=64, seed=1)
+        for _ in range(50):
+            assert gen._write_size() <= 64 // 8
+
+    def test_base_class_is_abstract(self):
+        class Incomplete(WorkloadGenerator):
+            profile = WorkloadProfile("x", 1.0, "none", (1, 1))
+
+        gen = Incomplete(capacity_pages=64)
+        with pytest.raises(NotImplementedError):
+            list(gen.setup())

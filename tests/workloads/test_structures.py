@@ -1,0 +1,109 @@
+"""Structural properties of individual workload generators."""
+
+import pytest
+
+from repro.host.trace import TraceKind
+from repro.workloads.dbserver import DBServerWorkload
+from repro.workloads.mobile import MobileWorkload
+
+CAPACITY = 8192
+
+
+class TestDBServerStructure:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        gen = DBServerWorkload(capacity_pages=CAPACITY, seed=2)
+        setup = list(gen.setup())
+        steady = list(gen.steady(CAPACITY))
+        return gen, setup, steady
+
+    def test_setup_creates_tables_log_and_cold(self, trace):
+        _, setup, _ = trace
+        names = {op.name for op in setup if op.kind is TraceKind.CREATE}
+        assert sum(1 for n in names if n.startswith("table")) == 4
+        assert sum(1 for n in names if n.startswith("redo-log")) == 1
+        assert sum(1 for n in names if n.startswith("cold")) >= 2
+
+    def test_cold_files_never_written_in_steady(self, trace):
+        _, _, steady = trace
+        cold_writes = [
+            op
+            for op in steady
+            if op.kind in (TraceKind.WRITE, TraceKind.APPEND)
+            and op.name.startswith("cold")
+        ]
+        assert cold_writes == []
+
+    def test_hot_tables_dominate_updates(self, trace):
+        gen, _, steady = trace
+        hot = set(gen._tables[: gen.n_hot_tables])
+        table_writes = [
+            op for op in steady
+            if op.kind is TraceKind.WRITE and op.name.startswith("table")
+        ]
+        hot_share = sum(1 for op in table_writes if op.name in hot) / len(
+            table_writes
+        )
+        assert hot_share > 0.75  # configured at 0.9 of table updates
+
+    def test_log_overwritten_circularly(self, trace):
+        gen, _, steady = trace
+        log_ops = [
+            op
+            for op in steady
+            if op.name == gen._log and op.kind is not TraceKind.READ
+        ]
+        assert log_ops, "the redo log must be exercised"
+        # the log is overwritten in place, never extended or deleted
+        assert all(op.kind is TraceKind.WRITE for op in log_ops)
+        log_size = gen._sizes[gen._log]
+        assert all(op.offset_pages + op.npages <= log_size for op in log_ops)
+
+    def test_updates_stay_in_bounds(self, trace):
+        gen, _, steady = trace
+        for op in steady:
+            if op.kind is TraceKind.WRITE:
+                assert op.offset_pages >= 0
+                assert op.npages >= 1
+
+
+class TestMobileStructure:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        gen = MobileWorkload(capacity_pages=CAPACITY, seed=2)
+        setup = list(gen.setup())
+        steady = list(gen.steady(CAPACITY))
+        return gen, setup, steady
+
+    def test_bursts_interleave_files(self, trace):
+        """Consecutive appends alternate between burst files, so their
+        pages intermix on flash (the UV-VAF mechanism)."""
+        _, setup, _ = trace
+        appends = [op.name for op in setup if op.kind is TraceKind.APPEND]
+        switches = sum(1 for a, b in zip(appends, appends[1:]) if a != b)
+        assert switches > len(appends) / 4
+
+    def test_picture_sizes_are_chunk_multiples(self, trace):
+        gen, setup, steady = trace
+        chunk = min(gen.chunk_pages, max(1, CAPACITY // 8))
+        sizes: dict[str, int] = {}
+        for op in setup + steady:
+            if op.kind is TraceKind.APPEND:
+                sizes[op.name] = sizes.get(op.name, 0) + op.npages
+        finished = {
+            name: total for name, total in sizes.items() if name in gen._sizes
+        }
+        for total in finished.values():
+            assert total % chunk == 0
+
+    def test_deletes_whole_pictures(self, trace):
+        _, _, steady = trace
+        deletes = [op for op in steady if op.kind is TraceKind.DELETE]
+        assert deletes
+        assert all(op.name.startswith("img") for op in deletes)
+
+    def test_no_overwrites(self, trace):
+        _, setup, steady = trace
+        assert all(
+            op.kind is not TraceKind.WRITE for op in setup + steady
+        )
