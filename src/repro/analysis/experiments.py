@@ -75,11 +75,24 @@ def run_workload_on_variant(
     secure_fraction: float = 1.0,
     write_multiplier: float = 1.0,
     observer=None,
+    checked: bool | None = None,
+    check_interval: int | None = None,
 ) -> RunResult:
-    """Replay one workload trace on one SSD variant."""
+    """Replay one workload trace on one SSD variant.
+
+    ``checked=True`` attaches the runtime invariant sanitizer; a
+    violation surfaces as :class:`repro.checkers.sanitizer.InvariantViolation`.
+    """
     if workload not in WORKLOADS:
         raise ValueError(f"unknown workload {workload!r}")
-    ssd = SSD(config, variant, observer=observer, seed=seed)
+    ssd = SSD(
+        config,
+        variant,
+        observer=observer,
+        seed=seed,
+        checked=checked,
+        check_interval=check_interval,
+    )
     fs = FileSystem(ssd)
     generator = WORKLOADS[workload](
         capacity_pages=config.logical_pages,

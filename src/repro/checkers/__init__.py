@@ -1,0 +1,36 @@
+"""Correctness tooling for the Evanesco reproduction.
+
+Two complementary layers guard the simulator's core invariants as the
+codebase grows:
+
+* :mod:`repro.checkers.lint` -- a rule-driven **static** AST lint engine
+  with domain rules (SIM01..SIM05) that survive refactors: page-status
+  encapsulation, lock/erase accounting pairs, seeded randomness, float
+  equality in reliability math, and observer-hook coverage of sanitize
+  paths.  Run it with ``repro lint``.
+* :mod:`repro.checkers.sanitizer` -- an opt-in **runtime** shadow checker
+  (think TSan for the FTL) that re-verifies the page-status state
+  machine, L2P bijection, per-block counters, and the paper's security
+  invariant -- a stale secured copy must be unreadable -- after every
+  host/GC batch.  Enable it with ``checked=True`` on
+  :class:`~repro.ssd.device.SSD` or ``repro check``.
+"""
+
+from repro.checkers.lint import Finding, LintRule, format_findings, lint_paths
+from repro.checkers.sanitizer import (
+    FtlSanitizer,
+    InvariantViolation,
+    default_checked,
+    set_default_checked,
+)
+
+__all__ = [
+    "Finding",
+    "FtlSanitizer",
+    "InvariantViolation",
+    "LintRule",
+    "default_checked",
+    "format_findings",
+    "lint_paths",
+    "set_default_checked",
+]

@@ -1,0 +1,44 @@
+"""The domain rule catalogue (SIM01..SIM05).
+
+Each rule lives in its own module and encodes one simulator invariant:
+
+* ``SIM01`` (:mod:`.encapsulation`) -- the ``StatusTable`` private
+  arrays are only touched inside ``ftl/page_status.py``;
+* ``SIM02`` (:mod:`.accounting`) -- chip lock/erase/scrub call sites in
+  the FTL pair a ``self.timing.*`` and a ``self.stats.*`` update;
+* ``SIM03`` (:mod:`.determinism`) -- no unseeded module-level
+  randomness anywhere in the simulator;
+* ``SIM04`` (:mod:`.float_eq`) -- no float-literal ``==``/``!=`` in the
+  ``flash/`` reliability math;
+* ``SIM05`` (:mod:`.observers`) -- every sanitize call site notifies
+  the observer via ``on_sanitize``.
+
+Suppress a rule on one line with ``# lint: disable=SIM0x``.
+"""
+
+from repro.checkers.rules.accounting import LockAccountingRule
+from repro.checkers.rules.determinism import UnseededRandomnessRule
+from repro.checkers.rules.encapsulation import StatusTableEncapsulationRule
+from repro.checkers.rules.float_eq import FloatEqualityRule
+from repro.checkers.rules.observers import SanitizeObserverRule
+
+#: registration order == report order for same-location findings.
+ALL_RULES = (
+    StatusTableEncapsulationRule,
+    LockAccountingRule,
+    UnseededRandomnessRule,
+    FloatEqualityRule,
+    SanitizeObserverRule,
+)
+
+RULES_BY_ID = {cls.rule_id: cls for cls in ALL_RULES}
+
+__all__ = [
+    "ALL_RULES",
+    "RULES_BY_ID",
+    "FloatEqualityRule",
+    "LockAccountingRule",
+    "SanitizeObserverRule",
+    "StatusTableEncapsulationRule",
+    "UnseededRandomnessRule",
+]

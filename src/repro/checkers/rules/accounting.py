@@ -1,0 +1,97 @@
+"""SIM02: chip operations must be accounted in timing *and* stats.
+
+Every FTL call site that issues a flash command with a latency cost --
+``plock``, ``block_lock``, ``erase_block``, ``scrub_wordline`` -- must,
+in the same function, schedule the cost on the timing model
+(``self.timing.*``) and bump a device counter (``self.stats.*``).  A
+lock that is issued but not accounted silently skews the Figure-14
+IOPS/WAF numbers; this is the classic refactor casualty the rule
+guards against.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.checkers.lint import (
+    FileContext,
+    Finding,
+    LintRule,
+    attr_chain,
+    attr_tail,
+    calls_in,
+    functions_of,
+)
+
+#: chip command methods with a latency/stats cost.
+CHIP_OPS = frozenset({"plock", "block_lock", "erase_block", "scrub_wordline"})
+
+
+def _is_chip_op_call(call: ast.Call) -> bool:
+    """A call of one of the chip commands on something chip-like.
+
+    ``self.timing.plock(...)`` / ``self.timing.block_lock(...)`` are the
+    accounting calls themselves, not chip commands -- the ``timing``
+    receiver excludes them.
+    """
+    func = call.func
+    if not isinstance(func, ast.Attribute) or func.attr not in CHIP_OPS:
+        return False
+    tail = attr_tail(func)
+    return "timing" not in tail[:-1]
+
+
+def _accounts_timing(call: ast.Call) -> bool:
+    chain = attr_chain(call.func)
+    return chain is not None and len(chain) >= 3 and chain[:2] == ("self", "timing")
+
+
+def _touches_stats(func: ast.AST) -> bool:
+    for node in ast.walk(func):
+        if isinstance(node, ast.Attribute):
+            chain = attr_chain(node)
+            if chain is not None and len(chain) >= 3 and chain[:2] == ("self", "stats"):
+                return True
+    return False
+
+
+class LockAccountingRule(LintRule):
+    rule_id = "SIM02"
+    severity = "error"
+    description = (
+        "chip plock/block_lock/erase_block/scrub_wordline call site "
+        "without a paired self.timing.* and self.stats.* update"
+    )
+    hint = (
+        "schedule the operation on the timing model (self.timing.plock/"
+        "block_lock/erase/scrub) and bump the matching DeviceStats "
+        "counter in the same function"
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.in_package_dir("ftl")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for func in functions_of(ctx.tree):
+            chip_calls = [c for c in calls_in(func) if _is_chip_op_call(c)]
+            if not chip_calls:
+                continue
+            has_timing = any(_accounts_timing(c) for c in calls_in(func))
+            has_stats = _touches_stats(func)
+            if has_timing and has_stats:
+                continue
+            missing = []
+            if not has_timing:
+                missing.append("self.timing.*")
+            if not has_stats:
+                missing.append("self.stats.*")
+            for call in chip_calls:
+                assert isinstance(call.func, ast.Attribute)
+                yield self.finding(
+                    ctx,
+                    call,
+                    f"chip operation {call.func.attr!r} in "
+                    f"{func.name!r} lacks {' and '.join(missing)} "
+                    "accounting",
+                )

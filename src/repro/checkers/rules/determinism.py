@@ -1,0 +1,107 @@
+"""SIM03: every random draw must come from a seeded generator.
+
+Reproduction runs must be bit-identical across hosts and re-runs; the
+paper's figures are regenerated from fixed seeds.  Module-level
+randomness -- ``random.random()``, ``np.random.normal()``, an
+argument-less ``random.Random()`` or ``np.random.default_rng()`` --
+draws from global, time-seeded state and silently breaks that.  The
+fix is always the same: accept or derive a seed and use an instance
+(``random.Random(seed)`` / ``np.random.default_rng(seed)``).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.checkers.lint import FileContext, Finding, LintRule, attr_chain
+
+#: stdlib ``random`` module functions that draw from the global RNG.
+STDLIB_GLOBAL_FNS = frozenset(
+    {
+        "betavariate",
+        "choice",
+        "choices",
+        "expovariate",
+        "gauss",
+        "getrandbits",
+        "lognormvariate",
+        "normalvariate",
+        "paretovariate",
+        "randbytes",
+        "randint",
+        "random",
+        "randrange",
+        "sample",
+        "seed",
+        "shuffle",
+        "triangular",
+        "uniform",
+        "vonmisesvariate",
+        "weibullvariate",
+    }
+)
+
+#: ``numpy.random`` attributes that are legal to reference: the
+#: generator type (annotations) and the seeded constructor.
+NUMPY_ALLOWED = frozenset({"Generator", "default_rng", "SeedSequence"})
+
+
+def _has_seed_argument(call: ast.Call) -> bool:
+    return bool(call.args) or bool(call.keywords)
+
+
+class UnseededRandomnessRule(LintRule):
+    rule_id = "SIM03"
+    severity = "error"
+    description = "unseeded (module-level) randomness"
+    hint = (
+        "use an instance seeded from configuration: random.Random(seed) "
+        "or np.random.default_rng(seed)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(ctx, node)
+            elif isinstance(node, ast.Attribute):
+                yield from self._check_numpy_attr(ctx, node)
+
+    # ------------------------------------------------------------------
+    def _check_call(self, ctx: FileContext, call: ast.Call) -> Iterator[Finding]:
+        chain = attr_chain(call.func)
+        if chain is None:
+            return
+        if chain == ("random", "Random") and not _has_seed_argument(call):
+            yield self.finding(
+                ctx, call, "random.Random() constructed without a seed"
+            )
+        elif len(chain) == 2 and chain[0] == "random" and chain[1] in STDLIB_GLOBAL_FNS:
+            yield self.finding(
+                ctx,
+                call,
+                f"call to module-level random.{chain[1]}() "
+                "(global, time-seeded RNG)",
+            )
+        elif chain[-1] == "default_rng" and not _has_seed_argument(call):
+            yield self.finding(
+                ctx, call, "default_rng() constructed without a seed"
+            )
+
+    def _check_numpy_attr(
+        self, ctx: FileContext, node: ast.Attribute
+    ) -> Iterator[Finding]:
+        chain = attr_chain(node)
+        if (
+            chain is not None
+            and len(chain) == 3
+            and chain[0] in ("np", "numpy")
+            and chain[1] == "random"
+            and chain[2] not in NUMPY_ALLOWED
+        ):
+            yield self.finding(
+                ctx,
+                node,
+                f"module-level numpy randomness np.random.{chain[2]} "
+                "(global RNG state)",
+            )

@@ -1,0 +1,51 @@
+"""SIM01: StatusTable private state is owned by ``page_status.py``.
+
+The per-page status array and the per-block ``_live``/``_secured``/
+``_invalid`` counters must only ever be mutated through the
+``StatusTable`` transition methods (``set_written``/``set_invalid``/
+``set_erased_block``): they enforce the FREE -> VALID/SECURED ->
+INVALID -> FREE state machine and keep the counters consistent.  Any
+direct access from another module bypasses those checks and is exactly
+the kind of silent rot the runtime sanitizer exists to catch -- so the
+lint bans it outright.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.checkers.lint import FileContext, Finding, LintRule
+
+#: the StatusTable-private attribute names under guard.
+GUARDED_ATTRS = frozenset({"_status", "_live", "_secured", "_invalid"})
+
+#: the only module allowed to touch them.
+OWNER_FILENAME = "page_status.py"
+
+
+class StatusTableEncapsulationRule(LintRule):
+    rule_id = "SIM01"
+    severity = "error"
+    description = (
+        "direct access to StatusTable private state "
+        "(_status/_live/_secured/_invalid) outside page_status.py"
+    )
+    hint = (
+        "go through StatusTable's transition methods (set_written, "
+        "set_invalid, set_erased_block) or read accessors (get, "
+        "live_count, secured_count, invalid_count)"
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.filename != OWNER_FILENAME
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Attribute) and node.attr in GUARDED_ATTRS:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"direct access to StatusTable private attribute "
+                    f"{node.attr!r} outside {OWNER_FILENAME}",
+                )

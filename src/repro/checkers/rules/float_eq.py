@@ -1,0 +1,56 @@
+"""SIM04: no float-literal equality in the flash reliability math.
+
+The ``flash/`` package models Vth distributions, RBER curves, and ECC
+margins in floating point.  Comparing such a quantity to a float
+literal with ``==``/``!=`` is almost always a latent bug: the value is
+the product of a computation and lands *near*, not *on*, the literal.
+Use an ordered comparison against the threshold, ``math.isclose``, or
+an integer representation instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.checkers.lint import FileContext, Finding, LintRule
+
+
+def _is_float_literal(node: ast.expr) -> bool:
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        return True
+    # unary minus on a float literal (-1.0)
+    return (
+        isinstance(node, ast.UnaryOp)
+        and isinstance(node.op, (ast.USub, ast.UAdd))
+        and _is_float_literal(node.operand)
+    )
+
+
+class FloatEqualityRule(LintRule):
+    rule_id = "SIM04"
+    severity = "error"
+    description = "float-literal ==/!= comparison in flash/ reliability math"
+    hint = (
+        "compare with an ordered operator (<=, >=), math.isclose, or "
+        "restructure around an integer quantity"
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.in_package_dir("flash")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if _is_float_literal(left) or _is_float_literal(right):
+                    symbol = "==" if isinstance(op, ast.Eq) else "!="
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"float literal compared with {symbol!r}",
+                    )

@@ -1,0 +1,77 @@
+"""SIM05: sanitize call sites must notify the observer.
+
+The VerTrace profiler, the sanitization auditor, and the runtime
+invariant sanitizer all reconstruct the security state of the device
+from the :class:`~repro.ftl.observer.FtlObserver` event stream.  An
+FTL function that issues a sanitizing chip command (``plock``,
+``block_lock``, ``scrub_wordline``) without an
+``self.observer.on_sanitize(...)`` call leaves those tools blind: the
+page *is* sanitized on the chip but every auditor still counts it as
+recoverable.  (Erase-path notification is ``on_erase`` and is wired in
+the shared ``_erase_block_now``; this rule covers the lock/scrub
+commands that have no other event.)
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.checkers.lint import (
+    FileContext,
+    Finding,
+    LintRule,
+    attr_chain,
+    attr_tail,
+    calls_in,
+    functions_of,
+)
+
+#: chip commands that sanitize data in place (no on_erase follows).
+SANITIZE_OPS = frozenset({"plock", "block_lock", "scrub_wordline"})
+
+
+def _is_sanitize_call(call: ast.Call) -> bool:
+    func = call.func
+    if not isinstance(func, ast.Attribute) or func.attr not in SANITIZE_OPS:
+        return False
+    tail = attr_tail(func)
+    return "timing" not in tail[:-1]
+
+
+def _notifies_observer(func: ast.AST) -> bool:
+    for call in calls_in(func):
+        chain = attr_chain(call.func)
+        if chain is not None and chain[-2:] == ("observer", "on_sanitize"):
+            return True
+    return False
+
+
+class SanitizeObserverRule(LintRule):
+    rule_id = "SIM05"
+    severity = "error"
+    description = (
+        "sanitizing chip command issued without notifying the observer "
+        "(self.observer.on_sanitize)"
+    )
+    hint = (
+        "call self.observer.on_sanitize(gppa, method) for every page the "
+        "command sanitizes, in the same function"
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.in_package_dir("ftl")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for func in functions_of(ctx.tree):
+            sanitize_calls = [c for c in calls_in(func) if _is_sanitize_call(c)]
+            if not sanitize_calls or _notifies_observer(func):
+                continue
+            for call in sanitize_calls:
+                assert isinstance(call.func, ast.Attribute)
+                yield self.finding(
+                    ctx,
+                    call,
+                    f"sanitizing command {call.func.attr!r} in "
+                    f"{func.name!r} without self.observer.on_sanitize",
+                )

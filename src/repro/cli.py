@@ -13,6 +13,11 @@ Usage::
 
 Common options: ``--blocks``, ``--wordlines`` (device scale), ``--seed``,
 ``--multiplier`` (steady-state writes as a multiple of capacity).
+
+Two maintenance commands ship with the simulator itself::
+
+    python -m repro lint                   # static domain lint (SIM01-SIM05)
+    python -m repro check                  # runtime invariant sanitizer run
 """
 
 from __future__ import annotations
@@ -155,6 +160,55 @@ def cmd_scorecard(args: argparse.Namespace) -> None:
     print(f"\n{len(checks) - failed}/{len(checks)} targets pass")
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Static domain lint (SIM01-SIM05) over the simulator sources."""
+    from repro.checkers.lint import run_lint
+
+    return run_lint(args.paths, show_hints=not args.no_hints)
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    """Replay workloads on every variant under the runtime sanitizer."""
+    from repro.analysis.experiments import run_workload_on_variant
+    from repro.checkers.sanitizer import InvariantViolation
+    from repro.ftl import FTL_VARIANTS
+
+    variants = args.variants or sorted(FTL_VARIANTS)
+    unknown = [v for v in variants if v not in FTL_VARIANTS]
+    if unknown:
+        print(f"unknown variant(s) {unknown}; choose from {sorted(FTL_VARIANTS)}")
+        return 2
+    config = _config(args)
+    failures = 0
+    for variant in variants:
+        for workload in args.workloads:
+            try:
+                run_workload_on_variant(
+                    config,
+                    workload,
+                    variant,
+                    seed=args.seed,
+                    write_multiplier=args.multiplier,
+                    checked=True,
+                    check_interval=args.interval,
+                )
+            except InvariantViolation as exc:
+                failures += 1
+                print(f"FAIL {variant}/{workload}: [{exc.invariant}] {exc.detail}")
+                for event in exc.trail[-5:]:
+                    print(f"      {event}")
+            else:
+                print(f"ok   {variant}/{workload}")
+    if failures:
+        print(f"repro check: {failures} invariant violation(s)")
+        return 1
+    print(
+        f"repro check: clean ({len(variants)} variants x "
+        f"{len(args.workloads)} workloads)"
+    )
+    return 0
+
+
 COMMANDS = {
     "table1": cmd_table1,
     "fig6": cmd_fig6,
@@ -165,6 +219,8 @@ COMMANDS = {
     "fig14c": cmd_fig14c,
     "overheads": cmd_overheads,
     "scorecard": cmd_scorecard,
+    "lint": cmd_lint,
+    "check": cmd_check,
 }
 
 
@@ -173,21 +229,46 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Regenerate tables/figures of the Evanesco reproduction.",
     )
-    parser.add_argument("command", choices=sorted(COMMANDS))
-    parser.add_argument("--blocks", type=int, default=20,
-                        help="blocks per chip (device scale)")
-    parser.add_argument("--wordlines", type=int, default=16,
-                        help="wordlines per block (device scale)")
-    parser.add_argument("--seed", type=int, default=1)
-    parser.add_argument("--multiplier", type=float, default=1.0,
-                        help="steady-state writes as a multiple of capacity")
+    scale = argparse.ArgumentParser(add_help=False)
+    scale.add_argument("--blocks", type=int, default=20,
+                       help="blocks per chip (device scale)")
+    scale.add_argument("--wordlines", type=int, default=16,
+                       help="wordlines per block (device scale)")
+    scale.add_argument("--seed", type=int, default=1)
+    scale.add_argument("--multiplier", type=float, default=1.0,
+                       help="steady-state writes as a multiple of capacity")
+    sub = parser.add_subparsers(dest="command", required=True,
+                                metavar="command")
+    for name in sorted(COMMANDS):
+        if name == "lint":
+            p = sub.add_parser(
+                name, help="static domain lint (rules SIM01-SIM05)"
+            )
+            p.add_argument("paths", nargs="*", default=None,
+                           help="files/dirs to lint (default: the package)")
+            p.add_argument("--no-hints", action="store_true",
+                           help="omit fix hints from the report")
+        elif name == "check":
+            p = sub.add_parser(
+                name, parents=[scale],
+                help="run workloads under the runtime invariant sanitizer",
+            )
+            p.add_argument("--variants", nargs="*", default=None,
+                           help="FTL variants to check (default: all)")
+            p.add_argument("--workloads", nargs="*", default=["Mobile"],
+                           help="workload traces to replay (default: Mobile)")
+            p.add_argument("--interval", type=int, default=1,
+                           help="host batches between full O(device) checks")
+        else:
+            sub.add_parser(name, parents=[scale],
+                           help=f"reproduce {name}")
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    COMMANDS[args.command](args)
-    return 0
+    result = COMMANDS[args.command](args)
+    return int(result or 0)
 
 
 if __name__ == "__main__":  # pragma: no cover

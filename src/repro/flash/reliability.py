@@ -97,7 +97,7 @@ def open_interval_penalty(points: list[RberPoint], condition: str) -> float:
     """Relative RBER increase from zero to the longest interval."""
     series = [p for p in points if p.condition == condition]
     series.sort(key=lambda p: p.x_value)
-    if not series or series[0].rber == 0.0:
+    if not series or series[0].rber <= 0.0:
         raise ValueError("study must include a zero-interval point with RBER > 0")
     return series[-1].rber / series[0].rber - 1.0
 

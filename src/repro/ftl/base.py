@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.checkers.sanitizer import FtlSanitizer, default_checked
 from repro.flash.chip import FlashChip
 from repro.flash.constants import LOGICAL_TIME_WRITE_BYTES
 from repro.ftl.allocator import BlockAllocator, GC_STREAM, HOST_STREAM
@@ -53,12 +54,18 @@ class PageMappedFtl:
     name = "baseline"
     #: whether writes without INSEC_WRITE are tracked as SECURED.
     tracks_secure = False
+    #: sanitization guarantee the runtime checker enforces (see
+    #: :data:`repro.checkers.sanitizer.SANITIZE_SCOPES`): "none" here --
+    #: the baseline leaves stale data in place until GC.
+    sanitize_scope = "none"
 
     def __init__(
         self,
         config: SSDConfig,
         observer: FtlObserver | None = None,
         seed: int = 0,
+        checked: bool | None = None,
+        check_interval: int | None = None,
     ) -> None:
         self.config = config
         self.geometry = config.geometry
@@ -96,6 +103,12 @@ class PageMappedFtl:
         self._block_last_program: list[int] = [0] * n_blocks
         #: host reads per block since the last erase (read-disturb cap).
         self._block_reads: list[int] = [0] * n_blocks
+        #: optional runtime invariant checker (repro.checkers.sanitizer).
+        self._sanitizer: FtlSanitizer | None = None
+        if checked is None:
+            checked = default_checked()
+        if checked:
+            self._sanitizer = FtlSanitizer(self, interval=check_interval)
 
     # ------------------------------------------------------------------
     # chip construction and address arithmetic
@@ -145,6 +158,18 @@ class PageMappedFtl:
             self._host_trim(request)
         else:  # pragma: no cover - enum is closed
             raise ValueError(f"unknown op {request.op!r}")
+        if self._sanitizer is not None:
+            self._sanitizer.check_batch()
+
+    def resync_checker(self) -> None:
+        """Tell an attached sanitizer the tables were rebuilt wholesale.
+
+        Power-loss recovery replaces the L2P/status tables without
+        emitting observer events; a checked FTL must re-adopt the new
+        state as ground truth afterwards.  No-op when unchecked.
+        """
+        if self._sanitizer is not None:
+            self._sanitizer.resync()
 
     def _host_read(self, request: IoRequest) -> None:
         refresh_candidates: set[int] = set()

@@ -47,6 +47,9 @@ class CryptoFtl(PageMappedFtl):
 
     name = "cryptSSD"
     tracks_secure = True
+    #: key deletion sanitizes on *version death* only: a GC copy's stale
+    #: ciphertext legitimately keeps its key while the version lives.
+    sanitize_scope = "version-death"
 
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
@@ -82,6 +85,9 @@ class CryptoFtl(PageMappedFtl):
                 key_id = payload[1]
                 if self.key_store.pop(key_id, None) is not None:
                     self.key_deletions += 1
+                # the ciphertext is unreadable the moment its key is gone,
+                # whether this copy or the pop on an earlier copy removed it
+                self.observer.on_sanitize(event.gppa, "key_delete")
 
     # GC moves copy ciphertext under the same key; the stale copy is the
     # same *version* as the live one, so its key must survive -- the

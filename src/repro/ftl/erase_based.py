@@ -22,6 +22,8 @@ class EraseBasedFtl(PageMappedFtl):
 
     name = "erSSD"
     tracks_secure = True
+    #: every secured stale copy is erased away within the batch.
+    sanitize_scope = "all"
 
     # ------------------------------------------------------------------
     def _sanitize_host_batch(self, events: list[InvalidationEvent]) -> None:

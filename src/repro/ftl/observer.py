@@ -24,7 +24,8 @@ class FtlObserver(Protocol):
 
     def on_sanitize(self, gppa: int, method: str) -> None:
         """A physical page's data became irrecoverable before erase
-        (method: "plock" | "block_lock" | "scrub" | "erase")."""
+        (method: "plock" | "block_lock" | "scrub" | "erase" |
+        "key_delete")."""
 
     def on_erase(self, global_block: int) -> None:
         """A block was physically erased (all its pages destroyed)."""

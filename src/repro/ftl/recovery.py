@@ -123,6 +123,9 @@ class PowerLossRecovery:
         ftl._write_seq = (
             max((seq for seq, *_ in candidates), default=-1) + 1
         )
+        # the rebuild happened outside the observer stream: a checked
+        # FTL's shadow tables must re-adopt the recovered state.
+        ftl.resync_checker()
         return RecoveryReport(
             pages_scanned=scanned,
             live_pages_recovered=len(winners),

@@ -30,6 +30,8 @@ class ScrubBasedFtl(PageMappedFtl):
 
     name = "scrSSD"
     tracks_secure = True
+    #: every secured stale copy's wordline is scrubbed within the batch.
+    sanitize_scope = "all"
     #: one-shot scrub pulse latency (Section 7).
     t_scrub_us = 100.0
 
@@ -118,4 +120,9 @@ class ScrubBasedFtl(PageMappedFtl):
                 chip_id, data=None, spare={"pad": True}, stream=stream
             )
             self.status.set_written(gppa, False)
+            # pads are FTL-internal traffic, but the observer stream must
+            # still see every page transition or downstream auditors (and
+            # the runtime sanitizer's shadow table) lose track of them.
+            self.observer.on_program(gppa, -1, None, False)
             self.status.set_invalid(gppa)
+            self.observer.on_invalidate(gppa, -1, "pad")

@@ -27,6 +27,9 @@ class SecureFtl(PageMappedFtl):
 
     name = "secSSD"
     tracks_secure = True
+    #: every secured stale copy (host update/trim, GC, refresh) is
+    #: locked before the batch completes.
+    sanitize_scope = "all"
     use_block_lock = True
     #: minimum secured pages in a fully-dead block before bLock is used;
     #: None derives the break-even from the latency constants (Section 6:

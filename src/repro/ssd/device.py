@@ -29,11 +29,20 @@ class SSD:
         observer: FtlObserver | None = None,
         seed: int = 0,
         ftl_class: type[PageMappedFtl] | None = None,
+        checked: bool | None = None,
+        check_interval: int | None = None,
     ) -> None:
         """Build a device running ``variant``'s FTL.
 
         ``ftl_class`` overrides the registry lookup -- used by ablation
         studies that subclass an FTL with tweaked policy constants.
+
+        ``checked=True`` attaches the runtime invariant sanitizer
+        (:mod:`repro.checkers.sanitizer`) to the FTL; ``None`` defers to
+        the process-wide default (``REPRO_CHECKED`` /
+        :func:`repro.checkers.sanitizer.set_default_checked`).
+        ``check_interval`` sets how many host batches pass between full
+        O(device) verification passes.
         """
         if ftl_class is None:
             if variant not in FTL_VARIANTS:
@@ -45,7 +54,13 @@ class SSD:
         else:
             self.variant = ftl_class.name
         self.config = config
-        self.ftl: PageMappedFtl = ftl_class(config, observer=observer, seed=seed)
+        self.ftl: PageMappedFtl = ftl_class(
+            config,
+            observer=observer,
+            seed=seed,
+            checked=checked,
+            check_interval=check_interval,
+        )
         #: per-request device-work log (sanitization-tail analysis).
         self.work_log = WorkLog()
 
@@ -100,6 +115,9 @@ def make_ssd(
     variant: str,
     observer: FtlObserver | None = None,
     seed: int = 0,
+    checked: bool | None = None,
 ) -> SSD:
     """Convenience constructor used by benchmarks and examples."""
-    return SSD(config, variant=variant, observer=observer, seed=seed)
+    return SSD(
+        config, variant=variant, observer=observer, seed=seed, checked=checked
+    )

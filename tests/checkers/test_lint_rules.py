@@ -1,0 +1,336 @@
+"""Per-rule positive/negative cases on synthetic source files.
+
+Each snippet is written under a ``repro/<dir>/`` shaped tmp tree so the
+directory-scoped rules see realistic ``rel_parts``.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.checkers.lint import lint_file
+
+
+def _lint(tmp_path, relpath: str, body: str):
+    path = tmp_path.joinpath(*relpath.split("/"))
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(body), encoding="utf-8")
+    return lint_file(path)
+
+
+def _ids(findings):
+    return sorted({f.rule_id for f in findings})
+
+
+class TestSim01Encapsulation:
+    def test_direct_counter_mutation_flagged(self, tmp_path):
+        findings = _lint(
+            tmp_path,
+            "repro/ftl/rogue.py",
+            """
+            def f(self, gb):
+                self.status._live[gb] -= 1
+            """,
+        )
+        assert _ids(findings) == ["SIM01"]
+        assert "_live" in findings[0].message
+
+    def test_status_array_read_flagged(self, tmp_path):
+        findings = _lint(
+            tmp_path,
+            "repro/ftl/rogue.py",
+            """
+            def f(self, gppa):
+                return self.status._status[gppa]
+            """,
+        )
+        assert _ids(findings) == ["SIM01"]
+
+    def test_owner_module_exempt(self, tmp_path):
+        findings = _lint(
+            tmp_path,
+            "repro/ftl/page_status.py",
+            """
+            class StatusTable:
+                def set_invalid(self, gppa):
+                    self._status[gppa] = 2
+                    self._invalid[self.block_of(gppa)] += 1
+            """,
+        )
+        assert findings == []
+
+    def test_accessor_use_clean(self, tmp_path):
+        findings = _lint(
+            tmp_path,
+            "repro/ftl/good.py",
+            """
+            def f(self, gb):
+                return self.status.live_count(gb)
+            """,
+        )
+        assert findings == []
+
+
+class TestSim02Accounting:
+    UNACCOUNTED = """
+    class Ftl:
+        def lock_it(self, chip, ppn):
+            chip.plock(ppn)
+    """
+
+    ACCOUNTED = """
+    class Ftl:
+        def lock_it(self, chip_id, ppn):
+            self.chips[chip_id].plock(ppn)
+            self.timing.plock(chip_id)
+            self.stats.plocks += 1
+    """
+
+    def test_unaccounted_chip_op_flagged(self, tmp_path):
+        findings = _lint(tmp_path, "repro/ftl/x.py", self.UNACCOUNTED)
+        # SIM05 also fires (plock with no on_sanitize); SIM02 is the focus.
+        assert "SIM02" in _ids(findings)
+        sim02 = next(f for f in findings if f.rule_id == "SIM02")
+        assert "self.timing.*" in sim02.message
+        assert "self.stats.*" in sim02.message
+
+    def test_accounted_chip_op_clean(self, tmp_path):
+        findings = _lint(tmp_path, "repro/ftl/x.py", self.ACCOUNTED)
+        # SIM05 would fire for the missing on_sanitize; SIM02 must not.
+        assert "SIM02" not in _ids(findings)
+
+    def test_timing_only_still_flagged(self, tmp_path):
+        findings = _lint(
+            tmp_path,
+            "repro/ftl/x.py",
+            """
+            class Ftl:
+                def erase_it(self, chip_id, block):
+                    self.chips[chip_id].erase_block(block)
+                    self.timing.erase(chip_id)
+            """,
+        )
+        assert "SIM02" in _ids(findings)
+        assert "self.stats.*" in findings[0].message
+
+    def test_timing_model_call_is_not_a_chip_op(self, tmp_path):
+        findings = _lint(
+            tmp_path,
+            "repro/ftl/x.py",
+            """
+            class Ftl:
+                def account_only(self, chip_id):
+                    self.timing.plock(chip_id)
+            """,
+        )
+        assert findings == []
+
+    def test_outside_ftl_dir_not_scoped(self, tmp_path):
+        findings = _lint(tmp_path, "repro/host/x.py", self.UNACCOUNTED)
+        assert "SIM02" not in _ids(findings)
+
+    def test_suppression(self, tmp_path):
+        findings = _lint(
+            tmp_path,
+            "repro/ftl/x.py",
+            """
+            class Ftl:
+                def lock_it(self, chip, ppn):
+                    chip.plock(ppn)  # lint: disable=SIM02,SIM05
+            """,
+        )
+        assert findings == []
+
+
+class TestSim03Determinism:
+    def test_module_level_random_flagged(self, tmp_path):
+        findings = _lint(
+            tmp_path,
+            "repro/workloads/x.py",
+            """
+            import random
+
+            def jitter():
+                return random.random()
+            """,
+        )
+        assert _ids(findings) == ["SIM03"]
+
+    def test_unseeded_random_instance_flagged(self, tmp_path):
+        findings = _lint(
+            tmp_path,
+            "repro/workloads/x.py",
+            """
+            import random
+
+            rng = random.Random()
+            """,
+        )
+        assert _ids(findings) == ["SIM03"]
+
+    def test_seeded_random_instance_clean(self, tmp_path):
+        findings = _lint(
+            tmp_path,
+            "repro/workloads/x.py",
+            """
+            import random
+
+            def make(seed):
+                return random.Random(seed)
+            """,
+        )
+        assert findings == []
+
+    def test_numpy_global_draw_flagged(self, tmp_path):
+        findings = _lint(
+            tmp_path,
+            "repro/flash/x.py",
+            """
+            import numpy as np
+
+            def noise(n):
+                return np.random.normal(size=n)
+            """,
+        )
+        assert "SIM03" in _ids(findings)
+
+    def test_unseeded_default_rng_flagged(self, tmp_path):
+        findings = _lint(
+            tmp_path,
+            "repro/flash/x.py",
+            """
+            import numpy as np
+
+            rng = np.random.default_rng()
+            """,
+        )
+        assert _ids(findings) == ["SIM03"]
+
+    def test_seeded_default_rng_clean(self, tmp_path):
+        findings = _lint(
+            tmp_path,
+            "repro/flash/x.py",
+            """
+            import numpy as np
+
+            def make(seed):
+                return np.random.default_rng(seed)
+            """,
+        )
+        assert findings == []
+
+    def test_generator_annotation_clean(self, tmp_path):
+        findings = _lint(
+            tmp_path,
+            "repro/flash/x.py",
+            """
+            import numpy as np
+
+            def draw(rng: np.random.Generator):
+                return rng.normal()
+            """,
+        )
+        assert findings == []
+
+
+class TestSim04FloatEquality:
+    def test_float_eq_in_flash_flagged(self, tmp_path):
+        findings = _lint(
+            tmp_path,
+            "repro/flash/x.py",
+            """
+            def check(rber):
+                return rber == 0.0
+            """,
+        )
+        assert _ids(findings) == ["SIM04"]
+
+    def test_float_neq_flagged(self, tmp_path):
+        findings = _lint(
+            tmp_path,
+            "repro/flash/x.py",
+            """
+            def check(vth):
+                return vth != -1.5
+            """,
+        )
+        assert _ids(findings) == ["SIM04"]
+
+    def test_ordered_comparison_clean(self, tmp_path):
+        findings = _lint(
+            tmp_path,
+            "repro/flash/x.py",
+            """
+            def check(rber):
+                return rber <= 0.0
+            """,
+        )
+        assert findings == []
+
+    def test_int_literal_eq_clean(self, tmp_path):
+        findings = _lint(
+            tmp_path,
+            "repro/flash/x.py",
+            """
+            def check(count):
+                return count == 0
+            """,
+        )
+        assert findings == []
+
+    def test_outside_flash_not_scoped(self, tmp_path):
+        findings = _lint(
+            tmp_path,
+            "repro/analysis/x.py",
+            """
+            def check(ratio):
+                return ratio == 1.0
+            """,
+        )
+        assert findings == []
+
+
+class TestSim05Observer:
+    SILENT = """
+    class Ftl:
+        def lock_it(self, chip_id, ppn):
+            self.chips[chip_id].plock(ppn)
+            self.timing.plock(chip_id)
+            self.stats.plocks += 1
+    """
+
+    NOTIFYING = """
+    class Ftl:
+        def lock_it(self, chip_id, ppn, gppa):
+            self.chips[chip_id].plock(ppn)
+            self.timing.plock(chip_id)
+            self.stats.plocks += 1
+            self.observer.on_sanitize(gppa, "plock")
+    """
+
+    def test_silent_sanitize_flagged(self, tmp_path):
+        findings = _lint(tmp_path, "repro/ftl/x.py", self.SILENT)
+        assert _ids(findings) == ["SIM05"]
+        assert "on_sanitize" in findings[0].message
+
+    def test_notifying_sanitize_clean(self, tmp_path):
+        findings = _lint(tmp_path, "repro/ftl/x.py", self.NOTIFYING)
+        assert findings == []
+
+    def test_scrub_wordline_covered(self, tmp_path):
+        findings = _lint(
+            tmp_path,
+            "repro/ftl/x.py",
+            """
+            class Ftl:
+                def scrub_it(self, chip_id, block, wl):
+                    self.chips[chip_id].scrub_wordline(block, wl)
+                    self.timing.scrub(chip_id)
+                    self.stats.scrubs += 1
+            """,
+        )
+        assert _ids(findings) == ["SIM05"]
+
+    def test_outside_ftl_dir_not_scoped(self, tmp_path):
+        findings = _lint(tmp_path, "repro/core/x.py", self.SILENT)
+        assert "SIM05" not in _ids(findings)

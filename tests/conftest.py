@@ -5,8 +5,17 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.checkers.sanitizer import set_default_checked
 from repro.flash.geometry import CellType, Geometry
 from repro.ssd.config import SSDConfig
+
+# The whole suite runs under the runtime invariant sanitizer: every FTL
+# constructed without an explicit ``checked=`` argument gets a shadow
+# checker attached.  Event-level checks (status transitions, pending
+# sanitizes, fresh-sanitize probes) run on every batch; the O(device)
+# full pass (bijection, block counters, probe-all) runs every 13th batch
+# to keep the suite fast while still exercising it thousands of times.
+set_default_checked(True, interval=13)
 
 
 @pytest.fixture

@@ -7,8 +7,6 @@ that failure mode on the full chip, and that the paper's selected design
 does not exhibit it.
 """
 
-import pytest
-
 from repro.core.evanesco_chip import EvanescoChip, US_PER_DAY
 from repro.core.flag_cells import PulseSettings
 from repro.flash.chip import ZERO_DATA

@@ -7,7 +7,6 @@ from hypothesis import given, settings, strategies as st
 from repro.flash.geometry import CellType, PageRole
 from repro.flash.vth import (
     StressState,
-    VthModel,
     VthParams,
     default_params,
     model_for,

@@ -1,0 +1,102 @@
+"""Property tests: StatusTable transition legality and counter coherence.
+
+A stateful hypothesis machine drives the table through random legal and
+illegal transitions against a plain-list model, checking that
+
+* exactly the model-legal transitions are accepted (FREE -> VALID/
+  SECURED -> INVALID -> FREE and nothing else), and
+* the per-block live/secured/invalid counters always equal a recount.
+
+This is the static counterpart of the runtime sanitizer's shadow-table
+check: if these properties hold, any divergence the sanitizer reports
+must come from an FTL mutating state outside the transition methods.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.ftl.page_status import PageStatus, StatusTable
+
+PAGES_PER_BLOCK = 6
+N_BLOCKS = 4
+PAGES = PAGES_PER_BLOCK * N_BLOCKS
+
+
+class StatusTableMachine(RuleBasedStateMachine):
+    def __init__(self) -> None:
+        super().__init__()
+        self.table = StatusTable(PAGES, PAGES_PER_BLOCK)
+        self.model = [PageStatus.FREE] * PAGES
+
+    # ------------------------------------------------------------------
+    @rule(gppa=st.integers(0, PAGES - 1), secure=st.booleans())
+    def write(self, gppa: int, secure: bool) -> None:
+        if self.model[gppa] is PageStatus.FREE:
+            self.table.set_written(gppa, secure)
+            self.model[gppa] = (
+                PageStatus.SECURED if secure else PageStatus.VALID
+            )
+        else:
+            with pytest.raises(ValueError):
+                self.table.set_written(gppa, secure)
+
+    @rule(gppa=st.integers(0, PAGES - 1))
+    def invalidate(self, gppa: int) -> None:
+        prev = self.model[gppa]
+        if prev in (PageStatus.VALID, PageStatus.SECURED):
+            assert self.table.set_invalid(gppa) is prev
+            self.model[gppa] = PageStatus.INVALID
+        else:
+            with pytest.raises(ValueError):
+                self.table.set_invalid(gppa)
+
+    @rule(block_id=st.integers(0, N_BLOCKS - 1))
+    def erase(self, block_id: int) -> None:
+        # erase is legal from any mix of page states
+        self.table.set_erased_block(block_id)
+        base = block_id * PAGES_PER_BLOCK
+        for gppa in range(base, base + PAGES_PER_BLOCK):
+            self.model[gppa] = PageStatus.FREE
+
+    # ------------------------------------------------------------------
+    @invariant()
+    def statuses_match_model(self) -> None:
+        for gppa in range(PAGES):
+            assert self.table.get(gppa) is self.model[gppa]
+
+    @invariant()
+    def counters_match_recount(self) -> None:
+        for block_id in range(N_BLOCKS):
+            base = block_id * PAGES_PER_BLOCK
+            states = self.model[base : base + PAGES_PER_BLOCK]
+            live = sum(
+                1
+                for s in states
+                if s in (PageStatus.VALID, PageStatus.SECURED)
+            )
+            secured = sum(1 for s in states if s is PageStatus.SECURED)
+            invalid = sum(1 for s in states if s is PageStatus.INVALID)
+            assert self.table.live_count(block_id) == live
+            assert self.table.secured_count(block_id) == secured
+            assert self.table.invalid_count(block_id) == invalid
+
+    @invariant()
+    def live_pages_listing_consistent(self) -> None:
+        for block_id in range(N_BLOCKS):
+            listed = self.table.live_pages(block_id)
+            assert len(listed) == self.table.live_count(block_id)
+            for gppa in listed:
+                assert self.model[gppa] in (
+                    PageStatus.VALID,
+                    PageStatus.SECURED,
+                )
+
+
+TestStatusTableStateMachine = StatusTableMachine.TestCase
+TestStatusTableStateMachine.settings = settings(
+    max_examples=60, stateful_step_count=40, deadline=None
+)

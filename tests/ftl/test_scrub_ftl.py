@@ -86,7 +86,6 @@ class TestRelocationCosts:
     def test_gc_victim_wordlines_scrubbed_without_relocation(self, ftl, tiny_config):
         rng = random.Random(1)
         span = int(tiny_config.logical_pages * 0.8)
-        before_copies = None
         for _ in range(tiny_config.physical_pages * 2):
             ftl.submit(write(rng.randrange(span), secure=True))
         assert ftl.stats.gc_invocations > 0

@@ -106,9 +106,6 @@ class TestPhysicalEvents:
         rep.replay([write("f", 0, 2)])
         assert len(vt.file_state(fid).invalid) == 2
         # churn until GC erases the stale block
-        import random
-
-        rng = random.Random(0)
         rep.replay([create("x"), append("x", 1)])
         for i in range(tiny_config.physical_pages * 2):
             rep.replay([write("x", 0, 1)])

@@ -29,6 +29,22 @@ class TestParser:
         assert (args.blocks, args.wordlines, args.seed) == (10, 8, 9)
         assert args.multiplier == 0.5
 
+    def test_lint_options(self):
+        args = build_parser().parse_args(["lint", "a.py", "b.py", "--no-hints"])
+        assert args.command == "lint"
+        assert args.paths == ["a.py", "b.py"]
+        assert args.no_hints
+
+    def test_check_options(self):
+        args = build_parser().parse_args(
+            ["check", "--variants", "secSSD", "--workloads", "Mobile",
+             "--interval", "7", "--blocks", "8"]
+        )
+        assert args.command == "check"
+        assert args.variants == ["secSSD"]
+        assert args.workloads == ["Mobile"]
+        assert (args.interval, args.blocks) == (7, 8)
+
 
 class TestExecution:
     def test_fig9(self, capsys):
@@ -70,3 +86,33 @@ class TestExecution:
         )
         assert code == 0
         assert "DBServer" in capsys.readouterr().out
+
+    def test_lint_shipped_tree_clean(self, capsys):
+        assert main(["lint"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_lint_flags_violations_with_exit_one(self, tmp_path, capsys):
+        bad = tmp_path / "repro" / "flash" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("def f(x):\n    return x == 1.0\n", encoding="utf-8")
+        assert main(["lint", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "SIM04" in out and "bad.py:2" in out
+
+    def test_check_small(self, capsys):
+        code = main(
+            ["check", "--blocks", "8", "--wordlines", "4",
+             "--multiplier", "0.2", "--interval", "11",
+             "--variants", "secSSD", "--workloads", "Mobile"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ok   secSSD/Mobile" in out and "clean" in out
+
+    def test_check_unknown_variant_rejected(self, capsys):
+        assert main(["check", "--variants", "nopeSSD"]) == 2
+        assert "unknown variant" in capsys.readouterr().out
+
+    def test_lint_missing_path_clean_error(self, capsys):
+        assert main(["lint", "/definitely/not/there.py"]) == 2
+        assert "not a python file or directory" in capsys.readouterr().out
