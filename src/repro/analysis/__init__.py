@@ -28,12 +28,27 @@ from repro.analysis.tables import (
     format_table1,
     render_table,
 )
+from repro.analysis.torture import (
+    DEFAULT_RATES,
+    TORTURE_VARIANTS,
+    TortureCase,
+    TortureScorecard,
+    run_power_loss_case,
+    run_rate_case,
+    run_torture,
+    stale_secured_exposures,
+    torture_requests,
+)
 
 __all__ = [
     "AreaOverhead",
+    "DEFAULT_RATES",
     "FIGURE14_VARIANTS",
     "FIGURE14_WORKLOADS",
     "Figure14Result",
+    "TORTURE_VARIANTS",
+    "TortureCase",
+    "TortureScorecard",
     "LatencyOverhead",
     "LifetimeEstimate",
     "WearStats",
@@ -45,9 +60,14 @@ __all__ = [
     "format_table1",
     "render_table",
     "run_figure14",
+    "run_power_loss_case",
+    "run_rate_case",
     "run_secure_fraction_sweep",
     "run_timeplot_study",
+    "run_torture",
     "run_versioning_study",
     "run_workload_on_variant",
+    "stale_secured_exposures",
     "summarize_overheads",
+    "torture_requests",
 ]

@@ -1,0 +1,437 @@
+"""Crash/fault torture harness and machine-readable robustness scorecard.
+
+The acceptance test for the :mod:`repro.faults` subsystem: every FTL
+variant must *survive* every injectable fault kind -- complete the
+workload, keep the runtime sanitizer's invariants, and leave no readable
+stale secured page at the attacker boundary -- and must recover from a
+power cut at **any** operation boundary.
+
+Three sweeps, all fully deterministic (one seed drives the workload and
+every fault decision; re-running with the same arguments produces a
+byte-identical scorecard):
+
+* **rate sweep** -- each fault kind at each configured per-op
+  probability, plus *forced* lock failures (pLock and/or bLock at
+  rate 1.0) for the Evanesco variants, which must push the fallback
+  chain all the way down without losing the sanitization guarantee;
+* **power-loss sweep** -- one run per operation boundary in a window,
+  each cut mid-flight, recovered with
+  :class:`~repro.ftl.recovery.PowerLossRecovery`, invariant-checked,
+  leak-checked, and then driven with fresh post-recovery traffic;
+* **leak check** -- :func:`stale_secured_exposures` plays the Section 5.1
+  forensic attacker against the raw chip dumps: any readable (and, for
+  cryptSSD, decryptable) secured page whose version is no longer live is
+  an exposure.
+
+The only excused exposures after a power cut are pages whose
+invalidating request was *in flight* when power died: the host was never
+acknowledged, so no sanitization promise exists for them yet (they are
+reported per-case as ``exempt``); they are destroyed when their blocks
+are reclaimed, like any stale data.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+
+from repro.checkers.sanitizer import InvariantViolation
+from repro.faults import FaultKind, FaultPlan
+from repro.flash.errors import FlashError, PowerLossInjected
+from repro.ftl.mapping import UNMAPPED
+from repro.ftl.recovery import PowerLossRecovery
+from repro.ssd.config import SSDConfig
+from repro.ssd.device import SSD
+from repro.ssd.request import IoRequest, read, trim, write
+
+#: variant order used across torture outputs.
+TORTURE_VARIANTS = (
+    "baseline",
+    "erSSD",
+    "scrSSD",
+    "secSSD_nobLock",
+    "secSSD",
+    "cryptSSD",
+)
+
+#: fault kinds exercised by the rate sweep on every variant.
+COMMON_KINDS = (
+    FaultKind.READ_UNCORRECTABLE,
+    FaultKind.PROGRAM_FAIL,
+    FaultKind.ERASE_FAIL,
+)
+
+#: variants that issue lock commands (and so can see lock faults).
+LOCKING_VARIANTS = ("secSSD_nobLock", "secSSD")
+
+#: per-op fault probabilities of the default rate sweep.
+DEFAULT_RATES = (1e-3, 1e-2)
+
+
+# ---------------------------------------------------------------------------
+# deterministic torture workload
+# ---------------------------------------------------------------------------
+def torture_requests(
+    n_requests: int,
+    logical_pages: int,
+    seed: int,
+    secure_fraction: float = 0.8,
+) -> list[IoRequest]:
+    """A seeded churn mix: mostly writes (hot-skewed), reads, trims.
+
+    Writes span 1-4 pages so the stream fills blocks at a realistic
+    clip; 70 % of requests target the hottest quarter of the address
+    space so update invalidations (the sanitization triggers) dominate.
+    """
+    rng = random.Random(seed)
+    hot = max(1, logical_pages // 4)
+    out: list[IoRequest] = []
+    for _ in range(n_requests):
+        span = min(rng.randint(1, 4), logical_pages)
+        base = hot if rng.random() < 0.7 else logical_pages
+        lpa = rng.randrange(max(1, base - span + 1))
+        roll = rng.random()
+        if roll < 0.70:
+            out.append(write(lpa, span, secure=rng.random() < secure_fraction))
+        elif roll < 0.85:
+            out.append(read(lpa, span))
+        else:
+            out.append(trim(lpa, span))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# the attacker-boundary leak check
+# ---------------------------------------------------------------------------
+def stale_secured_exposures(ssd: SSD) -> list[int]:
+    """Global PPAs of readable secured pages whose version is dead.
+
+    Plays the forensic attacker: walk every chip's raw dump (which
+    honours the on-chip AP logic -- locked pages are simply absent),
+    keep pages whose spare says ``secure``, excuse the live copy itself
+    and same-sequence duplicates of a still-live version (a GC source
+    whose version the host can legitimately still read), and -- for
+    key-deletion designs -- excuse ciphertext that no longer decrypts.
+    Whatever remains is recoverable stale secured data: an exposure.
+
+    Variants with ``sanitize_scope == "none"`` promise nothing, so the
+    check is vacuous for them by definition.
+    """
+    ftl = ssd.ftl
+    if getattr(ftl, "sanitize_scope", "none") == "none":
+        return []
+    decrypt = getattr(ftl, "decrypt", None)
+    leaks: list[int] = []
+    for chip_id, chip in enumerate(ftl.chips):
+        for ppn, payload in chip.raw_dump().items():
+            block_index, offset = ftl.geometry.split_ppn(ppn)
+            spare = chip.blocks[block_index].pages[offset].spare or {}
+            if not spare.get("secure"):
+                continue
+            gppa = ftl.make_gppa(chip_id, ppn)
+            lpa = int(spare.get("lpa", -1))
+            live_gppa = (
+                ftl.l2p.lookup(lpa)
+                if 0 <= lpa < ftl.config.logical_pages
+                else UNMAPPED
+            )
+            if live_gppa == gppa:
+                continue  # the live copy itself
+            if live_gppa != UNMAPPED:
+                live_chip, live_ppn = ftl.split_gppa(live_gppa)
+                live_block, live_off = ftl.geometry.split_ppn(live_ppn)
+                live_spare = (
+                    ftl.chips[live_chip]
+                    .blocks[live_block]
+                    .pages[live_off]
+                    .spare
+                    or {}
+                )
+                if live_spare.get("seq") == spare.get("seq"):
+                    continue  # same version is still live (GC duplicate)
+            if decrypt is not None and decrypt(payload) is None:
+                continue  # ciphertext whose key was deleted
+            leaks.append(gppa)
+    return sorted(leaks)
+
+
+# ---------------------------------------------------------------------------
+# scorecard structures
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class TortureCase:
+    """Outcome of one torture run (one variant under one fault plan)."""
+
+    variant: str
+    kind: str      # fault-kind value or "power_loss"
+    detail: str    # e.g. "rate=0.01", "forced", "op=137"
+    outcome: str   # "PASS" | "SKIP: ..." | "FAIL: ..."
+    robustness: dict[str, int] = field(default_factory=dict)
+    injected: dict[str, int] = field(default_factory=dict)
+    exempt: int = 0  # in-flight pages excused by a power cut
+
+    @property
+    def passed(self) -> bool:
+        return not self.outcome.startswith("FAIL")
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "variant": self.variant,
+            "kind": self.kind,
+            "detail": self.detail,
+            "outcome": self.outcome,
+            "robustness": dict(self.robustness),
+            "injected": dict(self.injected),
+            "exempt": self.exempt,
+        }
+
+
+@dataclass
+class TortureScorecard:
+    """Every case of one torture invocation, JSON-serializable."""
+
+    seed: int
+    cases: list[TortureCase] = field(default_factory=list)
+
+    @property
+    def failures(self) -> list[TortureCase]:
+        return [case for case in self.cases if not case.passed]
+
+    @property
+    def passed(self) -> bool:
+        return not self.failures
+
+    def to_json(self) -> str:
+        """Deterministic JSON: same seed + schedule -> identical bytes."""
+        return json.dumps(
+            {
+                "seed": self.seed,
+                "passed": self.passed,
+                "n_cases": len(self.cases),
+                "n_failures": len(self.failures),
+                "cases": [case.to_dict() for case in self.cases],
+            },
+            sort_keys=True,
+            indent=2,
+        )
+
+    def format(self) -> str:
+        """Human-readable per-case lines plus a verdict."""
+        lines = []
+        for case in self.cases:
+            mark = "ok  " if case.passed else "FAIL"
+            faults = sum(case.injected.values())
+            lines.append(
+                f"{mark} {case.variant:<14} {case.kind:<11} "
+                f"{case.detail:<12} faults={faults:<4} {case.outcome}"
+            )
+        verdict = "PASS" if self.passed else "FAIL"
+        lines.append(
+            f"torture: {verdict} "
+            f"({len(self.cases)} cases, {len(self.failures)} failure(s), "
+            f"seed {self.seed})"
+        )
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# case runners
+# ---------------------------------------------------------------------------
+def _case_result(
+    ssd: SSD, variant: str, kind: str, detail: str, outcome: str, exempt: int = 0
+) -> TortureCase:
+    injector = ssd.ftl.fault_injector
+    injected = (
+        {k.value: n for k, n in injector.injected.items()}
+        if injector is not None
+        else {}
+    )
+    return TortureCase(
+        variant=variant,
+        kind=kind,
+        detail=detail,
+        outcome=outcome,
+        robustness=ssd.stats.robustness(),
+        injected=injected,
+        exempt=exempt,
+    )
+
+
+def run_rate_case(
+    config: SSDConfig,
+    variant: str,
+    plan: FaultPlan,
+    kind_label: str,
+    detail: str,
+    n_requests: int,
+    seed: int,
+) -> TortureCase:
+    """One fault-rate run: replay, full-check, leak-check."""
+    ssd = SSD(config, variant=variant, seed=seed, checked=True, faults=plan)
+    requests = torture_requests(n_requests, config.logical_pages, seed)
+    try:
+        for request in requests:
+            ssd.submit(request)
+        sanitizer = ssd.ftl._sanitizer
+        if sanitizer is not None:
+            sanitizer.full_check()
+        leaks = stale_secured_exposures(ssd)
+        outcome = (
+            "PASS"
+            if not leaks
+            else (
+                f"FAIL: {len(leaks)} readable stale secured page(s), "
+                f"e.g. gppa {leaks[:4]}"
+            )
+        )
+    except (InvariantViolation, FlashError, RuntimeError) as exc:
+        outcome = f"FAIL: {type(exc).__name__}: {exc}"
+    return _case_result(ssd, variant, kind_label, detail, outcome)
+
+
+def run_power_loss_case(
+    config: SSDConfig,
+    variant: str,
+    op_index: int,
+    n_requests: int,
+    seed: int,
+    post_requests: int = 24,
+) -> TortureCase:
+    """Cut power at one op boundary, recover, verify, keep serving."""
+    plan = FaultPlan.power_loss_at(op_index, seed=seed)
+    ssd = SSD(config, variant=variant, seed=seed, checked=True, faults=plan)
+    requests = torture_requests(n_requests, config.logical_pages, seed)
+    tripped = False
+    try:
+        for request in requests:
+            ssd.submit(request)
+    except PowerLossInjected:
+        tripped = True
+    except (InvariantViolation, FlashError, RuntimeError) as exc:
+        return _case_result(
+            ssd,
+            variant,
+            "power_loss",
+            f"op={op_index}",
+            f"FAIL: pre-cut {type(exc).__name__}: {exc}",
+        )
+    if not tripped:
+        return _case_result(
+            ssd,
+            variant,
+            "power_loss",
+            f"op={op_index}",
+            "SKIP: run ended before the scheduled boundary",
+        )
+    sanitizer = ssd.ftl._sanitizer
+    # pages whose invalidating request was still in flight: the host was
+    # never acknowledged, so they carry no sanitization promise yet
+    exempt = (
+        set(sanitizer._pending) | set(sanitizer._fresh)
+        if sanitizer is not None
+        else set()
+    )
+    recovery = PowerLossRecovery(ssd.ftl)
+    recovery.simulate_power_loss()
+    try:
+        recovery.recover()
+        if sanitizer is not None:
+            sanitizer.full_check()
+        leaks = [g for g in stale_secured_exposures(ssd) if g not in exempt]
+        if leaks:
+            return _case_result(
+                ssd,
+                variant,
+                "power_loss",
+                f"op={op_index}",
+                f"FAIL: {len(leaks)} exposure(s) after recovery, "
+                f"e.g. gppa {leaks[:4]}",
+                exempt=len(exempt),
+            )
+        # the recovered device must still serve and still hold invariants
+        for request in torture_requests(
+            post_requests, config.logical_pages, seed + 9973
+        ):
+            ssd.submit(request)
+        if sanitizer is not None:
+            sanitizer.full_check()
+        post_leaks = [
+            g for g in stale_secured_exposures(ssd) if g not in exempt
+        ]
+        outcome = (
+            "PASS"
+            if not post_leaks
+            else (
+                f"FAIL: {len(post_leaks)} exposure(s) after post-recovery "
+                f"traffic, e.g. gppa {post_leaks[:4]}"
+            )
+        )
+    except (InvariantViolation, FlashError, RuntimeError) as exc:
+        outcome = f"FAIL: recovery {type(exc).__name__}: {exc}"
+    return _case_result(
+        ssd, variant, "power_loss", f"op={op_index}", outcome, exempt=len(exempt)
+    )
+
+
+# ---------------------------------------------------------------------------
+# the full torture sweep
+# ---------------------------------------------------------------------------
+def run_torture(
+    config: SSDConfig,
+    variants: tuple[str, ...] = TORTURE_VARIANTS,
+    seed: int = 1,
+    n_requests: int = 700,
+    rates: tuple[float, ...] = DEFAULT_RATES,
+    window_start: int = 0,
+    window: int = 200,
+) -> TortureScorecard:
+    """Rate sweep + forced lock failures + power-loss window sweep."""
+    card = TortureScorecard(seed=seed)
+    for variant in variants:
+        kinds = list(COMMON_KINDS)
+        if variant in LOCKING_VARIANTS:
+            kinds += [FaultKind.PLOCK_FAIL, FaultKind.BLOCK_LOCK_FAIL]
+        for kind in kinds:
+            for rate in rates:
+                card.cases.append(
+                    run_rate_case(
+                        config,
+                        variant,
+                        FaultPlan.single(kind, rate, seed=seed),
+                        kind.value,
+                        f"rate={rate:g}",
+                        n_requests,
+                        seed,
+                    )
+                )
+        if variant in LOCKING_VARIANTS:
+            # forced failures: the verify-retry loop must exhaust and the
+            # fallback chain must still deliver the guarantee
+            forced = [
+                ({FaultKind.PLOCK_FAIL: 1.0}, "plock"),
+                ({FaultKind.BLOCK_LOCK_FAIL: 1.0}, "block_lock"),
+                (
+                    {FaultKind.PLOCK_FAIL: 1.0, FaultKind.BLOCK_LOCK_FAIL: 1.0},
+                    "plock+block_lock",
+                ),
+            ]
+            for rate_map, label in forced:
+                card.cases.append(
+                    run_rate_case(
+                        config,
+                        variant,
+                        FaultPlan.from_rates(rate_map, seed=seed),
+                        label,
+                        "forced",
+                        n_requests,
+                        seed,
+                    )
+                )
+        for op_index in range(window_start, window_start + window):
+            card.cases.append(
+                run_power_loss_case(
+                    config, variant, op_index, n_requests, seed
+                )
+            )
+    return card

@@ -1,4 +1,4 @@
-"""The domain rule catalogue (SIM01..SIM05).
+"""The domain rule catalogue (SIM01..SIM06).
 
 Each rule lives in its own module and encodes one simulator invariant:
 
@@ -11,7 +11,9 @@ Each rule lives in its own module and encodes one simulator invariant:
 * ``SIM04`` (:mod:`.float_eq`) -- no float-literal ``==``/``!=`` in the
   ``flash/`` reliability math;
 * ``SIM05`` (:mod:`.observers`) -- every sanitize call site notifies
-  the observer via ``on_sanitize``.
+  the observer via ``on_sanitize``;
+* ``SIM06`` (:mod:`.fault_handling`) -- no flash error is caught and
+  swallowed without accounting (raise, stats, or exception use).
 
 Suppress a rule on one line with ``# lint: disable=SIM0x``.
 """
@@ -19,6 +21,7 @@ Suppress a rule on one line with ``# lint: disable=SIM0x``.
 from repro.checkers.rules.accounting import LockAccountingRule
 from repro.checkers.rules.determinism import UnseededRandomnessRule
 from repro.checkers.rules.encapsulation import StatusTableEncapsulationRule
+from repro.checkers.rules.fault_handling import SwallowedFlashErrorRule
 from repro.checkers.rules.float_eq import FloatEqualityRule
 from repro.checkers.rules.observers import SanitizeObserverRule
 
@@ -29,6 +32,7 @@ ALL_RULES = (
     UnseededRandomnessRule,
     FloatEqualityRule,
     SanitizeObserverRule,
+    SwallowedFlashErrorRule,
 )
 
 RULES_BY_ID = {cls.rule_id: cls for cls in ALL_RULES}
@@ -40,5 +44,6 @@ __all__ = [
     "LockAccountingRule",
     "SanitizeObserverRule",
     "StatusTableEncapsulationRule",
+    "SwallowedFlashErrorRule",
     "UnseededRandomnessRule",
 ]

@@ -1,0 +1,97 @@
+"""SIM06: no silently swallowed flash errors.
+
+Fault tolerance lives or dies on *accounted* failure handling: every
+flash-level exception an FTL path absorbs (:class:`FlashError` or one of
+its recoverable subclasses) must leave a trace -- re-raise, bump a
+``stats`` counter, or at least inspect the bound exception.  An
+``except UncorrectableError: pass`` hides a data-loss event from the
+robustness scorecard and from the torture harness's determinism checks,
+and is exactly the bug class the grown-bad/retry machinery exists to
+avoid.
+
+A handler is flagged when it catches one of the flash error names and
+its body contains none of:
+
+* a ``raise`` (re-raise or translate),
+* an attribute chain through ``stats`` (failure accounting),
+* a use of the bound exception name (``except FlashError as exc: ...``).
+
+``PowerLossInjected`` is deliberately not in the list: it is not a
+:class:`FlashError` and catching it at all (outside the torture harness)
+is a bug this rule cannot see -- the type system handles it instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.checkers.lint import FileContext, Finding, LintRule, attr_tail
+
+#: flash exception names whose handlers must account for the failure.
+FLASH_ERROR_NAMES = frozenset(
+    {
+        "FlashError",
+        "UncorrectableError",
+        "ProgramFailError",
+        "EraseFailError",
+        "WearOutError",
+    }
+)
+
+
+def _caught_names(handler: ast.ExceptHandler) -> set[str]:
+    """Exception class names a handler catches (bare except: empty)."""
+    node = handler.type
+    if node is None:
+        return set()
+    parts = node.elts if isinstance(node, ast.Tuple) else [node]
+    names: set[str] = set()
+    for part in parts:
+        tail = attr_tail(part)
+        if tail:
+            names.add(tail[-1])
+    return names
+
+
+def _accounts_for_failure(handler: ast.ExceptHandler) -> bool:
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Attribute) and node.attr == "stats":
+            return True
+        if (
+            handler.name is not None
+            and isinstance(node, ast.Name)
+            and isinstance(node.ctx, ast.Load)
+            and node.id == handler.name
+        ):
+            return True
+    return False
+
+
+class SwallowedFlashErrorRule(LintRule):
+    rule_id = "SIM06"
+    severity = "error"
+    description = (
+        "flash error caught and swallowed without accounting "
+        "(no raise, no stats update, no use of the bound exception)"
+    )
+    hint = (
+        "re-raise, bump a stats counter (e.g. self.stats.read_failures), "
+        "or inspect the bound exception in the handler body"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            caught = _caught_names(node) & FLASH_ERROR_NAMES
+            if not caught or _accounts_for_failure(node):
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                f"handler for {', '.join(sorted(caught))} swallows the "
+                "failure without accounting",
+            )

@@ -378,17 +378,24 @@ class FtlSanitizer:
     def _probe(self, gppa: int, method: str) -> None:
         """Read a sanitized stale copy and assert it is unreadable.
 
-        Probe reads restore the chip's operation counters so that a
-        checked run reports identical statistics to an unchecked one.
+        Probe reads restore the chip's operation counters -- and run with
+        fault injection suspended -- so that a checked run reports
+        identical statistics *and* an identical fault sequence to an
+        unchecked one.
         """
         self.probes += 1
         ftl = self.ftl
         chip_id, ppn = ftl.split_gppa(gppa)
         chip = ftl.chips[chip_id]
+        injector = getattr(ftl, "fault_injector", None)
         saved_reads = chip.stats.reads
         saved_busy = chip.stats.busy_time_us
         try:
-            result = chip.read_page(ppn)
+            if injector is not None:
+                with injector.suspended():
+                    result = chip.read_page(ppn)
+            else:
+                result = chip.read_page(ppn)
         finally:
             chip.stats.reads = saved_reads
             chip.stats.busy_time_us = saved_busy

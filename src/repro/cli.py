@@ -14,10 +14,11 @@ Usage::
 Common options: ``--blocks``, ``--wordlines`` (device scale), ``--seed``,
 ``--multiplier`` (steady-state writes as a multiple of capacity).
 
-Two maintenance commands ship with the simulator itself::
+Three maintenance commands ship with the simulator itself::
 
-    python -m repro lint                   # static domain lint (SIM01-SIM05)
+    python -m repro lint                   # static domain lint (SIM01-SIM06)
     python -m repro check                  # runtime invariant sanitizer run
+    python -m repro torture                # fault-injection robustness sweep
 """
 
 from __future__ import annotations
@@ -161,10 +162,33 @@ def cmd_scorecard(args: argparse.Namespace) -> None:
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
-    """Static domain lint (SIM01-SIM05) over the simulator sources."""
+    """Static domain lint (SIM01-SIM06) over the simulator sources."""
     from repro.checkers.lint import run_lint
 
     return run_lint(args.paths, show_hints=not args.no_hints)
+
+
+def cmd_torture(args: argparse.Namespace) -> int:
+    """Fault-injection torture sweep with a robustness scorecard."""
+    from repro.analysis.torture import TORTURE_VARIANTS, run_torture
+    from repro.ftl import FTL_VARIANTS
+
+    variants = tuple(args.variants or TORTURE_VARIANTS)
+    unknown = [v for v in variants if v not in FTL_VARIANTS]
+    if unknown:
+        print(f"unknown variant(s) {unknown}; choose from {sorted(FTL_VARIANTS)}")
+        return 2
+    card = run_torture(
+        _config(args),
+        variants=variants,
+        seed=args.seed,
+        n_requests=args.ops,
+        rates=tuple(args.rates),
+        window_start=args.window_start,
+        window=args.window,
+    )
+    print(card.to_json() if args.json else card.format())
+    return 0 if card.passed else 1
 
 
 def cmd_check(args: argparse.Namespace) -> int:
@@ -221,6 +245,7 @@ COMMANDS = {
     "scorecard": cmd_scorecard,
     "lint": cmd_lint,
     "check": cmd_check,
+    "torture": cmd_torture,
 }
 
 
@@ -242,12 +267,41 @@ def build_parser() -> argparse.ArgumentParser:
     for name in sorted(COMMANDS):
         if name == "lint":
             p = sub.add_parser(
-                name, help="static domain lint (rules SIM01-SIM05)"
+                name, help="static domain lint (rules SIM01-SIM06)"
             )
             p.add_argument("paths", nargs="*", default=None,
                            help="files/dirs to lint (default: the package)")
             p.add_argument("--no-hints", action="store_true",
                            help="omit fix hints from the report")
+        elif name == "torture":
+            p = sub.add_parser(
+                name,
+                help="fault-injection robustness sweep + scorecard",
+            )
+            # own scale options (not the shared parent: different
+            # defaults, and set_defaults on shared actions would leak
+            # into every other subcommand): a small device so the
+            # request stream actually reaches GC/lazy-erase activity
+            p.add_argument("--blocks", type=int, default=12,
+                           help="blocks per chip (device scale)")
+            p.add_argument("--wordlines", type=int, default=4,
+                           help="wordlines per block (device scale)")
+            p.add_argument("--seed", type=int, default=1)
+            p.add_argument("--variants", nargs="*", default=None,
+                           help="FTL variants to torture (default: all)")
+            # 700 requests overwrite the default 12x4 device's capacity,
+            # so the rate sweep reaches GC and lazy-erase activity
+            p.add_argument("--ops", type=int, default=700,
+                           help="host requests per torture case")
+            p.add_argument("--rates", nargs="*", type=float,
+                           default=[1e-3, 1e-2],
+                           help="per-op fault probabilities for the sweep")
+            p.add_argument("--window", type=int, default=200,
+                           help="power-loss boundaries to sweep per variant")
+            p.add_argument("--window-start", type=int, default=0,
+                           help="first op index of the power-loss window")
+            p.add_argument("--json", action="store_true",
+                           help="emit the machine-readable scorecard")
         elif name == "check":
             p = sub.add_parser(
                 name, parents=[scale],

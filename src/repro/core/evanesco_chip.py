@@ -74,9 +74,17 @@ class EvanescoChip(FlashChip):
 
         The pulse also counts as one inhibited-program disturb event on
         the page's wordline (the Figure 9(b) reliability coupling).
+
+        An injected lock failure models flag-cell majority loss: the
+        pulse is issued (disturb and accounting happen) but no flag cell
+        reaches the programmed state, so the k=9 majority circuit still
+        reads *enabled*.  Callers verify via :meth:`page_locked`; the
+        pulse is re-appliable, so retrying re-programs missed cells.
         """
+        failed = self._begin_op("plock")
         block_index, page_offset = self.geometry.split_ppn(ppn)
-        self._pap[block_index].lock(page_offset, day=self._day(now))
+        if not failed:
+            self._pap[block_index].lock(page_offset, day=self._day(now))
         wl = self.geometry.wordline_of(page_offset)
         self.blocks[block_index].record_wl_disturb(wl)
         self.stats.plocks += 1
@@ -84,9 +92,16 @@ class EvanescoChip(FlashChip):
         return self.t_plock_us
 
     def block_lock(self, block_index: int, now: float = 0.0) -> float:
-        """Lock a whole block: program its SSL cells; returns latency."""
+        """Lock a whole block: program its SSL cells; returns latency.
+
+        Injected failures mirror :meth:`plock`: the pulse costs time but
+        leaves the SSL cells below the disable threshold, so callers
+        must verify with :meth:`block_locked`.
+        """
+        failed = self._begin_op("block_lock")
         self.geometry.check_block(block_index)
-        self._bap[block_index].lock(day=self._day(now))
+        if not failed:
+            self._bap[block_index].lock(day=self._day(now))
         self.stats.blocks_locked += 1
         self.stats.busy_time_us += self.t_block_lock_us
         return self.t_block_lock_us
@@ -112,7 +127,13 @@ class EvanescoChip(FlashChip):
         A locked target returns all-zero data with ``blocked=True``; with
         ``strict=True`` the locked read raises instead, which tests and
         auditors use to assert enforcement.
+
+        The fault boundary is consulted exactly once per read, here: a
+        blocked read deterministically outputs zeros (the AP check gates
+        sensing), so an injected transient failure only applies when the
+        data path is actually sensed.
         """
+        fail = self._begin_op("read")
         block_index, page_offset = self.geometry.split_ppn(ppn)
         day = self._day(now)
         if self._bap[block_index].is_disabled(day):
@@ -127,7 +148,7 @@ class EvanescoChip(FlashChip):
             if strict:
                 raise LockedPageError(f"ppn {ppn} is pLocked")
             return ReadResult(ZERO_DATA, {}, self.t_read_us, blocked=True)
-        return super().read_page(ppn, now)
+        return self._sense_page(ppn, fail)
 
     def erase_block(self, block_index: int, now: float = 0.0) -> float:
         """Erase resets both pAP and bAP flags (the only unlock path)."""

@@ -1,0 +1,191 @@
+"""Seeded, deterministic fault injection for the flash substrate.
+
+The simulator's chips are perfect by default; this module makes them
+fallible in the ways the paper's reliability machinery exists for:
+
+* **transient uncorrectable reads** -- the read senses more raw bit
+  errors than the ECC corrects (retrying re-senses and may succeed);
+* **program failures** -- the pulse train status-fails, tearing the
+  target page (Section 2's standard remap-and-retire response);
+* **erase failures** -- the erase status-fails with data intact (the
+  classic grown-bad-block trigger);
+* **pLock / bLock failures** -- the lock pulse costs time but no flag
+  cell reaches the programmed state, i.e. the k=9 pAP majority circuit
+  (Section 4.1) or the SSL threshold (Section 4.2) still reads
+  *enabled*; callers must verify and retry or escalate;
+* **power loss** -- the run is cut at an arbitrary operation boundary
+  (mid-program tears the page), after which only chip-resident state
+  survives and :class:`~repro.ftl.recovery.PowerLossRecovery` applies.
+
+One :class:`FaultInjector` is shared by every chip of a device and is
+installed as each chip's ``fault_hook``; the chip consults it once per
+command via ``on_op``.  Decisions come from a single seeded RNG plus an
+explicit ``(op_index, kind)`` schedule, so every failure is replayable:
+the same :class:`FaultPlan` against the same request stream injects the
+same faults at the same operations, byte for byte.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterator, Mapping
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.flash.chip import FAULT_FAIL, FAULT_POWER_LOSS
+
+
+class FaultKind(Enum):
+    """Injectable fault classes (values are the scorecard spellings)."""
+
+    READ_UNCORRECTABLE = "read"
+    PROGRAM_FAIL = "program"
+    ERASE_FAIL = "erase"
+    PLOCK_FAIL = "plock"
+    BLOCK_LOCK_FAIL = "block_lock"
+    POWER_LOSS = "power_loss"
+
+
+#: chip-op name -> the fault kind that can fail it (power loss applies
+#: to every op; scrub pulses have no modelled failure mode).
+OP_FAULTS: dict[str, FaultKind | None] = {
+    "read": FaultKind.READ_UNCORRECTABLE,
+    "program": FaultKind.PROGRAM_FAIL,
+    "erase": FaultKind.ERASE_FAIL,
+    "plock": FaultKind.PLOCK_FAIL,
+    "block_lock": FaultKind.BLOCK_LOCK_FAIL,
+    "scrub": None,
+}
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Immutable description of what to inject, fully replayable.
+
+    ``rates`` gives a per-operation failure probability per kind;
+    ``schedule`` forces a specific kind at a specific global op index
+    (the index counts every chip command of the device, in issue order).
+    A scheduled kind only fires if the op at that index matches it --
+    except :attr:`FaultKind.POWER_LOSS`, which cuts any operation.
+    """
+
+    seed: int = 0
+    rates: tuple[tuple[FaultKind, float], ...] = ()
+    schedule: tuple[tuple[int, FaultKind], ...] = ()
+
+    def __post_init__(self) -> None:
+        for kind, rate in self.rates:
+            if not isinstance(kind, FaultKind):
+                raise TypeError(f"rate key {kind!r} is not a FaultKind")
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"rate for {kind.value} not in [0, 1]: {rate}")
+        for index, kind in self.schedule:
+            if index < 0 or not isinstance(kind, FaultKind):
+                raise ValueError(f"bad schedule entry ({index}, {kind!r})")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_rates(
+        cls, rates: Mapping[FaultKind, float], seed: int = 0
+    ) -> "FaultPlan":
+        ordered = tuple(sorted(rates.items(), key=lambda kv: kv[0].value))
+        return cls(seed=seed, rates=ordered)
+
+    @classmethod
+    def single(cls, kind: FaultKind, rate: float, seed: int = 0) -> "FaultPlan":
+        """One fault kind at one per-op probability."""
+        return cls(seed=seed, rates=((kind, rate),))
+
+    @classmethod
+    def power_loss_at(cls, op_index: int, seed: int = 0) -> "FaultPlan":
+        """Cut power at exactly one operation boundary."""
+        return cls(seed=seed, schedule=((op_index, FaultKind.POWER_LOSS),))
+
+    # ------------------------------------------------------------------
+    def rate_of(self, kind: FaultKind) -> float:
+        for k, rate in self.rates:
+            if k is kind:
+                return rate
+        return 0.0
+
+    def describe(self) -> dict[str, object]:
+        """JSON-friendly summary for scorecards."""
+        return {
+            "seed": self.seed,
+            "rates": {k.value: r for k, r in self.rates},
+            "schedule": [[i, k.value] for i, k in self.schedule],
+        }
+
+
+@dataclass
+class FaultInjector:
+    """Stateful per-device injector; installed as every chip's hook.
+
+    Chip commands call :meth:`on_op`, which advances the global op index
+    and returns a directive: ``""`` (proceed), ``"fail"`` (status-fail
+    the op), or ``"power-loss"`` (raise through the chip).  Decisions
+    use a fixed draw order -- one power-loss draw, then one op-kind draw,
+    each only when the corresponding rate is configured -- so checked and
+    unchecked runs of the same plan see identical faults.
+
+    After a power loss fires the injector is *tripped* and inert: the
+    device is "off", and the recovery that follows runs fault-free.
+    """
+
+    plan: FaultPlan
+    op_index: int = 0
+    tripped: bool = False
+    injected: dict[FaultKind, int] = field(default_factory=dict)
+    _rng: random.Random = field(init=False, repr=False)
+    _schedule: dict[int, FaultKind] = field(init=False, repr=False)
+    _suspend_depth: int = field(init=False, default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.plan.seed)
+        self._schedule = dict(self.plan.schedule)
+
+    # ------------------------------------------------------------------
+    def on_op(self, op: str) -> str:
+        """Fault decision for one chip command (the chip's hook entry)."""
+        if self._suspend_depth or self.tripped:
+            return ""
+        index = self.op_index
+        self.op_index += 1
+        kind = OP_FAULTS.get(op)
+        power_rate = self.plan.rate_of(FaultKind.POWER_LOSS)
+        power = power_rate > 0.0 and self._rng.random() < power_rate
+        rate = self.plan.rate_of(kind) if kind is not None else 0.0
+        fail = rate > 0.0 and self._rng.random() < rate
+        scheduled = self._schedule.get(index)
+        if power or scheduled is FaultKind.POWER_LOSS:
+            self.tripped = True
+            self._count(FaultKind.POWER_LOSS)
+            return FAULT_POWER_LOSS
+        if kind is not None and (fail or scheduled is kind):
+            self._count(kind)
+            return FAULT_FAIL
+        return ""
+
+    def _count(self, kind: FaultKind) -> None:
+        self.injected[kind] = self.injected.get(kind, 0) + 1
+
+    @property
+    def total_injected(self) -> int:
+        return sum(self.injected.values())
+
+    # ------------------------------------------------------------------
+    @contextmanager
+    def suspended(self) -> Iterator[None]:
+        """No counting, no injection, no op-index advance.
+
+        Used by the runtime sanitizer's unreadability probes and by
+        last-resort salvage reads: neither is a normal device command,
+        so neither may consume a fault decision (which would make
+        checked and unchecked runs diverge).
+        """
+        self._suspend_depth += 1
+        try:
+            yield
+        finally:
+            self._suspend_depth -= 1

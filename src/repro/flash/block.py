@@ -38,6 +38,7 @@ class BlockState(Enum):
     OPEN = "open"          # partially programmed (the "active" block)
     FULL = "full"          # every page programmed
     ERASE_PENDING = "erase_pending"  # GC victim awaiting its lazy erase
+    RETIRED = "retired"    # grown-bad: permanently out of service
 
 
 @dataclass
@@ -101,6 +102,8 @@ class Block:
             raise EraseStateError(
                 f"block {self.index} is erase-pending; erase before programming"
             )
+        if self.state is BlockState.RETIRED:
+            raise EraseStateError(f"block {self.index} is retired (grown-bad)")
         if page_offset != self.next_page:
             raise ProgramOrderError(
                 f"block {self.index}: page {page_offset} out of order "
@@ -123,6 +126,8 @@ class Block:
         WearOutError
             If the block would exceed its endurance limit.
         """
+        if self.state is BlockState.RETIRED:
+            raise EraseStateError(f"block {self.index} is retired (grown-bad)")
         if self.pe_limit is not None and self.erase_count >= self.pe_limit:
             raise WearOutError(
                 f"block {self.index} reached its P/E limit of {self.pe_limit}"
@@ -138,6 +143,15 @@ class Block:
     def mark_erase_pending(self) -> None:
         """Tag the block as a GC victim awaiting lazy erase (Section 5.4)."""
         self.state = BlockState.ERASE_PENDING
+
+    def mark_retired(self) -> None:
+        """Pull a grown-bad block from service, permanently.
+
+        The state lives in this (persistent) chip structure, so the
+        grown-bad table survives power loss for free -- recovery rebuilds
+        the FTL's RAM copy from the block states.
+        """
+        self.state = BlockState.RETIRED
 
     def record_wl_disturb(self, wordline: int) -> None:
         """Count one inhibited program pulse on a wordline (pLock)."""

@@ -17,7 +17,13 @@ from typing import Any
 
 from repro.flash import constants
 from repro.flash.block import Block, BlockState
-from repro.flash.errors import AddressError
+from repro.flash.errors import (
+    AddressError,
+    EraseFailError,
+    PowerLossInjected,
+    ProgramFailError,
+    UncorrectableError,
+)
 from repro.flash.geometry import Geometry
 
 #: Token returned when reading an erased page (all cells read '1').
@@ -28,6 +34,16 @@ ZERO_DATA = "<locked:all-zeros>"
 
 #: Token left behind by a scrub pulse (Vth states merged, data destroyed).
 SCRUBBED_DATA = "<scrubbed:destroyed>"
+
+#: Token left in a page whose program pulse train was interrupted
+#: (injected program failure or power loss mid-program); reads back
+#: uncorrectable until the block is erased or the wordline scrubbed.
+TORN_DATA = "<torn:mid-distribution>"
+
+#: Fault-hook directives (see :mod:`repro.faults`): the hook's ``on_op``
+#: returns one of these (or ``""`` for "proceed normally").
+FAULT_FAIL = "fail"
+FAULT_POWER_LOSS = "power-loss"
 
 
 @dataclass(frozen=True)
@@ -72,6 +88,9 @@ class FlashChip:
     t_read_us: float = constants.T_READ_US
     t_prog_us: float = constants.T_PROG_US
     t_erase_us: float = constants.T_BERS_US
+    #: optional fault hook (duck-typed :class:`repro.faults.FaultInjector`):
+    #: consulted once per chip command; may fail the op or cut power.
+    fault_hook: Any = None
     blocks: list[Block] = field(init=False)
     stats: ChipStats = field(init=False)
 
@@ -92,14 +111,51 @@ class FlashChip:
         return self.blocks[block_index], page_offset
 
     # ------------------------------------------------------------------
+    # fault-hook plumbing (repro.faults)
+    # ------------------------------------------------------------------
+    def _consult_fault_hook(self, op: str) -> str:
+        """One fault decision per chip command; "" means proceed."""
+        hook = self.fault_hook
+        return hook.on_op(op) if hook is not None else ""
+
+    def _begin_op(self, op: str) -> bool:
+        """Consult the hook; returns True when the op must status-fail.
+
+        A power-loss directive raises here -- before the command touches
+        any cell.  ``program_page`` does not use this helper because an
+        interrupted program must still tear the target page.
+        """
+        directive = self._consult_fault_hook(op)
+        if directive == FAULT_POWER_LOSS:
+            raise PowerLossInjected(f"power loss at {op} boundary")
+        return directive == FAULT_FAIL
+
+    # ------------------------------------------------------------------
     def read_page(self, ppn: int, now: float = 0.0) -> ReadResult:
         """Standard page read; subclasses overlay access control."""
+        fail = self._begin_op("read")
+        return self._sense_page(ppn, fail)
+
+    def _sense_page(self, ppn: int, fail: bool) -> ReadResult:
+        """Shared sensing path (fault decision already taken)."""
         block, page_offset = self._locate(ppn)
         page = block.page(page_offset)
         self.stats.reads += 1
         self.stats.busy_time_us += self.t_read_us
+        if fail:
+            raise UncorrectableError(
+                f"ppn {ppn}: injected transient read failure",
+                rber=1.0,
+                limit=constants.ECC_LIMIT_RBER,
+            )
         if page.is_erased:
             return ReadResult(ERASED_DATA, {}, self.t_read_us)
+        if page.spare.get("torn"):
+            raise UncorrectableError(
+                f"ppn {ppn}: torn page (program was interrupted)",
+                rber=1.0,
+                limit=constants.ECC_LIMIT_RBER,
+            )
         return ReadResult(page.data, dict(page.spare), self.t_read_us)
 
     def program_page(
@@ -110,7 +166,17 @@ class FlashChip:
         now: float = 0.0,
     ) -> float:
         """Program one page; returns the operation latency (us)."""
+        directive = self._consult_fault_hook("program")
         block, page_offset = self._locate(ppn)
+        if directive:
+            # the pulse train stopped mid-flight (status-fail or power
+            # cut): the page is consumed with cells between distributions
+            block.program(page_offset, TORN_DATA, {"torn": True}, now)
+            self.stats.programs += 1
+            self.stats.busy_time_us += self.t_prog_us
+            if directive == FAULT_POWER_LOSS:
+                raise PowerLossInjected(f"power loss during program of ppn {ppn}")
+            raise ProgramFailError(f"ppn {ppn}: program status-fail")
         block.program(page_offset, data, spare, now)
         self.stats.programs += 1
         self.stats.busy_time_us += self.t_prog_us
@@ -118,6 +184,8 @@ class FlashChip:
 
     def erase_block(self, block_index: int, now: float = 0.0) -> float:
         """Erase one block; returns the operation latency (us)."""
+        if self._begin_op("erase"):
+            raise EraseFailError(f"block {block_index}: erase status-fail")
         block = self.block(block_index)
         block.erase(now)
         self.stats.erases += 1
@@ -135,6 +203,7 @@ class FlashChip:
         be reused until the block is erased.  The caller must have moved
         any live sibling pages elsewhere first.
         """
+        self._begin_op("scrub")
         block = self.block(block_index)
         if not 0 <= wordline < self.geometry.wordlines_per_block:
             raise AddressError(f"wordline {wordline} out of range")

@@ -50,6 +50,27 @@ class UncorrectableError(FlashError):
         self.limit = limit
 
 
+class ProgramFailError(FlashError):
+    """A page program reported status-fail.
+
+    The interrupted pulse train leaves the target page *torn*: its cells
+    sit between Vth distributions, so the page is consumed (it cannot be
+    re-programmed before an erase) and reads back uncorrectable.  The
+    FTL remaps the write to a fresh page and counts the failure against
+    the block's grown-bad threshold.
+    """
+
+
+class EraseFailError(FlashError):
+    """A block erase reported status-fail; the block's data is intact.
+
+    Real controllers retire the block.  Because the residual data may
+    include secured stale copies, the FTL scrubs every programmed
+    wordline (scrub pulses do not depend on the erase circuitry) before
+    adding the block to the grown-bad table.
+    """
+
+
 class LockedPageError(FlashError):
     """A read targeted a page whose pAP flag is disabled.
 
@@ -65,3 +86,13 @@ class LockedBlockError(FlashError):
 
 class WearOutError(FlashError):
     """A block exceeded its rated program/erase cycle endurance."""
+
+
+class PowerLossInjected(Exception):
+    """The fault injector cut power at an operation boundary.
+
+    Deliberately *not* a :class:`FlashError`: no chip ever reports this
+    condition, and no FTL retry/fallback path may catch it -- it is a
+    simulation control signal that unwinds straight out of ``submit`` so
+    the torture harness can run power-loss recovery.
+    """

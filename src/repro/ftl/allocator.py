@@ -39,6 +39,7 @@ class ChipAllocState:
     free_blocks: deque[int] = field(default_factory=deque)   # erased, empty
     pending_blocks: deque[int] = field(default_factory=deque)  # lazy-erase queue
     streams: dict[str, StreamState] = field(default_factory=dict)
+    retired: set[int] = field(default_factory=set)  # grown-bad, never reused
 
     def stream(self, name: str) -> StreamState:
         state = self.streams.get(name)
@@ -74,13 +75,15 @@ class BlockAllocator:
         blocks_per_chip: int,
         pages_per_block: int,
         free_blocks: list[list[int]],
+        retired_blocks: list[set[int]] | None = None,
     ) -> "BlockAllocator":
         """Rebuild an allocator from a scanned device layout.
 
         ``free_blocks[chip]`` lists the chip's erased, empty blocks; every
         other block is considered closed (GC will reclaim it later).  Used
         by power-loss recovery, which must not treat written blocks as
-        allocatable.
+        allocatable.  ``retired_blocks[chip]`` re-seeds the grown-bad
+        exclusions recovered from the chips' block states.
         """
         if len(free_blocks) != n_chips:
             raise ValueError("free_blocks must list one entry per chip")
@@ -91,6 +94,10 @@ class BlockAllocator:
             state.free_blocks.extend(sorted(free))
             state.pending_blocks.clear()
             state.streams.clear()
+            if retired_blocks is not None:
+                state.retired = set(retired_blocks[chip_id])
+                if state.retired.intersection(state.free_blocks):
+                    raise ValueError("a retired block cannot be free")
         return alloc
 
     # ------------------------------------------------------------------
@@ -116,11 +123,37 @@ class BlockAllocator:
 
     def retire_victim(self, chip_id: int, block: int) -> None:
         """Queue a fully-collected GC victim for lazy erase."""
-        self._chips[chip_id].pending_blocks.append(block)
+        st = self._chips[chip_id]
+        if block in st.retired:
+            raise ValueError(f"block {block} is retired (grown-bad)")
+        st.pending_blocks.append(block)
 
     def add_erased(self, chip_id: int, block: int) -> None:
         """Return an already-erased block to the free pool."""
-        self._chips[chip_id].free_blocks.append(block)
+        st = self._chips[chip_id]
+        if block in st.retired:
+            raise ValueError(f"block {block} is retired (grown-bad)")
+        st.free_blocks.append(block)
+
+    def retire_block(self, chip_id: int, block: int) -> None:
+        """Pull a grown-bad block out of every pool, permanently.
+
+        Idempotent; also drops the block's open-block cursor if a stream
+        happened to have it active (a failed lazy erase at reuse).
+        """
+        st = self._chips[chip_id]
+        if block in st.free_blocks:
+            st.free_blocks.remove(block)
+        if block in st.pending_blocks:
+            st.pending_blocks.remove(block)
+        for stream in st.streams.values():
+            if stream.active_block == block:
+                stream.active_block = None
+                stream.next_offset = 0
+        st.retired.add(block)
+
+    def retired_blocks(self, chip_id: int) -> set[int]:
+        return set(self._chips[chip_id].retired)
 
     # ------------------------------------------------------------------
     def allocate_page(

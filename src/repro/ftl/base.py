@@ -25,8 +25,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.checkers.sanitizer import FtlSanitizer, default_checked
-from repro.flash.chip import FlashChip
+from repro.faults import FaultInjector, FaultPlan
+from repro.flash.block import BlockState
+from repro.flash.chip import FlashChip, ReadResult
 from repro.flash.constants import LOGICAL_TIME_WRITE_BYTES
+from repro.flash.errors import (
+    EraseFailError,
+    ProgramFailError,
+    UncorrectableError,
+)
 from repro.ftl.allocator import BlockAllocator, GC_STREAM, HOST_STREAM
 from repro.ftl.gc_policies import VictimView, policy_by_name
 from repro.ftl.mapping import L2PTable, UNMAPPED
@@ -66,6 +73,7 @@ class PageMappedFtl:
         seed: int = 0,
         checked: bool | None = None,
         check_interval: int | None = None,
+        faults: FaultPlan | None = None,
     ) -> None:
         self.config = config
         self.geometry = config.geometry
@@ -85,6 +93,12 @@ class PageMappedFtl:
         self.chips: list[FlashChip] = [
             self._make_chip(i) for i in range(config.n_chips)
         ]
+        #: one injector shared by all chips (global op index) or None.
+        self.fault_injector: FaultInjector | None = None
+        if faults is not None:
+            self.fault_injector = FaultInjector(faults)
+            for chip in self.chips:
+                chip.fault_hook = self.fault_injector
         self.l2p = L2PTable(config.logical_pages, config.physical_pages)
         self.status = StatusTable(
             config.physical_pages, self.geometry.pages_per_block
@@ -103,6 +117,14 @@ class PageMappedFtl:
         self._block_last_program: list[int] = [0] * n_blocks
         #: host reads per block since the last erase (read-disturb cap).
         self._block_reads: list[int] = [0] * n_blocks
+        #: grown-bad table: global ids of retired blocks (mirrors the
+        #: persistent BlockState.RETIRED marks on the chips).
+        self._bad_blocks: set[int] = set()
+        #: blocks over the program-fail threshold, awaiting retirement
+        #: at their next collection (RAM intent, re-learned after crash).
+        self._condemned: set[int] = set()
+        #: program status-fails per block since its last erase.
+        self._block_program_fails: list[int] = [0] * n_blocks
         #: optional runtime invariant checker (repro.checkers.sanitizer).
         self._sanitizer: FtlSanitizer | None = None
         if checked is None:
@@ -179,9 +201,13 @@ class PageMappedFtl:
             if gppa == UNMAPPED:
                 continue  # unmapped reads return zeros without flash access
             chip_id, ppn = self.split_gppa(gppa)
-            self.chips[chip_id].read_page(ppn)
-            self.timing.read(chip_id)
-            self.stats.flash_reads += 1
+            try:
+                self._read_flash_page(chip_id, ppn)
+            except UncorrectableError:
+                # retry budget exhausted: surface as a host read error
+                # (EIO) and keep serving; the mapping stays intact for
+                # later heroic recovery attempts.
+                self.stats.read_failures += 1
             threshold = self.config.read_refresh_threshold
             if threshold is not None:
                 gb = self.block_of_gppa(gppa)
@@ -239,6 +265,50 @@ class PageMappedFtl:
         self._ensure_space_all_touched(events)
 
     # ------------------------------------------------------------------
+    # fault-tolerant flash access
+    # ------------------------------------------------------------------
+    def _read_flash_page(self, chip_id: int, ppn: int) -> ReadResult:
+        """Read with the bounded retry loop real controllers implement.
+
+        Transient sense failures re-roll on the next attempt; torn pages
+        fail deterministically and exhaust the budget.  Every attempt is
+        a real flash read (timed and counted); the final failure
+        re-raises for the caller to translate.
+        """
+        attempts = self.config.read_retry_limit
+        for attempt in range(attempts):
+            try:
+                result = self.chips[chip_id].read_page(ppn)
+            except UncorrectableError:
+                self.timing.read(chip_id)
+                self.stats.flash_reads += 1
+                if attempt + 1 >= attempts:
+                    raise
+                self.stats.read_retries += 1
+            else:
+                self.timing.read(chip_id)
+                self.stats.flash_reads += 1
+                return result
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _salvage_read(self, chip_id: int, ppn: int) -> ReadResult:
+        """Last-resort read of a live page past the retry budget.
+
+        Models the soft-decode / voltage-shift heroics controllers keep
+        for GC of a must-not-lose page.  Injection is suspended: salvage
+        succeeds against transient faults (the only way a *live* page
+        can exhaust the normal budget) and preserves the L2P bijection.
+        """
+        self.stats.salvage_reads += 1
+        self.timing.read(chip_id)
+        self.stats.flash_reads += 1
+        injector = self.fault_injector
+        if injector is not None:
+            with injector.suspended():
+                return self.chips[chip_id].read_page(ppn)
+        return self.chips[chip_id].read_page(ppn)
+
+    # ------------------------------------------------------------------
     # write-path plumbing
     # ------------------------------------------------------------------
     def _pick_chip(self) -> int:
@@ -249,28 +319,111 @@ class PageMappedFtl:
     def _program_new_page(
         self, chip_id: int, data: object, spare: dict, stream: str = HOST_STREAM
     ) -> int:
-        """Allocate + program one page on a chip (no GC trigger)."""
-        block, offset, erase_block = self.alloc.allocate_page(chip_id, stream)
-        if erase_block is not None:
-            self._erase_block_now(chip_id, erase_block)
-        ppn = self.geometry.ppn(block, offset)
-        self.chips[chip_id].program_page(ppn, data, spare)
-        self.timing.program(chip_id)
-        self.stats.flash_programs += 1
-        self._block_last_program[
-            self.global_block(chip_id, block)
-        ] = self.stats.flash_programs
-        return self.make_gppa(chip_id, ppn)
+        """Allocate + program one page on a chip (no GC trigger).
 
-    def _erase_block_now(self, chip_id: int, local_block: int) -> None:
+        Survives injected faults: a program status-fail consumes the
+        torn page (marked dead) and the write remaps to the next free
+        page; a failed lazy erase retires the grown-bad block and
+        allocation moves on to another block.
+        """
+        guard = self.geometry.blocks_per_chip * self.geometry.pages_per_block
+        while guard > 0:
+            guard -= 1
+            block, offset, erase_block = self.alloc.allocate_page(chip_id, stream)
+            if erase_block is not None and not self._erase_block_now(
+                chip_id, erase_block
+            ):
+                # the block was scrubbed + retired (allocator cursor
+                # dropped); pick up a different block next iteration
+                continue
+            ppn = self.geometry.ppn(block, offset)
+            gb = self.global_block(chip_id, block)
+            try:
+                self.chips[chip_id].program_page(ppn, data, spare)
+            except ProgramFailError:
+                self.timing.program(chip_id)
+                self.stats.flash_programs += 1
+                self._note_program_failure(gb, self.make_gppa(chip_id, ppn))
+                continue
+            self.timing.program(chip_id)
+            self.stats.flash_programs += 1
+            self._block_last_program[gb] = self.stats.flash_programs
+            return self.make_gppa(chip_id, ppn)
+        raise RuntimeError(
+            f"chip {chip_id}: no programmable page found (fault storm)"
+        )
+
+    def _note_program_failure(self, gb: int, gppa: int) -> None:
+        """Account one torn page and condemn its block over threshold.
+
+        The torn page is physically consumed, so it runs through the
+        observer stream like a zero-length pad -- shadow checkers track
+        it -- and ends up INVALID (GC reclaims it with the block).
+        """
+        self.stats.program_fails += 1
+        self.status.set_written(gppa, False)
+        self.observer.on_program(gppa, -1, None, False)
+        self.status.set_invalid(gppa)
+        self.observer.on_invalidate(gppa, -1, "program-fail")
+        self._block_program_fails[gb] += 1
+        threshold = self.config.program_fail_retire_threshold
+        if (
+            threshold > 0
+            and self._block_program_fails[gb] >= threshold
+            and gb not in self._bad_blocks
+        ):
+            self._condemned.add(gb)
+
+    def _erase_block_now(self, chip_id: int, local_block: int) -> bool:
+        """Erase one block; a status-fail scrubs + retires it instead.
+
+        Returns True when the block is erased and reusable, False when
+        it went to the grown-bad table (its pages stay INVALID).
+        """
         gb = self.global_block(chip_id, local_block)
-        self.chips[chip_id].erase_block(local_block)
+        try:
+            self.chips[chip_id].erase_block(local_block)
+        except EraseFailError:
+            self.stats.erase_fails += 1
+            self._retire_bad_block(chip_id, local_block)
+            return False
         self.timing.erase(chip_id)
         self.stats.flash_erases += 1
         self.status.set_erased_block(gb)
         self._pending_victims.discard(gb)
         self._block_reads[gb] = 0
+        self._block_program_fails[gb] = 0
         self.observer.on_erase(gb)
+        return True
+
+    def _retire_bad_block(self, chip_id: int, local_block: int) -> None:
+        """Grown-bad retirement: destroy residual data, pull from service.
+
+        The data a failed erase leaves behind can include secured stale
+        copies, so every programmed wordline is scrubbed first (scrub
+        pulses do not depend on the erase circuitry) -- the sanitization
+        guarantee survives the fault.  The RETIRED mark lives on the
+        chip, so the grown-bad table persists across power loss.
+        """
+        gb = self.global_block(chip_id, local_block)
+        chip = self.chips[chip_id]
+        block = chip.blocks[local_block]
+        for wordline in range(self.geometry.wordlines_per_block):
+            if wordline * self.geometry.pages_per_wordline >= block.next_page:
+                break
+            chip.scrub_wordline(local_block, wordline)
+            self.timing.scrub(chip_id)
+            self.stats.scrubs += 1
+        base = gb * self.geometry.pages_per_block
+        for gppa in range(base, base + self.geometry.pages_per_block):
+            if self.status.get(gppa) is PageStatus.INVALID:
+                self.observer.on_sanitize(gppa, "scrub")
+        block.mark_retired()
+        self.alloc.retire_block(chip_id, local_block)
+        self._pending_victims.discard(gb)
+        self._condemned.discard(gb)
+        self._bad_blocks.add(gb)
+        self.stats.grown_bad_blocks += 1
 
     def _invalidate(self, gppa: int, lpa: int, reason: str) -> InvalidationEvent:
         prev = self.status.set_invalid(gppa)
@@ -324,12 +477,18 @@ class PageMappedFtl:
             gb = self.global_block(chip_id, local_block)
             if gb in self._pending_victims or local_block in actives:
                 continue
+            if gb in self._bad_blocks:
+                continue  # grown-bad: nothing to reclaim, ever
             block = chip.blocks[local_block]
             if not block.is_full:
                 continue
             invalid = self.status.invalid_count(gb)
             if invalid == 0:
                 continue
+            if gb in self._condemned:
+                # over the program-fail threshold: drain it first so the
+                # retirement happens before more writes land near it
+                return local_block
             score = self._gc_policy(
                 VictimView(
                     global_block=gb,
@@ -371,9 +530,13 @@ class PageMappedFtl:
         chip_id, ppn = self.split_gppa(gppa)
         lpa = self.l2p.reverse(gppa)
         was_secure = self.status.get(gppa) is PageStatus.SECURED
-        result = self.chips[chip_id].read_page(ppn)
-        self.timing.read(chip_id)
-        self.stats.flash_reads += 1
+        try:
+            result = self._read_flash_page(chip_id, ppn)
+        except UncorrectableError:
+            # a live page must not be lost to a transient fault storm:
+            # fall through to the salvage path (suspended injection)
+            self.stats.read_failures += 1
+            result = self._salvage_read(chip_id, ppn)
         stream = GC_STREAM if self.config.separate_gc_stream else HOST_STREAM
         new_gppa = self._program_new_page(
             chip_id, data=result.data, spare=dict(result.spare), stream=stream
@@ -429,6 +592,18 @@ class PageMappedFtl:
 
     def _retire_victim(self, chip_id: int, local_block: int) -> None:
         gb = self.global_block(chip_id, local_block)
+        if gb in self._condemned:
+            # too many program failures: erase now (sanitizing whatever
+            # the evacuation left) and pull the block from service
+            # instead of queueing it for reuse.  A failed erase lands in
+            # _retire_bad_block, which retires it the scrubbed way.
+            if self._erase_block_now(chip_id, local_block):
+                self.chips[chip_id].blocks[local_block].mark_retired()
+                self.alloc.retire_block(chip_id, local_block)
+                self._condemned.discard(gb)
+                self._bad_blocks.add(gb)
+                self.stats.grown_bad_blocks += 1
+            return
         self.chips[chip_id].blocks[local_block].mark_erase_pending()
         self.alloc.retire_victim(chip_id, local_block)
         self._pending_victims.add(gb)

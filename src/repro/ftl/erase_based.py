@@ -45,9 +45,11 @@ class EraseBasedFtl(PageMappedFtl):
         # erSSD has no way to sanitize them short of erasing (fn. 15).
         gb = self.global_block(chip_id, local_block)
         self._note_secured_invalid_sanitized(gb)
-        self._erase_block_now(chip_id, local_block)
-        self.stats.sanitize_erases += 1
-        self.alloc.add_erased(chip_id, local_block)
+        if self._erase_block_now(chip_id, local_block):
+            self.stats.sanitize_erases += 1
+            self.alloc.add_erased(chip_id, local_block)
+        # a status-failed erase scrubbed + retired the block instead;
+        # the scrub sanitize notes supersede the eager erase notes
 
     # ------------------------------------------------------------------
     def _erase_block_for_sanitize(self, gb: int) -> None:
@@ -63,9 +65,9 @@ class EraseBasedFtl(PageMappedFtl):
             self._move_page(gppa, reason="sanitize-relocate")
         self.stats.relocation_copies += len(live)
         self._note_secured_invalid_sanitized(gb)
-        self._erase_block_now(chip_id, local_block)
-        self.stats.sanitize_erases += 1
-        self.alloc.add_erased(chip_id, local_block)
+        if self._erase_block_now(chip_id, local_block):
+            self.stats.sanitize_erases += 1
+            self.alloc.add_erased(chip_id, local_block)
 
     def _note_secured_invalid_sanitized(self, gb: int) -> None:
         """Report every stale page of the block as sanitized-by-erase."""

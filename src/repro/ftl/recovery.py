@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.flash.block import BlockState
+from repro.flash.errors import ProgramFailError, UncorrectableError
 from repro.ftl.allocator import BlockAllocator
 from repro.ftl.base import PageMappedFtl
 from repro.ftl.mapping import L2PTable
@@ -43,6 +44,11 @@ class RecoveryReport:
     locked_pages_skipped: int
     blocks_padded: int
     pad_programs: int
+    #: pages the scan could not read even after the retry budget -- a
+    #: program torn by the crash itself, typically.  They are classified
+    #: stale (a torn page can never be the newest copy the host was
+    #: acknowledged for) and reclaimed by GC like any dead page.
+    unreadable_pages_skipped: int = 0
 
     @property
     def mapped_lpas(self) -> int:
@@ -69,6 +75,13 @@ class PowerLossRecovery:
             ftl.config.physical_pages, ftl.geometry.pages_per_block
         )
         ftl._pending_victims.clear()
+        # RAM-resident fault bookkeeping dies with the power: the
+        # grown-bad mirror is re-learned from the chips' RETIRED marks
+        # during recovery, the condemnation intents are simply lost
+        # (their blocks re-earn condemnation if they keep failing).
+        ftl._bad_blocks.clear()
+        ftl._condemned.clear()
+        ftl._block_program_fails = [0] * len(ftl._block_program_fails)
         # the erase-pending *intent* is gone; physically these blocks are
         # just fully-programmed blocks again
         for chip in ftl.chips:
@@ -83,7 +96,7 @@ class PowerLossRecovery:
         """Scan, pad, and rebuild; returns the recovery report."""
         ftl = self.ftl
         blocks_padded, pad_programs = self._pad_open_blocks()
-        candidates, invalid, locked, scanned = self._scan()
+        candidates, invalid, locked, scanned, unreadable = self._scan()
         winners = self._resolve(candidates)
 
         l2p = L2PTable(ftl.config.logical_pages, ftl.config.physical_pages)
@@ -111,6 +124,16 @@ class PowerLossRecovery:
             ]
             for chip in ftl.chips
         ]
+        # the grown-bad table is chip-persistent (RETIRED block marks):
+        # re-learn it so the allocator and GC keep excluding those blocks.
+        retired_layout = [
+            {
+                block.index
+                for block in chip.blocks
+                if block.state is BlockState.RETIRED
+            }
+            for chip in ftl.chips
+        ]
         ftl.l2p = l2p
         ftl.status = status
         ftl.alloc = BlockAllocator.from_layout(
@@ -118,7 +141,13 @@ class PowerLossRecovery:
             ftl.geometry.blocks_per_chip,
             ftl.geometry.pages_per_block,
             free_layout,
+            retired_blocks=retired_layout,
         )
+        ftl._bad_blocks = {
+            ftl.global_block(chip_id, index)
+            for chip_id, retired in enumerate(retired_layout)
+            for index in retired
+        }
         ftl._pending_victims.clear()
         ftl._write_seq = (
             max((seq for seq, *_ in candidates), default=-1) + 1
@@ -133,6 +162,7 @@ class PowerLossRecovery:
             locked_pages_skipped=locked,
             blocks_padded=blocks_padded,
             pad_programs=pad_programs,
+            unreadable_pages_skipped=unreadable,
         )
 
     # ------------------------------------------------------------------
@@ -148,7 +178,12 @@ class PowerLossRecovery:
                 blocks_padded += 1
                 while not block.is_full:
                     ppn = ftl.geometry.ppn(block.index, block.next_page)
-                    chip.program_page(ppn, None, {"pad": True})
+                    try:
+                        chip.program_page(ppn, None, {"pad": True})
+                    except ProgramFailError:
+                        # a torn pad is still a pad: the page is consumed
+                        # and dead either way, so padding proceeds
+                        ftl.stats.program_fails += 1
                     ftl.timing.program(chip_id)
                     ftl.stats.flash_programs += 1
                     pad_programs += 1
@@ -161,15 +196,33 @@ class PowerLossRecovery:
         invalid: list[int] = []
         locked = 0
         scanned = 0
+        unreadable = 0
         for chip_id, chip in enumerate(ftl.chips):
             for block in chip.blocks:
+                if block.state is BlockState.RETIRED:
+                    # grown-bad: scrubbed at retirement, never scanned --
+                    # its consumed pages are dead by construction
+                    for offset in range(block.next_page):
+                        invalid.append(
+                            ftl.make_gppa(
+                                chip_id, ftl.geometry.ppn(block.index, offset)
+                            )
+                        )
+                    continue
                 for offset in range(block.next_page):
                     ppn = ftl.geometry.ppn(block.index, offset)
                     gppa = ftl.make_gppa(chip_id, ppn)
-                    result = chip.read_page(ppn)
-                    ftl.timing.read(chip_id)
-                    ftl.stats.flash_reads += 1
                     scanned += 1
+                    try:
+                        result = ftl._read_flash_page(chip_id, ppn)
+                    except UncorrectableError:
+                        # torn by the crash mid-program (or a transient
+                        # storm): it cannot be the newest acknowledged
+                        # copy of anything, so classify it stale
+                        ftl.stats.read_failures += 1
+                        unreadable += 1
+                        invalid.append(gppa)
+                        continue
                     if result.blocked:
                         locked += 1
                         invalid.append(gppa)
@@ -186,7 +239,7 @@ class PowerLossRecovery:
                             int(spare["lpa"]),
                         )
                     )
-        return candidates, invalid, locked, scanned
+        return candidates, invalid, locked, scanned, unreadable
 
     @staticmethod
     def _resolve(

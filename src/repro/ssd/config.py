@@ -42,6 +42,17 @@ class SSDConfig:
     #: to cap read disturbance; None disables read refresh.  Real TLC
     #: parts refresh around 100K reads; scale with the device.
     read_refresh_threshold: int | None = None
+    #: read attempts (first try + retries) before a read surfaces
+    #: UncorrectableError to the caller.
+    read_retry_limit: int = 4
+    #: extra pLock/bLock pulses the lock manager re-issues (the pulses
+    #: are monotonic: a retry re-programs missed flag cells) before it
+    #: escalates down the fallback chain.
+    lock_retry_limit: int = 2
+    #: program status-fails in one block before it is condemned and
+    #: retired to the grown-bad table at its next collection; 0 disables
+    #: program-failure retirement.
+    program_fail_retire_threshold: int = 2
     t_read_us: float = constants.T_READ_US
     t_prog_us: float = constants.T_PROG_US
     t_erase_us: float = constants.T_BERS_US
@@ -56,6 +67,12 @@ class SSDConfig:
             raise ValueError("gc_threshold_blocks must be >= 1")
         if self.gc_target_blocks < self.gc_threshold_blocks:
             raise ValueError("gc_target_blocks must be >= gc_threshold_blocks")
+        if self.read_retry_limit < 1:
+            raise ValueError("read_retry_limit must be >= 1")
+        if self.lock_retry_limit < 0:
+            raise ValueError("lock_retry_limit must be >= 0")
+        if self.program_fail_retire_threshold < 0:
+            raise ValueError("program_fail_retire_threshold must be >= 0")
         min_blocks = self.gc_target_blocks + 2
         if self.geometry.blocks_per_chip <= min_blocks:
             raise ValueError(

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from collections.abc import Iterable
 
+from repro.faults import FaultPlan
 from repro.ftl import FTL_VARIANTS
 from repro.ftl.base import PageMappedFtl
 from repro.ftl.observer import FtlObserver
@@ -31,6 +32,7 @@ class SSD:
         ftl_class: type[PageMappedFtl] | None = None,
         checked: bool | None = None,
         check_interval: int | None = None,
+        faults: FaultPlan | None = None,
     ) -> None:
         """Build a device running ``variant``'s FTL.
 
@@ -43,6 +45,10 @@ class SSD:
         :func:`repro.checkers.sanitizer.set_default_checked`).
         ``check_interval`` sets how many host batches pass between full
         O(device) verification passes.
+
+        ``faults`` attaches a seeded :class:`~repro.faults.FaultInjector`
+        built from the plan to every chip of the device (see
+        :mod:`repro.faults`); ``None`` keeps the chips perfect.
         """
         if ftl_class is None:
             if variant not in FTL_VARIANTS:
@@ -60,6 +66,7 @@ class SSD:
             seed=seed,
             checked=checked,
             check_interval=check_interval,
+            faults=faults,
         )
         #: per-request device-work log (sanitization-tail analysis).
         self.work_log = WorkLog()
@@ -116,8 +123,14 @@ def make_ssd(
     observer: FtlObserver | None = None,
     seed: int = 0,
     checked: bool | None = None,
+    faults: FaultPlan | None = None,
 ) -> SSD:
     """Convenience constructor used by benchmarks and examples."""
     return SSD(
-        config, variant=variant, observer=observer, seed=seed, checked=checked
+        config,
+        variant=variant,
+        observer=observer,
+        seed=seed,
+        checked=checked,
+        faults=faults,
     )

@@ -34,6 +34,18 @@ class DeviceStats:
     refreshes: int = 0          # read-disturb refresh rounds
     refresh_copies: int = 0     # pages moved by read refresh
 
+    # robustness counters (repro.faults fault handling)
+    read_retries: int = 0        # extra read attempts after an ECC fail
+    read_failures: int = 0       # reads that exhausted the retry budget
+    salvage_reads: int = 0       # last-resort GC reads past the budget
+    program_fails: int = 0       # page programs that status-failed (torn)
+    erase_fails: int = 0         # block erases that status-failed
+    lock_retries: int = 0        # extra pLock/bLock pulses after a verify miss
+    lock_failures: int = 0       # locks unset after the full retry budget
+    fallback_block_locks: int = 0  # pLock failures escalated to bLock
+    fallback_erases: int = 0     # bLock failures escalated to erase/scrub
+    grown_bad_blocks: int = 0    # blocks retired to the grown-bad table
+
     # ------------------------------------------------------------------
     @property
     def host_ops(self) -> int:
@@ -53,6 +65,21 @@ class DeviceStats:
         return self.host_ops / (elapsed_us / 1e6)
 
     # ------------------------------------------------------------------
+    def robustness(self) -> dict[str, int]:
+        """The fault-handling counters as an ordered, JSON-ready dict."""
+        return {
+            "read_retries": self.read_retries,
+            "read_failures": self.read_failures,
+            "salvage_reads": self.salvage_reads,
+            "program_fails": self.program_fails,
+            "erase_fails": self.erase_fails,
+            "lock_retries": self.lock_retries,
+            "lock_failures": self.lock_failures,
+            "fallback_block_locks": self.fallback_block_locks,
+            "fallback_erases": self.fallback_erases,
+            "grown_bad_blocks": self.grown_bad_blocks,
+        }
+
     def snapshot(self) -> dict[str, float]:
         return {
             "host_reads": self.host_reads,
@@ -71,6 +98,7 @@ class DeviceStats:
             "refreshes": self.refreshes,
             "refresh_copies": self.refresh_copies,
             "waf": self.waf,
+            **self.robustness(),
         }
 
 
@@ -90,6 +118,11 @@ class RunResult:
     @property
     def waf(self) -> float:
         return self.stats.waf
+
+    @property
+    def robustness(self) -> dict[str, int]:
+        """Retry/fallback/grown-bad counters (fault-injection runs)."""
+        return self.stats.robustness()
 
     def normalized_iops(self, baseline: "RunResult") -> float:
         if baseline.iops == 0.0:

@@ -334,3 +334,141 @@ class TestSim05Observer:
     def test_outside_ftl_dir_not_scoped(self, tmp_path):
         findings = _lint(tmp_path, "repro/core/x.py", self.SILENT)
         assert "SIM05" not in _ids(findings)
+
+
+class TestSim06SwallowedFlashError:
+    def test_pass_handler_flagged(self, tmp_path):
+        findings = _lint(
+            tmp_path,
+            "repro/ftl/x.py",
+            """
+            def f(self, chip, ppn):
+                try:
+                    return chip.read_page(ppn)
+                except FlashError:
+                    pass
+            """,
+        )
+        assert _ids(findings) == ["SIM06"]
+        assert "FlashError" in findings[0].message
+
+    def test_tuple_catch_with_continue_flagged(self, tmp_path):
+        findings = _lint(
+            tmp_path,
+            "repro/ftl/x.py",
+            """
+            def f(self, chip, ppns):
+                out = []
+                for ppn in ppns:
+                    try:
+                        out.append(chip.read_page(ppn))
+                    except (UncorrectableError, ProgramFailError):
+                        continue
+                return out
+            """,
+        )
+        assert _ids(findings) == ["SIM06"]
+
+    def test_qualified_name_flagged(self, tmp_path):
+        findings = _lint(
+            tmp_path,
+            "repro/analysis/x.py",
+            """
+            def f(chip, block):
+                try:
+                    chip.erase_block(block)
+                except errors.EraseFailError:
+                    return None
+            """,
+        )
+        assert _ids(findings) == ["SIM06"]
+
+    def test_reraise_clean(self, tmp_path):
+        findings = _lint(
+            tmp_path,
+            "repro/ftl/x.py",
+            """
+            def f(self, chip, ppn):
+                try:
+                    return chip.read_page(ppn)
+                except UncorrectableError:
+                    raise
+            """,
+        )
+        assert findings == []
+
+    def test_stats_accounting_clean(self, tmp_path):
+        findings = _lint(
+            tmp_path,
+            "repro/ftl/x.py",
+            """
+            def f(self, chip, ppn):
+                try:
+                    return chip.read_page(ppn)
+                except UncorrectableError:
+                    self.stats.read_failures += 1
+                    return None
+            """,
+        )
+        assert findings == []
+
+    def test_using_the_exception_clean(self, tmp_path):
+        findings = _lint(
+            tmp_path,
+            "repro/ftl/x.py",
+            """
+            def f(self, chip, ppn, log):
+                try:
+                    return chip.read_page(ppn)
+                except UncorrectableError as exc:
+                    log.append(exc)
+                    return None
+            """,
+        )
+        assert findings == []
+
+    def test_unrelated_exception_clean(self, tmp_path):
+        findings = _lint(
+            tmp_path,
+            "repro/ftl/x.py",
+            """
+            def f(self, mapping, lpa):
+                try:
+                    return mapping[lpa]
+                except KeyError:
+                    return None
+            """,
+        )
+        assert findings == []
+
+    def test_power_loss_not_covered(self, tmp_path):
+        # PowerLossInjected is a simulation control signal, not a flash
+        # error: catching it (in harness code) is legitimate
+        findings = _lint(
+            tmp_path,
+            "repro/analysis/x.py",
+            """
+            def f(ssd, requests):
+                try:
+                    for request in requests:
+                        ssd.submit(request)
+                except PowerLossInjected:
+                    return True
+                return False
+            """,
+        )
+        assert findings == []
+
+    def test_suppression_comment_works(self, tmp_path):
+        findings = _lint(
+            tmp_path,
+            "repro/ftl/x.py",
+            """
+            def f(self, chip, ppn):
+                try:
+                    return chip.read_page(ppn)
+                except FlashError:  # lint: disable=SIM06
+                    pass
+            """,
+        )
+        assert findings == []

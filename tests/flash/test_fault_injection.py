@@ -1,0 +1,270 @@
+"""Seeded fault injection: plan validation, injector semantics, chip faults."""
+
+import pytest
+
+from repro.core.evanesco_chip import EvanescoChip
+from repro.faults import OP_FAULTS, FaultInjector, FaultKind, FaultPlan
+from repro.flash.chip import ERASED_DATA, FlashChip
+from repro.flash.errors import (
+    EraseFailError,
+    PowerLossInjected,
+    ProgramFailError,
+    UncorrectableError,
+)
+from repro.flash.geometry import small_geometry
+
+
+@pytest.fixture
+def geometry():
+    return small_geometry(blocks=4, wordlines=4)
+
+
+def injector(**kwargs) -> FaultInjector:
+    return FaultInjector(FaultPlan(**kwargs))
+
+
+class TestFaultPlanValidation:
+    def test_rate_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan(rates=((FaultKind.PROGRAM_FAIL, 1.5),))
+        with pytest.raises(ValueError):
+            FaultPlan(rates=((FaultKind.PROGRAM_FAIL, -0.1),))
+
+    def test_rate_key_must_be_fault_kind(self):
+        with pytest.raises(TypeError):
+            FaultPlan(rates=(("program", 0.5),))
+
+    def test_schedule_entry_validated(self):
+        with pytest.raises(ValueError):
+            FaultPlan(schedule=((-1, FaultKind.ERASE_FAIL),))
+        with pytest.raises(ValueError):
+            FaultPlan(schedule=((3, "erase"),))
+
+    def test_from_rates_is_order_independent(self):
+        a = FaultPlan.from_rates(
+            {FaultKind.PLOCK_FAIL: 0.1, FaultKind.ERASE_FAIL: 0.2}
+        )
+        b = FaultPlan.from_rates(
+            {FaultKind.ERASE_FAIL: 0.2, FaultKind.PLOCK_FAIL: 0.1}
+        )
+        assert a == b
+
+    def test_rate_of_unconfigured_kind_is_zero(self):
+        plan = FaultPlan.single(FaultKind.READ_UNCORRECTABLE, 0.25)
+        assert plan.rate_of(FaultKind.READ_UNCORRECTABLE) == 0.25
+        assert plan.rate_of(FaultKind.ERASE_FAIL) == 0.0
+
+    def test_describe_is_json_friendly(self):
+        plan = FaultPlan(
+            seed=7,
+            rates=((FaultKind.PROGRAM_FAIL, 0.5),),
+            schedule=((3, FaultKind.POWER_LOSS),),
+        )
+        assert plan.describe() == {
+            "seed": 7,
+            "rates": {"program": 0.5},
+            "schedule": [[3, "power_loss"]],
+        }
+
+    def test_every_chip_op_has_a_fault_mapping(self):
+        assert set(OP_FAULTS) == {
+            "read", "program", "erase", "plock", "block_lock", "scrub"
+        }
+        assert OP_FAULTS["scrub"] is None  # scrub pulses cannot fail
+
+
+class TestInjectorDeterminism:
+    OPS = ["program", "read", "erase", "plock", "block_lock", "scrub"] * 40
+
+    def test_same_plan_same_decisions(self):
+        plan = FaultPlan.from_rates(
+            {FaultKind.PROGRAM_FAIL: 0.3, FaultKind.READ_UNCORRECTABLE: 0.3},
+            seed=11,
+        )
+        first = [FaultInjector(plan).on_op(op) for op in self.OPS]
+        second = [FaultInjector(plan).on_op(op) for op in self.OPS]
+        # regenerating per-op above resets state; replay on one instance too
+        inj = FaultInjector(plan)
+        third = [inj.on_op(op) for op in self.OPS]
+        assert first == second
+        assert "fail" in third  # the rates actually fire at 0.3
+
+    def test_injected_counters_match_decisions(self):
+        plan = FaultPlan.single(FaultKind.PROGRAM_FAIL, 1.0, seed=2)
+        inj = FaultInjector(plan)
+        decisions = [inj.on_op("program") for _ in range(5)]
+        assert decisions == ["fail"] * 5
+        assert inj.injected == {FaultKind.PROGRAM_FAIL: 5}
+        assert inj.total_injected == 5
+
+    def test_rate_only_applies_to_matching_op(self):
+        plan = FaultPlan.single(FaultKind.ERASE_FAIL, 1.0)
+        inj = FaultInjector(plan)
+        assert inj.on_op("program") == ""
+        assert inj.on_op("read") == ""
+        assert inj.on_op("erase") == "fail"
+
+
+class TestInjectorSchedule:
+    def test_schedule_fires_at_exact_index(self):
+        inj = FaultInjector(
+            FaultPlan(schedule=((2, FaultKind.PROGRAM_FAIL),))
+        )
+        assert [inj.on_op("program") for _ in range(4)] == [
+            "", "", "fail", ""
+        ]
+
+    def test_scheduled_kind_must_match_the_op(self):
+        inj = FaultInjector(
+            FaultPlan(schedule=((0, FaultKind.ERASE_FAIL),))
+        )
+        # op 0 is a program: the scheduled erase fault cannot fire on it
+        assert inj.on_op("program") == ""
+        assert inj.injected == {}
+
+    def test_power_loss_cuts_any_op(self):
+        inj = FaultInjector(FaultPlan.power_loss_at(1))
+        assert inj.on_op("scrub") == ""
+        assert inj.on_op("scrub") == "power-loss"
+
+    def test_tripped_injector_is_inert(self):
+        inj = FaultInjector(FaultPlan.power_loss_at(0))
+        assert inj.on_op("program") == "power-loss"
+        index = inj.op_index
+        assert inj.on_op("program") == ""
+        assert inj.op_index == index  # the device is "off": no counting
+        assert inj.injected == {FaultKind.POWER_LOSS: 1}
+
+
+class TestSuspension:
+    def test_suspended_probes_do_not_advance_or_inject(self):
+        inj = FaultInjector(FaultPlan.single(FaultKind.READ_UNCORRECTABLE, 1.0))
+        with inj.suspended():
+            assert inj.on_op("read") == ""
+        assert inj.op_index == 0
+        assert inj.injected == {}
+        assert inj.on_op("read") == "fail"  # normal ops still fault
+
+    def test_suspension_nests(self):
+        inj = FaultInjector(FaultPlan.single(FaultKind.READ_UNCORRECTABLE, 1.0))
+        with inj.suspended():
+            with inj.suspended():
+                pass
+            assert inj.on_op("read") == ""
+        assert inj.on_op("read") == "fail"
+
+
+class TestChipFaultSemantics:
+    def test_program_fail_tears_the_page(self, geometry):
+        chip = FlashChip(
+            geometry,
+            fault_hook=injector(schedule=((0, FaultKind.PROGRAM_FAIL),)),
+        )
+        with pytest.raises(ProgramFailError):
+            chip.program_page(0, "secret")
+        # the page is consumed mid-distribution: unreadable, not erased
+        assert chip.stats.programs == 1
+        with pytest.raises(UncorrectableError):
+            chip.read_page(0)
+
+    def test_scrub_clears_a_torn_page(self, geometry):
+        chip = FlashChip(
+            geometry,
+            fault_hook=injector(schedule=((0, FaultKind.PROGRAM_FAIL),)),
+        )
+        with pytest.raises(ProgramFailError):
+            chip.program_page(0, "secret")
+        chip.scrub_wordline(0, 0)
+        assert chip.read_page(0).data != "secret"  # scrubbed, readable again
+
+    def test_erase_clears_a_torn_page(self, geometry):
+        chip = FlashChip(
+            geometry,
+            fault_hook=injector(schedule=((0, FaultKind.PROGRAM_FAIL),)),
+        )
+        with pytest.raises(ProgramFailError):
+            chip.program_page(0, "secret")
+        chip.erase_block(0)
+        assert chip.read_page(0).data == ERASED_DATA
+
+    def test_erase_fail_leaves_data_intact(self, geometry):
+        chip = FlashChip(
+            geometry,
+            fault_hook=injector(schedule=((1, FaultKind.ERASE_FAIL),)),
+        )
+        chip.program_page(0, "payload")
+        with pytest.raises(EraseFailError):
+            chip.erase_block(0)
+        assert chip.read_page(0).data == "payload"
+
+    def test_transient_read_failure_clears_on_retry(self, geometry):
+        chip = FlashChip(
+            geometry,
+            fault_hook=injector(
+                schedule=((1, FaultKind.READ_UNCORRECTABLE),)
+            ),
+        )
+        chip.program_page(0, "payload")
+        with pytest.raises(UncorrectableError) as excinfo:
+            chip.read_page(0)
+        assert excinfo.value.rber == 1.0
+        assert chip.read_page(0).data == "payload"  # re-sense succeeds
+
+    def test_power_loss_raises_before_the_op(self, geometry):
+        chip = FlashChip(geometry, fault_hook=injector(schedule=((0, FaultKind.POWER_LOSS),)))
+        with pytest.raises(PowerLossInjected):
+            chip.erase_block(0)
+        assert chip.stats.erases == 0
+
+    def test_power_loss_during_program_still_tears(self, geometry):
+        chip = FlashChip(
+            geometry,
+            fault_hook=injector(schedule=((0, FaultKind.POWER_LOSS),)),
+        )
+        with pytest.raises(PowerLossInjected):
+            chip.program_page(0, "secret")
+        chip.fault_hook = None
+        with pytest.raises(UncorrectableError):
+            chip.read_page(0)
+
+
+class TestEvanescoChipFaultSemantics:
+    def test_plock_fail_leaves_page_unlocked(self, geometry):
+        chip = EvanescoChip(
+            geometry,
+            fault_hook=injector(schedule=((1, FaultKind.PLOCK_FAIL),)),
+        )
+        chip.program_page(0, "x")
+        chip.plock(0)
+        assert not chip.page_locked(0)  # no flag cell reached the state
+        chip.plock(0)  # fault-free retry locks for real
+        assert chip.page_locked(0)
+
+    def test_block_lock_fail_leaves_block_unlocked(self, geometry):
+        chip = EvanescoChip(
+            geometry,
+            fault_hook=injector(schedule=((1, FaultKind.BLOCK_LOCK_FAIL),)),
+        )
+        chip.program_page(0, "x")
+        chip.block_lock(0)
+        assert not chip.block_locked(0)
+        chip.block_lock(0)
+        assert chip.block_locked(0)
+
+    def test_power_loss_at_plock_boundary(self, geometry):
+        chip = EvanescoChip(
+            geometry,
+            fault_hook=injector(schedule=((1, FaultKind.POWER_LOSS),)),
+        )
+        chip.program_page(0, "x")
+        with pytest.raises(PowerLossInjected):
+            chip.plock(0)
+        assert not chip.page_locked(0)
+
+    def test_read_consults_the_hook_once(self, geometry):
+        inj = injector()
+        chip = EvanescoChip(geometry, fault_hook=inj)
+        chip.program_page(0, "x")
+        before = inj.op_index
+        chip.read_page(0)
+        assert inj.op_index == before + 1

@@ -9,6 +9,9 @@ import random
 
 import pytest
 
+from repro.faults import FaultKind, FaultPlan
+from repro.flash.block import BlockState
+from repro.flash.errors import PowerLossInjected
 from repro.ftl import FTL_VARIANTS
 from repro.ftl.mapping import UNMAPPED
 from repro.ftl.page_status import PageStatus
@@ -153,3 +156,74 @@ class TestCrashConsistencyOfSanitization:
         # (baseline may additionally resurrect trimmed ghosts)
         for lpa, payload in before.items():
             assert after.get(lpa) == payload
+
+
+class TestRecoveryFaultEdges:
+    """Recovery under injected damage: torn pages, bLocked and bad blocks."""
+
+    def test_torn_page_skipped_not_fatal(self, tiny_config):
+        ftl = FTL_VARIANTS["baseline"](tiny_config, faults=FaultPlan(seed=1))
+        churn(ftl, 60, seed=3)
+        injector = ftl.fault_injector
+        # cut power at the very next chip command: the in-flight write's
+        # program is interrupted mid-pulse, leaving a torn (ECC-dead) page
+        injector._schedule[injector.op_index] = FaultKind.POWER_LOSS
+        with pytest.raises(PowerLossInjected):
+            churn(ftl, 20, seed=4)
+        report = crash_and_recover(ftl)
+        assert report.unreadable_pages_skipped == 1
+        ftl.submit(write(0))  # the device still serves
+        assert ftl.mapped_gppa(0) != UNMAPPED
+
+    def test_fully_blocked_block_recovery(self, tiny_config):
+        ftl = FTL_VARIANTS["secSSD"](tiny_config)
+        pages = tiny_config.geometry.pages_per_block
+        stripe = pages * len(ftl.chips)
+        for lpa in range(stripe):
+            ftl.submit(write(lpa, secure=True))
+        ftl.submit(trim(0, stripe))  # whole blocks die in one batch
+        locked = [
+            (chip_id, block.index)
+            for chip_id, chip in enumerate(ftl.chips)
+            for block in chip.blocks
+            if chip.block_locked(block.index)
+        ]
+        assert locked  # batching chose bLock for the fully-dead blocks
+        report = crash_and_recover(ftl)
+        assert report.locked_pages_skipped >= pages
+        for chip_id, block_index in locked:
+            for offset in range(pages):
+                ppn = block_index * pages + offset
+                gppa = ftl.make_gppa(chip_id, ppn)
+                assert ftl.status.get(gppa) is PageStatus.INVALID
+                assert ftl.l2p.reverse(gppa) == UNMAPPED
+
+    def test_double_recovery_after_padding(self, tiny_config):
+        ftl = churn(FTL_VARIANTS["secSSD"](tiny_config), 90, seed=5)
+        first = crash_and_recover(ftl)
+        assert first.blocks_padded > 0  # half-open blocks were closed
+        churn(ftl, 90, seed=6)
+        before = logical_snapshot(ftl)
+        second = crash_and_recover(ftl)
+        assert logical_snapshot(ftl) == before
+        assert second.live_pages_recovered == len(before)
+
+    def test_grown_bad_table_relearned(self, tiny_config):
+        ftl = FTL_VARIANTS["baseline"](tiny_config, faults=FaultPlan(seed=9))
+        stripe = tiny_config.geometry.pages_per_block * len(ftl.chips)
+        for _ in range(2):  # fill then overwrite: block 0 fully invalid
+            for lpa in range(stripe):
+                ftl.submit(write(lpa))
+        injector = ftl.fault_injector
+        injector._schedule[injector.op_index] = FaultKind.ERASE_FAIL
+        assert not ftl._erase_block_now(0, 0)  # scrubbed + retired
+        gb = ftl.global_block(0, 0)
+        assert gb in ftl._bad_blocks
+        crash_and_recover(ftl)
+        # the grown-bad table is RAM state: recovery must re-learn it
+        # from the persistent RETIRED block marks
+        assert gb in ftl._bad_blocks
+        assert 0 in ftl.alloc.retired_blocks(0)
+        assert ftl.chips[0].blocks[0].state is BlockState.RETIRED
+        churn(ftl, 60, seed=7)  # and never allocate from it again
+        assert ftl.chips[0].blocks[0].state is BlockState.RETIRED

@@ -116,3 +116,28 @@ class TestExecution:
     def test_lint_missing_path_clean_error(self, capsys):
         assert main(["lint", "/definitely/not/there.py"]) == 2
         assert "not a python file or directory" in capsys.readouterr().out
+
+    def test_torture_options_and_defaults(self):
+        args = build_parser().parse_args(
+            ["torture", "--variants", "secSSD", "--rates", "0.01",
+             "--window", "5", "--ops", "40", "--json"]
+        )
+        assert args.command == "torture"
+        assert (args.blocks, args.wordlines) == (12, 4)  # own small scale
+        assert args.rates == [0.01]
+        assert args.json
+        # the torture defaults must not leak into the shared scale parent
+        assert build_parser().parse_args(["fig14"]).blocks == 20
+
+    def test_torture_small(self, capsys):
+        code = main(
+            ["torture", "--blocks", "8", "--wordlines", "4", "--ops", "40",
+             "--rates", "0.01", "--window", "2", "--variants", "baseline"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "torture: PASS" in out
+
+    def test_torture_unknown_variant_rejected(self, capsys):
+        assert main(["torture", "--variants", "nopeSSD"]) == 2
+        assert "unknown variant" in capsys.readouterr().out
