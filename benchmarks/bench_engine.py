@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Discrete-event engine benchmark -> ``BENCH_sim.json``.
+
+Times the :mod:`repro.sim` queueing engine on captured block traces and
+writes a machine-readable artifact with the three numbers that matter:
+
+* **events/sec** -- how fast the engine itself runs (wall-clock);
+* **IOPS** -- what the simulated device sustained under the closed loop;
+* **p99 read latency** -- the tail the engine exists to measure.
+
+Same code path as ``repro bench``; this script is the form CI archives.
+
+Run:  python benchmarks/bench_engine.py [--out BENCH_sim.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.analysis.bench_engine import format_bench, run_bench, write_bench_json
+from repro.ssd.config import scaled_config
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--blocks", type=int, default=16)
+    parser.add_argument("--wordlines", type=int, default=8)
+    parser.add_argument("--workload", default="Mobile")
+    parser.add_argument("--variants", nargs="*",
+                        default=["baseline", "secSSD"])
+    parser.add_argument("--qd", type=int, default=32)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--out", default="BENCH_sim.json")
+    args = parser.parse_args(argv)
+
+    config = scaled_config(
+        blocks_per_chip=args.blocks, wordlines_per_block=args.wordlines
+    )
+    payload = run_bench(
+        config,
+        workload=args.workload,
+        variants=tuple(args.variants),
+        queue_depth=args.qd,
+        seed=args.seed,
+        repeats=args.repeats,
+    )
+    print(format_bench(payload))
+    target = write_bench_json(payload, args.out)
+    print(f"benchmark artifact written to {target}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -12,6 +12,17 @@ from repro.analysis.experiments import (
     run_versioning_study,
     run_workload_on_variant,
 )
+from repro.analysis.bench_engine import (
+    format_bench,
+    run_bench,
+    write_bench_json,
+)
+from repro.analysis.latency import (
+    TAIL_LATENCY_VARIANTS,
+    format_tail_latency,
+    policy_for_variant,
+    run_tail_latency_study,
+)
 from repro.analysis.lifetime import (
     LifetimeEstimate,
     WearStats,
@@ -46,6 +57,7 @@ __all__ = [
     "FIGURE14_VARIANTS",
     "FIGURE14_WORKLOADS",
     "Figure14Result",
+    "TAIL_LATENCY_VARIANTS",
     "TORTURE_VARIANTS",
     "TortureCase",
     "TortureScorecard",
@@ -55,14 +67,19 @@ __all__ = [
     "erase_reduction",
     "VariantOutcome",
     "VersioningStudyResult",
+    "format_bench",
     "format_figure14",
     "format_secure_fraction",
     "format_table1",
+    "format_tail_latency",
+    "policy_for_variant",
     "render_table",
+    "run_bench",
     "run_figure14",
     "run_power_loss_case",
     "run_rate_case",
     "run_secure_fraction_sweep",
+    "run_tail_latency_study",
     "run_timeplot_study",
     "run_torture",
     "run_versioning_study",
@@ -70,4 +87,5 @@ __all__ = [
     "stale_secured_exposures",
     "summarize_overheads",
     "torture_requests",
+    "write_bench_json",
 ]

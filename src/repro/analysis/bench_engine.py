@@ -1,0 +1,136 @@
+"""Engine throughput benchmark -- ``repro bench`` / ``BENCH_sim.json``.
+
+Measures how fast the discrete-event engine itself runs (wall-clock
+events per second) alongside what it simulates (device IOPS, host-read
+p99).  The JSON artifact is machine-readable so CI can archive it and
+regressions in engine performance show up as a diff, not an anecdote.
+
+Wall-clock timing lives *here*, outside :mod:`repro.sim`, on purpose:
+rule SIM07 bans wall-clock access inside the simulation package, and
+the benchmark is exactly the measurement that must not leak into it.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+
+from repro.sim.arrivals import ClosedLoopArrivals
+from repro.sim.policies import policy_by_name
+from repro.sim.runner import simulate_workload
+from repro.ssd.config import SSDConfig
+
+#: default artifact path (repo root when run via the CLI from there).
+DEFAULT_BENCH_PATH = "BENCH_sim.json"
+
+
+def bench_once(
+    config: SSDConfig,
+    workload: str,
+    variant: str,
+    queue_depth: int,
+    policy: str,
+    seed: int,
+    write_multiplier: float,
+) -> dict[str, object]:
+    """One timed engine run -> flat metrics dict."""
+    start = time.perf_counter()
+    sim = simulate_workload(
+        config,
+        workload,
+        variant,
+        seed=seed,
+        write_multiplier=write_multiplier,
+        policy=policy_by_name(policy),
+        arrivals=ClosedLoopArrivals(queue_depth),
+        checked=False,
+    )
+    wall_s = time.perf_counter() - start
+    report = sim.report
+    return {
+        "workload": workload,
+        "variant": variant,
+        "policy": policy,
+        "queue_depth": queue_depth,
+        "requests": sim.requests,
+        "events": report.events,
+        "wall_s": wall_s,
+        "events_per_sec": report.events / wall_s if wall_s > 0 else 0.0,
+        "iops": report.iops,
+        "p99_read_us": report.latency["read"]["p99_us"],
+        "p99_all_us": report.latency["all"]["p99_us"],
+        "open_loop_agreement": report.open_loop_agreement,
+    }
+
+
+def run_bench(
+    config: SSDConfig,
+    workload: str = "Mobile",
+    variants: tuple[str, ...] = ("baseline", "secSSD"),
+    queue_depth: int = 32,
+    policy: str = "fifo",
+    seed: int = 1,
+    write_multiplier: float = 1.0,
+    repeats: int = 3,
+) -> dict[str, object]:
+    """Benchmark the engine on each variant; keep each variant's best run.
+
+    The simulated metrics (IOPS, p99, events) are identical across
+    repeats by determinism -- only wall-clock varies, and the fastest
+    repeat is the least-noisy estimate of engine speed.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    runs = []
+    for variant in variants:
+        best: dict[str, object] | None = None
+        for _ in range(repeats):
+            run = bench_once(
+                config,
+                workload,
+                variant,
+                queue_depth,
+                policy,
+                seed,
+                write_multiplier,
+            )
+            if best is None or run["wall_s"] < best["wall_s"]:
+                best = run
+        runs.append(best)
+    return {
+        "bench": "sim_engine",
+        "python": platform.python_version(),
+        "config": {
+            "blocks_per_chip": config.geometry.blocks_per_chip,
+            "wordlines_per_block": config.geometry.wordlines_per_block,
+            "n_channels": config.n_channels,
+            "chips_per_channel": config.chips_per_channel,
+        },
+        "repeats": repeats,
+        "runs": runs,
+        "best_events_per_sec": max(
+            (r["events_per_sec"] for r in runs), default=0.0
+        ),
+    }
+
+
+def write_bench_json(payload: dict[str, object], path: str | Path) -> Path:
+    """Write the benchmark artifact (sorted keys, trailing newline)."""
+    target = Path(path)
+    target.write_text(json.dumps(payload, sort_keys=True, indent=2) + "\n")
+    return target
+
+
+def format_bench(payload: dict[str, object]) -> str:
+    """Human-readable one-line-per-run summary."""
+    lines = [f"sim engine bench (python {payload['python']}):"]
+    for run in payload["runs"]:
+        lines.append(
+            f"  {run['workload']}/{run['variant']:12s} "
+            f"{run['events']:>8} events in {run['wall_s']:.3f}s "
+            f"({run['events_per_sec']:,.0f} ev/s)  "
+            f"iops={run['iops']:,.0f}  p99r={run['p99_read_us']:.0f}us"
+        )
+    return "\n".join(lines)

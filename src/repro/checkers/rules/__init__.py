@@ -1,4 +1,4 @@
-"""The domain rule catalogue (SIM01..SIM06).
+"""The domain rule catalogue (SIM01..SIM07).
 
 Each rule lives in its own module and encodes one simulator invariant:
 
@@ -13,7 +13,9 @@ Each rule lives in its own module and encodes one simulator invariant:
 * ``SIM05`` (:mod:`.observers`) -- every sanitize call site notifies
   the observer via ``on_sanitize``;
 * ``SIM06`` (:mod:`.fault_handling`) -- no flash error is caught and
-  swallowed without accounting (raise, stats, or exception use).
+  swallowed without accounting (raise, stats, or exception use);
+* ``SIM07`` (:mod:`.sim_clock`) -- no wall clock (``time``/``datetime``)
+  or module-level ``random.*`` inside the ``sim/`` event engine.
 
 Suppress a rule on one line with ``# lint: disable=SIM0x``.
 """
@@ -24,6 +26,7 @@ from repro.checkers.rules.encapsulation import StatusTableEncapsulationRule
 from repro.checkers.rules.fault_handling import SwallowedFlashErrorRule
 from repro.checkers.rules.float_eq import FloatEqualityRule
 from repro.checkers.rules.observers import SanitizeObserverRule
+from repro.checkers.rules.sim_clock import SimWallClockRule
 
 #: registration order == report order for same-location findings.
 ALL_RULES = (
@@ -33,6 +36,7 @@ ALL_RULES = (
     FloatEqualityRule,
     SanitizeObserverRule,
     SwallowedFlashErrorRule,
+    SimWallClockRule,
 )
 
 RULES_BY_ID = {cls.rule_id: cls for cls in ALL_RULES}
@@ -43,6 +47,7 @@ __all__ = [
     "FloatEqualityRule",
     "LockAccountingRule",
     "SanitizeObserverRule",
+    "SimWallClockRule",
     "StatusTableEncapsulationRule",
     "SwallowedFlashErrorRule",
     "UnseededRandomnessRule",

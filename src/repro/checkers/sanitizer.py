@@ -150,6 +150,17 @@ class _RecordingObserver:
     def on_logical_tick(self, ticks: int) -> None:
         self._inner.on_logical_tick(ticks)
 
+    def on_lock_deferred(self, chip_id: int, n_locks: int, deferred_us: float) -> None:
+        # timing-only event (repro.sim deferral policy): record it in the
+        # trail so violation reports show deferral activity, and forward
+        # if the inner observer cares; it never changes page status.
+        inner = getattr(self._inner, "on_lock_deferred", None)
+        if inner is not None:
+            inner(chip_id, n_locks, deferred_us)
+        self._sanitizer._record(
+            f"lock-drain chip={chip_id} n={n_locks} waited={deferred_us:.1f}us"
+        )
+
 
 class FtlSanitizer:
     """Shadow checker attached to one FTL instance.

@@ -14,9 +14,14 @@ Usage::
 Common options: ``--blocks``, ``--wordlines`` (device scale), ``--seed``,
 ``--multiplier`` (steady-state writes as a multiple of capacity).
 
+Two commands drive the closed-loop discrete-event engine (repro.sim)::
+
+    python -m repro simulate               # tail-latency study under queueing
+    python -m repro bench                  # engine benchmark -> BENCH_sim.json
+
 Three maintenance commands ship with the simulator itself::
 
-    python -m repro lint                   # static domain lint (SIM01-SIM06)
+    python -m repro lint                   # static domain lint (SIM01-SIM07)
     python -m repro check                  # runtime invariant sanitizer run
     python -m repro torture                # fault-injection robustness sweep
 """
@@ -161,8 +166,94 @@ def cmd_scorecard(args: argparse.Namespace) -> None:
     print(f"\n{len(checks) - failed}/{len(checks)} targets pass")
 
 
+def cmd_simulate(args: argparse.Namespace) -> int:
+    """Closed-loop tail-latency study on the discrete-event engine."""
+    import json
+
+    from repro.analysis.latency import (
+        format_tail_latency,
+        policy_for_variant,
+        run_tail_latency_study,
+    )
+    from repro.ftl import FTL_VARIANTS
+    from repro.sim.arrivals import BurstyArrivals, ClosedLoopArrivals, PoissonArrivals
+    from repro.sim.policies import POLICIES, policy_by_name
+
+    variants = tuple(args.variants or ("baseline", "erSSD", "scrSSD", "secSSD"))
+    unknown = [v for v in variants if v not in FTL_VARIANTS]
+    if unknown:
+        print(f"unknown variant(s) {unknown}; choose from {sorted(FTL_VARIANTS)}")
+        return 2
+    if args.policy != "auto" and args.policy not in POLICIES:
+        print(f"unknown policy {args.policy!r}; choose from "
+              f"{['auto', *sorted(POLICIES)]}")
+        return 2
+    if args.rate is not None:
+        arrivals = (
+            BurstyArrivals(args.rate, seed=args.seed)
+            if args.bursty
+            else PoissonArrivals(args.rate, seed=args.seed)
+        )
+    else:
+        arrivals = ClosedLoopArrivals(args.qd)
+    results = {}
+    for variant in variants:
+        from repro.sim.runner import simulate_workload
+
+        policy = (
+            policy_for_variant(variant)
+            if args.policy == "auto"
+            else policy_by_name(args.policy)
+        )
+        results[variant] = simulate_workload(
+            _config(args),
+            args.workload,
+            variant,
+            seed=args.seed,
+            write_multiplier=args.multiplier,
+            policy=policy,
+            arrivals=arrivals,
+            checked=True if args.checked else None,
+            check_interval=args.interval,
+        )
+    print(format_tail_latency(results))
+    if args.json:
+        payload = {v: r.to_dict() for v, r in results.items()}
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, sort_keys=True, indent=2)
+            fh.write("\n")
+        print(f"full reports written to {args.json}")
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Benchmark the event engine and emit BENCH_sim.json."""
+    from repro.analysis.bench_engine import format_bench, run_bench, write_bench_json
+    from repro.ftl import FTL_VARIANTS
+
+    variants = tuple(args.variants or ("baseline", "secSSD"))
+    unknown = [v for v in variants if v not in FTL_VARIANTS]
+    if unknown:
+        print(f"unknown variant(s) {unknown}; choose from {sorted(FTL_VARIANTS)}")
+        return 2
+    payload = run_bench(
+        _config(args),
+        workload=args.workload,
+        variants=variants,
+        queue_depth=args.qd,
+        policy=args.policy,
+        seed=args.seed,
+        write_multiplier=args.multiplier,
+        repeats=args.repeats,
+    )
+    print(format_bench(payload))
+    target = write_bench_json(payload, args.out)
+    print(f"benchmark artifact written to {target}")
+    return 0
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
-    """Static domain lint (SIM01-SIM06) over the simulator sources."""
+    """Static domain lint (SIM01-SIM07) over the simulator sources."""
     from repro.checkers.lint import run_lint
 
     return run_lint(args.paths, show_hints=not args.no_hints)
@@ -243,6 +334,8 @@ COMMANDS = {
     "fig14c": cmd_fig14c,
     "overheads": cmd_overheads,
     "scorecard": cmd_scorecard,
+    "simulate": cmd_simulate,
+    "bench": cmd_bench,
     "lint": cmd_lint,
     "check": cmd_check,
     "torture": cmd_torture,
@@ -302,6 +395,48 @@ def build_parser() -> argparse.ArgumentParser:
                            help="first op index of the power-loss window")
             p.add_argument("--json", action="store_true",
                            help="emit the machine-readable scorecard")
+        elif name == "simulate":
+            p = sub.add_parser(
+                name, parents=[scale],
+                help="closed-loop tail-latency study (discrete-event engine)",
+            )
+            p.add_argument("--workload", default="MailServer",
+                           help="workload trace to simulate")
+            p.add_argument("--variants", nargs="*", default=None,
+                           help="FTL variants (default: the Figure-14 four)")
+            p.add_argument("--policy", default="auto",
+                           help="scheduling policy, or 'auto' for each "
+                                "variant's honest best")
+            p.add_argument("--qd", type=int, default=32,
+                           help="closed-loop queue depth")
+            p.add_argument("--rate", type=float, default=None,
+                           help="open Poisson arrivals at this IOPS "
+                                "instead of a closed loop")
+            p.add_argument("--bursty", action="store_true",
+                           help="with --rate: bursty ON/OFF arrivals")
+            p.add_argument("--checked", action="store_true",
+                           help="attach the runtime invariant sanitizer")
+            p.add_argument("--interval", type=int, default=50,
+                           help="host batches between full sanitizer checks")
+            p.add_argument("--json", default=None, metavar="PATH",
+                           help="also write full reports as JSON")
+        elif name == "bench":
+            p = sub.add_parser(
+                name, parents=[scale],
+                help="engine throughput benchmark -> BENCH_sim.json",
+            )
+            p.add_argument("--workload", default="Mobile",
+                           help="workload trace to benchmark")
+            p.add_argument("--variants", nargs="*", default=None,
+                           help="FTL variants (default: baseline secSSD)")
+            p.add_argument("--policy", default="fifo",
+                           help="scheduling policy for the timed runs")
+            p.add_argument("--qd", type=int, default=32,
+                           help="closed-loop queue depth")
+            p.add_argument("--repeats", type=int, default=3,
+                           help="timed repeats per variant (best kept)")
+            p.add_argument("--out", default="BENCH_sim.json",
+                           help="artifact path")
         elif name == "check":
             p = sub.add_parser(
                 name, parents=[scale],

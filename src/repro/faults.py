@@ -68,11 +68,21 @@ class FaultPlan:
     (the index counts every chip command of the device, in issue order).
     A scheduled kind only fires if the op at that index matches it --
     except :attr:`FaultKind.POWER_LOSS`, which cuts any operation.
+
+    ``active_from`` / ``active_until`` bound the op-index window in which
+    the *rates* apply (scheduled entries carry their own index and are
+    unaffected).  The window is how the :mod:`repro.sim` engine injects
+    faults mid-simulation: a device runs clean through warm-up, then a
+    status-fail storm starts at a chosen operation and visibly lengthens
+    the critical path of the requests in flight.  Ops outside the window
+    consume no RNG draws, so the same plan stays byte-replayable.
     """
 
     seed: int = 0
     rates: tuple[tuple[FaultKind, float], ...] = ()
     schedule: tuple[tuple[int, FaultKind], ...] = ()
+    active_from: int = 0
+    active_until: int | None = None
 
     def __post_init__(self) -> None:
         for kind, rate in self.rates:
@@ -83,6 +93,10 @@ class FaultPlan:
         for index, kind in self.schedule:
             if index < 0 or not isinstance(kind, FaultKind):
                 raise ValueError(f"bad schedule entry ({index}, {kind!r})")
+        if self.active_from < 0:
+            raise ValueError("active_from must be non-negative")
+        if self.active_until is not None and self.active_until < self.active_from:
+            raise ValueError("active_until must be >= active_from")
 
     # ------------------------------------------------------------------
     @classmethod
@@ -109,13 +123,25 @@ class FaultPlan:
                 return rate
         return 0.0
 
+    def in_window(self, op_index: int) -> bool:
+        """Whether the probabilistic rates apply at this op index."""
+        if op_index < self.active_from:
+            return False
+        return self.active_until is None or op_index < self.active_until
+
     def describe(self) -> dict[str, object]:
         """JSON-friendly summary for scorecards."""
-        return {
+        out: dict[str, object] = {
             "seed": self.seed,
             "rates": {k.value: r for k, r in self.rates},
             "schedule": [[i, k.value] for i, k in self.schedule],
         }
+        # the activity window is reported only when it actually gates
+        # anything (always-on plans keep the legacy shape)
+        if self.active_from != 0 or self.active_until is not None:
+            out["active_from"] = self.active_from
+            out["active_until"] = self.active_until
+        return out
 
 
 @dataclass
@@ -153,9 +179,12 @@ class FaultInjector:
         index = self.op_index
         self.op_index += 1
         kind = OP_FAULTS.get(op)
-        power_rate = self.plan.rate_of(FaultKind.POWER_LOSS)
+        in_window = self.plan.in_window(index)
+        power_rate = self.plan.rate_of(FaultKind.POWER_LOSS) if in_window else 0.0
         power = power_rate > 0.0 and self._rng.random() < power_rate
-        rate = self.plan.rate_of(kind) if kind is not None else 0.0
+        rate = (
+            self.plan.rate_of(kind) if kind is not None and in_window else 0.0
+        )
         fail = rate > 0.0 and self._rng.random() < rate
         scheduled = self._schedule.get(index)
         if power or scheduled is FaultKind.POWER_LOSS:

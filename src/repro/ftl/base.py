@@ -87,6 +87,7 @@ class PageMappedFtl:
             t_erase_us=config.t_erase_us,
             t_plock_us=config.t_plock_us,
             t_block_lock_us=config.t_block_lock_us,
+            t_scrub_us=config.t_scrub_us,
             t_xfer_us=config.t_xfer_us,
         )
         self.stats = DeviceStats()
@@ -182,6 +183,15 @@ class PageMappedFtl:
             raise ValueError(f"unknown op {request.op!r}")
         if self._sanitizer is not None:
             self._sanitizer.check_batch()
+
+    @property
+    def checker(self) -> FtlSanitizer | None:
+        """The attached runtime invariant sanitizer, if ``checked``.
+
+        Tooling (the ``repro.sim`` engine, ``repro check``) reads its
+        counters to report how much verification ran alongside a run.
+        """
+        return self._sanitizer
 
     def resync_checker(self) -> None:
         """Tell an attached sanitizer the tables were rebuilt wholesale.

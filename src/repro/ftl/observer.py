@@ -33,6 +33,19 @@ class FtlObserver(Protocol):
     def on_logical_tick(self, ticks: int) -> None:
         """Logical time advanced (one tick per 4-KiB host write, Sec. 3)."""
 
+    def on_lock_deferred(self, chip_id: int, n_locks: int, deferred_us: float) -> None:
+        """A batch of deferred lock pulses drained on a chip.
+
+        Emitted by the :mod:`repro.sim` sanitization-deferral scheduling
+        policy when it flushes pending pLock/bLock *pulses* into an idle
+        window (or ahead of a read barrier).  ``deferred_us`` is how long
+        the oldest pulse of the batch waited.  Deferral is a *timing*
+        policy only -- the FTL's functional lock state was already
+        applied at invalidation time -- so observers use this to audit
+        the deferral window, not to track sanitization coverage.
+        Optional: emitters must tolerate observers without it.
+        """
+
 
 class NullObserver:
     """Default observer: ignores everything."""
@@ -50,4 +63,7 @@ class NullObserver:
         pass
 
     def on_logical_tick(self, ticks: int) -> None:
+        pass
+
+    def on_lock_deferred(self, chip_id: int, n_locks: int, deferred_us: float) -> None:
         pass

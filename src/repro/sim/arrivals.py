@@ -1,0 +1,128 @@
+"""Load generators: when host requests arrive at the device.
+
+The open-loop occupancy model answers "how fast can the device go when
+the queue never empties"; the arrival processes here are what let the
+engine ask everything else:
+
+* :class:`ClosedLoopArrivals` -- a fixed number of outstanding requests
+  (queue depth QD); a completion immediately releases the next request.
+  This is how fio/FlashBench-style benchmarks drive a device, and at
+  high QD it reproduces the open-loop saturation point (the agreement
+  cross-check uses it).
+* :class:`PoissonArrivals` -- open arrivals at a target rate with
+  exponential inter-arrival times; the M/G/k-ish regime of "millions of
+  independent users".
+* :class:`BurstyArrivals` -- a Markov-modulated Poisson process
+  alternating exponentially-distributed ON bursts and OFF silences; the
+  regime where background sanitization either hides in the gaps or
+  collides with the next burst.
+
+Every process owns a ``random.Random(seed)``; two instances with the
+same seed emit the identical arrival sequence (rule SIM07 bans the
+module-level RNG in this package outright).
+"""
+
+from __future__ import annotations
+
+import random
+
+
+class ArrivalProcess:
+    """Base class: either closed-loop or an inter-arrival time source."""
+
+    #: closed-loop processes dispatch on completion, not on a timer.
+    closed_loop = False
+    name = "arrival"
+
+    def interarrival_us(self) -> float:
+        """Time until the next arrival (open-loop processes only)."""
+        raise NotImplementedError
+
+    def describe(self) -> dict[str, object]:
+        return {"name": self.name}
+
+
+class ClosedLoopArrivals(ArrivalProcess):
+    """Fixed queue depth: QD requests in flight whenever work remains."""
+
+    closed_loop = True
+    name = "closed"
+
+    def __init__(self, queue_depth: int = 32) -> None:
+        if queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        self.queue_depth = queue_depth
+
+    def describe(self) -> dict[str, object]:
+        return {"name": self.name, "queue_depth": self.queue_depth}
+
+
+class PoissonArrivals(ArrivalProcess):
+    """Open arrivals at ``rate_iops`` with exponential gaps."""
+
+    name = "poisson"
+
+    def __init__(self, rate_iops: float, seed: int = 0) -> None:
+        if not rate_iops > 0.0:
+            raise ValueError("rate_iops must be positive")
+        self.rate_iops = rate_iops
+        self.mean_us = 1e6 / rate_iops
+        self._rng = random.Random(seed)
+
+    def interarrival_us(self) -> float:
+        return self._rng.expovariate(1.0 / self.mean_us)
+
+    def describe(self) -> dict[str, object]:
+        return {"name": self.name, "rate_iops": self.rate_iops}
+
+
+class BurstyArrivals(ArrivalProcess):
+    """ON/OFF modulated Poisson: bursts at ``burst_rate_iops``, then silence.
+
+    ON and OFF period lengths are exponential with means ``on_mean_us``
+    and ``off_mean_us``.  An arrival gap that outlives the current ON
+    period is carried across the OFF silence into the next burst, so the
+    sequence is a single deterministic stream from one seeded RNG.
+    """
+
+    name = "bursty"
+
+    def __init__(
+        self,
+        burst_rate_iops: float,
+        on_mean_us: float = 5_000.0,
+        off_mean_us: float = 20_000.0,
+        seed: int = 0,
+    ) -> None:
+        if not burst_rate_iops > 0.0:
+            raise ValueError("burst_rate_iops must be positive")
+        if not (on_mean_us > 0.0 and off_mean_us > 0.0):
+            raise ValueError("on/off period means must be positive")
+        self.burst_rate_iops = burst_rate_iops
+        self.mean_us = 1e6 / burst_rate_iops
+        self.on_mean_us = on_mean_us
+        self.off_mean_us = off_mean_us
+        self._rng = random.Random(seed)
+        self._on_left_us = self._rng.expovariate(1.0 / on_mean_us)
+
+    def interarrival_us(self) -> float:
+        elapsed = 0.0
+        while True:
+            gap = self._rng.expovariate(1.0 / self.mean_us)
+            if gap < self._on_left_us:
+                self._on_left_us -= gap
+                return elapsed + gap
+            # the burst ended before the next arrival: spend the rest of
+            # the ON window, sleep through an OFF window, start a fresh
+            # burst, and draw again inside it.
+            elapsed += self._on_left_us
+            elapsed += self._rng.expovariate(1.0 / self.off_mean_us)
+            self._on_left_us = self._rng.expovariate(1.0 / self.on_mean_us)
+
+    def describe(self) -> dict[str, object]:
+        return {
+            "name": self.name,
+            "burst_rate_iops": self.burst_rate_iops,
+            "on_mean_us": self.on_mean_us,
+            "off_mean_us": self.off_mean_us,
+        }

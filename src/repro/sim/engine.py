@@ -1,0 +1,513 @@
+"""The discrete-event queueing engine.
+
+How a request flows:
+
+1. An **arrival** event dispatches the request to the real FTL
+   (``ssd.submit``), which executes *functionally* right away -- mapping
+   updates, GC, sanitization, fault handling -- while the installed
+   :class:`~repro.sim.ops.RecordingTiming` captures every primitive
+   flash operation it scheduled.
+2. Each captured operation becomes one or two **service segments** on
+   the simulated resources: a read senses on its chip then transfers on
+   its channel; a program transfers then occupies the chip; erases,
+   lock pulses, and scrubs occupy the chip only.  Segments queue per
+   resource and are picked by the scheduling policy.
+3. The request **completes** when its last segment finishes; end-to-end
+   latency is completion minus arrival.  Closed-loop arrivals release
+   the next request at that instant.
+
+The engine therefore answers what the open-loop occupancy model cannot:
+how long a host request *waits* behind GC relocation storms, erase
+trains, and sanitization pulses -- while the FTL state, statistics, and
+fault behaviour stay exactly those of the replayed variant.  Under a
+saturating closed-loop load the same run also carries the open-loop
+answer (``RecordingTiming`` inherits the occupancy accounting), which is
+the agreement contract ``tests/sim/test_crosscheck.py`` enforces.
+
+Determinism: a single seeded request stream, seeded arrival processes,
+FIFO tie-breaks on insertion order, and no wall clock (rule SIM07).
+Identical seeds produce byte-identical reports.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+from dataclasses import dataclass, field
+
+from repro.sim.events import EventHeap, SimClock
+from repro.sim.metrics import DepthSeries, LatencyRecorder
+from repro.sim.ops import OpKind, RecordingTiming
+from repro.sim.policies import DeferLocksPolicy, SchedulingPolicy
+from repro.ssd.device import SSD
+from repro.ssd.request import IoRequest, RequestOp
+
+_EV_ARRIVAL = "arrival"
+_EV_DONE = "done"
+
+
+@dataclass
+class _InFlight:
+    """One dispatched host request awaiting its service segments."""
+
+    index: int
+    op: RequestOp
+    arrival_us: float
+    remaining: int = 0
+
+
+class Segment:
+    """One stage of one flash operation on one resource."""
+
+    __slots__ = (
+        "kind",
+        "stage",
+        "duration_us",
+        "request",
+        "follow",
+        "successor",
+        "ready",
+        "seq",
+    )
+
+    def __init__(
+        self,
+        kind: OpKind,
+        stage: str,
+        duration_us: float,
+        request: _InFlight | None,
+        follow: tuple[int, float, str] | None = None,
+    ) -> None:
+        self.kind = kind
+        self.stage = stage  # "cell" (chip) | "xfer" (channel)
+        self.duration_us = duration_us
+        self.request = request
+        #: work-conserving mode: (server index, duration, stage) queued
+        #: when this stage ends.
+        self.follow = follow
+        #: in-order mode: (server index, segment) already queued on its
+        #: server, made ready when this stage ends.
+        self.successor: tuple[int, "Segment"] | None = None
+        #: in-order mode: an unready head-of-queue segment *stalls* its
+        #: server (the open-loop model's reservation semantics).
+        self.ready = True
+        self.seq = -1  # assigned at enqueue time
+
+
+class Server:
+    """One simulated resource (a chip or a channel) with its queue."""
+
+    __slots__ = (
+        "key",
+        "chip_id",
+        "queue",
+        "current",
+        "current_start_us",
+        "current_end_us",
+        "token",
+        "busy_us",
+        "pending_locks",
+        "oldest_pending_us",
+    )
+
+    def __init__(self, key: str, chip_id: int | None) -> None:
+        self.key = key
+        self.chip_id = chip_id  # None for channels
+        self.queue: list[tuple[int, int, Segment]] = []
+        self.current: Segment | None = None
+        self.current_start_us = 0.0
+        self.current_end_us = 0.0
+        self.token = 0
+        self.busy_us = 0.0
+        self.pending_locks: list[Segment] = []
+        self.oldest_pending_us = 0.0
+
+    @property
+    def idle(self) -> bool:
+        return self.current is None and not self.queue
+
+
+@dataclass
+class EngineReport:
+    """Everything one engine run measured (JSON-ready, deterministic)."""
+
+    completed: int
+    sim_elapsed_us: float
+    open_loop_elapsed_us: float
+    events: int
+    latency: dict[str, dict[str, float]]
+    utilization: dict[str, float]
+    queue_depth: list[tuple[float, int]]
+    in_flight_peak: int
+    mean_in_flight: float
+    queued_segments_peak: int
+    deferred_lock_pulses: int
+    lock_drains: int
+    suspensions: int
+    checker: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def iops(self) -> float:
+        """Completed host requests per second of simulated time."""
+        if self.sim_elapsed_us <= 0.0:
+            return 0.0
+        return self.completed / (self.sim_elapsed_us / 1e6)
+
+    @property
+    def open_loop_iops(self) -> float:
+        """The occupancy model's IOPS for the identical request order."""
+        if self.open_loop_elapsed_us <= 0.0:
+            return 0.0
+        return self.completed / (self.open_loop_elapsed_us / 1e6)
+
+    @property
+    def open_loop_agreement(self) -> float:
+        """engine IOPS / open-loop IOPS (1.0 = perfect agreement)."""
+        if self.open_loop_iops == 0.0:
+            return 0.0
+        return self.iops / self.open_loop_iops
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "completed": self.completed,
+            "sim_elapsed_us": self.sim_elapsed_us,
+            "open_loop_elapsed_us": self.open_loop_elapsed_us,
+            "iops": self.iops,
+            "open_loop_iops": self.open_loop_iops,
+            "open_loop_agreement": self.open_loop_agreement,
+            "events": self.events,
+            "latency": self.latency,
+            "utilization": self.utilization,
+            "queue_depth": [[t, d] for t, d in self.queue_depth],
+            "in_flight_peak": self.in_flight_peak,
+            "mean_in_flight": self.mean_in_flight,
+            "queued_segments_peak": self.queued_segments_peak,
+            "deferred_lock_pulses": self.deferred_lock_pulses,
+            "lock_drains": self.lock_drains,
+            "suspensions": self.suspensions,
+            "checker": self.checker,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2)
+
+
+class QueueingEngine:
+    """Runs one request stream through one SSD under one policy."""
+
+    def __init__(
+        self,
+        ssd: SSD,
+        requests: list[IoRequest],
+        arrivals,
+        policy: SchedulingPolicy,
+        steady_start: int = 0,
+    ) -> None:
+        timing = ssd.ftl.timing
+        if not isinstance(timing, RecordingTiming):
+            raise TypeError(
+                "the engine needs a RecordingTiming installed via "
+                "SSD.instrument_timing (see repro.sim.runner)"
+            )
+        if not 0 <= steady_start <= len(requests):
+            raise ValueError("steady_start out of range")
+        self.ssd = ssd
+        self.timing = timing
+        self.requests = requests
+        self.arrivals = arrivals
+        self.policy = policy
+        self.steady_start = steady_start
+
+        n_chips = timing.n_chips
+        self.servers: list[Server] = [
+            Server(f"chip{i}", chip_id=i) for i in range(n_chips)
+        ] + [Server(f"chan{j}", chip_id=None) for j in range(timing.n_channels)]
+        self._chan_base = n_chips
+        self._cpc = timing.chips_per_channel
+
+        self.clock = SimClock()
+        self.heap = EventHeap()
+        self.latency = LatencyRecorder()
+        self.depth = DepthSeries()
+        self._seq = 0
+        self._next_index = 0
+        self._arrival_time_us = 0.0
+        self.in_flight = 0
+        self.completed = 0
+        self.queued_segments = 0
+        self.queued_segments_peak = 0
+        self.deferred_lock_pulses = 0
+        self.lock_drains = 0
+        self.suspensions = 0
+
+    # ------------------------------------------------------------------
+    # run loop
+    # ------------------------------------------------------------------
+    def run(self) -> EngineReport:
+        self._seed_arrivals()
+        while True:
+            while self.heap:
+                event = self.heap.pop()
+                self.clock.advance_to(event.time_us)
+                if event.kind == _EV_ARRIVAL:
+                    self._dispatch(event.payload)
+                else:  # _EV_DONE
+                    server, token = event.payload
+                    self._on_done(server, token)
+            stragglers = [s for s in self.servers if s.pending_locks]
+            if not stragglers:
+                break
+            # lock pulses deferred on chips that never went idle and saw
+            # no later traffic: the run's final idle window drains them.
+            for server in stragglers:
+                self._drain_locks(server)
+        return self._report()
+
+    def _seed_arrivals(self) -> None:
+        n = len(self.requests)
+        if n == 0:
+            return
+        if self.arrivals.closed_loop:
+            first = min(self.arrivals.queue_depth, n)
+            for index in range(first):
+                self.heap.push(0.0, _EV_ARRIVAL, index)
+            self._next_index = first
+        else:
+            self.heap.push(0.0, _EV_ARRIVAL, 0)
+            self._next_index = 1
+
+    # ------------------------------------------------------------------
+    # arrivals and dispatch
+    # ------------------------------------------------------------------
+    def _dispatch(self, index: int) -> None:
+        now = self.clock.now_us
+        if not self.arrivals.closed_loop and self._next_index < len(self.requests):
+            self._arrival_time_us += self.arrivals.interarrival_us()
+            self.heap.push(
+                max(self._arrival_time_us, now), _EV_ARRIVAL, self._next_index
+            )
+            self._next_index += 1
+
+        request = self.requests[index]
+        self.timing.begin_capture()
+        self.ssd.submit(request)  # functional execution + op capture
+        ops = self.timing.end_capture()
+
+        inflight = _InFlight(index=index, op=request.op, arrival_us=now)
+        self.in_flight += 1
+        self.depth.record(now, self.in_flight)
+
+        deferring = isinstance(self.policy, DeferLocksPolicy)
+        in_order = self.policy.in_order
+        for op in ops:
+            chip = op.chip_id
+            chan = self._chan_base + chip // self._cpc
+            if op.kind is OpKind.READ:
+                inflight.remaining += 2
+                if in_order:
+                    self._enqueue_stages(
+                        op.kind, inflight,
+                        (chip, self.timing.t_read_us, "cell"),
+                        (chan, self.timing.t_xfer_us, "xfer"),
+                    )
+                else:
+                    seg = Segment(
+                        op.kind, "cell", self.timing.t_read_us, inflight,
+                        follow=(chan, self.timing.t_xfer_us, "xfer"),
+                    )
+                    self._enqueue(self.servers[chip], seg)
+            elif op.kind is OpKind.PROGRAM:
+                inflight.remaining += 2
+                if in_order:
+                    self._enqueue_stages(
+                        op.kind, inflight,
+                        (chan, self.timing.t_xfer_us, "xfer"),
+                        (chip, self.timing.t_prog_us, "cell"),
+                    )
+                else:
+                    seg = Segment(
+                        op.kind, "xfer", self.timing.t_xfer_us, inflight,
+                        follow=(chip, self.timing.t_prog_us, "cell"),
+                    )
+                    self._enqueue(self.servers[chan], seg)
+            else:
+                duration = self.timing.cell_duration_us(op.kind)
+                seg = Segment(op.kind, "cell", duration, inflight)
+                if deferring and self.policy.defers(seg):
+                    seg.request = None  # off the request critical path
+                    self._defer_lock(self.servers[chip], seg)
+                else:
+                    inflight.remaining += 1
+                    self._enqueue(self.servers[chip], seg)
+
+        if inflight.remaining == 0:
+            # unmapped reads / pure-trim bookkeeping: no flash service
+            self._complete(inflight)
+
+    def _enqueue_stages(
+        self,
+        kind: OpKind,
+        inflight: _InFlight,
+        first: tuple[int, float, str],
+        second: tuple[int, float, str],
+    ) -> None:
+        """In-order mode: reserve both stages of a two-stage op now.
+
+        The second stage sits unready in its server's queue; under the
+        FIFO discipline an unready head stalls the server, reproducing
+        the open-loop model's in-submission-order resource reservation
+        (and its head-of-line blocking) exactly.
+        """
+        s1_server, s1_dur, s1_stage = first
+        s2_server, s2_dur, s2_stage = second
+        s1 = Segment(kind, s1_stage, s1_dur, inflight)
+        s2 = Segment(kind, s2_stage, s2_dur, inflight)
+        s2.ready = False
+        s1.successor = (s2_server, s2)
+        self._enqueue(self.servers[s1_server], s1)
+        self._enqueue(self.servers[s2_server], s2)
+
+    def _defer_lock(self, server: Server, segment: Segment) -> None:
+        if not server.pending_locks:
+            server.oldest_pending_us = self.clock.now_us
+        server.pending_locks.append(segment)
+        self.deferred_lock_pulses += 1
+        if len(server.pending_locks) >= self.policy.max_pending:
+            self._drain_locks(server)
+
+    def _drain_locks(self, server: Server) -> None:
+        """Flush a chip's pending lock pulses into its service queue."""
+        pending, server.pending_locks = server.pending_locks, []
+        if not pending:
+            return
+        waited_us = self.clock.now_us - server.oldest_pending_us
+        self.lock_drains += 1
+        for segment in pending:
+            self._enqueue(server, segment, priority=self.policy.DRAIN_PRIORITY)
+        observer = self.ssd.ftl.observer
+        notify = getattr(observer, "on_lock_deferred", None)
+        if notify is not None:
+            notify(server.chip_id, len(pending), waited_us)
+
+    # ------------------------------------------------------------------
+    # service
+    # ------------------------------------------------------------------
+    def _enqueue(
+        self, server: Server, segment: Segment, priority: int | None = None
+    ) -> None:
+        segment.seq = self._seq
+        self._seq += 1
+        pr = self.policy.priority(segment) if priority is None else priority
+        heapq.heappush(server.queue, (pr, segment.seq, segment))
+        self.queued_segments += 1
+        if self.queued_segments > self.queued_segments_peak:
+            self.queued_segments_peak = self.queued_segments
+        if server.current is None:
+            self._start_next(server)
+        elif (
+            self.policy.preemptive
+            and server.current_end_us > self.clock.now_us
+            and self.policy.preempts(segment, server.current)
+        ):
+            self._suspend_current(server)
+            self._start_next(server)
+
+    def _suspend_current(self, server: Server) -> None:
+        """Pause the in-service cell op; it resumes with remaining time."""
+        segment = server.current
+        assert segment is not None
+        now = self.clock.now_us
+        remaining = server.current_end_us - now
+        server.busy_us += now - server.current_start_us
+        segment.duration_us = remaining + self.policy.resume_overhead_us
+        server.current = None
+        server.token += 1  # the scheduled DONE event is now stale
+        # the original seq keeps the suspended op ahead of later arrivals
+        # of its own priority class
+        heapq.heappush(
+            server.queue, (self.policy.priority(segment), segment.seq, segment)
+        )
+        self.queued_segments += 1
+        self.suspensions += 1
+
+    def _start_next(self, server: Server) -> None:
+        if server.current is not None or not server.queue:
+            return
+        if not server.queue[0][2].ready:
+            return  # in-order mode: head-of-line stall until ready
+        _, _, segment = heapq.heappop(server.queue)
+        self.queued_segments -= 1
+        now = self.clock.now_us
+        server.current = segment
+        server.current_start_us = now
+        server.current_end_us = now + segment.duration_us
+        server.token += 1
+        self.heap.push(server.current_end_us, _EV_DONE, (server, server.token))
+
+    def _on_done(self, server: Server, token: int) -> None:
+        if token != server.token:
+            return  # suspended/stale completion
+        segment = server.current
+        assert segment is not None
+        now = self.clock.now_us
+        server.busy_us += now - server.current_start_us
+        server.current = None
+        if segment.follow is not None:
+            target, duration, stage = segment.follow
+            self._enqueue(
+                self.servers[target],
+                Segment(segment.kind, stage, duration, segment.request),
+            )
+        if segment.successor is not None:
+            target, next_segment = segment.successor
+            next_segment.ready = True
+            self._start_next(self.servers[target])
+        if segment.request is not None:
+            segment.request.remaining -= 1
+            if segment.request.remaining == 0:
+                self._complete(segment.request)
+        if server.idle and server.pending_locks:
+            self._drain_locks(server)  # the idle window deferral waits for
+        self._start_next(server)
+
+    def _complete(self, inflight: _InFlight) -> None:
+        now = self.clock.now_us
+        self.completed += 1
+        self.in_flight -= 1
+        self.depth.record(now, self.in_flight)
+        if inflight.index >= self.steady_start:
+            self.latency.add(inflight.op, now - inflight.arrival_us)
+        if self.arrivals.closed_loop and self._next_index < len(self.requests):
+            self.heap.push(now, _EV_ARRIVAL, self._next_index)
+            self._next_index += 1
+
+    # ------------------------------------------------------------------
+    def _report(self) -> EngineReport:
+        elapsed = self.clock.now_us
+        utilization = {
+            server.key: (server.busy_us / elapsed if elapsed > 0.0 else 0.0)
+            for server in self.servers
+        }
+        checker = self.ssd.ftl.checker
+        checker_summary: dict[str, int] = {}
+        if checker is not None:
+            checker_summary = dict(checker.summary())
+            # a violation raises InvariantViolation and aborts the run,
+            # so reaching the report means the sanitizer saw none.
+            checker_summary["violations"] = 0
+        return EngineReport(
+            completed=self.completed,
+            sim_elapsed_us=elapsed,
+            open_loop_elapsed_us=self.timing.elapsed_us,
+            events=self.heap.pushed,
+            latency=self.latency.summary(),
+            utilization=utilization,
+            queue_depth=self.depth.downsample(),
+            in_flight_peak=self.depth.peak,
+            mean_in_flight=self.depth.mean_level(elapsed),
+            queued_segments_peak=self.queued_segments_peak,
+            deferred_lock_pulses=self.deferred_lock_pulses,
+            lock_drains=self.lock_drains,
+            suspensions=self.suspensions,
+            checker=checker_summary,
+        )

@@ -1,0 +1,84 @@
+"""Deterministic event heap and simulated clock.
+
+The queueing engine is a textbook discrete-event simulator: a priority
+queue of future events ordered by simulated time, popped one at a time,
+each handler possibly scheduling further events.  Everything here is
+deliberately boring -- determinism is the whole point:
+
+* ties on the timestamp break on a monotonically increasing insertion
+  sequence number, so same-time events fire in the order they were
+  scheduled (no heap-internal nondeterminism, no id()-based ordering);
+* the clock only ever moves forward; scheduling into the past is a bug
+  and raises immediately instead of silently reordering history;
+* there is no wall-clock anywhere -- rule SIM07 (`repro lint`) enforces
+  that nothing under ``repro/sim/`` imports ``time`` or ``datetime`` or
+  draws from module-level RNG state.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Event:
+    """One scheduled occurrence.
+
+    ``kind`` is an engine-defined string (``"arrival"``, ``"done"``);
+    ``payload`` is whatever the handler needs.  Events compare by
+    ``(time_us, seq)`` only -- payloads never participate in ordering.
+    """
+
+    time_us: float
+    seq: int
+    kind: str
+    payload: object = None
+
+
+class SimClock:
+    """Monotonic simulated time in microseconds."""
+
+    def __init__(self) -> None:
+        self.now_us = 0.0
+
+    def advance_to(self, time_us: float) -> None:
+        if time_us < self.now_us:
+            raise ValueError(
+                f"clock cannot move backwards: {time_us} < {self.now_us}"
+            )
+        self.now_us = time_us
+
+
+@dataclass
+class EventHeap:
+    """Min-heap of events with stable FIFO tie-breaking."""
+
+    _heap: list[tuple[float, int, Event]] = field(default_factory=list)
+    _seq: int = 0
+    #: total events ever pushed (the engine's events-processed metric).
+    pushed: int = 0
+
+    def push(self, time_us: float, kind: str, payload: object = None) -> Event:
+        if time_us < 0.0:
+            raise ValueError("event time must be non-negative")
+        event = Event(time_us=time_us, seq=self._seq, kind=kind, payload=payload)
+        self._seq += 1
+        self.pushed += 1
+        heapq.heappush(self._heap, (event.time_us, event.seq, event))
+        return event
+
+    def pop(self) -> Event:
+        if not self._heap:
+            raise IndexError("pop from empty event heap")
+        return heapq.heappop(self._heap)[2]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    @property
+    def next_time_us(self) -> float | None:
+        return self._heap[0][0] if self._heap else None

@@ -1,0 +1,135 @@
+"""Tail-latency accounting and queue-depth time series.
+
+The point of the closed-loop engine is the distribution, not the mean:
+one erSSD relocation storm shows up as a p99.9 spike that average IOPS
+hides entirely.  Percentiles use the nearest-rank method (deterministic,
+no interpolation ambiguity across platforms), and every summary is a
+plain dict of floats so reports serialize byte-identically for the
+same-seed determinism guarantee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ssd.request import RequestOp
+
+#: the percentiles every latency summary reports.
+PERCENTILES: tuple[tuple[str, float], ...] = (
+    ("p50_us", 50.0),
+    ("p95_us", 95.0),
+    ("p99_us", 99.0),
+    ("p999_us", 99.9),
+)
+
+
+def percentile(sorted_data: list[float], q: float) -> float:
+    """Nearest-rank percentile of pre-sorted data (0 for empty)."""
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("q must be in [0, 100]")
+    if not sorted_data:
+        return 0.0
+    rank = max(0, min(len(sorted_data) - 1, round(q / 100.0 * (len(sorted_data) - 1))))
+    return sorted_data[rank]
+
+
+@dataclass
+class LatencyRecorder:
+    """End-to-end request latency samples, grouped by request class."""
+
+    samples: dict[RequestOp, list[float]] = field(
+        default_factory=lambda: {op: [] for op in RequestOp}
+    )
+
+    def add(self, op: RequestOp, latency_us: float) -> None:
+        if latency_us < 0.0:
+            raise ValueError("latency cannot be negative")
+        self.samples[op].append(latency_us)
+
+    def count(self, op: RequestOp | None = None) -> int:
+        if op is not None:
+            return len(self.samples[op])
+        return sum(len(v) for v in self.samples.values())
+
+    # ------------------------------------------------------------------
+    def summary_for(self, op: RequestOp | None) -> dict[str, float]:
+        if op is not None:
+            data = sorted(self.samples[op])
+        else:
+            merged: list[float] = []
+            for values in self.samples.values():
+                merged.extend(values)
+            data = sorted(merged)
+        out: dict[str, float] = {
+            "count": float(len(data)),
+            "mean_us": (sum(data) / len(data)) if data else 0.0,
+        }
+        for label, q in PERCENTILES:
+            out[label] = percentile(data, q)
+        out["max_us"] = data[-1] if data else 0.0
+        return out
+
+    def summary(self) -> dict[str, dict[str, float]]:
+        """Per-class and combined percentile report (JSON-ready)."""
+        out = {op.value: self.summary_for(op) for op in RequestOp}
+        out["all"] = self.summary_for(None)
+        return out
+
+
+@dataclass
+class DepthSeries:
+    """Time series of an integer level (queue depth, requests in flight).
+
+    Records a point whenever the level changes; consecutive same-level
+    points coalesce.  ``downsample`` bounds report size.
+    """
+
+    times_us: list[float] = field(default_factory=list)
+    levels: list[int] = field(default_factory=list)
+
+    def record(self, time_us: float, level: int) -> None:
+        if self.levels and self.levels[-1] == level:
+            return
+        if self.times_us and time_us == self.times_us[-1]:
+            # same-instant transition: keep only the final level
+            self.levels[-1] = level
+            self._recoalesce()
+            return
+        self.times_us.append(time_us)
+        self.levels.append(level)
+
+    def _recoalesce(self) -> None:
+        if len(self.levels) >= 2 and self.levels[-1] == self.levels[-2]:
+            self.times_us.pop()
+            self.levels.pop()
+
+    def __len__(self) -> int:
+        return len(self.times_us)
+
+    @property
+    def peak(self) -> int:
+        return max(self.levels, default=0)
+
+    def mean_level(self, until_us: float) -> float:
+        """Time-weighted average level over [0, until_us]."""
+        if until_us <= 0.0 or not self.times_us:
+            return 0.0
+        total = 0.0
+        for i, (t, level) in enumerate(zip(self.times_us, self.levels)):
+            end = self.times_us[i + 1] if i + 1 < len(self.times_us) else until_us
+            end = min(end, until_us)
+            if end > t:
+                total += (end - t) * level
+        return total / until_us
+
+    def downsample(self, max_points: int = 256) -> list[tuple[float, int]]:
+        """At most ``max_points`` (time, level) pairs, ends preserved."""
+        if max_points < 2:
+            raise ValueError("max_points must be >= 2")
+        points = list(zip(self.times_us, self.levels))
+        if len(points) <= max_points:
+            return points
+        step = (len(points) - 1) / (max_points - 1)
+        picked = [points[round(i * step)] for i in range(max_points - 1)]
+        picked.append(points[-1])
+        return picked

@@ -1,0 +1,135 @@
+"""Flash-operation capture: how the event engine drives the real FTLs.
+
+The FTL variants execute *functionally* the instant a request is
+submitted (mapping updates, GC, lock manager, fault handling) and report
+every primitive flash operation to their :class:`TimingModel`.  The
+engine exploits that seam: it swaps in :class:`RecordingTiming`, a
+``TimingModel`` subclass that keeps the open-loop occupancy accounting
+bit-identical (the cross-check against the open-loop model depends on
+it) while *also* capturing the per-request operation stream.  Each
+captured :class:`FlashOp` is then re-enacted as queued service on the
+simulated chip/channel resources, so queueing delay -- the thing the
+open-loop model cannot express -- falls out of the event schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.ssd.config import SSDConfig
+from repro.ssd.timing import TimingModel
+
+
+class OpKind(Enum):
+    """Primitive flash operations the FTLs schedule."""
+
+    READ = "read"
+    PROGRAM = "program"
+    ERASE = "erase"
+    PLOCK = "plock"
+    BLOCK_LOCK = "block_lock"
+    SCRUB = "scrub"
+
+
+#: operations that are sanitization lock pulses (deferral candidates).
+LOCK_KINDS = frozenset({OpKind.PLOCK, OpKind.BLOCK_LOCK})
+
+#: cell operations a suspension-capable chip can pause for a read
+#: (erase suspend / program suspend, standard on modern NAND).
+SUSPENDABLE_KINDS = frozenset({OpKind.ERASE, OpKind.PROGRAM})
+
+
+@dataclass(frozen=True)
+class FlashOp:
+    """One captured primitive operation on one chip."""
+
+    kind: OpKind
+    chip_id: int
+
+
+class RecordingTiming(TimingModel):
+    """A :class:`TimingModel` that also captures per-request op streams.
+
+    Accounting semantics are inherited unchanged -- ``elapsed_us`` of a
+    recorded run is exactly what the plain open-loop model would report
+    for the same request order, which is what makes the open-loop vs
+    closed-loop agreement contract testable on a single run.
+    """
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self._ops: list[FlashOp] | None = None
+
+    @classmethod
+    def from_config(cls, config: SSDConfig) -> "RecordingTiming":
+        return cls(
+            n_channels=config.n_channels,
+            chips_per_channel=config.chips_per_channel,
+            t_read_us=config.t_read_us,
+            t_prog_us=config.t_prog_us,
+            t_erase_us=config.t_erase_us,
+            t_plock_us=config.t_plock_us,
+            t_block_lock_us=config.t_block_lock_us,
+            t_scrub_us=config.t_scrub_us,
+            t_xfer_us=config.t_xfer_us,
+        )
+
+    # ------------------------------------------------------------------
+    def begin_capture(self) -> None:
+        if self._ops is not None:
+            raise RuntimeError("capture already in progress")
+        self._ops = []
+
+    def end_capture(self) -> list[FlashOp]:
+        if self._ops is None:
+            raise RuntimeError("no capture in progress")
+        ops, self._ops = self._ops, None
+        return ops
+
+    def _emit(self, kind: OpKind, chip_id: int) -> None:
+        if self._ops is not None:
+            self._ops.append(FlashOp(kind, chip_id))
+
+    # ------------------------------------------------------------------
+    def read(self, chip_id: int) -> float:
+        end = super().read(chip_id)
+        self._emit(OpKind.READ, chip_id)
+        return end
+
+    def program(self, chip_id: int) -> float:
+        end = super().program(chip_id)
+        self._emit(OpKind.PROGRAM, chip_id)
+        return end
+
+    def erase(self, chip_id: int) -> float:
+        end = super().erase(chip_id)
+        self._emit(OpKind.ERASE, chip_id)
+        return end
+
+    def plock(self, chip_id: int) -> float:
+        end = super().plock(chip_id)
+        self._emit(OpKind.PLOCK, chip_id)
+        return end
+
+    def block_lock(self, chip_id: int) -> float:
+        end = super().block_lock(chip_id)
+        self._emit(OpKind.BLOCK_LOCK, chip_id)
+        return end
+
+    def scrub(self, chip_id: int) -> float:
+        end = super().scrub(chip_id)
+        self._emit(OpKind.SCRUB, chip_id)
+        return end
+
+    # ------------------------------------------------------------------
+    def cell_duration_us(self, kind: OpKind) -> float:
+        """Chip occupancy of one operation (the cell-op stage)."""
+        return {
+            OpKind.READ: self.t_read_us,
+            OpKind.PROGRAM: self.t_prog_us,
+            OpKind.ERASE: self.t_erase_us,
+            OpKind.PLOCK: self.t_plock_us,
+            OpKind.BLOCK_LOCK: self.t_block_lock_us,
+            OpKind.SCRUB: self.t_scrub_us,
+        }[kind]

@@ -58,9 +58,25 @@ class SSDConfig:
     t_erase_us: float = constants.T_BERS_US
     t_plock_us: float = constants.T_PLOCK_US
     t_block_lock_us: float = constants.T_BLOCK_LOCK_US
+    #: one scrub pulse (reprogram-overwrite of a programmed wordline);
+    #: a single ISPP burst like a pLock pulse, hence the shared default
+    #: (see the accounting contract in repro/ssd/timing.py).
+    t_scrub_us: float = constants.T_PLOCK_US
     t_xfer_us: float = constants.T_XFER_US
 
     def __post_init__(self) -> None:
+        for name in (
+            "t_read_us",
+            "t_prog_us",
+            "t_erase_us",
+            "t_plock_us",
+            "t_block_lock_us",
+            "t_scrub_us",
+            "t_xfer_us",
+        ):
+            value = getattr(self, name)
+            if not value > 0.0:
+                raise ValueError(f"{name} must be positive, got {value!r}")
         if not 0.0 < self.overprovision < 1.0:
             raise ValueError("overprovision must be in (0, 1)")
         if self.gc_threshold_blocks < 1:

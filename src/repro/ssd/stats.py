@@ -110,6 +110,14 @@ class RunResult:
     stats: DeviceStats
     elapsed_us: float
     extra: dict[str, float] = field(default_factory=dict)
+    #: per-request end-to-end latency percentiles by request class
+    #: (``{"read": {"p50_us": ..., "p99_us": ...}, ...}``) -- populated
+    #: by closed-loop runs through :mod:`repro.sim`; empty for open-loop
+    #: replays, whose occupancy model has no per-request completion time.
+    latency: dict[str, dict[str, float]] = field(default_factory=dict)
+    #: busy fraction per simulated resource (``chip0`` .. ``chanN``) --
+    #: populated by :mod:`repro.sim` runs.
+    utilization: dict[str, float] = field(default_factory=dict)
 
     @property
     def iops(self) -> float:

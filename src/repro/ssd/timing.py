@@ -19,6 +19,28 @@ This captures exactly the effects the paper reports: erSSD's relocation
 storms serialize on chips; pLock costs hide behind other chips' work
 except when a workload (DBServer) concentrates small updates; bLock
 replaces trains of pLocks on the same chip.
+
+**Accounting contract** (the closed-loop engine in :mod:`repro.sim`
+cross-checks against it, so it is normative):
+
+* ``total_work_us`` is the sum of *raw operation durations* scheduled on
+  any resource -- cell-op time on chips plus transfer time on channels --
+  with no queueing or idle gaps.  It splits exactly into
+  ``cell_work_us`` (sense/program/erase/lock/scrub occupancy on chips)
+  and ``xfer_work_us`` (page movement occupancy on channels):
+  ``total_work_us == cell_work_us + xfer_work_us`` always holds.
+* ``elapsed_us`` is the completion time of the last scheduled operation,
+  i.e. the open-loop makespan.  Under a saturating closed-loop workload
+  the :class:`repro.sim.engine.QueueingEngine` must reproduce this
+  makespan (and therefore IOPS) within a small tolerance -- that is the
+  open-loop vs closed-loop agreement contract of DESIGN.md section 3e.
+* ``t_scrub_us`` is the duration of one *scrub pulse*: a reprogram-style
+  overwrite of an already-programmed wordline, used by scrSSD's
+  sanitization pass and by grown-bad-block retirement.  One scrub pulse
+  is a single ISPP program burst just like a pLock pulse, so it defaults
+  to ``tpLock`` (Section 7 evaluates both at 100 us); it is configurable
+  separately through :class:`repro.ssd.config.SSDConfig.t_scrub_us`
+  because real scrub pulses may use a coarser step voltage.
 """
 
 from __future__ import annotations
@@ -43,12 +65,32 @@ class TimingModel:
     t_xfer_us: float = constants.T_XFER_US
     chip_busy: list[float] = field(init=False)
     channel_busy: list[float] = field(init=False)
-    #: total device work scheduled (pure operation durations, no idle).
+    #: total device work scheduled (pure operation durations, no idle);
+    #: always equals ``cell_work_us + xfer_work_us``.
     total_work_us: float = field(init=False, default=0.0)
+    #: chip occupancy scheduled (sense/program/erase/lock/scrub time).
+    cell_work_us: float = field(init=False, default=0.0)
+    #: channel occupancy scheduled (page transfer time).
+    xfer_work_us: float = field(init=False, default=0.0)
+
+    #: timing fields every instance must hold positive (validation).
+    TIMING_FIELDS = (
+        "t_read_us",
+        "t_prog_us",
+        "t_erase_us",
+        "t_plock_us",
+        "t_block_lock_us",
+        "t_scrub_us",
+        "t_xfer_us",
+    )
 
     def __post_init__(self) -> None:
         if self.n_channels <= 0 or self.chips_per_channel <= 0:
             raise ValueError("topology dimensions must be positive")
+        for name in self.TIMING_FIELDS:
+            value = getattr(self, name)
+            if not value > 0.0:
+                raise ValueError(f"{name} must be positive, got {value!r}")
         self.chip_busy = [0.0] * self.n_chips
         self.channel_busy = [0.0] * self.n_channels
 
@@ -66,6 +108,11 @@ class TimingModel:
             raise ValueError(f"chip {chip_id} out of range [0, {self.n_chips})")
 
     # ------------------------------------------------------------------
+    def _account(self, cell_us: float, xfer_us: float = 0.0) -> None:
+        self.cell_work_us += cell_us
+        self.xfer_work_us += xfer_us
+        self.total_work_us += cell_us + xfer_us
+
     def read(self, chip_id: int) -> float:
         """Schedule a page read: chip sense, then channel transfer out."""
         ch = self.channel_of(chip_id)
@@ -73,7 +120,7 @@ class TimingModel:
         self.chip_busy[chip_id] = sense_end
         xfer_start = max(sense_end, self.channel_busy[ch])
         self.channel_busy[ch] = xfer_start + self.t_xfer_us
-        self.total_work_us += self.t_read_us + self.t_xfer_us
+        self._account(self.t_read_us, self.t_xfer_us)
         return self.channel_busy[ch]
 
     def program(self, chip_id: int) -> float:
@@ -84,7 +131,7 @@ class TimingModel:
         self.channel_busy[ch] = xfer_end
         start = max(self.chip_busy[chip_id], xfer_end)
         self.chip_busy[chip_id] = start + self.t_prog_us
-        self.total_work_us += self.t_prog_us + self.t_xfer_us
+        self._account(self.t_prog_us, self.t_xfer_us)
         return self.chip_busy[chip_id]
 
     def copy(self, src_chip: int, dst_chip: int) -> float:
@@ -95,25 +142,25 @@ class TimingModel:
     def erase(self, chip_id: int) -> float:
         self._check_chip(chip_id)
         self.chip_busy[chip_id] += self.t_erase_us
-        self.total_work_us += self.t_erase_us
+        self._account(self.t_erase_us)
         return self.chip_busy[chip_id]
 
     def plock(self, chip_id: int) -> float:
         self._check_chip(chip_id)
         self.chip_busy[chip_id] += self.t_plock_us
-        self.total_work_us += self.t_plock_us
+        self._account(self.t_plock_us)
         return self.chip_busy[chip_id]
 
     def block_lock(self, chip_id: int) -> float:
         self._check_chip(chip_id)
         self.chip_busy[chip_id] += self.t_block_lock_us
-        self.total_work_us += self.t_block_lock_us
+        self._account(self.t_block_lock_us)
         return self.chip_busy[chip_id]
 
     def scrub(self, chip_id: int) -> float:
         self._check_chip(chip_id)
         self.chip_busy[chip_id] += self.t_scrub_us
-        self.total_work_us += self.t_scrub_us
+        self._account(self.t_scrub_us)
         return self.chip_busy[chip_id]
 
     # ------------------------------------------------------------------

@@ -472,3 +472,103 @@ class TestSim06SwallowedFlashError:
             """,
         )
         assert findings == []
+
+
+class TestSim07WallClock:
+    def test_time_import_in_sim_flagged(self, tmp_path):
+        findings = _lint(
+            tmp_path,
+            "repro/sim/engine.py",
+            """
+            import time
+
+            def handler(event):
+                return time.monotonic()
+            """,
+        )
+        assert _ids(findings) == ["SIM07"]
+        assert len(findings) == 2  # the import and the call
+
+    def test_datetime_from_import_flagged(self, tmp_path):
+        findings = _lint(
+            tmp_path,
+            "repro/sim/metrics.py",
+            """
+            from datetime import datetime
+
+            def stamp():
+                return datetime.utcnow()
+            """,
+        )
+        assert "SIM07" in _ids(findings)
+
+    def test_module_level_random_draw_flagged(self, tmp_path):
+        findings = _lint(
+            tmp_path,
+            "repro/sim/arrivals.py",
+            """
+            import random
+
+            def jitter():
+                return random.random()
+            """,
+        )
+        # SIM03 also fires on the unseeded draw; SIM07 adds the
+        # engine-specific ban
+        assert "SIM07" in _ids(findings)
+
+    def test_random_seed_flagged_even_though_seeded(self, tmp_path):
+        findings = _lint(
+            tmp_path,
+            "repro/sim/arrivals.py",
+            """
+            import random
+
+            def init(seed):
+                random.seed(seed)
+            """,
+        )
+        assert "SIM07" in _ids(findings)
+
+    def test_seeded_instance_rng_clean(self, tmp_path):
+        findings = _lint(
+            tmp_path,
+            "repro/sim/arrivals.py",
+            """
+            import random
+
+            class Arrivals:
+                def __init__(self, seed):
+                    self._rng = random.Random(seed)
+
+                def interarrival_us(self):
+                    return self._rng.expovariate(1.0)
+            """,
+        )
+        assert "SIM07" not in _ids(findings)
+        assert findings == []
+
+    def test_outside_sim_dir_not_scoped(self, tmp_path):
+        findings = _lint(
+            tmp_path,
+            "repro/analysis/bench_engine.py",
+            """
+            import time
+
+            def bench(fn):
+                start = time.perf_counter()
+                fn()
+                return time.perf_counter() - start
+            """,
+        )
+        assert "SIM07" not in _ids(findings)
+
+    def test_suppression_comment_works(self, tmp_path):
+        findings = _lint(
+            tmp_path,
+            "repro/sim/engine.py",
+            """
+            import time  # lint: disable=SIM07
+            """,
+        )
+        assert findings == []

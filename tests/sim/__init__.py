@@ -1,0 +1,1 @@
+"""Discrete-event queueing engine tests."""

@@ -1,0 +1,94 @@
+"""Arrival processes: seeded determinism and parameter validation."""
+
+import pytest
+
+from repro.sim.arrivals import BurstyArrivals, ClosedLoopArrivals, PoissonArrivals
+
+
+class TestClosedLoop:
+    def test_is_closed_loop(self):
+        arrivals = ClosedLoopArrivals(queue_depth=8)
+        assert arrivals.closed_loop
+        assert arrivals.queue_depth == 8
+
+    def test_queue_depth_validated(self):
+        with pytest.raises(ValueError, match="queue_depth"):
+            ClosedLoopArrivals(queue_depth=0)
+
+    def test_describe(self):
+        assert ClosedLoopArrivals(4).describe() == {
+            "name": "closed", "queue_depth": 4,
+        }
+
+    def test_no_interarrival_source(self):
+        with pytest.raises(NotImplementedError):
+            ClosedLoopArrivals().interarrival_us()
+
+
+class TestPoisson:
+    def test_same_seed_same_sequence(self):
+        a = PoissonArrivals(rate_iops=10_000, seed=7)
+        b = PoissonArrivals(rate_iops=10_000, seed=7)
+        assert [a.interarrival_us() for _ in range(100)] == [
+            b.interarrival_us() for _ in range(100)
+        ]
+
+    def test_different_seeds_differ(self):
+        a = PoissonArrivals(rate_iops=10_000, seed=1)
+        b = PoissonArrivals(rate_iops=10_000, seed=2)
+        assert [a.interarrival_us() for _ in range(10)] != [
+            b.interarrival_us() for _ in range(10)
+        ]
+
+    def test_mean_matches_rate(self):
+        arrivals = PoissonArrivals(rate_iops=5_000, seed=3)
+        n = 20_000
+        mean = sum(arrivals.interarrival_us() for _ in range(n)) / n
+        assert mean == pytest.approx(200.0, rel=0.05)  # 1e6 / 5000
+
+    def test_rate_validated(self):
+        with pytest.raises(ValueError, match="rate_iops"):
+            PoissonArrivals(rate_iops=0.0)
+
+    def test_describe(self):
+        described = PoissonArrivals(rate_iops=100.0, seed=5).describe()
+        assert described == {"name": "poisson", "rate_iops": 100.0}
+        assert not PoissonArrivals(1.0).closed_loop
+
+
+class TestBursty:
+    def test_same_seed_same_sequence(self):
+        a = BurstyArrivals(burst_rate_iops=50_000, seed=11)
+        b = BurstyArrivals(burst_rate_iops=50_000, seed=11)
+        assert [a.interarrival_us() for _ in range(200)] == [
+            b.interarrival_us() for _ in range(200)
+        ]
+
+    def test_gaps_positive_and_carry_across_off_windows(self):
+        arrivals = BurstyArrivals(
+            burst_rate_iops=100_000, on_mean_us=200.0, off_mean_us=5_000.0,
+            seed=2,
+        )
+        gaps = [arrivals.interarrival_us() for _ in range(500)]
+        assert all(g > 0.0 for g in gaps)
+        # short bursts + long silences: some gaps must span an OFF window
+        assert max(gaps) > 1_000.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="burst_rate_iops"):
+            BurstyArrivals(burst_rate_iops=-1.0)
+        with pytest.raises(ValueError, match="period means"):
+            BurstyArrivals(burst_rate_iops=1.0, on_mean_us=0.0)
+        with pytest.raises(ValueError, match="period means"):
+            BurstyArrivals(burst_rate_iops=1.0, off_mean_us=-5.0)
+
+    def test_describe(self):
+        described = BurstyArrivals(
+            burst_rate_iops=1_000, on_mean_us=10.0, off_mean_us=20.0, seed=0
+        ).describe()
+        assert described == {
+            "name": "bursty",
+            "burst_rate_iops": 1_000,
+            "on_mean_us": 10.0,
+            "off_mean_us": 20.0,
+        }

@@ -1,0 +1,85 @@
+"""Event heap ordering and simulated clock invariants."""
+
+import pytest
+
+from repro.sim.events import Event, EventHeap, SimClock
+
+
+class TestEventHeap:
+    def test_pops_in_time_order(self):
+        heap = EventHeap()
+        heap.push(30.0, "a")
+        heap.push(10.0, "b")
+        heap.push(20.0, "c")
+        assert [heap.pop().kind for _ in range(3)] == ["b", "c", "a"]
+
+    def test_same_time_events_pop_in_push_order(self):
+        heap = EventHeap()
+        for i in range(50):
+            heap.push(5.0, "tie", payload=i)
+        assert [heap.pop().payload for _ in range(50)] == list(range(50))
+
+    def test_tie_break_is_stable_across_interleaved_times(self):
+        heap = EventHeap()
+        heap.push(10.0, "first")
+        heap.push(0.0, "early")
+        heap.push(10.0, "second")
+        heap.push(10.0, "third")
+        kinds = [heap.pop().kind for _ in range(4)]
+        assert kinds == ["early", "first", "second", "third"]
+
+    def test_seq_assigned_monotonically(self):
+        heap = EventHeap()
+        a = heap.push(1.0, "a")
+        b = heap.push(1.0, "b")
+        assert isinstance(a, Event)
+        assert b.seq == a.seq + 1
+
+    def test_pushed_counts_all_events_ever(self):
+        heap = EventHeap()
+        heap.push(1.0, "a")
+        heap.push(2.0, "b")
+        heap.pop()
+        assert heap.pushed == 2
+        assert len(heap) == 1
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            EventHeap().push(-1.0, "bad")
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventHeap().pop()
+
+    def test_next_time_us(self):
+        heap = EventHeap()
+        assert heap.next_time_us is None
+        heap.push(7.0, "a")
+        heap.push(3.0, "b")
+        assert heap.next_time_us == 3.0
+
+    def test_bool_and_len(self):
+        heap = EventHeap()
+        assert not heap
+        heap.push(0.0, "a")
+        assert heap and len(heap) == 1
+
+
+class TestSimClock:
+    def test_starts_at_zero_and_advances(self):
+        clock = SimClock()
+        assert clock.now_us == 0.0
+        clock.advance_to(12.5)
+        assert clock.now_us == 12.5
+
+    def test_advance_to_same_time_is_fine(self):
+        clock = SimClock()
+        clock.advance_to(5.0)
+        clock.advance_to(5.0)
+        assert clock.now_us == 5.0
+
+    def test_backwards_movement_raises(self):
+        clock = SimClock()
+        clock.advance_to(10.0)
+        with pytest.raises(ValueError, match="backwards"):
+            clock.advance_to(9.999)

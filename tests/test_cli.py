@@ -141,3 +141,77 @@ class TestExecution:
     def test_torture_unknown_variant_rejected(self, capsys):
         assert main(["torture", "--variants", "nopeSSD"]) == 2
         assert "unknown variant" in capsys.readouterr().out
+
+
+class TestSimulateCommand:
+    def test_options_and_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.command == "simulate"
+        assert args.workload == "MailServer"
+        assert args.policy == "auto"
+        assert args.qd == 32
+        assert args.rate is None
+        args = build_parser().parse_args(
+            ["simulate", "--workload", "Mobile", "--variants", "secSSD",
+             "--policy", "defer", "--qd", "8", "--rate", "5000", "--bursty"]
+        )
+        assert args.variants == ["secSSD"]
+        assert (args.policy, args.qd) == ("defer", 8)
+        assert args.rate == 5000.0 and args.bursty
+
+    def test_simulate_small(self, tmp_path, capsys):
+        out_path = tmp_path / "sim.json"
+        code = main(
+            ["simulate", "--workload", "Mobile",
+             "--variants", "baseline", "secSSD",
+             "--blocks", "8", "--wordlines", "4", "--multiplier", "0.5",
+             "--qd", "8", "--json", str(out_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Host-read latency under closed-loop queueing" in out
+        assert "baseline" in out and "secSSD" in out
+        import json
+
+        payload = json.loads(out_path.read_text())
+        assert set(payload) == {"baseline", "secSSD"}
+        assert payload["secSSD"]["policy"]["name"] == "defer"
+
+    def test_unknown_variant_rejected(self, capsys):
+        assert main(["simulate", "--variants", "ghostSSD"]) == 2
+        assert "unknown variant" in capsys.readouterr().out
+
+    def test_unknown_policy_rejected(self, capsys):
+        assert main(["simulate", "--policy", "lifo"]) == 2
+        assert "unknown policy" in capsys.readouterr().out
+
+
+class TestBenchCommand:
+    def test_options_and_defaults(self):
+        args = build_parser().parse_args(["bench"])
+        assert args.command == "bench"
+        assert args.workload == "Mobile"
+        assert args.policy == "fifo"
+        assert args.repeats == 3
+        assert args.out == "BENCH_sim.json"
+
+    def test_bench_small(self, tmp_path, capsys):
+        out_path = tmp_path / "BENCH_sim.json"
+        code = main(
+            ["bench", "--workload", "Mobile", "--variants", "baseline",
+             "--blocks", "8", "--wordlines", "4", "--multiplier", "0.5",
+             "--qd", "8", "--repeats", "1", "--out", str(out_path)]
+        )
+        assert code == 0
+        assert "benchmark artifact written" in capsys.readouterr().out
+        import json
+
+        payload = json.loads(out_path.read_text())
+        assert payload["bench"] == "sim_engine"
+        assert payload["runs"][0]["variant"] == "baseline"
+        assert payload["runs"][0]["events_per_sec"] > 0
+        assert payload["best_events_per_sec"] > 0
+
+    def test_bench_unknown_variant_rejected(self, capsys):
+        assert main(["bench", "--variants", "ghostSSD"]) == 2
+        assert "unknown variant" in capsys.readouterr().out
