@@ -39,6 +39,13 @@ from repro.analysis.tables import (
     format_table1,
     render_table,
 )
+from repro.analysis.tracing import (
+    TracedRun,
+    format_trace_summary,
+    parse_sample_spec,
+    run_traced_study,
+    write_trace_files,
+)
 from repro.analysis.torture import (
     DEFAULT_RATES,
     TORTURE_VARIANTS,
@@ -61,6 +68,7 @@ __all__ = [
     "TORTURE_VARIANTS",
     "TortureCase",
     "TortureScorecard",
+    "TracedRun",
     "LatencyOverhead",
     "LifetimeEstimate",
     "WearStats",
@@ -72,6 +80,8 @@ __all__ = [
     "format_secure_fraction",
     "format_table1",
     "format_tail_latency",
+    "format_trace_summary",
+    "parse_sample_spec",
     "policy_for_variant",
     "render_table",
     "run_bench",
@@ -82,10 +92,12 @@ __all__ = [
     "run_tail_latency_study",
     "run_timeplot_study",
     "run_torture",
+    "run_traced_study",
     "run_versioning_study",
     "run_workload_on_variant",
     "stale_secured_exposures",
     "summarize_overheads",
     "torture_requests",
     "write_bench_json",
+    "write_trace_files",
 ]

@@ -62,6 +62,10 @@ def bench_once(
         "p99_read_us": report.latency["read"]["p99_us"],
         "p99_all_us": report.latency["all"]["p99_us"],
         "open_loop_agreement": report.open_loop_agreement,
+        # the functional counters, round-trippable via
+        # DeviceStats.from_dict -- so a bench artifact diff shows *what*
+        # the device did, not just how fast the engine replayed it
+        "stats": sim.run.stats.to_dict(),
     }
 
 

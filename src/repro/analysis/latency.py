@@ -30,8 +30,18 @@ from repro.sim.arrivals import ArrivalProcess, ClosedLoopArrivals
 from repro.sim.policies import DeferLocksPolicy, ReadPriorityPolicy, SchedulingPolicy
 from repro.sim.runner import SimResult, simulate_workload
 from repro.ssd.config import SSDConfig
+from repro.telemetry.histogram import PERCENTILES
 
 from repro.analysis.tables import render_table
+
+
+def _percentile_header(label: str) -> str:
+    """``"p999_us"`` -> ``"p99.9 (us)"`` (column titles from the shared
+    :data:`~repro.telemetry.histogram.PERCENTILES` list)."""
+    stem = label.removesuffix("_us")
+    if len(stem) > 3:  # p999 -> p99.9
+        stem = f"{stem[:3]}.{stem[3:]}"
+    return f"{stem} (us)"
 
 #: variants compared by the default study, in display order.
 TAIL_LATENCY_VARIANTS = ("baseline", "erSSD", "scrSSD", "secSSD")
@@ -85,10 +95,7 @@ def format_tail_latency(results: dict[str, SimResult]) -> str:
             [
                 variant,
                 sim.policy["name"],
-                f"{reads['p50_us']:.0f}",
-                f"{reads['p95_us']:.0f}",
-                f"{reads['p99_us']:.0f}",
-                f"{reads['p999_us']:.0f}",
+                *(f"{reads[label]:.0f}" for label, _ in PERCENTILES),
                 f"{reads['max_us'] / 1000:.2f} ms",
                 str(sim.report.deferred_lock_pulses),
                 str(sim.report.suspensions),
@@ -99,10 +106,7 @@ def format_tail_latency(results: dict[str, SimResult]) -> str:
         [
             "variant",
             "policy",
-            "p50 (us)",
-            "p95 (us)",
-            "p99 (us)",
-            "p99.9 (us)",
+            *(_percentile_header(label) for label, _ in PERCENTILES),
             "max",
             "deferred",
             "suspends",

@@ -44,6 +44,7 @@ from repro.ftl.recovery import PowerLossRecovery
 from repro.ssd.config import SSDConfig
 from repro.ssd.device import SSD
 from repro.ssd.request import IoRequest, read, trim, write
+from repro.telemetry import Telemetry
 
 #: variant order used across torture outputs.
 TORTURE_VARIANTS = (
@@ -266,9 +267,22 @@ def run_rate_case(
     detail: str,
     n_requests: int,
     seed: int,
+    telemetry: Telemetry | None = None,
 ) -> TortureCase:
-    """One fault-rate run: replay, full-check, leak-check."""
-    ssd = SSD(config, variant=variant, seed=seed, checked=True, faults=plan)
+    """One fault-rate run: replay, full-check, leak-check.
+
+    ``telemetry`` attaches a trace session (``repro torture
+    --trace-out`` uses this to record one representative faulted run
+    per variant, fault instants included).
+    """
+    ssd = SSD(
+        config,
+        variant=variant,
+        seed=seed,
+        checked=True,
+        faults=plan,
+        telemetry=telemetry,
+    )
     requests = torture_requests(n_requests, config.logical_pages, seed)
     try:
         for request in requests:

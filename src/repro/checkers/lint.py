@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import ast
 import re
-from collections.abc import Iterable, Iterator, Sequence
+from collections.abc import Callable, Iterable, Iterator, Sequence
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -282,10 +282,15 @@ def rule_catalogue() -> str:
 
 
 def run_lint(
-    paths: Sequence[str] | None = None, show_hints: bool = True
+    paths: Sequence[str] | None = None,
+    show_hints: bool = True,
+    echo: Callable[[str], object] = print,
 ) -> int:
     """CLI entry: lint the given paths (default: the installed package).
 
+    Output goes through ``echo`` (stdout by default; pass a collector to
+    capture it -- referencing ``print`` as a value keeps this module
+    SIM08-clean, the *call* happens on the caller's authority).
     Returns a process exit code: 0 when clean, 1 when any finding.
     """
     if not paths:
@@ -294,7 +299,7 @@ def run_lint(
     try:
         findings = lint_paths(paths)
     except FileNotFoundError as exc:
-        print(f"repro lint: {exc}")
+        echo(f"repro lint: {exc}")
         return 2
-    print(format_findings(findings, show_hints=show_hints))
+    echo(format_findings(findings, show_hints=show_hints))
     return 1 if findings else 0

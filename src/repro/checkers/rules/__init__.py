@@ -1,4 +1,4 @@
-"""The domain rule catalogue (SIM01..SIM07).
+"""The domain rule catalogue (SIM01..SIM08).
 
 Each rule lives in its own module and encodes one simulator invariant:
 
@@ -15,7 +15,9 @@ Each rule lives in its own module and encodes one simulator invariant:
 * ``SIM06`` (:mod:`.fault_handling`) -- no flash error is caught and
   swallowed without accounting (raise, stats, or exception use);
 * ``SIM07`` (:mod:`.sim_clock`) -- no wall clock (``time``/``datetime``)
-  or module-level ``random.*`` inside the ``sim/`` event engine.
+  or module-level ``random.*`` inside the ``sim/`` event engine;
+* ``SIM08`` (:mod:`.no_print`) -- no ``print()`` calls in library code
+  (``cli.py`` is the one module that talks to stdout).
 
 Suppress a rule on one line with ``# lint: disable=SIM0x``.
 """
@@ -25,6 +27,7 @@ from repro.checkers.rules.determinism import UnseededRandomnessRule
 from repro.checkers.rules.encapsulation import StatusTableEncapsulationRule
 from repro.checkers.rules.fault_handling import SwallowedFlashErrorRule
 from repro.checkers.rules.float_eq import FloatEqualityRule
+from repro.checkers.rules.no_print import NoPrintRule
 from repro.checkers.rules.observers import SanitizeObserverRule
 from repro.checkers.rules.sim_clock import SimWallClockRule
 
@@ -37,6 +40,7 @@ ALL_RULES = (
     SanitizeObserverRule,
     SwallowedFlashErrorRule,
     SimWallClockRule,
+    NoPrintRule,
 )
 
 RULES_BY_ID = {cls.rule_id: cls for cls in ALL_RULES}
@@ -46,6 +50,7 @@ __all__ = [
     "RULES_BY_ID",
     "FloatEqualityRule",
     "LockAccountingRule",
+    "NoPrintRule",
     "SanitizeObserverRule",
     "SimWallClockRule",
     "StatusTableEncapsulationRule",

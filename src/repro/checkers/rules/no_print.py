@@ -1,0 +1,56 @@
+"""SIM08: no ``print()`` in library code (``cli.py`` is the console).
+
+The simulator is a library first: experiments import it, tests assert
+on its return values, and the telemetry layer exists precisely so that
+runtime observation flows through structured events instead of stray
+stdout.  A ``print()`` buried in the FTL or the engine bypasses all of
+that -- it cannot be captured, sampled, or turned off, and it corrupts
+the byte-deterministic CLI output the golden tests diff.
+
+The rule bans ``print`` *calls* in every module of the ``repro``
+package except ``cli.py`` (the one place whose job is writing to the
+console).  Passing ``print`` as a value -- e.g. the ``echo=print``
+default of :func:`repro.checkers.lint.run_lint` -- stays legal: the
+decision to write to stdout then rests with the caller, which is the
+point.
+
+Emit through the proper channel instead:
+
+* simulator state changes -> the :class:`~repro.ftl.observer.FtlObserver`
+  seam and :mod:`repro.telemetry` events;
+* user-facing reports -> return strings (``format_*`` helpers) and let
+  ``cli.py`` print them;
+* diagnostics for humans -> an ``echo`` callable parameter defaulting
+  to ``print``, so tests can capture and libraries can silence it.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.checkers.lint import FileContext, Finding, LintRule
+
+
+class NoPrintRule(LintRule):
+    rule_id = "SIM08"
+    severity = "error"
+    description = "print() in library code (only cli.py talks to stdout)"
+    hint = (
+        "return a formatted string, publish a telemetry event, or take an "
+        "echo callable defaulting to print; only repro/cli.py calls print()"
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        # in-package files only (rel_parts differs from raw parts exactly
+        # when a "repro" package root was stripped), excluding the CLI
+        return ctx.rel_parts != ctx.path.parts and ctx.filename != "cli.py"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                yield self.finding(ctx, node)

@@ -38,6 +38,7 @@ from collections import deque
 from typing import TYPE_CHECKING, Any
 
 from repro.flash.chip import ERASED_DATA, SCRUBBED_DATA, ZERO_DATA
+from repro.ftl.observer import notify_optional
 from repro.ftl.page_status import PageStatus
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
@@ -154,9 +155,9 @@ class _RecordingObserver:
         # timing-only event (repro.sim deferral policy): record it in the
         # trail so violation reports show deferral activity, and forward
         # if the inner observer cares; it never changes page status.
-        inner = getattr(self._inner, "on_lock_deferred", None)
-        if inner is not None:
-            inner(chip_id, n_locks, deferred_us)
+        notify_optional(
+            self._inner, "on_lock_deferred", chip_id, n_locks, deferred_us
+        )
         self._sanitizer._record(
             f"lock-drain chip={chip_id} n={n_locks} waited={deferred_us:.1f}us"
         )

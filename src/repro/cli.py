@@ -14,14 +14,18 @@ Usage::
 Common options: ``--blocks``, ``--wordlines`` (device scale), ``--seed``,
 ``--multiplier`` (steady-state writes as a multiple of capacity).
 
-Two commands drive the closed-loop discrete-event engine (repro.sim)::
+Three commands drive the closed-loop discrete-event engine (repro.sim)::
 
     python -m repro simulate               # tail-latency study under queueing
     python -m repro bench                  # engine benchmark -> BENCH_sim.json
+    python -m repro trace                  # traced run -> Perfetto/Chrome trace
+
+``simulate`` and ``torture`` also take ``--trace-out PATH`` to record
+the run's structured event trace as a Chrome-trace-event file.
 
 Three maintenance commands ship with the simulator itself::
 
-    python -m repro lint                   # static domain lint (SIM01-SIM07)
+    python -m repro lint                   # static domain lint (SIM01-SIM08)
     python -m repro check                  # runtime invariant sanitizer run
     python -m repro torture                # fault-injection robustness sweep
 """
@@ -196,6 +200,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         )
     else:
         arrivals = ClosedLoopArrivals(args.qd)
+    trace_sessions = {}
     results = {}
     for variant in variants:
         from repro.sim.runner import simulate_workload
@@ -205,6 +210,11 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             if args.policy == "auto"
             else policy_by_name(args.policy)
         )
+        telemetry = None
+        if args.trace_out:
+            from repro.telemetry import Telemetry
+
+            telemetry = trace_sessions[variant] = Telemetry()
         results[variant] = simulate_workload(
             _config(args),
             args.workload,
@@ -215,8 +225,17 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             arrivals=arrivals,
             checked=True if args.checked else None,
             check_interval=args.interval,
+            telemetry=telemetry,
         )
     print(format_tail_latency(results))
+    if args.trace_out:
+        from repro.telemetry.export import write_chrome_trace
+
+        write_chrome_trace(
+            args.trace_out,
+            {v: tel.bus.events for v, tel in trace_sessions.items()},
+        )
+        print(f"trace written to {args.trace_out}")
     if args.json:
         payload = {v: r.to_dict() for v, r in results.items()}
         with open(args.json, "w") as fh:
@@ -253,10 +272,53 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
-    """Static domain lint (SIM01-SIM07) over the simulator sources."""
+    """Static domain lint (SIM01-SIM08) over the simulator sources."""
     from repro.checkers.lint import run_lint
 
     return run_lint(args.paths, show_hints=not args.no_hints)
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Traced simulation -> Chrome-trace-event file (Perfetto-loadable)."""
+    from repro.analysis.tracing import (
+        format_trace_summary,
+        parse_sample_spec,
+        run_traced_study,
+        write_trace_files,
+    )
+    from repro.ftl import FTL_VARIANTS
+    from repro.sim.arrivals import ClosedLoopArrivals
+    from repro.sim.policies import POLICIES
+
+    variants = tuple(args.variants or ("secSSD",))
+    unknown = [v for v in variants if v not in FTL_VARIANTS]
+    if unknown:
+        print(f"unknown variant(s) {unknown}; choose from {sorted(FTL_VARIANTS)}")
+        return 2
+    if args.policy != "auto" and args.policy not in POLICIES:
+        print(f"unknown policy {args.policy!r}; choose from "
+              f"{['auto', *sorted(POLICIES)]}")
+        return 2
+    try:
+        sample = parse_sample_spec(args.sample)
+    except ValueError as exc:
+        print(exc)
+        return 2
+    runs = run_traced_study(
+        _config(args),
+        args.workload,
+        variants,
+        seed=args.seed,
+        write_multiplier=args.multiplier,
+        policy=args.policy,
+        arrivals=ClosedLoopArrivals(args.qd),
+        capacity=args.capacity,
+        sample=sample,
+    )
+    print(format_trace_summary(runs))
+    for path in write_trace_files(runs, args.out, jsonl=args.jsonl):
+        print(f"trace written to {path}")
+    return 0
 
 
 def cmd_torture(args: argparse.Namespace) -> int:
@@ -279,6 +341,31 @@ def cmd_torture(args: argparse.Namespace) -> int:
         window=args.window,
     )
     print(card.to_json() if args.json else card.format())
+    if args.trace_out:
+        from repro.analysis.torture import run_rate_case
+        from repro.faults import FaultKind, FaultPlan
+        from repro.telemetry import Telemetry
+        from repro.telemetry.export import write_chrome_trace
+
+        # one representative faulted replay per variant, traced: the
+        # highest configured rate maximizes fault instants in the view
+        rate = max(args.rates) if args.rates else 1e-2
+        streams = {}
+        for variant in variants:
+            telemetry = Telemetry()
+            run_rate_case(
+                _config(args),
+                variant,
+                FaultPlan.single(FaultKind.PROGRAM_FAIL, rate, seed=args.seed),
+                FaultKind.PROGRAM_FAIL.value,
+                f"rate={rate:g}",
+                args.ops,
+                args.seed,
+                telemetry=telemetry,
+            )
+            streams[variant] = telemetry.bus.events
+        write_chrome_trace(args.trace_out, streams)
+        print(f"trace written to {args.trace_out}")
     return 0 if card.passed else 1
 
 
@@ -336,6 +423,7 @@ COMMANDS = {
     "scorecard": cmd_scorecard,
     "simulate": cmd_simulate,
     "bench": cmd_bench,
+    "trace": cmd_trace,
     "lint": cmd_lint,
     "check": cmd_check,
     "torture": cmd_torture,
@@ -360,7 +448,7 @@ def build_parser() -> argparse.ArgumentParser:
     for name in sorted(COMMANDS):
         if name == "lint":
             p = sub.add_parser(
-                name, help="static domain lint (rules SIM01-SIM06)"
+                name, help="static domain lint (rules SIM01-SIM08)"
             )
             p.add_argument("paths", nargs="*", default=None,
                            help="files/dirs to lint (default: the package)")
@@ -395,6 +483,9 @@ def build_parser() -> argparse.ArgumentParser:
                            help="first op index of the power-loss window")
             p.add_argument("--json", action="store_true",
                            help="emit the machine-readable scorecard")
+            p.add_argument("--trace-out", default=None, metavar="PATH",
+                           help="record one traced faulted replay per "
+                                "variant as a Chrome trace")
         elif name == "simulate":
             p = sub.add_parser(
                 name, parents=[scale],
@@ -420,6 +511,35 @@ def build_parser() -> argparse.ArgumentParser:
                            help="host batches between full sanitizer checks")
             p.add_argument("--json", default=None, metavar="PATH",
                            help="also write full reports as JSON")
+            p.add_argument("--trace-out", default=None, metavar="PATH",
+                           help="record each variant's event trace into "
+                                "one Chrome-trace-event file")
+        elif name == "trace":
+            p = sub.add_parser(
+                name, parents=[scale],
+                help="traced simulation -> Perfetto/Chrome trace file",
+            )
+            p.add_argument("--workload", default="MailServer",
+                           help="workload trace to simulate")
+            p.add_argument("--variants", nargs="*", default=None,
+                           help="FTL variants to trace (default: secSSD)")
+            p.add_argument("--policy", default="auto",
+                           help="scheduling policy, or 'auto' for each "
+                                "variant's honest best")
+            p.add_argument("--qd", type=int, default=32,
+                           help="closed-loop queue depth")
+            p.add_argument("--out", default="trace.json",
+                           help="Chrome-trace-event output path")
+            p.add_argument("--jsonl", default=None, metavar="PATH",
+                           help="also write the raw event stream as "
+                                "JSON lines (one file per variant)")
+            p.add_argument("--capacity", type=int, default=65536,
+                           help="trace ring-buffer capacity in events "
+                                "(oldest dropped beyond it)")
+            p.add_argument("--sample", nargs="*", default=None,
+                           metavar="CAT=N",
+                           help="keep every Nth event of a category, "
+                                "e.g. ftl.page=8 sim.service=4")
         elif name == "bench":
             p = sub.add_parser(
                 name, parents=[scale],

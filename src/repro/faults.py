@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 
 from repro.flash.chip import FAULT_FAIL, FAULT_POWER_LOSS
+from repro.telemetry.events import TraceBus
 
 
 class FaultKind(Enum):
@@ -163,6 +164,9 @@ class FaultInjector:
     op_index: int = 0
     tripped: bool = False
     injected: dict[FaultKind, int] = field(default_factory=dict)
+    #: telemetry trace bus; when set (the SSD facade wires it up for
+    #: traced runs) every injected fault emits an instant event.
+    bus: TraceBus | None = field(default=None, repr=False)
     _rng: random.Random = field(init=False, repr=False)
     _schedule: dict[int, FaultKind] = field(init=False, repr=False)
     _suspend_depth: int = field(init=False, default=0, repr=False)
@@ -190,11 +194,19 @@ class FaultInjector:
         if power or scheduled is FaultKind.POWER_LOSS:
             self.tripped = True
             self._count(FaultKind.POWER_LOSS)
+            self._emit(FaultKind.POWER_LOSS, op, index)
             return FAULT_POWER_LOSS
         if kind is not None and (fail or scheduled is kind):
             self._count(kind)
+            self._emit(kind, op, index)
             return FAULT_FAIL
         return ""
+
+    def _emit(self, kind: FaultKind, op: str, index: int) -> None:
+        if self.bus is not None:
+            self.bus.instant(
+                "fault", kind.value, args={"op": op, "op_index": index}
+            )
 
     def _count(self, kind: FaultKind) -> None:
         self.injected[kind] = self.injected.get(kind, 0) + 1

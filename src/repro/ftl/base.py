@@ -43,6 +43,7 @@ from repro.ssd.config import SSDConfig
 from repro.ssd.request import IoRequest, RequestOp
 from repro.ssd.stats import DeviceStats
 from repro.ssd.timing import TimingModel
+from repro.telemetry import DISABLED, AnyTelemetry, Telemetry
 
 
 @dataclass(frozen=True)
@@ -74,11 +75,16 @@ class PageMappedFtl:
         checked: bool | None = None,
         check_interval: int | None = None,
         faults: FaultPlan | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self.config = config
         self.geometry = config.geometry
         self.observer: FtlObserver = observer or NullObserver()
         self.seed = seed
+        #: telemetry session for macro-phase spans (GC, refresh, and the
+        #: variants' sanitization storms); the DISABLED singleton's
+        #: spans are shared no-ops, so untraced runs pay ~nothing.
+        self.tel: AnyTelemetry = telemetry if telemetry is not None else DISABLED
         self.timing = TimingModel(
             n_channels=config.n_channels,
             chips_per_channel=config.chips_per_channel,
@@ -522,12 +528,13 @@ class PageMappedFtl:
             return False
         gb = self.global_block(chip_id, victim)
         self.stats.gc_invocations += 1
-        events = [
-            self._move_page(gppa, reason="gc")
-            for gppa in self.status.live_pages(gb)
-        ]
-        self.stats.gc_copies += len(events)
-        self._finish_victim(chip_id, victim, events)
+        with self.tel.tracer.span("gc", cat="ftl.gc", chip=chip_id, block=gb):
+            events = [
+                self._move_page(gppa, reason="gc")
+                for gppa in self.status.live_pages(gb)
+            ]
+            self.stats.gc_copies += len(events)
+            self._finish_victim(chip_id, victim, events)
         return True
 
     def _move_page(self, gppa: int, reason: str) -> InvalidationEvent:
@@ -575,13 +582,16 @@ class PageMappedFtl:
         if local_block in self.alloc.active_blocks(chip_id):
             return  # open blocks are not refreshable; retry once closed
         self.stats.refreshes += 1
-        events = [
-            self._move_page(gppa, reason="refresh")
-            for gppa in self.status.live_pages(gb)
-        ]
-        self.stats.refresh_copies += len(events)
-        self._block_reads[gb] = 0
-        self._finish_victim(chip_id, local_block, events)
+        with self.tel.tracer.span(
+            "refresh", cat="ftl.refresh", chip=chip_id, block=gb
+        ):
+            events = [
+                self._move_page(gppa, reason="refresh")
+                for gppa in self.status.live_pages(gb)
+            ]
+            self.stats.refresh_copies += len(events)
+            self._block_reads[gb] = 0
+            self._finish_victim(chip_id, local_block, events)
         self._ensure_space(chip_id)
 
     # ------------------------------------------------------------------

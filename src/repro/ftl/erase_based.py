@@ -55,19 +55,22 @@ class EraseBasedFtl(PageMappedFtl):
     def _erase_block_for_sanitize(self, gb: int) -> None:
         """Relocate the block's live pages, then erase it right away."""
         chip_id, local_block = self.split_global_block(gb)
-        stream = self.alloc.stream_of_block(chip_id, local_block)
-        if stream is not None:
-            # the stale copy sits in an open block: close its stream so
-            # the relocations (and future writes) land elsewhere.
-            self.alloc.close_active(chip_id, stream)
-        live = self.status.live_pages(gb)
-        for gppa in live:
-            self._move_page(gppa, reason="sanitize-relocate")
-        self.stats.relocation_copies += len(live)
-        self._note_secured_invalid_sanitized(gb)
-        if self._erase_block_now(chip_id, local_block):
-            self.stats.sanitize_erases += 1
-            self.alloc.add_erased(chip_id, local_block)
+        with self.tel.tracer.span(
+            "relocation_storm", cat="ftl.sanitize", chip=chip_id, block=gb
+        ):
+            stream = self.alloc.stream_of_block(chip_id, local_block)
+            if stream is not None:
+                # the stale copy sits in an open block: close its stream so
+                # the relocations (and future writes) land elsewhere.
+                self.alloc.close_active(chip_id, stream)
+            live = self.status.live_pages(gb)
+            for gppa in live:
+                self._move_page(gppa, reason="sanitize-relocate")
+            self.stats.relocation_copies += len(live)
+            self._note_secured_invalid_sanitized(gb)
+            if self._erase_block_now(chip_id, local_block):
+                self.stats.sanitize_erases += 1
+                self.alloc.add_erased(chip_id, local_block)
 
     def _note_secured_invalid_sanitized(self, gb: int) -> None:
         """Report every stale page of the block as sanitized-by-erase."""

@@ -94,6 +94,10 @@ class PowerLossRecovery:
     # ------------------------------------------------------------------
     def recover(self) -> RecoveryReport:
         """Scan, pad, and rebuild; returns the recovery report."""
+        with self.ftl.tel.tracer.span("recovery_scan", cat="ftl.recovery"):
+            return self._recover_inner()
+
+    def _recover_inner(self) -> RecoveryReport:
         ftl = self.ftl
         blocks_padded, pad_programs = self._pad_open_blocks()
         candidates, invalid, locked, scanned, unreadable = self._scan()

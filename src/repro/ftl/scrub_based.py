@@ -72,6 +72,14 @@ class ScrubBasedFtl(PageMappedFtl):
         return out
 
     def _scrub_wordline(self, gb: int, wordline: int, relocate: bool) -> None:
+        with self.tel.tracer.span(
+            "scrub_pass", cat="ftl.sanitize", block=gb, wordline=wordline
+        ):
+            self._scrub_wordline_inner(gb, wordline, relocate)
+
+    def _scrub_wordline_inner(
+        self, gb: int, wordline: int, relocate: bool
+    ) -> None:
         chip_id, local_block = self.split_global_block(gb)
         base_offset = wordline * self.geometry.pages_per_wordline
         base_gppa = gb * self.geometry.pages_per_block + base_offset

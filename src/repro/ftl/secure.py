@@ -86,6 +86,16 @@ class SecureFtl(PageMappedFtl):
         for event in events:
             if event.was_secured:
                 by_block[self.block_of_gppa(event.gppa)].append(event)
+        if not by_block:
+            return set()
+        with self.tel.tracer.span(
+            "lock_batch", cat="ftl.sanitize", blocks=len(by_block)
+        ):
+            return self._lock_blocks(by_block)
+
+    def _lock_blocks(
+        self, by_block: dict[int, list[InvalidationEvent]]
+    ) -> set[int]:
         disposed: set[int] = set()
         for gb, block_events in by_block.items():
             chip_id, local_block = self.split_global_block(gb)
@@ -171,19 +181,22 @@ class SecureFtl(PageMappedFtl):
         """
         self.stats.fallback_block_locks += 1
         chip_id, local_block = self.split_global_block(gb)
-        stream = self.alloc.stream_of_block(chip_id, local_block)
-        if stream is not None:
-            self.alloc.close_active(chip_id, stream)
-        self._pad_block_full(chip_id, local_block)
-        moved = [
-            self._move_page(gppa, reason="fallback-relocate")
-            for gppa in self.status.live_pages(gb)
-        ]
-        self.stats.relocation_copies += len(moved)
-        covered = failed + [e for e in moved if e.was_secured]
-        if self._block_lock_verified(chip_id, local_block, covered):
-            return False
-        return self._fallback_erase(gb)
+        with self.tel.tracer.span(
+            "lock_fallback", cat="ftl.sanitize", chip=chip_id, block=gb
+        ):
+            stream = self.alloc.stream_of_block(chip_id, local_block)
+            if stream is not None:
+                self.alloc.close_active(chip_id, stream)
+            self._pad_block_full(chip_id, local_block)
+            moved = [
+                self._move_page(gppa, reason="fallback-relocate")
+                for gppa in self.status.live_pages(gb)
+            ]
+            self.stats.relocation_copies += len(moved)
+            covered = failed + [e for e in moved if e.was_secured]
+            if self._block_lock_verified(chip_id, local_block, covered):
+                return False
+            return self._fallback_erase(gb)
 
     def _fallback_erase(self, gb: int) -> bool:
         """Last resort: erase the block now (scrub+retire if that fails).

@@ -35,12 +35,14 @@ import heapq
 import json
 from dataclasses import dataclass, field
 
+from repro.ftl.observer import notify_optional
 from repro.sim.events import EventHeap, SimClock
 from repro.sim.metrics import DepthSeries, LatencyRecorder
 from repro.sim.ops import OpKind, RecordingTiming
 from repro.sim.policies import DeferLocksPolicy, SchedulingPolicy
 from repro.ssd.device import SSD
 from repro.ssd.request import IoRequest, RequestOp
+from repro.telemetry import Telemetry
 
 _EV_ARRIVAL = "arrival"
 _EV_DONE = "done"
@@ -56,6 +58,27 @@ class _InFlight:
     remaining: int = 0
 
 
+class _DrainBatch:
+    """Telemetry bookkeeping for one deferred-lock drain.
+
+    The drain *span* covers the batch from the flush decision until its
+    last pulse finishes service; since pulses complete one ``DONE``
+    event at a time, the batch counts them down and the final one emits
+    the span.
+    """
+
+    __slots__ = ("chip", "start_us", "waited_us", "n_locks", "remaining")
+
+    def __init__(
+        self, chip: int | None, start_us: float, waited_us: float, n_locks: int
+    ) -> None:
+        self.chip = chip
+        self.start_us = start_us
+        self.waited_us = waited_us
+        self.n_locks = n_locks
+        self.remaining = n_locks
+
+
 class Segment:
     """One stage of one flash operation on one resource."""
 
@@ -68,6 +91,7 @@ class Segment:
         "successor",
         "ready",
         "seq",
+        "drain",
     )
 
     def __init__(
@@ -92,6 +116,9 @@ class Segment:
         #: server (the open-loop model's reservation semantics).
         self.ready = True
         self.seq = -1  # assigned at enqueue time
+        #: telemetry: set on deferred lock pulses when tracing is on; the
+        #: last segment of the batch to finish emits the drain span.
+        self.drain: _DrainBatch | None = None
 
 
 class Server:
@@ -240,6 +267,14 @@ class QueueingEngine:
         self.lock_drains = 0
         self.suspensions = 0
 
+        # closed-loop runs re-point the trace clock at the event heap:
+        # the FTL's functional execution happens instantaneously at
+        # dispatch time, so its spans collapse to zero duration at the
+        # dispatch instant while keeping their nesting (depth args).
+        self._tel: Telemetry | None = getattr(ssd, "telemetry", None)
+        if self._tel is not None:
+            self._tel.bus.clock = lambda: self.clock.now_us
+
     # ------------------------------------------------------------------
     # run loop
     # ------------------------------------------------------------------
@@ -382,12 +417,21 @@ class QueueingEngine:
             return
         waited_us = self.clock.now_us - server.oldest_pending_us
         self.lock_drains += 1
+        if self._tel is not None:
+            batch = _DrainBatch(
+                server.chip_id, self.clock.now_us, waited_us, len(pending)
+            )
+            for segment in pending:
+                segment.drain = batch
         for segment in pending:
             self._enqueue(server, segment, priority=self.policy.DRAIN_PRIORITY)
-        observer = self.ssd.ftl.observer
-        notify = getattr(observer, "on_lock_deferred", None)
-        if notify is not None:
-            notify(server.chip_id, len(pending), waited_us)
+        notify_optional(
+            self.ssd.ftl.observer,
+            "on_lock_deferred",
+            server.chip_id,
+            len(pending),
+            waited_us,
+        )
 
     # ------------------------------------------------------------------
     # service
@@ -451,6 +495,30 @@ class QueueingEngine:
         assert segment is not None
         now = self.clock.now_us
         server.busy_us += now - server.current_start_us
+        if self._tel is not None:
+            self._tel.bus.complete(
+                "sim.service",
+                segment.kind.value,
+                ts_us=server.current_start_us,
+                dur_us=now - server.current_start_us,
+                tid=server.key,
+                args={"stage": segment.stage},
+            )
+            if segment.drain is not None:
+                batch = segment.drain
+                batch.remaining -= 1
+                if batch.remaining == 0:
+                    self._tel.bus.complete(
+                        "sim.drain",
+                        "lock_drain",
+                        ts_us=batch.start_us,
+                        dur_us=now - batch.start_us,
+                        tid=server.key,
+                        args={
+                            "n_locks": batch.n_locks,
+                            "waited_us": batch.waited_us,
+                        },
+                    )
         server.current = None
         if segment.follow is not None:
             target, duration, stage = segment.follow
@@ -475,6 +543,15 @@ class QueueingEngine:
         self.completed += 1
         self.in_flight -= 1
         self.depth.record(now, self.in_flight)
+        if self._tel is not None:
+            self._tel.bus.complete(
+                "sim.request",
+                inflight.op.value,
+                ts_us=inflight.arrival_us,
+                dur_us=now - inflight.arrival_us,
+                tid="host",
+                args={"index": inflight.index},
+            )
         if inflight.index >= self.steady_start:
             self.latency.add(inflight.op, now - inflight.arrival_us)
         if self.arrivals.closed_loop and self._next_index < len(self.requests):

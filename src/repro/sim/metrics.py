@@ -14,23 +14,12 @@ from dataclasses import dataclass, field
 
 from repro.ssd.request import RequestOp
 
-#: the percentiles every latency summary reports.
-PERCENTILES: tuple[tuple[str, float], ...] = (
-    ("p50_us", 50.0),
-    ("p95_us", 95.0),
-    ("p99_us", 99.0),
-    ("p999_us", 99.9),
-)
+# the shared nearest-rank implementation and report-order percentile
+# list live in repro.telemetry.histogram; re-exported here because the
+# sim package's public API predates the telemetry layer.
+from repro.telemetry.histogram import PERCENTILES, percentile
 
-
-def percentile(sorted_data: list[float], q: float) -> float:
-    """Nearest-rank percentile of pre-sorted data (0 for empty)."""
-    if not 0.0 <= q <= 100.0:
-        raise ValueError("q must be in [0, 100]")
-    if not sorted_data:
-        return 0.0
-    rank = max(0, min(len(sorted_data) - 1, round(q / 100.0 * (len(sorted_data) - 1))))
-    return sorted_data[rank]
+__all__ = ["PERCENTILES", "percentile", "LatencyRecorder", "DepthSeries"]
 
 
 @dataclass

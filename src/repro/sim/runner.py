@@ -30,6 +30,7 @@ from repro.ssd.config import SSDConfig
 from repro.ssd.device import SSD
 from repro.ssd.request import IoRequest
 from repro.ssd.stats import RunResult
+from repro.telemetry import Telemetry
 from repro.workloads import WORKLOADS
 
 
@@ -121,6 +122,7 @@ def simulate_workload(
     checked: bool | None = None,
     check_interval: int | None = None,
     faults: FaultPlan | None = None,
+    telemetry: Telemetry | None = None,
 ) -> SimResult:
     """Simulate one workload on one variant under queueing.
 
@@ -128,7 +130,9 @@ def simulate_workload(
     (config, workload, seed), so cross-variant comparisons see the same
     host traffic.  The returned :class:`RunResult` carries the engine's
     latency percentiles and per-resource utilization alongside the usual
-    functional statistics.
+    functional statistics.  Passing a :class:`~repro.telemetry.Telemetry`
+    session records the run's structured event trace and metrics (the
+    engine points the trace clock at the simulated time base).
     """
     requests, steady_start = capture_block_trace(
         config,
@@ -148,6 +152,7 @@ def simulate_workload(
         checked=checked,
         check_interval=check_interval,
         faults=faults,
+        telemetry=telemetry,
     )
     ssd.instrument_timing(RecordingTiming.from_config(config))
     engine = QueueingEngine(

@@ -18,6 +18,8 @@ from repro.ssd.config import SSDConfig
 from repro.ssd.request import IoRequest
 from repro.ssd.stats import RunResult
 from repro.ssd.worklog import WorkLog
+from repro.telemetry import Telemetry
+from repro.telemetry.bridge import TelemetryObserver
 
 
 class SSD:
@@ -33,6 +35,7 @@ class SSD:
         checked: bool | None = None,
         check_interval: int | None = None,
         faults: FaultPlan | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         """Build a device running ``variant``'s FTL.
 
@@ -49,6 +52,15 @@ class SSD:
         ``faults`` attaches a seeded :class:`~repro.faults.FaultInjector`
         built from the plan to every chip of the device (see
         :mod:`repro.faults`); ``None`` keeps the chips perfect.
+
+        ``telemetry`` attaches a :class:`~repro.telemetry.Telemetry`
+        session: a :class:`~repro.telemetry.bridge.TelemetryObserver`
+        is chained in front of ``observer`` (so the sanitizer, when
+        ``checked``, still audits the same stream), the trace clock
+        defaults to the FTL's occupancy clock, the fault injector gains
+        an event tap, and :meth:`result` snapshots the metrics registry
+        into ``RunResult.telemetry``.  ``None`` (the default) keeps the
+        untraced hot path unchanged.
         """
         if ftl_class is None:
             if variant not in FTL_VARIANTS:
@@ -60,6 +72,13 @@ class SSD:
         else:
             self.variant = ftl_class.name
         self.config = config
+        #: the run's telemetry session, or None for an untraced run.
+        self.telemetry: Telemetry | None = None
+        if telemetry is not None and telemetry.enabled:
+            self.telemetry = telemetry
+            # chain the bridge in front of the caller's observer; the
+            # FTL's sanitizer (when checked) wraps in front of both.
+            observer = TelemetryObserver(telemetry, inner=observer)
         self.ftl: PageMappedFtl = ftl_class(
             config,
             observer=observer,
@@ -67,7 +86,16 @@ class SSD:
             checked=checked,
             check_interval=check_interval,
             faults=faults,
+            telemetry=self.telemetry,
         )
+        if self.telemetry is not None:
+            if self.telemetry.bus.clock is None:
+                # default trace clock: the open-loop occupancy model's
+                # elapsed time (the sim engine overrides this with the
+                # event-heap clock when it drives the run).
+                self.telemetry.bus.clock = lambda: self.ftl.timing.elapsed_us
+            if self.ftl.fault_injector is not None:
+                self.ftl.fault_injector.bus = self.telemetry.bus
         #: per-request device-work log (sanitization-tail analysis).
         self.work_log = WorkLog()
 
@@ -109,7 +137,12 @@ class SSD:
     def submit(self, request: IoRequest) -> None:
         before = self._busy_total()
         self.ftl.submit(request)
-        self.work_log.record(request.op, self._busy_total() - before)
+        work_us = self._busy_total() - before
+        self.work_log.record(request.op, work_us)
+        if self.telemetry is not None:
+            self.telemetry.metrics.histogram(
+                f"request_work_us.{request.op.value}"
+            ).observe(work_us)
 
     def _busy_total(self) -> float:
         return self.ftl.timing.total_work_us
@@ -131,6 +164,9 @@ class SSD:
                     self.ftl.timing.utilization(), default=0.0
                 ),
             },
+            telemetry=(
+                self.telemetry.snapshot() if self.telemetry is not None else {}
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -146,6 +182,7 @@ def make_ssd(
     seed: int = 0,
     checked: bool | None = None,
     faults: FaultPlan | None = None,
+    telemetry: Telemetry | None = None,
 ) -> SSD:
     """Convenience constructor used by benchmarks and examples."""
     return SSD(
@@ -155,4 +192,5 @@ def make_ssd(
         seed=seed,
         checked=checked,
         faults=faults,
+        telemetry=telemetry,
     )

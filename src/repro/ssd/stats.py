@@ -11,7 +11,7 @@ built from:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 
 @dataclass
@@ -80,6 +80,25 @@ class DeviceStats:
             "grown_bad_blocks": self.grown_bad_blocks,
         }
 
+    def to_dict(self) -> dict[str, int]:
+        """Every counter field, losslessly (no derived quantities).
+
+        Unlike :meth:`snapshot` -- which is a report and mixes in the
+        computed WAF -- this is a round-trippable serialization: the
+        keys are exactly the dataclass fields, so
+        ``DeviceStats.from_dict(stats.to_dict()) == stats``.
+        """
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, int]) -> "DeviceStats":
+        """Rebuild from :meth:`to_dict` output; unknown keys raise."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown DeviceStats fields: {sorted(unknown)}")
+        return cls(**data)
+
     def snapshot(self) -> dict[str, float]:
         return {
             "host_reads": self.host_reads,
@@ -118,6 +137,10 @@ class RunResult:
     #: busy fraction per simulated resource (``chip0`` .. ``chanN``) --
     #: populated by :mod:`repro.sim` runs.
     utilization: dict[str, float] = field(default_factory=dict)
+    #: telemetry snapshot (counters/gauges/histograms + trace retention
+    #: accounting) -- populated when the run carried a
+    #: :class:`~repro.telemetry.Telemetry` session; empty otherwise.
+    telemetry: dict[str, object] = field(default_factory=dict)
 
     @property
     def iops(self) -> float:

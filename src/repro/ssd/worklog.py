@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.ssd.request import RequestOp
+from repro.telemetry.histogram import percentile as _nearest_rank
 
 
 @dataclass
@@ -34,16 +35,12 @@ class WorkLog:
 
     # ------------------------------------------------------------------
     def percentile(self, q: float, op: RequestOp | None = None) -> float:
-        """q-th percentile (0-100) of per-request work in microseconds."""
-        if not 0.0 <= q <= 100.0:
-            raise ValueError("q must be in [0, 100]")
-        data = self._select(op)
-        if not data:
-            return 0.0
-        data = sorted(data)
-        # nearest-rank percentile
-        rank = max(0, min(len(data) - 1, round(q / 100.0 * (len(data) - 1))))
-        return data[rank]
+        """q-th percentile (0-100) of per-request work in microseconds.
+
+        Nearest-rank, via the one shared implementation in
+        :mod:`repro.telemetry.histogram`.
+        """
+        return _nearest_rank(sorted(self._select(op)), q)
 
     def mean(self, op: RequestOp | None = None) -> float:
         data = self._select(op)

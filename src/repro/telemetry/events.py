@@ -1,0 +1,167 @@
+"""The structured trace-event bus.
+
+Every layer publishes :class:`TraceEvent` records into one
+:class:`TraceBus` per run: the FTLs through the observer bridge
+(:mod:`repro.telemetry.bridge`), the fault injector directly, the
+macro-phase spans through :mod:`repro.telemetry.spans`, and the
+discrete-event engine from its completion handlers.  Timestamps are
+*simulated* microseconds read from a pluggable ``clock`` callable --
+the open-loop occupancy clock (``TimingModel.elapsed_us``) by default,
+overridden with the event-heap clock when the :mod:`repro.sim` engine
+drives the run -- never the wall clock (rule SIM07 applies in spirit
+here too: a trace must be byte-identical for the same seed).
+
+Memory is bounded two ways:
+
+* **ring-buffer retention** -- the bus keeps the newest ``capacity``
+  events and counts what it evicted in :attr:`TraceBus.dropped`;
+* **category sampling** -- ``sample={"sim.service": 10}`` keeps every
+  10th event of that category (the first of each stride is kept, so a
+  sampled stream is a deterministic subsequence of the full one).
+
+Per-category totals in :attr:`TraceBus.category_counts` always count
+*published* events, before sampling or eviction, so a snapshot can
+report exactly how much was observed vs retained.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable, Mapping
+
+
+class TraceEvent:
+    """One structured trace record (Chrome trace-event friendly).
+
+    ``ph`` follows the Chrome trace-event phase vocabulary: ``"i"`` for
+    instants, ``"X"`` for complete (duration) events.  ``tid`` names the
+    simulated thread of activity (``"ftl"``, ``"host"``, ``"chip3"``,
+    ``"chan1"``); exporters map it to integer thread ids.
+    """
+
+    __slots__ = ("name", "cat", "ph", "ts_us", "dur_us", "tid", "args")
+
+    def __init__(
+        self,
+        name: str,
+        cat: str,
+        ph: str,
+        ts_us: float,
+        dur_us: float = 0.0,
+        tid: str = "ftl",
+        args: dict[str, object] | None = None,
+    ) -> None:
+        self.name = name
+        self.cat = cat
+        self.ph = ph
+        self.ts_us = ts_us
+        self.dur_us = dur_us
+        self.tid = tid
+        self.args = args or {}
+
+    def to_dict(self) -> dict[str, object]:
+        out: dict[str, object] = {
+            "name": self.name,
+            "cat": self.cat,
+            "ph": self.ph,
+            "ts_us": self.ts_us,
+            "tid": self.tid,
+            "args": self.args,
+        }
+        if self.ph == "X":
+            out["dur_us"] = self.dur_us
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TraceEvent({self.name!r}, cat={self.cat!r}, ph={self.ph!r}, "
+            f"ts={self.ts_us}, tid={self.tid!r})"
+        )
+
+
+class TraceBus:
+    """Bounded, sampled sink for :class:`TraceEvent` records."""
+
+    def __init__(
+        self,
+        capacity: int = 65536,
+        sample: Mapping[str, int] | None = None,
+        clock: Callable[[], float] | None = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        for cat, n in (sample or {}).items():
+            if n < 1:
+                raise ValueError(f"sample stride for {cat!r} must be >= 1: {n}")
+        self.capacity = capacity
+        self.sample: dict[str, int] = dict(sample or {})
+        #: simulated-time source; ``None`` reads as t=0 (pre-wiring).
+        self.clock = clock
+        self._events: deque[TraceEvent] = deque(maxlen=capacity)
+        self.dropped = 0
+        self.sampled_out = 0
+        self.category_counts: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def now_us(self) -> float:
+        return self.clock() if self.clock is not None else 0.0
+
+    def _admit(self, cat: str) -> bool:
+        seen = self.category_counts.get(cat, 0)
+        self.category_counts[cat] = seen + 1
+        stride = self.sample.get(cat, 1)
+        if stride > 1 and seen % stride != 0:
+            self.sampled_out += 1
+            return False
+        return True
+
+    def _push(self, event: TraceEvent) -> None:
+        if len(self._events) == self.capacity:
+            self.dropped += 1
+        self._events.append(event)
+
+    # ------------------------------------------------------------------
+    def instant(
+        self,
+        cat: str,
+        name: str,
+        tid: str = "ftl",
+        args: dict[str, object] | None = None,
+    ) -> None:
+        """Publish a point-in-time event at the current simulated time."""
+        if self._admit(cat):
+            self._push(TraceEvent(name, cat, "i", self.now_us(), tid=tid, args=args))
+
+    def complete(
+        self,
+        cat: str,
+        name: str,
+        ts_us: float,
+        dur_us: float,
+        tid: str = "ftl",
+        args: dict[str, object] | None = None,
+    ) -> None:
+        """Publish a duration event covering ``[ts_us, ts_us + dur_us]``."""
+        if self._admit(cat):
+            self._push(
+                TraceEvent(name, cat, "X", ts_us, dur_us=dur_us, tid=tid, args=args)
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def events(self) -> list[TraceEvent]:
+        """Retained events, oldest first."""
+        return list(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def stats(self) -> dict[str, object]:
+        """JSON-ready retention accounting for run snapshots."""
+        return {
+            "capacity": self.capacity,
+            "retained": len(self._events),
+            "dropped": self.dropped,
+            "sampled_out": self.sampled_out,
+            "published": dict(sorted(self.category_counts.items())),
+        }

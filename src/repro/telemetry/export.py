@@ -1,0 +1,159 @@
+"""Trace exporters: JSONL and Chrome trace-event JSON (Perfetto).
+
+Two output shapes for the same event stream:
+
+* **JSONL** -- one compact, sorted-key JSON object per line, in
+  publication order.  This is the diff-friendly archival format: for a
+  fixed seed the bytes are identical run to run, which the golden-file
+  and determinism tests assert directly.
+* **Chrome trace-event JSON** -- the ``{"traceEvents": [...]}`` format
+  loadable in Perfetto / ``chrome://tracing``.  Each simulated run
+  becomes one *process* (so ``repro trace`` merges variants side by
+  side), and each simulated thread of activity (``host``, ``ftl``,
+  ``chip0``.., ``chan0``..) becomes one *thread*, named via ``"M"``
+  metadata records.  Timestamps pass through unscaled: simulated
+  microseconds are exactly the ``ts`` unit the format expects.
+
+:func:`validate_chrome_trace` is the schema check CI and the tests run
+over every emitted file -- catching a malformed field here beats
+debugging a silently empty Perfetto UI.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Mapping, Sequence
+from pathlib import Path
+
+from repro.telemetry.events import TraceEvent
+
+
+def to_jsonl(events: Sequence[TraceEvent]) -> str:
+    """Serialize events as deterministic JSON lines (trailing newline)."""
+    lines = [
+        json.dumps(event.to_dict(), sort_keys=True, separators=(",", ":"))
+        for event in events
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_jsonl(path: str | Path, events: Sequence[TraceEvent]) -> Path:
+    target = Path(path)
+    target.write_text(to_jsonl(events), encoding="utf-8")
+    return target
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace-event JSON
+# ---------------------------------------------------------------------------
+def chrome_trace(
+    processes: Mapping[str, Sequence[TraceEvent]]
+) -> dict[str, object]:
+    """Merge per-run event streams into one Chrome trace-event payload.
+
+    ``processes`` maps a display name (typically the variant) to its
+    events; each gets its own ``pid`` in insertion order.  String thread
+    names map to integer ``tid``s (sorted for determinism) with
+    ``thread_name`` metadata alongside, so Perfetto shows ``chip0`` /
+    ``chan1`` / ``host`` rows instead of bare numbers.
+    """
+    trace_events: list[dict[str, object]] = []
+    for pid, (process, events) in enumerate(processes.items(), start=1):
+        trace_events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": process},
+            }
+        )
+        tids = sorted({event.tid for event in events})
+        tid_of = {name: i for i, name in enumerate(tids, start=1)}
+        for name, tid in tid_of.items():
+            trace_events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": name},
+                }
+            )
+        for event in events:
+            record: dict[str, object] = {
+                "name": event.name,
+                "cat": event.cat,
+                "ph": event.ph,
+                "ts": event.ts_us,
+                "pid": pid,
+                "tid": tid_of[event.tid],
+                "args": event.args,
+            }
+            if event.ph == "X":
+                record["dur"] = event.dur_us
+            elif event.ph == "i":
+                record["s"] = "t"  # instant scoped to its thread
+            trace_events.append(record)
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    path: str | Path, processes: Mapping[str, Sequence[TraceEvent]]
+) -> Path:
+    """Write a merged Chrome trace; refuses to emit an invalid payload."""
+    payload = chrome_trace(processes)
+    errors = validate_chrome_trace(payload)
+    if errors:  # pragma: no cover - guarded by construction
+        raise ValueError(f"refusing to write invalid trace: {errors[:3]}")
+    target = Path(path)
+    target.write_text(
+        json.dumps(payload, sort_keys=True, indent=1) + "\n", encoding="utf-8"
+    )
+    return target
+
+
+#: phases this exporter emits (subset of the full trace-event vocabulary).
+_KNOWN_PHASES = frozenset({"X", "i", "M", "C", "B", "E"})
+
+
+def validate_chrome_trace(payload: object) -> list[str]:
+    """Schema-check a Chrome trace payload; returns human-readable errors.
+
+    Checks the fields Perfetto and ``chrome://tracing`` actually key on:
+    the ``traceEvents`` array, and per event the ``ph``/``pid``/``tid``/
+    ``name`` fields, a numeric ``ts`` on all non-metadata events, a
+    numeric non-negative ``dur`` on complete events, and a ``cat`` on
+    everything that is not metadata.
+    """
+    errors: list[str] = []
+    if not isinstance(payload, dict):
+        return ["payload is not a JSON object"]
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing or non-array 'traceEvents'"]
+    for i, event in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        ph = event.get("ph")
+        if ph not in _KNOWN_PHASES:
+            errors.append(f"{where}: bad or missing ph {ph!r}")
+            continue
+        for key in ("pid", "tid"):
+            if not isinstance(event.get(key), int):
+                errors.append(f"{where}: missing integer {key!r}")
+        if not isinstance(event.get("name"), str):
+            errors.append(f"{where}: missing string 'name'")
+        if ph == "M":
+            continue
+        if not isinstance(event.get("ts"), (int, float)):
+            errors.append(f"{where}: missing numeric 'ts'")
+        if not isinstance(event.get("cat"), str):
+            errors.append(f"{where}: missing string 'cat'")
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                errors.append(f"{where}: complete event needs 'dur' >= 0")
+    return errors

@@ -1,0 +1,125 @@
+"""Shared percentile math and fixed-bucket histograms.
+
+One nearest-rank implementation serves every consumer -- the work log
+(:mod:`repro.ssd.worklog`), the engine's latency recorder
+(:mod:`repro.sim.metrics`), and the tail-latency tables
+(:mod:`repro.analysis.latency`) -- so a percentile means the same thing
+in every report.  Nearest-rank is deliberate: it is deterministic, has
+no interpolation ambiguity across platforms, and returns an actually
+observed sample, all of which the byte-identical-report guarantee
+depends on.
+
+:class:`FixedBucketHistogram` is the streaming companion for the metrics
+registry: O(1) memory regardless of sample count, with percentile
+*estimates* quantized to fixed bucket upper bounds.  Exact count, sum,
+min, and max are kept alongside, so rates and means stay exact.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+
+#: the percentiles every latency/work summary reports, in report order.
+PERCENTILES: tuple[tuple[str, float], ...] = (
+    ("p50_us", 50.0),
+    ("p95_us", 95.0),
+    ("p99_us", 99.0),
+    ("p999_us", 99.9),
+)
+
+#: default bucket upper bounds (microseconds), log-spaced to cover one
+#: flash read (~50 us) through a multi-erase relocation storm (~1 s).
+DEFAULT_BOUNDS_US: tuple[float, ...] = (
+    10.0, 20.0, 50.0, 100.0, 200.0, 500.0,
+    1_000.0, 2_000.0, 5_000.0, 10_000.0, 20_000.0, 50_000.0,
+    100_000.0, 200_000.0, 500_000.0, 1_000_000.0,
+)
+
+
+def percentile(sorted_data: list[float], q: float) -> float:
+    """Nearest-rank percentile of pre-sorted data (0 for empty)."""
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("q must be in [0, 100]")
+    if not sorted_data:
+        return 0.0
+    rank = max(0, min(len(sorted_data) - 1, round(q / 100.0 * (len(sorted_data) - 1))))
+    return sorted_data[rank]
+
+
+def summarize(data: list[float]) -> dict[str, float]:
+    """count/mean/:data:`PERCENTILES`/max of unsorted samples."""
+    ordered = sorted(data)
+    out: dict[str, float] = {
+        "count": float(len(ordered)),
+        "mean_us": (sum(ordered) / len(ordered)) if ordered else 0.0,
+    }
+    for label, q in PERCENTILES:
+        out[label] = percentile(ordered, q)
+    out["max_us"] = ordered[-1] if ordered else 0.0
+    return out
+
+
+class FixedBucketHistogram:
+    """Streaming histogram over fixed bucket upper bounds.
+
+    ``observe`` is O(log buckets); memory is O(buckets) forever.  A
+    percentile query answers with the upper bound of the bucket holding
+    the nearest-rank sample (the overflow bucket answers with the exact
+    observed maximum, so tails are never silently truncated).
+    """
+
+    __slots__ = ("bounds", "counts", "count", "total", "min", "max")
+
+    def __init__(self, bounds: tuple[float, ...] = DEFAULT_BOUNDS_US) -> None:
+        if not bounds:
+            raise ValueError("need at least one bucket bound")
+        if list(bounds) != sorted(set(bounds)):
+            raise ValueError("bounds must be strictly increasing")
+        self.bounds = tuple(float(b) for b in bounds)
+        #: one count per bound plus the overflow bucket.
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = 0.0
+        self.max = 0.0
+
+    def observe(self, value: float) -> None:
+        if value < 0.0:
+            raise ValueError("histogram samples must be non-negative")
+        if self.count == 0 or value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        self.count += 1
+        self.total += value
+        self.counts[bisect_left(self.bounds, value)] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank estimate: the matched bucket's upper bound."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("q must be in [0, 100]")
+        if self.count == 0:
+            return 0.0
+        rank = max(0, min(self.count - 1, round(q / 100.0 * (self.count - 1))))
+        seen = 0
+        for i, n in enumerate(self.counts):
+            seen += n
+            if rank < seen:
+                return self.bounds[i] if i < len(self.bounds) else self.max
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def snapshot(self) -> dict[str, float]:
+        """JSON-ready summary (exact count/mean/min/max, bucketed tails)."""
+        out: dict[str, float] = {
+            "count": float(self.count),
+            "mean_us": self.mean,
+            "min_us": self.min,
+        }
+        for label, q in PERCENTILES:
+            out[label] = self.percentile(q)
+        out["max_us"] = self.max
+        return out

@@ -1,0 +1,108 @@
+"""Span tracing for macro-phases (GC, lock batches, storms, recovery).
+
+A span covers a phase of FTL work with a start and an end on the
+simulated clock; nested spans (a secSSD lock batch inside the GC
+invocation that triggered it) record their ``depth`` so exporters and
+tests can reconstruct the parent/child tree even when the underlying
+clock did not advance between them (the engine's functional dispatch
+executes FTL work at one instant, so FTL-side spans there are
+zero-duration markers with intact nesting).
+
+The disabled path is allocation-free: :data:`NULL_SPAN` is one shared
+no-op context manager returned for every ``span()`` call on a
+:class:`NullTracer`.
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.events import TraceBus
+
+
+class _NullSpan:
+    """Shared no-op context manager for disabled telemetry."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+#: the singleton every disabled ``span()`` call returns.
+NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """One live span; emits its ``"X"`` event when the block exits."""
+
+    __slots__ = ("tracer", "name", "cat", "tid", "args", "start_us", "depth")
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        cat: str,
+        tid: str,
+        args: dict[str, object],
+    ) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.cat = cat
+        self.tid = tid
+        self.args = args
+        self.start_us = 0.0
+        self.depth = 0
+
+    def __enter__(self) -> "_Span":
+        tracer = self.tracer
+        self.start_us = tracer.bus.now_us()
+        self.depth = len(tracer._stack)
+        tracer._stack.append(self)
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        tracer = self.tracer
+        popped = tracer._stack.pop()
+        assert popped is self, "span exit out of order"
+        args = dict(self.args)
+        args["depth"] = self.depth
+        tracer.bus.complete(
+            self.cat,
+            self.name,
+            ts_us=self.start_us,
+            dur_us=tracer.bus.now_us() - self.start_us,
+            tid=self.tid,
+            args=args,
+        )
+
+
+class Tracer:
+    """Factory for nested spans over one :class:`TraceBus`."""
+
+    def __init__(self, bus: TraceBus) -> None:
+        self.bus = bus
+        self._stack: list[_Span] = []
+
+    def span(
+        self, name: str, cat: str, tid: str = "ftl", **args: object
+    ) -> _Span:
+        """Open a span; use as ``with tracer.span("gc", cat="ftl.gc"):``."""
+        return _Span(self, name, cat, tid, dict(args))
+
+    @property
+    def depth(self) -> int:
+        """Current nesting depth (0 outside any span)."""
+        return len(self._stack)
+
+
+class NullTracer:
+    """Tracer stand-in on the disabled singleton: all spans are no-ops."""
+
+    def span(self, name: str, cat: str, tid: str = "ftl", **args: object) -> _NullSpan:
+        return NULL_SPAN
+
+    @property
+    def depth(self) -> int:
+        return 0

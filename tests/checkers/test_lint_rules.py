@@ -572,3 +572,73 @@ class TestSim07WallClock:
             """,
         )
         assert findings == []
+
+
+class TestSim08NoPrint:
+    def test_print_in_library_module_flagged(self, tmp_path):
+        findings = _lint(
+            tmp_path,
+            "repro/ftl/base.py",
+            """
+            def f(x):
+                print("debugging", x)
+                return x
+            """,
+        )
+        assert _ids(findings) == ["SIM08"]
+        assert findings[0].line == 3
+
+    def test_cli_module_exempt(self, tmp_path):
+        findings = _lint(
+            tmp_path,
+            "repro/cli.py",
+            """
+            def cmd(args):
+                print("the console is cli.py's job")
+            """,
+        )
+        assert "SIM08" not in _ids(findings)
+
+    def test_outside_package_not_scoped(self, tmp_path):
+        findings = _lint(
+            tmp_path,
+            "scripts/tool.py",
+            """
+            print("standalone scripts may talk")
+            """,
+        )
+        assert "SIM08" not in _ids(findings)
+
+    def test_print_as_value_clean(self, tmp_path):
+        # referencing print (echo=print default) is not calling it
+        findings = _lint(
+            tmp_path,
+            "repro/checkers/lint.py",
+            """
+            def run(paths, echo=print):
+                echo("report")
+            """,
+        )
+        assert "SIM08" not in _ids(findings)
+
+    def test_shadowed_attribute_print_clean(self, tmp_path):
+        findings = _lint(
+            tmp_path,
+            "repro/ftl/base.py",
+            """
+            def f(writer):
+                writer.print("not the builtin")
+            """,
+        )
+        assert "SIM08" not in _ids(findings)
+
+    def test_suppression_comment_works(self, tmp_path):
+        findings = _lint(
+            tmp_path,
+            "repro/ftl/base.py",
+            """
+            def f():
+                print("allowed here")  # lint: disable=SIM08
+            """,
+        )
+        assert findings == []

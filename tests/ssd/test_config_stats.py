@@ -84,6 +84,22 @@ class TestDeviceStats:
         assert snap["host_writes"] == 3
         assert snap["plocks"] == 2
 
+    def test_to_dict_from_dict_round_trip(self):
+        stats = DeviceStats(
+            host_writes=3, plocks=2, grown_bad_blocks=1, read_retries=4
+        )
+        assert DeviceStats.from_dict(stats.to_dict()) == stats
+
+    def test_to_dict_is_lossless_not_a_report(self):
+        # snapshot() mixes in the computed WAF; to_dict() must not
+        fields = DeviceStats().to_dict()
+        assert "waf" not in fields
+        assert set(DeviceStats().snapshot()) - set(fields) == {"waf"}
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="unknown DeviceStats"):
+            DeviceStats.from_dict({"host_writes": 1, "bogus": 2})
+
 
 class TestRunResult:
     def test_normalization(self):

@@ -1,0 +1,88 @@
+"""TraceBus: ring retention, category sampling, clock plumbing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry.events import TraceBus, TraceEvent
+
+
+class TestTraceEvent:
+    def test_to_dict_instant_has_no_duration(self):
+        event = TraceEvent("e", "cat", "i", ts_us=5.0, tid="host", args={"k": 1})
+        d = event.to_dict()
+        assert "dur_us" not in d
+        assert d["ts_us"] == 5.0
+        assert d["args"] == {"k": 1}
+
+    def test_to_dict_complete_has_duration(self):
+        event = TraceEvent("e", "cat", "X", ts_us=5.0, dur_us=2.5)
+        assert event.to_dict()["dur_us"] == 2.5
+
+
+class TestRingRetention:
+    def test_oldest_evicted_and_counted(self):
+        bus = TraceBus(capacity=4)
+        for i in range(6):
+            bus.complete("c", f"e{i}", ts_us=float(i), dur_us=1.0)
+        assert len(bus) == 4
+        assert bus.dropped == 2
+        assert [e.name for e in bus.events] == ["e2", "e3", "e4", "e5"]
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            TraceBus(capacity=0)
+
+
+class TestCategorySampling:
+    def test_first_of_each_stride_kept(self):
+        bus = TraceBus(sample={"hot": 3})
+        for i in range(7):
+            bus.instant("hot", f"e{i}")
+        assert [e.name for e in bus.events] == ["e0", "e3", "e6"]
+        assert bus.sampled_out == 4
+        assert bus.category_counts["hot"] == 7  # published, pre-sampling
+
+    def test_unsampled_categories_unaffected(self):
+        bus = TraceBus(sample={"hot": 10})
+        bus.instant("hot", "a")
+        bus.instant("cold", "b")
+        bus.instant("hot", "c")  # sampled out
+        assert [e.name for e in bus.events] == ["a", "b"]
+
+    def test_stride_validated(self):
+        with pytest.raises(ValueError):
+            TraceBus(sample={"c": 0})
+
+
+class TestClock:
+    def test_unwired_clock_reads_zero(self):
+        bus = TraceBus()
+        bus.instant("c", "e")
+        assert bus.events[0].ts_us == 0.0
+
+    def test_pluggable_clock_stamps_instants(self):
+        now = [0.0]
+        bus = TraceBus(clock=lambda: now[0])
+        bus.instant("c", "a")
+        now[0] = 42.5
+        bus.instant("c", "b")
+        assert [e.ts_us for e in bus.events] == [0.0, 42.5]
+
+
+class TestStats:
+    def test_shape_and_ordering(self):
+        bus = TraceBus(capacity=2, sample={"b": 2})
+        bus.instant("b", "1")
+        bus.instant("a", "2")
+        bus.instant("b", "3")  # sampled out
+        bus.instant("a", "4")  # evicts "1"
+        stats = bus.stats()
+        assert stats == {
+            "capacity": 2,
+            "retained": 2,
+            "dropped": 1,
+            "sampled_out": 1,
+            "published": {"a": 2, "b": 2},
+        }
+        assert list(stats["published"]) == ["a", "b"]  # sorted

@@ -1,0 +1,180 @@
+"""Exporters: JSONL byte-stability (golden file) and Chrome trace schema."""
+
+from __future__ import annotations
+
+import json
+import random
+from pathlib import Path
+
+import pytest
+
+from repro.telemetry.events import TraceBus, TraceEvent
+from repro.telemetry.export import (
+    chrome_trace,
+    to_jsonl,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+GOLDEN = Path(__file__).with_name("golden_events.jsonl")
+
+
+def seeded_events(seed: int = 7, n: int = 24) -> list[TraceEvent]:
+    """A deterministic synthetic event stream (fixed seed -> fixed bytes).
+
+    Mirrors the taxonomy of a real run: FTL page instants, nested GC /
+    lock-batch spans, engine service events -- regenerate the golden
+    file with ``python -m tests.telemetry.test_export`` after an
+    intentional format change.
+    """
+    rng = random.Random(seed)
+    now = [0.0]
+    bus = TraceBus(clock=lambda: now[0])
+    for i in range(n):
+        now[0] = round(now[0] + rng.uniform(1.0, 250.0), 3)
+        roll = rng.random()
+        if roll < 0.4:
+            bus.instant(
+                "ftl.page", "program", args={"gppa": rng.randrange(4096), "i": i}
+            )
+        elif roll < 0.7:
+            bus.complete(
+                "sim.service",
+                "read",
+                ts_us=now[0],
+                dur_us=round(rng.uniform(10.0, 120.0), 3),
+                tid=f"chip{rng.randrange(4)}",
+                args={"stage": "cell"},
+            )
+        else:
+            bus.complete(
+                "ftl.gc",
+                "gc",
+                ts_us=now[0],
+                dur_us=round(rng.uniform(100.0, 4000.0), 3),
+                tid="ftl",
+                args={"depth": 0, "block": rng.randrange(64)},
+            )
+    return bus.events
+
+
+class TestJsonl:
+    def test_golden_file_bytes(self):
+        assert GOLDEN.exists(), "golden file missing; regenerate it"
+        assert to_jsonl(seeded_events()) == GOLDEN.read_text(encoding="utf-8")
+
+    def test_same_seed_same_bytes(self):
+        assert to_jsonl(seeded_events(3)) == to_jsonl(seeded_events(3))
+        assert to_jsonl(seeded_events(3)) != to_jsonl(seeded_events(4))
+
+    def test_empty_stream_is_empty_string(self):
+        assert to_jsonl([]) == ""
+
+    def test_one_compact_object_per_line(self):
+        lines = to_jsonl(seeded_events(n=5)).splitlines()
+        assert len(lines) == 5
+        for line in lines:
+            record = json.loads(line)
+            assert " " not in line.split('"args"')[0]  # compact separators
+            assert list(record) == sorted(record)  # sorted keys
+
+    def test_write_jsonl_round_trip(self, tmp_path):
+        events = seeded_events(n=4)
+        target = write_jsonl(tmp_path / "t.jsonl", events)
+        assert target.read_text(encoding="utf-8") == to_jsonl(events)
+
+
+class TestChromeTrace:
+    def test_processes_get_distinct_pids_and_metadata(self):
+        payload = chrome_trace(
+            {"secSSD": seeded_events(n=3), "erSSD": seeded_events(n=3)}
+        )
+        events = payload["traceEvents"]
+        meta = [e for e in events if e["ph"] == "M"]
+        names = {
+            (e["pid"], e["args"]["name"])
+            for e in meta
+            if e["name"] == "process_name"
+        }
+        assert names == {(1, "secSSD"), (2, "erSSD")}
+        assert {e["pid"] for e in events} == {1, 2}
+
+    def test_thread_names_mapped_to_integer_tids(self):
+        payload = chrome_trace({"run": seeded_events(n=12)})
+        events = payload["traceEvents"]
+        threads = {
+            e["args"]["name"]: e["tid"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        # sorted name -> tid assignment, all events use mapped ints
+        assert list(threads.values()) == sorted(threads.values())
+        for e in events:
+            assert isinstance(e["tid"], int)
+
+    def test_instants_thread_scoped_and_completes_have_dur(self):
+        payload = chrome_trace({"run": seeded_events(n=12)})
+        for e in payload["traceEvents"]:
+            if e["ph"] == "i":
+                assert e["s"] == "t"
+            elif e["ph"] == "X":
+                assert e["dur"] >= 0
+
+    def test_emitted_payload_validates(self):
+        payload = chrome_trace({"run": seeded_events()})
+        assert validate_chrome_trace(payload) == []
+
+    def test_write_refuses_nothing_valid_and_is_loadable(self, tmp_path):
+        target = write_chrome_trace(tmp_path / "trace.json", {"r": seeded_events()})
+        loaded = json.loads(target.read_text(encoding="utf-8"))
+        assert validate_chrome_trace(loaded) == []
+        assert loaded["displayTimeUnit"] == "ms"
+
+
+class TestValidator:
+    def test_rejects_non_object_payloads(self):
+        assert validate_chrome_trace([]) == ["payload is not a JSON object"]
+        assert validate_chrome_trace({"x": 1}) == [
+            "missing or non-array 'traceEvents'"
+        ]
+
+    @pytest.mark.parametrize(
+        "event, fragment",
+        [
+            ({"ph": "Z", "pid": 1, "tid": 1, "name": "e"}, "bad or missing ph"),
+            (
+                {"ph": "i", "pid": "1", "tid": 1, "name": "e", "ts": 0.0,
+                 "cat": "c"},
+                "integer 'pid'",
+            ),
+            (
+                {"ph": "i", "pid": 1, "tid": 1, "ts": 0.0, "cat": "c"},
+                "string 'name'",
+            ),
+            (
+                {"ph": "i", "pid": 1, "tid": 1, "name": "e", "cat": "c"},
+                "numeric 'ts'",
+            ),
+            (
+                {"ph": "i", "pid": 1, "tid": 1, "name": "e", "ts": 0.0},
+                "string 'cat'",
+            ),
+            (
+                {"ph": "X", "pid": 1, "tid": 1, "name": "e", "ts": 0.0,
+                 "cat": "c", "dur": -1.0},
+                "'dur' >= 0",
+            ),
+        ],
+    )
+    def test_flags_malformed_events(self, event, fragment):
+        errors = validate_chrome_trace({"traceEvents": [event]})
+        assert len(errors) == 1 and fragment in errors[0]
+
+    def test_metadata_events_exempt_from_ts_and_cat(self):
+        event = {"ph": "M", "pid": 1, "tid": 0, "name": "process_name"}
+        assert validate_chrome_trace({"traceEvents": [event]}) == []
+
+
+if __name__ == "__main__":  # golden-file regeneration entry point
+    GOLDEN.write_text(to_jsonl(seeded_events()), encoding="utf-8")

@@ -1,0 +1,132 @@
+"""The shared percentile math and the fixed-bucket histogram."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry.histogram import (
+    DEFAULT_BOUNDS_US,
+    PERCENTILES,
+    FixedBucketHistogram,
+    percentile,
+    summarize,
+)
+
+
+class TestNearestRankPercentile:
+    def test_empty_returns_zero(self):
+        assert percentile([], 99.0) == 0.0
+
+    def test_single_sample_every_q(self):
+        for q in (0.0, 50.0, 99.9, 100.0):
+            assert percentile([42.0], q) == 42.0
+
+    def test_nearest_rank_returns_observed_sample(self):
+        data = sorted(float(v) for v in range(1, 101))
+        assert percentile(data, 0.0) == 1.0
+        assert percentile(data, 100.0) == 100.0
+        # nearest rank: an actual sample, never an interpolated value
+        assert percentile(data, 50.0) in data
+        assert percentile(data, 99.0) in data
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], -0.1)
+        with pytest.raises(ValueError):
+            percentile([1.0], 100.1)
+
+    def test_matches_sim_metrics_reexport(self):
+        # satellite contract: one implementation serves every consumer
+        from repro.sim.metrics import percentile as sim_percentile
+
+        assert sim_percentile is percentile
+
+    def test_worklog_uses_shared_implementation(self):
+        from repro.ssd.request import RequestOp
+        from repro.ssd.worklog import WorkLog
+
+        log = WorkLog()
+        data = [5.0, 1.0, 9.0, 3.0, 7.0]
+        for v in data:
+            log.record(RequestOp.READ, v)
+        assert log.percentile(50) == percentile(sorted(data), 50)
+        assert log.percentile(100) == 9.0
+
+
+class TestSummarize:
+    def test_keys_follow_percentile_list(self):
+        out = summarize([1.0, 2.0, 3.0])
+        for label, _ in PERCENTILES:
+            assert label in out
+        assert out["count"] == 3.0
+        assert out["mean_us"] == 2.0
+        assert out["max_us"] == 3.0
+
+    def test_empty(self):
+        out = summarize([])
+        assert out["count"] == 0.0
+        assert out["mean_us"] == 0.0
+        assert out["max_us"] == 0.0
+
+
+class TestFixedBucketHistogram:
+    def test_bounds_must_increase(self):
+        with pytest.raises(ValueError):
+            FixedBucketHistogram(bounds=(10.0, 10.0))
+        with pytest.raises(ValueError):
+            FixedBucketHistogram(bounds=(20.0, 10.0))
+        with pytest.raises(ValueError):
+            FixedBucketHistogram(bounds=())
+
+    def test_negative_sample_raises(self):
+        hist = FixedBucketHistogram()
+        with pytest.raises(ValueError):
+            hist.observe(-1.0)
+
+    def test_exact_count_sum_min_max(self):
+        hist = FixedBucketHistogram(bounds=(10.0, 100.0))
+        for v in (5.0, 50.0, 500.0):
+            hist.observe(v)
+        assert hist.count == 3
+        assert hist.total == 555.0
+        assert hist.min == 5.0
+        assert hist.max == 500.0
+        assert hist.mean == 185.0
+
+    def test_percentile_is_bucket_upper_bound(self):
+        hist = FixedBucketHistogram(bounds=(10.0, 100.0, 1000.0))
+        for v in (3.0, 4.0, 40.0, 70.0):
+            hist.observe(v)
+        # ranks 0..3: samples 3,4 -> bucket <=10; 40,70 -> bucket <=100
+        assert hist.percentile(0.0) == 10.0
+        assert hist.percentile(100.0) == 100.0
+
+    def test_overflow_bucket_reports_exact_max(self):
+        hist = FixedBucketHistogram(bounds=(10.0,))
+        hist.observe(123456.0)
+        assert hist.percentile(99.0) == 123456.0
+
+    def test_empty_percentile_zero(self):
+        assert FixedBucketHistogram().percentile(50.0) == 0.0
+
+    def test_out_of_range_q_raises(self):
+        with pytest.raises(ValueError):
+            FixedBucketHistogram().percentile(101.0)
+
+    def test_snapshot_shape(self):
+        hist = FixedBucketHistogram()
+        hist.observe(80.0)
+        snap = hist.snapshot()
+        assert snap["count"] == 1.0
+        assert snap["min_us"] == 80.0
+        assert snap["max_us"] == 80.0
+        for label, _ in PERCENTILES:
+            assert label in snap
+
+    def test_default_bounds_cover_flash_latencies(self):
+        # a read (~80us) and an erase train (~3.5ms) land in real buckets
+        hist = FixedBucketHistogram(bounds=DEFAULT_BOUNDS_US)
+        hist.observe(80.0)
+        hist.observe(3500.0)
+        assert hist.percentile(0.0) == 100.0
+        assert hist.percentile(100.0) == 5000.0

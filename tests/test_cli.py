@@ -215,3 +215,113 @@ class TestBenchCommand:
     def test_bench_unknown_variant_rejected(self, capsys):
         assert main(["bench", "--variants", "ghostSSD"]) == 2
         assert "unknown variant" in capsys.readouterr().out
+
+
+class TestTraceCommand:
+    def test_options_and_defaults(self):
+        args = build_parser().parse_args(["trace"])
+        assert args.command == "trace"
+        assert args.workload == "MailServer"
+        assert args.policy == "auto"
+        assert args.out == "trace.json"
+        assert args.jsonl is None
+        assert args.capacity == 65536
+        assert args.sample is None
+        args = build_parser().parse_args(
+            ["trace", "--variants", "secSSD", "erSSD", "--out", "t.json",
+             "--jsonl", "t.jsonl", "--capacity", "1024",
+             "--sample", "ftl.page=8", "sim.service=4"]
+        )
+        assert args.variants == ["secSSD", "erSSD"]
+        assert args.capacity == 1024
+        assert args.sample == ["ftl.page=8", "sim.service=4"]
+
+    def test_trace_small_writes_valid_chrome_trace(self, tmp_path, capsys):
+        import json
+
+        from repro.telemetry.export import validate_chrome_trace
+
+        out_path = tmp_path / "trace.json"
+        jsonl_path = tmp_path / "trace.jsonl"
+        code = main(
+            ["trace", "--blocks", "8", "--wordlines", "4",
+             "--multiplier", "0.5", "--qd", "8",
+             "--out", str(out_path), "--jsonl", str(jsonl_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Telemetry event streams" in out
+        assert str(out_path) in out and str(jsonl_path) in out
+        payload = json.loads(out_path.read_text())
+        assert validate_chrome_trace(payload) == []
+        # nested GC and lock-drain spans are present in the view
+        names = {e["name"] for e in payload["traceEvents"]}
+        assert {"gc", "lock_batch", "lock_drain"} <= names
+        assert jsonl_path.exists()
+
+    def test_trace_sampling_thins_category(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "trace.json"
+        code = main(
+            ["trace", "--blocks", "8", "--wordlines", "4",
+             "--multiplier", "0.3", "--qd", "8",
+             "--sample", "sim.service=1000", "--out", str(out_path)]
+        )
+        assert code == 0
+        payload = json.loads(out_path.read_text())
+        services = [
+            e for e in payload["traceEvents"] if e.get("cat") == "sim.service"
+        ]
+        assert 0 < len(services) < 50
+
+    def test_unknown_variant_rejected(self, capsys):
+        assert main(["trace", "--variants", "ghostSSD"]) == 2
+        assert "unknown variant" in capsys.readouterr().out
+
+    def test_unknown_policy_rejected(self, capsys):
+        assert main(["trace", "--policy", "lifo"]) == 2
+        assert "unknown policy" in capsys.readouterr().out
+
+    def test_bad_sample_spec_rejected(self, capsys):
+        assert main(["trace", "--sample", "nocategory"]) == 2
+        assert "bad sample spec" in capsys.readouterr().out
+
+
+class TestTraceOutFlags:
+    def test_simulate_trace_out(self, tmp_path, capsys):
+        import json
+
+        from repro.telemetry.export import validate_chrome_trace
+
+        out_path = tmp_path / "sim_trace.json"
+        code = main(
+            ["simulate", "--workload", "MailServer", "--variants", "secSSD",
+             "--blocks", "8", "--wordlines", "4", "--multiplier", "0.5",
+             "--qd", "8", "--trace-out", str(out_path)]
+        )
+        assert code == 0
+        assert f"trace written to {out_path}" in capsys.readouterr().out
+        payload = json.loads(out_path.read_text())
+        assert validate_chrome_trace(payload) == []
+        names = {e["name"] for e in payload["traceEvents"]}
+        assert {"gc", "lock_batch", "lock_drain"} <= names
+
+    def test_torture_trace_out(self, tmp_path, capsys):
+        import json
+
+        from repro.telemetry.export import validate_chrome_trace
+
+        out_path = tmp_path / "tort_trace.json"
+        code = main(
+            ["torture", "--blocks", "8", "--wordlines", "4", "--ops", "60",
+             "--rates", "0.01", "--window", "1", "--variants", "secSSD",
+             "--trace-out", str(out_path)]
+        )
+        assert code == 0
+        assert f"trace written to {out_path}" in capsys.readouterr().out
+        payload = json.loads(out_path.read_text())
+        assert validate_chrome_trace(payload) == []
+        assert any(
+            e.get("cat") == "fault" for e in payload["traceEvents"]
+        )
