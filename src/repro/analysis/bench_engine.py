@@ -8,15 +8,28 @@ regressions in engine performance show up as a diff, not an anecdote.
 Wall-clock timing lives *here*, outside :mod:`repro.sim`, on purpose:
 rule SIM07 bans wall-clock access inside the simulation package, and
 the benchmark is exactly the measurement that must not leak into it.
+The clock is injectable (``timer=``) so tests can swap in
+:class:`~repro.analysis.parallel.DeterministicTimer` and assert the
+artifact is byte-identical across serial and parallel runs.
+
+``run_bench(jobs=N)`` fans the (variant x repeat) grid over worker
+processes via :func:`repro.analysis.parallel.run_grid`; the merge is
+in canonical task order, so the *simulated* portion of the artifact is
+identical for any job count.  :func:`compare_bench` is the CI gate:
+it diffs only the simulated metrics (IOPS, p99) against a committed
+baseline -- never the wall-clock numbers, which vary per machine.
 """
 
 from __future__ import annotations
 
+import gc
 import json
 import platform
 import time
+from collections.abc import Callable
 from pathlib import Path
 
+from repro.analysis.parallel import GridTask, run_grid
 from repro.sim.arrivals import ClosedLoopArrivals
 from repro.sim.policies import policy_by_name
 from repro.sim.runner import simulate_workload
@@ -24,6 +37,17 @@ from repro.ssd.config import SSDConfig
 
 #: default artifact path (repo root when run via the CLI from there).
 DEFAULT_BENCH_PATH = "BENCH_sim.json"
+
+#: (metric key, direction): the simulated metrics the compare gate
+#: checks.  +1 means higher is better (regression = drop), -1 means
+#: lower is better (regression = rise).  Wall-clock-derived metrics
+#: (wall_s, events_per_sec) are deliberately absent: they are
+#: machine-dependent, and gating on them would make CI flaky.
+COMPARE_METRICS: tuple[tuple[str, int], ...] = (
+    ("iops", +1),
+    ("p99_read_us", -1),
+    ("p99_all_us", -1),
+)
 
 
 def bench_once(
@@ -34,20 +58,34 @@ def bench_once(
     policy: str,
     seed: int,
     write_multiplier: float,
+    timer: Callable[[], float] | None = None,
 ) -> dict[str, object]:
     """One timed engine run -> flat metrics dict."""
-    start = time.perf_counter()
-    sim = simulate_workload(
-        config,
-        workload,
-        variant,
-        seed=seed,
-        write_multiplier=write_multiplier,
-        policy=policy_by_name(policy),
-        arrivals=ClosedLoopArrivals(queue_depth),
-        checked=False,
-    )
-    wall_s = time.perf_counter() - start
+    clock = timer if timer is not None else time.perf_counter
+    # pause cyclic GC for the timed section: the run allocates millions
+    # of short-lived tuples/segments and collector pauses add ~15 %
+    # wall-clock noise without ever freeing anything (the object graph
+    # is alive until the run ends).  Refcounting still reclaims as
+    # usual; the pass after `finally` collects any cycles in one sweep.
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        start = clock()
+        sim = simulate_workload(
+            config,
+            workload,
+            variant,
+            seed=seed,
+            write_multiplier=write_multiplier,
+            policy=policy_by_name(policy),
+            arrivals=ClosedLoopArrivals(queue_depth),
+            checked=False,
+        )
+        wall_s = clock() - start
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+            gc.collect()
     report = sim.report
     return {
         "workload": workload,
@@ -69,6 +107,21 @@ def bench_once(
     }
 
 
+def _bench_task(task: GridTask) -> dict[str, object]:
+    """Grid worker: one timed repeat of one variant (picklable)."""
+    queue_depth, policy, write_multiplier, config, timer = task.payload
+    return bench_once(
+        config,
+        task.workload,
+        task.variant,
+        queue_depth,
+        policy,
+        task.seed,
+        write_multiplier,
+        timer=timer,
+    )
+
+
 def run_bench(
     config: SSDConfig,
     workload: str = "Mobile",
@@ -78,28 +131,44 @@ def run_bench(
     seed: int = 1,
     write_multiplier: float = 1.0,
     repeats: int = 3,
+    jobs: int = 1,
+    timer: Callable[[], float] | None = None,
 ) -> dict[str, object]:
     """Benchmark the engine on each variant; keep each variant's best run.
 
     The simulated metrics (IOPS, p99, events) are identical across
     repeats by determinism -- only wall-clock varies, and the fastest
     repeat is the least-noisy estimate of engine speed.
+
+    ``jobs > 1`` runs the (variant x repeat) grid on worker processes.
+    Tasks are enumerated variant-major (all repeats of variant 0, then
+    variant 1, ...) and merged in that order; ties on ``wall_s`` keep
+    the earliest repeat (strict ``<``), so the merged artifact does not
+    depend on completion order.  With the default wall clock only the
+    ``wall_s``/``events_per_sec`` numbers differ between job counts;
+    with an injected deterministic ``timer`` the artifact is
+    byte-identical for any ``jobs``.
     """
     if repeats < 1:
         raise ValueError("repeats must be >= 1")
+    payload = (queue_depth, policy, write_multiplier, config, timer)
+    tasks = [
+        GridTask(
+            index=v_index * repeats + repeat,
+            variant=variant,
+            workload=workload,
+            seed=seed,
+            payload=payload,
+        )
+        for v_index, variant in enumerate(variants)
+        for repeat in range(repeats)
+    ]
+    results = run_grid(_bench_task, tasks, jobs=jobs)
     runs = []
-    for variant in variants:
+    for v_index in range(len(variants)):
         best: dict[str, object] | None = None
-        for _ in range(repeats):
-            run = bench_once(
-                config,
-                workload,
-                variant,
-                queue_depth,
-                policy,
-                seed,
-                write_multiplier,
-            )
+        for repeat in range(repeats):
+            run = results[v_index * repeats + repeat]
             if best is None or run["wall_s"] < best["wall_s"]:
                 best = run
         runs.append(best)
@@ -125,6 +194,55 @@ def write_bench_json(payload: dict[str, object], path: str | Path) -> Path:
     target = Path(path)
     target.write_text(json.dumps(payload, sort_keys=True, indent=2) + "\n")
     return target
+
+
+def compare_bench(
+    current: dict[str, object],
+    baseline: dict[str, object],
+    tolerance: float = 0.05,
+) -> list[str]:
+    """Diff simulated metrics against a committed baseline artifact.
+
+    Returns one human-readable line per regression (empty list: gate
+    passes).  A run regresses when a :data:`COMPARE_METRICS` metric is
+    worse than the baseline by more than ``tolerance`` (a fraction:
+    0.05 allows 5 % slack).  The simulated metrics are deterministic
+    for a given config+seed, so the band exists to absorb *intended*
+    small model adjustments, not machine noise -- wall-clock metrics
+    never participate.  A (workload, variant) present in the baseline
+    but missing from the current payload is itself a regression (a
+    silently dropped variant must not pass the gate); new runs with no
+    baseline counterpart are ignored.
+    """
+    if tolerance < 0.0:
+        raise ValueError("tolerance must be >= 0")
+    current_runs = {
+        (run["workload"], run["variant"]): run for run in current["runs"]
+    }
+    problems: list[str] = []
+    for run in baseline["runs"]:
+        key = (run["workload"], run["variant"])
+        label = f"{key[0]}/{key[1]}"
+        against = current_runs.get(key)
+        if against is None:
+            problems.append(f"{label}: present in baseline but not benchmarked")
+            continue
+        for metric, direction in COMPARE_METRICS:
+            base = float(run[metric])
+            now = float(against[metric])
+            if direction > 0:
+                limit = base * (1.0 - tolerance)
+                regressed = now < limit
+            else:
+                limit = base * (1.0 + tolerance)
+                regressed = now > limit
+            if regressed:
+                problems.append(
+                    f"{label}: {metric} {now:,.1f} vs baseline {base:,.1f} "
+                    f"(allowed {'>=' if direction > 0 else '<='} {limit:,.1f}, "
+                    f"tolerance {tolerance:.0%})"
+                )
+    return problems
 
 
 def format_bench(payload: dict[str, object]) -> str:

@@ -1,0 +1,145 @@
+"""Parallel experiment orchestrator -- the only multiprocessing site.
+
+Experiment sweeps (``repro bench``, ``repro torture``) are grids of
+fully independent cells: each cell builds its own device from a frozen
+:class:`~repro.ssd.config.SSDConfig` and its own seed, runs, and
+returns a picklable result.  This module fans such grids over worker
+processes while keeping the one property the whole repo is built on:
+**the merged output is byte-identical to a serial run.**
+
+The determinism contract (DESIGN.md section 3g):
+
+* tasks are enumerated in a single canonical order before any work
+  starts; results are merged *in that order*, never in completion
+  order;
+* every task carries its own seed, derived up front (either the
+  caller's per-case seed, or :func:`derive_seed` -- a SHA-256 hash of
+  the task coordinates, never Python's salted ``hash``);
+* workers receive pickled copies of frozen inputs, so no task can
+  observe another task's mutations;
+* wall-clock readings stay out of merged comparisons; tests that need
+  byte-identical artifacts inject a :class:`DeterministicTimer`.
+
+Rule SIM09 enforces the "only here" part: ``multiprocessing`` /
+``concurrent.futures`` imports anywhere else in the package are lint
+errors, so every fan-out inherits this contract instead of reinventing
+a subtly order-dependent one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections.abc import Callable, Iterable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GridTask:
+    """One cell of an experiment grid.
+
+    ``index`` is the cell's position in the canonical enumeration
+    order (also the merge order).  ``variant``/``workload``/``seed``
+    name the cell for humans -- they are what a failure report leads
+    with.  ``payload`` carries whatever else the runner function
+    needs; it must be picklable for ``jobs > 1``.
+    """
+
+    index: int
+    variant: str
+    workload: str
+    seed: int
+    payload: object = None
+
+
+class GridTaskError(RuntimeError):
+    """A grid cell failed; the message names the failing cell.
+
+    Worker tracebacks cross the process boundary stripped down to the
+    exception object, so the wrapper restores the context a person
+    needs first: *which* (variant, workload, seed) cell died and what
+    the original exception said.  The original exception is chained as
+    ``__cause__``.
+    """
+
+    def __init__(self, task: GridTask, cause: BaseException) -> None:
+        self.task = task
+        super().__init__(
+            f"grid task {task.index} failed "
+            f"(variant={task.variant!r}, workload={task.workload!r}, "
+            f"seed={task.seed}): {type(cause).__name__}: {cause}"
+        )
+
+
+def derive_seed(base: int, *coordinates: object) -> int:
+    """A deterministic 63-bit per-task seed from grid coordinates.
+
+    Hashes ``base`` plus the coordinate tuple with SHA-256 -- stable
+    across processes, platforms, and Python versions, unlike the
+    built-in ``hash`` (salted per process, so it would silently break
+    the serial/parallel byte-identity contract).
+    """
+    text = ":".join([repr(base), *map(repr, coordinates)])
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
+
+
+class DeterministicTimer:
+    """A fake ``perf_counter``: advances a fixed step per call.
+
+    Injected in place of the wall clock wherever a timed artifact must
+    be byte-identical across runs and across serial/parallel execution
+    (every timed interval measures exactly ``step_s``).  Picklable, and
+    each worker's copy starts from this instance's current state, so
+    per-task readings do not depend on how tasks were distributed.
+    """
+
+    def __init__(self, step_s: float = 0.001) -> None:
+        if step_s <= 0.0:
+            raise ValueError("step_s must be positive")
+        self.step_s = step_s
+        self._now = 0.0
+
+    def __call__(self) -> float:
+        now = self._now
+        self._now += self.step_s
+        return now
+
+
+def run_grid(
+    fn: Callable[[GridTask], object],
+    tasks: Iterable[GridTask],
+    jobs: int = 1,
+) -> list[object]:
+    """Run every task through ``fn``; results in canonical task order.
+
+    ``jobs <= 1`` runs in-process (no worker pool, no pickling) --
+    the reference execution the parallel path must match byte-for-byte.
+    ``jobs > 1`` fans tasks over a process pool; ``fn`` and each
+    task's payload must then be picklable (module-level function,
+    frozen-dataclass arguments).
+
+    A failing task raises :class:`GridTaskError` naming the cell; with
+    a pool, earlier-indexed results are still collected first, so the
+    error reported is the failing task with the lowest index.
+    """
+    ordered: Sequence[GridTask] = list(tasks)
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    if jobs == 1 or len(ordered) <= 1:
+        results: list[object] = []
+        for task in ordered:
+            try:
+                results.append(fn(task))
+            except Exception as exc:
+                raise GridTaskError(task, exc) from exc
+        return results
+    with ProcessPoolExecutor(max_workers=min(jobs, len(ordered))) as pool:
+        futures = [pool.submit(fn, task) for task in ordered]
+        results = []
+        for task, future in zip(ordered, futures):
+            try:
+                results.append(future.result())
+            except Exception as exc:
+                raise GridTaskError(task, exc) from exc
+    return results

@@ -36,6 +36,7 @@ import json
 import random
 from dataclasses import dataclass, field
 
+from repro.analysis.parallel import GridTask, run_grid
 from repro.checkers.sanitizer import InvariantViolation
 from repro.faults import FaultKind, FaultPlan
 from repro.flash.errors import FlashError, PowerLossInjected
@@ -391,6 +392,14 @@ def run_power_loss_case(
 # ---------------------------------------------------------------------------
 # the full torture sweep
 # ---------------------------------------------------------------------------
+def _run_torture_case(task: GridTask) -> TortureCase:
+    """Grid worker: one torture case (picklable dispatch)."""
+    case_kind, case_args = task.payload
+    if case_kind == "rate":
+        return run_rate_case(*case_args)
+    return run_power_loss_case(*case_args)
+
+
 def run_torture(
     config: SSDConfig,
     variants: tuple[str, ...] = TORTURE_VARIANTS,
@@ -399,17 +408,40 @@ def run_torture(
     rates: tuple[float, ...] = DEFAULT_RATES,
     window_start: int = 0,
     window: int = 200,
+    jobs: int = 1,
 ) -> TortureScorecard:
-    """Rate sweep + forced lock failures + power-loss window sweep."""
+    """Rate sweep + forced lock failures + power-loss window sweep.
+
+    Every case is independent (own device, own seed-derived fault
+    plan), so ``jobs > 1`` fans them over worker processes via
+    :func:`repro.analysis.parallel.run_grid`.  Cases are enumerated in
+    one canonical order and merged in that order, so the scorecard is
+    byte-identical for any job count.
+    """
     card = TortureScorecard(seed=seed)
+    tasks: list[GridTask] = []
+
+    def add(variant: str, case_kind: str, case_args: tuple) -> None:
+        tasks.append(
+            GridTask(
+                index=len(tasks),
+                variant=variant,
+                workload="torture",
+                seed=seed,
+                payload=(case_kind, case_args),
+            )
+        )
+
     for variant in variants:
         kinds = list(COMMON_KINDS)
         if variant in LOCKING_VARIANTS:
             kinds += [FaultKind.PLOCK_FAIL, FaultKind.BLOCK_LOCK_FAIL]
         for kind in kinds:
             for rate in rates:
-                card.cases.append(
-                    run_rate_case(
+                add(
+                    variant,
+                    "rate",
+                    (
                         config,
                         variant,
                         FaultPlan.single(kind, rate, seed=seed),
@@ -417,7 +449,7 @@ def run_torture(
                         f"rate={rate:g}",
                         n_requests,
                         seed,
-                    )
+                    ),
                 )
         if variant in LOCKING_VARIANTS:
             # forced failures: the verify-retry loop must exhaust and the
@@ -431,8 +463,10 @@ def run_torture(
                 ),
             ]
             for rate_map, label in forced:
-                card.cases.append(
-                    run_rate_case(
+                add(
+                    variant,
+                    "rate",
+                    (
                         config,
                         variant,
                         FaultPlan.from_rates(rate_map, seed=seed),
@@ -440,12 +474,13 @@ def run_torture(
                         "forced",
                         n_requests,
                         seed,
-                    )
+                    ),
                 )
         for op_index in range(window_start, window_start + window):
-            card.cases.append(
-                run_power_loss_case(
-                    config, variant, op_index, n_requests, seed
-                )
+            add(
+                variant,
+                "power_loss",
+                (config, variant, op_index, n_requests, seed),
             )
+    card.cases.extend(run_grid(_run_torture_case, tasks, jobs=jobs))
     return card

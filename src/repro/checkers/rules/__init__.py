@@ -1,4 +1,4 @@
-"""The domain rule catalogue (SIM01..SIM08).
+"""The domain rule catalogue (SIM01..SIM09).
 
 Each rule lives in its own module and encodes one simulator invariant:
 
@@ -17,7 +17,10 @@ Each rule lives in its own module and encodes one simulator invariant:
 * ``SIM07`` (:mod:`.sim_clock`) -- no wall clock (``time``/``datetime``)
   or module-level ``random.*`` inside the ``sim/`` event engine;
 * ``SIM08`` (:mod:`.no_print`) -- no ``print()`` calls in library code
-  (``cli.py`` is the one module that talks to stdout).
+  (``cli.py`` is the one module that talks to stdout);
+* ``SIM09`` (:mod:`.parallel_only`) -- no ``multiprocessing`` /
+  ``concurrent.futures`` imports outside ``analysis/parallel.py``
+  (process fan-out goes through ``run_grid``'s determinism contract).
 
 Suppress a rule on one line with ``# lint: disable=SIM0x``.
 """
@@ -29,6 +32,7 @@ from repro.checkers.rules.fault_handling import SwallowedFlashErrorRule
 from repro.checkers.rules.float_eq import FloatEqualityRule
 from repro.checkers.rules.no_print import NoPrintRule
 from repro.checkers.rules.observers import SanitizeObserverRule
+from repro.checkers.rules.parallel_only import ParallelOnlyRule
 from repro.checkers.rules.sim_clock import SimWallClockRule
 
 #: registration order == report order for same-location findings.
@@ -41,6 +45,7 @@ ALL_RULES = (
     SwallowedFlashErrorRule,
     SimWallClockRule,
     NoPrintRule,
+    ParallelOnlyRule,
 )
 
 RULES_BY_ID = {cls.rule_id: cls for cls in ALL_RULES}
@@ -51,6 +56,7 @@ __all__ = [
     "FloatEqualityRule",
     "LockAccountingRule",
     "NoPrintRule",
+    "ParallelOnlyRule",
     "SanitizeObserverRule",
     "SimWallClockRule",
     "StatusTableEncapsulationRule",

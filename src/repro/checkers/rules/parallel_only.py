@@ -1,0 +1,68 @@
+"""SIM09: multiprocessing only in ``analysis/parallel.py``.
+
+Fanning work over processes is easy to get *running* and hard to get
+*deterministic*: results merged in completion order, per-task seeds
+derived from the salted built-in ``hash``, shared mutable state pickled
+at surprising times -- each one silently breaks the repo's contract
+that the same seed yields byte-identical artifacts, serial or parallel.
+
+:mod:`repro.analysis.parallel` is the one module that owns that
+contract (canonical task order, SHA-256 seed derivation, order-
+independent merge, :class:`~repro.analysis.parallel.GridTaskError`
+naming the failing cell).  Every other module expresses parallelism by
+building :class:`~repro.analysis.parallel.GridTask` grids and calling
+:func:`~repro.analysis.parallel.run_grid` -- never by importing
+``multiprocessing`` or ``concurrent.futures`` itself, which is exactly
+what this rule forbids.  (``threading`` is not banned: nothing in the
+simulator uses it, but it poses no pickling/ordering trap and the
+stdlib occasionally needs it.)
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.checkers.lint import FileContext, Finding, LintRule
+
+#: top-level module names whose import means "I am doing process
+#: fan-out myself" -- the thing run_grid exists to centralize.
+FORBIDDEN_MODULES = ("multiprocessing", "concurrent")
+
+
+class ParallelOnlyRule(LintRule):
+    rule_id = "SIM09"
+    severity = "error"
+    description = (
+        "process fan-out outside analysis/parallel.py "
+        "(multiprocessing/concurrent.futures import)"
+    )
+    hint = (
+        "build GridTask grids and call repro.analysis.parallel.run_grid; "
+        "only analysis/parallel.py may import multiprocessing or "
+        "concurrent.futures (it owns the determinism contract)"
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        # in-package files only, except the one sanctioned module
+        return ctx.rel_parts != ctx.path.parts and ctx.rel_parts != (
+            "analysis",
+            "parallel.py",
+        )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                names = [alias.name for alias in node.names]
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                names = [node.module]
+            else:
+                continue
+            for name in names:
+                if name.split(".")[0] in FORBIDDEN_MODULES:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"{self.description}: imports {name!r}",
+                    )
+                    break

@@ -23,11 +23,17 @@ Three commands drive the closed-loop discrete-event engine (repro.sim)::
 ``simulate`` and ``torture`` also take ``--trace-out PATH`` to record
 the run's structured event trace as a Chrome-trace-event file.
 
-Three maintenance commands ship with the simulator itself::
+Four maintenance commands ship with the simulator itself::
 
-    python -m repro lint                   # static domain lint (SIM01-SIM08)
+    python -m repro lint                   # static domain lint (SIM01-SIM09)
     python -m repro check                  # runtime invariant sanitizer run
     python -m repro torture                # fault-injection robustness sweep
+    python -m repro profile -- bench ...   # cProfile any repro command
+
+``bench`` and ``torture`` take ``--jobs N`` to fan their experiment
+grids over worker processes (the merged artifact stays byte-identical
+to a serial run); ``bench --compare BASELINE.json`` gates simulated
+metrics (IOPS, p99) against a committed baseline.
 """
 
 from __future__ import annotations
@@ -247,7 +253,14 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 
 def cmd_bench(args: argparse.Namespace) -> int:
     """Benchmark the event engine and emit BENCH_sim.json."""
-    from repro.analysis.bench_engine import format_bench, run_bench, write_bench_json
+    import json
+
+    from repro.analysis.bench_engine import (
+        compare_bench,
+        format_bench,
+        run_bench,
+        write_bench_json,
+    )
     from repro.ftl import FTL_VARIANTS
 
     variants = tuple(args.variants or ("baseline", "secSSD"))
@@ -255,6 +268,13 @@ def cmd_bench(args: argparse.Namespace) -> int:
     if unknown:
         print(f"unknown variant(s) {unknown}; choose from {sorted(FTL_VARIANTS)}")
         return 2
+    # load the baseline before anything is written: CI gates and
+    # refreshes the same path (--compare BENCH_sim.json --out
+    # BENCH_sim.json), which must not compare the run against itself
+    baseline = None
+    if args.compare:
+        with open(args.compare) as fh:
+            baseline = json.load(fh)
     payload = run_bench(
         _config(args),
         workload=args.workload,
@@ -264,11 +284,52 @@ def cmd_bench(args: argparse.Namespace) -> int:
         seed=args.seed,
         write_multiplier=args.multiplier,
         repeats=args.repeats,
+        jobs=args.jobs,
     )
     print(format_bench(payload))
     target = write_bench_json(payload, args.out)
     print(f"benchmark artifact written to {target}")
+    if baseline is not None:
+        problems = compare_bench(payload, baseline, tolerance=args.tolerance)
+        if problems:
+            print(f"bench compare vs {args.compare}: REGRESSED")
+            for line in problems:
+                print(f"  {line}")
+            return 1
+        print(
+            f"bench compare vs {args.compare}: ok "
+            f"(tolerance {args.tolerance:.0%})"
+        )
     return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """cProfile another repro command; print a pstats hot-spot report."""
+    import cProfile
+    import io
+    import pstats
+
+    command = list(args.cmd)
+    if command and command[0] == "--":
+        command = command[1:]
+    if not command:
+        print("profile: give a repro command to run, e.g. "
+              "`repro profile -- bench --repeats 1`")
+        return 2
+    if command[0] == "profile":
+        print("profile: cannot profile itself")
+        return 2
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        status = main(command)
+    finally:
+        profiler.disable()
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.strip_dirs().sort_stats(args.sort).print_stats(args.limit)
+    print(stream.getvalue().rstrip())
+    return status
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
@@ -339,6 +400,7 @@ def cmd_torture(args: argparse.Namespace) -> int:
         rates=tuple(args.rates),
         window_start=args.window_start,
         window=args.window,
+        jobs=args.jobs,
     )
     print(card.to_json() if args.json else card.format())
     if args.trace_out:
@@ -423,6 +485,7 @@ COMMANDS = {
     "scorecard": cmd_scorecard,
     "simulate": cmd_simulate,
     "bench": cmd_bench,
+    "profile": cmd_profile,
     "trace": cmd_trace,
     "lint": cmd_lint,
     "check": cmd_check,
@@ -448,7 +511,7 @@ def build_parser() -> argparse.ArgumentParser:
     for name in sorted(COMMANDS):
         if name == "lint":
             p = sub.add_parser(
-                name, help="static domain lint (rules SIM01-SIM08)"
+                name, help="static domain lint (rules SIM01-SIM09)"
             )
             p.add_argument("paths", nargs="*", default=None,
                            help="files/dirs to lint (default: the package)")
@@ -481,6 +544,9 @@ def build_parser() -> argparse.ArgumentParser:
                            help="power-loss boundaries to sweep per variant")
             p.add_argument("--window-start", type=int, default=0,
                            help="first op index of the power-loss window")
+            p.add_argument("--jobs", type=int, default=1,
+                           help="worker processes for the case grid "
+                                "(scorecard is identical for any count)")
             p.add_argument("--json", action="store_true",
                            help="emit the machine-readable scorecard")
             p.add_argument("--trace-out", default=None, metavar="PATH",
@@ -555,8 +621,18 @@ def build_parser() -> argparse.ArgumentParser:
                            help="closed-loop queue depth")
             p.add_argument("--repeats", type=int, default=3,
                            help="timed repeats per variant (best kept)")
+            p.add_argument("--jobs", type=int, default=1,
+                           help="worker processes for the variant x repeat "
+                                "grid (simulated metrics are identical for "
+                                "any count)")
             p.add_argument("--out", default="BENCH_sim.json",
                            help="artifact path")
+            p.add_argument("--compare", default=None, metavar="BASELINE",
+                           help="fail (exit 1) if simulated metrics regress "
+                                "vs this committed baseline artifact")
+            p.add_argument("--tolerance", type=float, default=0.05,
+                           help="allowed fractional slack for --compare "
+                                "(default 0.05 = 5%%)")
         elif name == "check":
             p = sub.add_parser(
                 name, parents=[scale],
@@ -568,6 +644,21 @@ def build_parser() -> argparse.ArgumentParser:
                            help="workload traces to replay (default: Mobile)")
             p.add_argument("--interval", type=int, default=1,
                            help="host batches between full O(device) checks")
+        elif name == "profile":
+            p = sub.add_parser(
+                name,
+                help="run another repro command under cProfile",
+                description="Profile any repro command, e.g. "
+                            "`repro profile -- bench --repeats 1`.",
+            )
+            p.add_argument("--sort", default="cumulative",
+                           help="pstats sort key (cumulative, tottime, "
+                                "ncalls, ...)")
+            p.add_argument("--limit", type=int, default=25,
+                           help="rows of the pstats report to print")
+            p.add_argument("cmd", nargs=argparse.REMAINDER,
+                           help="the repro command line to profile "
+                                "(prefix with -- to pass options)")
         else:
             sub.add_parser(name, parents=[scale],
                            help=f"reproduce {name}")

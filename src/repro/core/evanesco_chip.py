@@ -133,7 +133,7 @@ class EvanescoChip(FlashChip):
         sensing), so an injected transient failure only applies when the
         data path is actually sensed.
         """
-        fail = self._begin_op("read")
+        fail = False if self.fault_hook is None else self._begin_op("read")
         block_index, page_offset = self.geometry.split_ppn(ppn)
         day = self._day(now)
         if self._bap[block_index].is_disabled(day):

@@ -18,6 +18,7 @@ SSL, and the Evanesco chip consults those on every read.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any
@@ -49,18 +50,38 @@ class Block:
     index: int
     pe_limit: int | None = None
     pages: list[Page] = field(init=False)
-    state: BlockState = field(init=False, default=BlockState.FREE)
     erase_count: int = field(init=False, default=0)
     next_page: int = field(init=False, default=0)
     #: simulation time (us) of the last erase; basis of the open interval.
     last_erase_time: float = field(init=False, default=0.0)
     #: per-wordline count of inhibited program pulses (pLock disturb).
     wl_disturb_pulses: list[int] = field(init=False)
+    #: called as ``(index, old_state, new_state)`` on every transition;
+    #: the owning chip uses it to maintain its free set incrementally.
+    state_listener: Callable[[int, BlockState, BlockState], None] | None = field(
+        init=False, default=None, repr=False, compare=False
+    )
+    _state: BlockState = field(init=False, default=BlockState.FREE, repr=False)
 
     def __post_init__(self) -> None:
         self.geometry.check_block(self.index)
         self.pages = [Page() for _ in range(self.geometry.pages_per_block)]
         self.wl_disturb_pulses = [0] * self.geometry.wordlines_per_block
+
+    @property
+    def state(self) -> BlockState:
+        return self._state
+
+    @state.setter
+    def state(self, new_state: BlockState) -> None:
+        # every transition funnels through here so the owning chip can
+        # maintain its free-block set incrementally instead of rescanning
+        # all blocks on each allocator refill (see FlashChip.free_blocks)
+        old_state = self._state
+        self._state = new_state
+        listener = self.state_listener
+        if listener is not None and old_state is not new_state:
+            listener(self.index, old_state, new_state)
 
     # ------------------------------------------------------------------
     @property
@@ -98,11 +119,12 @@ class Block:
         EraseStateError
             If the block is pending erase.
         """
-        if self.state is BlockState.ERASE_PENDING:
+        state = self._state
+        if state is BlockState.ERASE_PENDING:
             raise EraseStateError(
                 f"block {self.index} is erase-pending; erase before programming"
             )
-        if self.state is BlockState.RETIRED:
+        if state is BlockState.RETIRED:
             raise EraseStateError(f"block {self.index} is retired (grown-bad)")
         if page_offset != self.next_page:
             raise ProgramOrderError(
@@ -116,7 +138,13 @@ class Block:
             )
         page.program(data, spare, now)
         self.next_page += 1
-        self.state = BlockState.FULL if self.is_full else BlockState.OPEN
+        # only route actual transitions through the state setter; the
+        # common mid-block program leaves the state at OPEN and must not
+        # pay the setter + listener dispatch on every page
+        if self.next_page >= self.geometry.pages_per_block:
+            self.state = BlockState.FULL
+        elif self._state is not BlockState.OPEN:
+            self.state = BlockState.OPEN
 
     def erase(self, now: float) -> None:
         """Erase the whole block, destroying all page data.

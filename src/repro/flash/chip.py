@@ -13,7 +13,7 @@ pattern token ``ERASED_DATA`` (erased cells read as '1').
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, NamedTuple
 
 from repro.flash import constants
 from repro.flash.block import Block, BlockState
@@ -46,9 +46,12 @@ FAULT_FAIL = "fail"
 FAULT_POWER_LOSS = "power-loss"
 
 
-@dataclass(frozen=True)
-class ReadResult:
-    """Outcome of a page read."""
+class ReadResult(NamedTuple):
+    """Outcome of a page read.
+
+    A ``NamedTuple``: one is built per flash read and tuple construction
+    is several times cheaper than a frozen-dataclass ``__init__``.
+    """
 
     data: Any
     spare: dict[str, Any]
@@ -100,6 +103,20 @@ class FlashChip:
             for i in range(self.geometry.blocks_per_chip)
         ]
         self.stats = ChipStats()
+        # incrementally maintained FREE-block set: every Block state
+        # transition notifies _track_block_state, so free_blocks() never
+        # rescans the whole array (it used to be O(blocks) per call)
+        self._free_blocks = set(range(self.geometry.blocks_per_chip))
+        for block in self.blocks:
+            block.state_listener = self._track_block_state
+
+    def _track_block_state(
+        self, index: int, old_state: BlockState, new_state: BlockState
+    ) -> None:
+        if new_state is BlockState.FREE:
+            self._free_blocks.add(index)
+        elif old_state is BlockState.FREE:
+            self._free_blocks.discard(index)
 
     # ------------------------------------------------------------------
     def block(self, block_index: int) -> Block:
@@ -107,17 +124,17 @@ class FlashChip:
         return self.blocks[block_index]
 
     def _locate(self, ppn: int) -> tuple[Block, int]:
-        block_index, page_offset = self.geometry.split_ppn(ppn)
+        # split_ppn, inlined: one _locate per read/program makes the
+        # extra call layer measurable
+        geometry = self.geometry
+        if not 0 <= ppn < geometry.pages_per_chip:
+            geometry.check_ppn(ppn)
+        block_index, page_offset = divmod(ppn, geometry.pages_per_block)
         return self.blocks[block_index], page_offset
 
     # ------------------------------------------------------------------
     # fault-hook plumbing (repro.faults)
     # ------------------------------------------------------------------
-    def _consult_fault_hook(self, op: str) -> str:
-        """One fault decision per chip command; "" means proceed."""
-        hook = self.fault_hook
-        return hook.on_op(op) if hook is not None else ""
-
     def _begin_op(self, op: str) -> bool:
         """Consult the hook; returns True when the op must status-fail.
 
@@ -125,7 +142,10 @@ class FlashChip:
         any cell.  ``program_page`` does not use this helper because an
         interrupted program must still tear the target page.
         """
-        directive = self._consult_fault_hook(op)
+        hook = self.fault_hook
+        if hook is None:
+            return False
+        directive = hook.on_op(op)
         if directive == FAULT_POWER_LOSS:
             raise PowerLossInjected(f"power loss at {op} boundary")
         return directive == FAULT_FAIL
@@ -133,15 +153,20 @@ class FlashChip:
     # ------------------------------------------------------------------
     def read_page(self, ppn: int, now: float = 0.0) -> ReadResult:
         """Standard page read; subclasses overlay access control."""
-        fail = self._begin_op("read")
+        fail = False if self.fault_hook is None else self._begin_op("read")
         return self._sense_page(ppn, fail)
 
     def _sense_page(self, ppn: int, fail: bool) -> ReadResult:
         """Shared sensing path (fault decision already taken)."""
-        block, page_offset = self._locate(ppn)
-        page = block.page(page_offset)
-        self.stats.reads += 1
-        self.stats.busy_time_us += self.t_read_us
+        # _locate and Block.page, inlined: one sense per flash read
+        geometry = self.geometry
+        if not 0 <= ppn < geometry.pages_per_chip:
+            geometry.check_ppn(ppn)
+        block_index, page_offset = divmod(ppn, geometry.pages_per_block)
+        page = self.blocks[block_index].pages[page_offset]
+        stats = self.stats
+        stats.reads += 1
+        stats.busy_time_us += self.t_read_us
         if fail:
             raise UncorrectableError(
                 f"ppn {ppn}: injected transient read failure",
@@ -166,7 +191,8 @@ class FlashChip:
         now: float = 0.0,
     ) -> float:
         """Program one page; returns the operation latency (us)."""
-        directive = self._consult_fault_hook("program")
+        hook = self.fault_hook
+        directive = "" if hook is None else hook.on_op("program")
         block, page_offset = self._locate(ppn)
         if directive:
             # the pulse train stopped mid-flight (status-fail or power
@@ -225,8 +251,13 @@ class FlashChip:
         return block.next_page
 
     def free_blocks(self) -> list[int]:
-        """Indices of blocks that are erased and empty."""
-        return [b.index for b in self.blocks if b.state is BlockState.FREE]
+        """Indices of blocks that are erased and empty (ascending).
+
+        Served from the incrementally maintained set; sorting keeps the
+        historical index-order contract so allocator refills and
+        recovery layouts stay byte-identical to the scan they replaced.
+        """
+        return sorted(self._free_blocks)
 
     def raw_dump(self) -> dict[int, Any]:
         """Forensic view: payload of every programmed page, keyed by PPN.

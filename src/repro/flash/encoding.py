@@ -99,8 +99,16 @@ class Encoding:
         return self.codes[state][int(role)]
 
     def bits_table(self) -> np.ndarray:
-        """(states, bits_per_cell) uint8 array: table[s, r] = bit."""
-        return np.asarray(self.codes, dtype=np.uint8)
+        """(states, bits_per_cell) uint8 array: table[s, r] = bit.
+
+        Built once per encoding and cached -- the RBER hot path calls
+        this per evaluation, and the codes are immutable.
+        """
+        cached = getattr(self, "_bits_table", None)
+        if cached is None:
+            cached = np.asarray(self.codes, dtype=np.uint8)
+            object.__setattr__(self, "_bits_table", cached)
+        return cached
 
     def read_levels(self, role: PageRole) -> tuple[int, ...]:
         """Read-reference indices that the given page role senses.

@@ -18,7 +18,7 @@ by real TLC parts and by the paper's Figure 8 example.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from enum import IntEnum
 
 from repro.flash.errors import AddressError
@@ -65,6 +65,17 @@ class Geometry:
     page_size_bytes: int = 16 * 1024
     spare_bytes_per_page: int = 1024
     cells_per_wordline: int = 8192
+    # -- derived sizes, precomputed once: they are operands of the
+    # per-operation address arithmetic (split_ppn and friends run on
+    # every flash op), so recomputing them per access was a measurable
+    # share of engine time.  Excluded from eq/hash: fully determined by
+    # the core fields above.
+    bits_per_cell: int = field(init=False, repr=False, compare=False)
+    pages_per_wordline: int = field(init=False, repr=False, compare=False)
+    pages_per_block: int = field(init=False, repr=False, compare=False)
+    pages_per_chip: int = field(init=False, repr=False, compare=False)
+    block_bytes: int = field(init=False, repr=False, compare=False)
+    chip_bytes: int = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.blocks_per_chip <= 0:
@@ -75,31 +86,13 @@ class Geometry:
             raise ValueError("page_size_bytes must be a positive multiple of 4 KiB")
         if self.cells_per_wordline <= 0:
             raise ValueError("cells_per_wordline must be positive")
-
-    # -- derived sizes ----------------------------------------------------
-    @property
-    def bits_per_cell(self) -> int:
-        return int(self.cell_type)
-
-    @property
-    def pages_per_wordline(self) -> int:
-        return int(self.cell_type)
-
-    @property
-    def pages_per_block(self) -> int:
-        return self.wordlines_per_block * self.pages_per_wordline
-
-    @property
-    def pages_per_chip(self) -> int:
-        return self.blocks_per_chip * self.pages_per_block
-
-    @property
-    def block_bytes(self) -> int:
-        return self.pages_per_block * self.page_size_bytes
-
-    @property
-    def chip_bytes(self) -> int:
-        return self.blocks_per_chip * self.block_bytes
+        set_ = object.__setattr__  # frozen dataclass: init-time only
+        set_(self, "bits_per_cell", int(self.cell_type))
+        set_(self, "pages_per_wordline", int(self.cell_type))
+        set_(self, "pages_per_block", self.wordlines_per_block * int(self.cell_type))
+        set_(self, "pages_per_chip", self.blocks_per_chip * self.pages_per_block)
+        set_(self, "block_bytes", self.pages_per_block * self.page_size_bytes)
+        set_(self, "chip_bytes", self.blocks_per_chip * self.block_bytes)
 
     # -- address arithmetic ----------------------------------------------
     def check_block(self, block: int) -> None:
@@ -114,7 +107,8 @@ class Geometry:
 
     def ppn(self, block: int, page_offset: int) -> int:
         """Flat physical page number for (block, in-block page offset)."""
-        self.check_block(block)
+        if not 0 <= block < self.blocks_per_chip:
+            self.check_block(block)
         if not 0 <= page_offset < self.pages_per_block:
             raise AddressError(
                 f"page offset {page_offset} out of range [0, {self.pages_per_block})"
@@ -123,7 +117,8 @@ class Geometry:
 
     def split_ppn(self, ppn: int) -> tuple[int, int]:
         """Inverse of :meth:`ppn`: returns (block, page_offset)."""
-        self.check_ppn(ppn)
+        if not 0 <= ppn < self.pages_per_chip:
+            self.check_ppn(ppn)
         return divmod(ppn, self.pages_per_block)
 
     def wordline_of(self, page_offset: int) -> int:

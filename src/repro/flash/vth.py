@@ -342,6 +342,21 @@ class VthModel:
             Fraction of cells programmed in each state.  Defaults to
             uniform (random data).
         """
+        return self._rber_from_probs(
+            self.region_probabilities(stress), role, state_population
+        )
+
+    def _rber_from_probs(
+        self,
+        probs: np.ndarray,
+        role: PageRole,
+        state_population: np.ndarray | None,
+    ) -> float:
+        """RBER of one role given a precomputed region-probability matrix.
+
+        Split out so multi-role queries evaluate the (expensive) Vth
+        mixture once and reuse it for every page role of the wordline.
+        """
         n = self.params.cell_type.states
         if state_population is None:
             state_population = np.full(n, 1.0 / n)
@@ -352,7 +367,6 @@ class VthModel:
                 raise ValueError("state_population must have positive mass")
             state_population = state_population / total
 
-        probs = self.region_probabilities(stress)
         bits = self.encoding.bits_table()  # (states, roles)
         role_bits = bits[:, int(role)].astype(np.int64)
         # error iff the region's bit differs from the true state's bit
@@ -361,8 +375,10 @@ class VthModel:
         return float((state_population * per_state_err).sum())
 
     def expected_rber_all_roles(self, stress: StressState) -> dict[PageRole, float]:
+        # one mixture evaluation shared by every role of the wordline
+        probs = self.region_probabilities(stress)
         return {
-            role: self.expected_rber(stress, role)
+            role: self._rber_from_probs(probs, role, None)
             for role in PageRole.for_cell_type(self.params.cell_type)
         }
 

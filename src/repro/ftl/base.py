@@ -22,7 +22,7 @@ normalized to.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from typing import NamedTuple
 
 from repro.checkers.sanitizer import FtlSanitizer, default_checked
 from repro.faults import FaultInjector, FaultPlan
@@ -46,9 +46,13 @@ from repro.ssd.timing import TimingModel
 from repro.telemetry import DISABLED, AnyTelemetry, Telemetry
 
 
-@dataclass(frozen=True)
-class InvalidationEvent:
-    """One physical page turning stale, with its prior status."""
+class InvalidationEvent(NamedTuple):
+    """One physical page turning stale, with its prior status.
+
+    A ``NamedTuple``: one is built per invalidated page (every host
+    update/trim and every GC move), where tuple construction is several
+    times cheaper than a frozen-dataclass ``__init__``.
+    """
 
     gppa: int
     lpa: int
@@ -116,6 +120,11 @@ class PageMappedFtl:
             self.geometry.pages_per_block,
         )
         self._pending_victims: set[int] = set()  # global block ids
+        #: cached geometry scalars: the address helpers below run once
+        #: per flash op, and a plain attribute beats a property call
+        self._pages_per_chip = self.geometry.pages_per_chip
+        self._pages_per_block = self.geometry.pages_per_block
+        self._blocks_per_chip = self.geometry.blocks_per_chip
         self._rr_chip = 0
         self._write_seq = 0
         self._logical_time = 0
@@ -155,19 +164,19 @@ class PageMappedFtl:
 
     def split_gppa(self, gppa: int) -> tuple[int, int]:
         """Global PPA -> (chip id, chip-local ppn)."""
-        return divmod(gppa, self.pages_per_chip)
+        return divmod(gppa, self._pages_per_chip)
 
     def make_gppa(self, chip_id: int, ppn: int) -> int:
-        return chip_id * self.pages_per_chip + ppn
+        return chip_id * self._pages_per_chip + ppn
 
     def global_block(self, chip_id: int, local_block: int) -> int:
-        return chip_id * self.geometry.blocks_per_chip + local_block
+        return chip_id * self._blocks_per_chip + local_block
 
     def split_global_block(self, global_block: int) -> tuple[int, int]:
-        return divmod(global_block, self.geometry.blocks_per_chip)
+        return divmod(global_block, self._blocks_per_chip)
 
     def block_of_gppa(self, gppa: int) -> int:
-        return gppa // self.geometry.pages_per_block
+        return gppa // self._pages_per_block
 
     @property
     def logical_time(self) -> int:
@@ -292,18 +301,21 @@ class PageMappedFtl:
         re-raises for the caller to translate.
         """
         attempts = self.config.read_retry_limit
+        chip_read = self.chips[chip_id].read_page
+        timing_read = self.timing.read
+        stats = self.stats
         for attempt in range(attempts):
             try:
-                result = self.chips[chip_id].read_page(ppn)
+                result = chip_read(ppn)
             except UncorrectableError:
-                self.timing.read(chip_id)
-                self.stats.flash_reads += 1
+                timing_read(chip_id)
+                stats.flash_reads += 1
                 if attempt + 1 >= attempts:
                     raise
-                self.stats.read_retries += 1
+                stats.read_retries += 1
             else:
-                self.timing.read(chip_id)
-                self.stats.flash_reads += 1
+                timing_read(chip_id)
+                stats.flash_reads += 1
                 return result
         raise AssertionError("unreachable")  # pragma: no cover
 
@@ -342,29 +354,39 @@ class PageMappedFtl:
         page; a failed lazy erase retires the grown-bad block and
         allocation moves on to another block.
         """
-        guard = self.geometry.blocks_per_chip * self.geometry.pages_per_block
+        pages_per_block = self._pages_per_block
+        guard = self._blocks_per_chip * pages_per_block
+        chip_program = self.chips[chip_id].program_page
+        alloc_page = self.alloc.allocate_page
+        timing_program = self.timing.program
+        stats = self.stats
+        gppa_base = chip_id * self._pages_per_chip
         while guard > 0:
             guard -= 1
-            block, offset, erase_block = self.alloc.allocate_page(chip_id, stream)
+            block, offset, erase_block = alloc_page(chip_id, stream)
             if erase_block is not None and not self._erase_block_now(
                 chip_id, erase_block
             ):
                 # the block was scrubbed + retired (allocator cursor
                 # dropped); pick up a different block next iteration
                 continue
-            ppn = self.geometry.ppn(block, offset)
-            gb = self.global_block(chip_id, block)
+            # allocator addresses are in range by construction, so the
+            # geometry.ppn / helper bounds checks are inlined away here
+            ppn = block * pages_per_block + offset
+            gb = chip_id * self._blocks_per_chip + block
             try:
-                self.chips[chip_id].program_page(ppn, data, spare)
+                chip_program(ppn, data, spare)
             except ProgramFailError:
+                # rare path: spelled self.* so the SIM06 accounting
+                # pairing stays visible to the lint
                 self.timing.program(chip_id)
                 self.stats.flash_programs += 1
-                self._note_program_failure(gb, self.make_gppa(chip_id, ppn))
+                self._note_program_failure(gb, gppa_base + ppn)
                 continue
-            self.timing.program(chip_id)
-            self.stats.flash_programs += 1
-            self._block_last_program[gb] = self.stats.flash_programs
-            return self.make_gppa(chip_id, ppn)
+            timing_program(chip_id)
+            stats.flash_programs += 1
+            self._block_last_program[gb] = stats.flash_programs
+            return gppa_base + ppn
         raise RuntimeError(
             f"chip {chip_id}: no programmable page found (fault storm)"
         )
@@ -544,7 +566,7 @@ class PageMappedFtl:
         scrub-based sanitization baselines.  The caller accounts the copy
         in the appropriate stats bucket.
         """
-        chip_id, ppn = self.split_gppa(gppa)
+        chip_id, ppn = divmod(gppa, self._pages_per_chip)  # split_gppa, inlined
         lpa = self.l2p.reverse(gppa)
         was_secure = self.status.get(gppa) is PageStatus.SECURED
         try:
@@ -555,8 +577,10 @@ class PageMappedFtl:
             self.stats.read_failures += 1
             result = self._salvage_read(chip_id, ppn)
         stream = GC_STREAM if self.config.separate_gc_stream else HOST_STREAM
+        # result.spare is already a fresh per-read copy (and the chip
+        # copies again on program), so it is passed through uncopied
         new_gppa = self._program_new_page(
-            chip_id, data=result.data, spare=dict(result.spare), stream=stream
+            chip_id, data=result.data, spare=result.spare, stream=stream
         )
         old = self.l2p.map(lpa, new_gppa)
         assert old == gppa, "page move raced with the L2P table"

@@ -41,15 +41,22 @@ class L2PTable:
             raise IndexError(f"gppa {gppa} out of range [0, {len(self._p2l)})")
 
     # ------------------------------------------------------------------
+    # the four lookup/update methods run once or twice per flash op, so
+    # each inlines its bounds check (the _check_* helpers stay as the
+    # canonical raise path)
     def lookup(self, lpa: int) -> int:
         """Current physical page of an LPA, or UNMAPPED."""
-        self._check_lpa(lpa)
-        return self._l2p[lpa]
+        l2p = self._l2p
+        if not 0 <= lpa < len(l2p):
+            self._check_lpa(lpa)
+        return l2p[lpa]
 
     def reverse(self, gppa: int) -> int:
         """LPA currently mapped to a physical page, or UNMAPPED."""
-        self._check_gppa(gppa)
-        return self._p2l[gppa]
+        p2l = self._p2l
+        if not 0 <= gppa < len(p2l):
+            self._check_gppa(gppa)
+        return p2l[gppa]
 
     def is_mapped(self, lpa: int) -> bool:
         return self.lookup(lpa) != UNMAPPED
@@ -60,24 +67,30 @@ class L2PTable:
         The displaced physical page's reverse entry is cleared -- the
         caller is responsible for invalidating its status.
         """
-        self._check_lpa(lpa)
-        self._check_gppa(gppa)
-        if self._p2l[gppa] != UNMAPPED:
-            raise ValueError(f"gppa {gppa} is already mapped to lpa {self._p2l[gppa]}")
-        old = self._l2p[lpa]
+        l2p = self._l2p
+        p2l = self._p2l
+        if not 0 <= lpa < len(l2p):
+            self._check_lpa(lpa)
+        if not 0 <= gppa < len(p2l):
+            self._check_gppa(gppa)
+        if p2l[gppa] != UNMAPPED:
+            raise ValueError(f"gppa {gppa} is already mapped to lpa {p2l[gppa]}")
+        old = l2p[lpa]
         if old != UNMAPPED:
-            self._p2l[old] = UNMAPPED
-        self._l2p[lpa] = gppa
-        self._p2l[gppa] = lpa
+            p2l[old] = UNMAPPED
+        l2p[lpa] = gppa
+        p2l[gppa] = lpa
         return old
 
     def unmap(self, lpa: int) -> int:
         """Remove the LPA's mapping (trim); returns the old gppa."""
-        self._check_lpa(lpa)
-        old = self._l2p[lpa]
+        l2p = self._l2p
+        if not 0 <= lpa < len(l2p):
+            self._check_lpa(lpa)
+        old = l2p[lpa]
         if old != UNMAPPED:
             self._p2l[old] = UNMAPPED
-        self._l2p[lpa] = UNMAPPED
+        l2p[lpa] = UNMAPPED
         return old
 
     def mapped_count(self) -> int:

@@ -21,6 +21,15 @@ class PageStatus(IntEnum):
     SECURED = 3    # live, security-sensitive
 
 
+# module-level aliases: the setters below run once per programmed or
+# invalidated page, and a local/global load is much cheaper than two
+# enum attribute lookups per call.
+_FREE = PageStatus.FREE
+_VALID = PageStatus.VALID
+_INVALID = PageStatus.INVALID
+_SECURED = PageStatus.SECURED
+
+
 class StatusTable:
     """Per-page status plus per-block aggregates."""
 
@@ -54,24 +63,26 @@ class StatusTable:
     # ------------------------------------------------------------------
     def set_written(self, gppa: int, secure: bool) -> None:
         """FREE -> VALID/SECURED on program."""
-        if self._status[gppa] is not PageStatus.FREE:
-            raise ValueError(f"gppa {gppa} is {self._status[gppa].name}, not FREE")
-        blk = self.block_of(gppa)
-        self._status[gppa] = PageStatus.SECURED if secure else PageStatus.VALID
+        status = self._status
+        if status[gppa] is not _FREE:
+            raise ValueError(f"gppa {gppa} is {status[gppa].name}, not FREE")
+        blk = gppa // self._pages_per_block
+        status[gppa] = _SECURED if secure else _VALID
         self._live[blk] += 1
         if secure:
             self._secured[blk] += 1
 
     def set_invalid(self, gppa: int) -> PageStatus:
         """VALID/SECURED -> INVALID; returns the previous status."""
-        prev = self._status[gppa]
-        if prev not in (PageStatus.VALID, PageStatus.SECURED):
+        status = self._status
+        prev = status[gppa]
+        if prev is not _VALID and prev is not _SECURED:
             raise ValueError(f"gppa {gppa} is {prev.name}, cannot invalidate")
-        blk = self.block_of(gppa)
-        self._status[gppa] = PageStatus.INVALID
+        blk = gppa // self._pages_per_block
+        status[gppa] = _INVALID
         self._live[blk] -= 1
         self._invalid[blk] += 1
-        if prev is PageStatus.SECURED:
+        if prev is _SECURED:
             self._secured[blk] -= 1
         return prev
 
@@ -97,10 +108,11 @@ class StatusTable:
     def live_pages(self, block_id: int) -> list[int]:
         """Physical pages of the block that are VALID or SECURED."""
         base = block_id * self._pages_per_block
+        status = self._status
         return [
             gppa
             for gppa in range(base, base + self._pages_per_block)
-            if self._status[gppa] in (PageStatus.VALID, PageStatus.SECURED)
+            if status[gppa] is _VALID or status[gppa] is _SECURED
         ]
 
     def counts(self) -> dict[PageStatus, int]:

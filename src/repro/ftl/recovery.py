@@ -120,14 +120,8 @@ class PowerLossRecovery:
             status.set_written(gppa, False)
             status.set_invalid(gppa)
 
-        free_layout = [
-            [
-                block.index
-                for block in chip.blocks
-                if block.state is BlockState.FREE
-            ]
-            for chip in ftl.chips
-        ]
+        # served from each chip's incrementally maintained free set
+        free_layout = [chip.free_blocks() for chip in ftl.chips]
         # the grown-bad table is chip-persistent (RETIRED block marks):
         # re-learn it so the allocator and GC keep excluding those blocks.
         retired_layout = [

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import heapq
 import json
+from collections import deque
 from dataclasses import dataclass, field
 
 from repro.ftl.observer import notify_optional
@@ -48,7 +49,7 @@ _EV_ARRIVAL = "arrival"
 _EV_DONE = "done"
 
 
-@dataclass
+@dataclass(slots=True)
 class _InFlight:
     """One dispatched host request awaiting its service segments."""
 
@@ -137,10 +138,16 @@ class Server:
         "oldest_pending_us",
     )
 
-    def __init__(self, key: str, chip_id: int | None) -> None:
+    def __init__(self, key: str, chip_id: int | None, fifo: bool = False) -> None:
         self.key = key
         self.chip_id = chip_id  # None for channels
-        self.queue: list[tuple[int, int, Segment]] = []
+        # FIFO-family non-preemptive policies keep strict submission
+        # order, so the queue degenerates to a deque of bare Segments
+        # (append/popleft); priority policies get a heap of
+        # (priority, seq, Segment) tuples
+        self.queue: deque[Segment] | list[tuple[int, int, Segment]] = (
+            deque() if fifo else []
+        )
         self.current: Segment | None = None
         self.current_start_us = 0.0
         self.current_end_us = 0.0
@@ -245,10 +252,26 @@ class QueueingEngine:
         self.policy = policy
         self.steady_start = steady_start
 
+        # policies that never override priority() (FIFO family) get a
+        # constant: _enqueue then skips one method call per segment
+        self._const_priority: int | None = (
+            0
+            if type(policy).priority is SchedulingPolicy.priority
+            else None
+        )
+        # constant priority + no preemption means heap order is exactly
+        # submission order: server queues become deques (see Server)
+        self._fifo_queues: bool = (
+            self._const_priority is not None and not policy.preemptive
+        )
         n_chips = timing.n_chips
+        fifo = self._fifo_queues
         self.servers: list[Server] = [
-            Server(f"chip{i}", chip_id=i) for i in range(n_chips)
-        ] + [Server(f"chan{j}", chip_id=None) for j in range(timing.n_channels)]
+            Server(f"chip{i}", chip_id=i, fifo=fifo) for i in range(n_chips)
+        ] + [
+            Server(f"chan{j}", chip_id=None, fifo=fifo)
+            for j in range(timing.n_channels)
+        ]
         self._chan_base = n_chips
         self._cpc = timing.chips_per_channel
 
@@ -280,15 +303,26 @@ class QueueingEngine:
     # ------------------------------------------------------------------
     def run(self) -> EngineReport:
         self._seed_arrivals()
+        # the loop body executes once per event (hundreds of thousands
+        # per run): bind the hot callables/objects to locals and drain
+        # the raw heap list directly, dodging a method dispatch and an
+        # attribute walk per event
+        entries = self.heap.entries()
+        pop = heapq.heappop
+        clock = self.clock
+        dispatch = self._dispatch
+        on_done = self._on_done
         while True:
-            while self.heap:
-                event = self.heap.pop()
-                self.clock.advance_to(event.time_us)
-                if event.kind == _EV_ARRIVAL:
-                    self._dispatch(event.payload)
+            while entries:
+                time_us, _seq, kind, payload = pop(entries)
+                if time_us < clock.now_us:  # SimClock.advance_to, inlined
+                    clock.advance_to(time_us)  # raises the canonical error
+                clock.now_us = time_us
+                if kind == _EV_ARRIVAL:
+                    dispatch(payload)
                 else:  # _EV_DONE
-                    server, token = event.payload
-                    self._on_done(server, token)
+                    server, token = payload
+                    on_done(server, token)
             stragglers = [s for s in self.servers if s.pending_locks]
             if not stragglers:
                 break
@@ -305,10 +339,10 @@ class QueueingEngine:
         if self.arrivals.closed_loop:
             first = min(self.arrivals.queue_depth, n)
             for index in range(first):
-                self.heap.push(0.0, _EV_ARRIVAL, index)
+                self.heap.schedule(0.0, _EV_ARRIVAL, index)
             self._next_index = first
         else:
-            self.heap.push(0.0, _EV_ARRIVAL, 0)
+            self.heap.schedule(0.0, _EV_ARRIVAL, 0)
             self._next_index = 1
 
     # ------------------------------------------------------------------
@@ -318,7 +352,7 @@ class QueueingEngine:
         now = self.clock.now_us
         if not self.arrivals.closed_loop and self._next_index < len(self.requests):
             self._arrival_time_us += self.arrivals.interarrival_us()
-            self.heap.push(
+            self.heap.schedule(
                 max(self._arrival_time_us, now), _EV_ARRIVAL, self._next_index
             )
             self._next_index += 1
@@ -334,46 +368,55 @@ class QueueingEngine:
 
         deferring = isinstance(self.policy, DeferLocksPolicy)
         in_order = self.policy.in_order
+        # the ops loop runs once per captured flash op; hoist the
+        # per-iteration attribute walks out of it
+        timing = self.timing
+        t_read = timing.t_read_us
+        t_prog = timing.t_prog_us
+        t_xfer = timing.t_xfer_us
+        servers = self.servers
+        chan_base = self._chan_base
+        cpc = self._cpc
         for op in ops:
             chip = op.chip_id
-            chan = self._chan_base + chip // self._cpc
+            chan = chan_base + chip // cpc
             if op.kind is OpKind.READ:
                 inflight.remaining += 2
                 if in_order:
                     self._enqueue_stages(
                         op.kind, inflight,
-                        (chip, self.timing.t_read_us, "cell"),
-                        (chan, self.timing.t_xfer_us, "xfer"),
+                        (chip, t_read, "cell"),
+                        (chan, t_xfer, "xfer"),
                     )
                 else:
                     seg = Segment(
-                        op.kind, "cell", self.timing.t_read_us, inflight,
-                        follow=(chan, self.timing.t_xfer_us, "xfer"),
+                        op.kind, "cell", t_read, inflight,
+                        follow=(chan, t_xfer, "xfer"),
                     )
-                    self._enqueue(self.servers[chip], seg)
+                    self._enqueue(servers[chip], seg)
             elif op.kind is OpKind.PROGRAM:
                 inflight.remaining += 2
                 if in_order:
                     self._enqueue_stages(
                         op.kind, inflight,
-                        (chan, self.timing.t_xfer_us, "xfer"),
-                        (chip, self.timing.t_prog_us, "cell"),
+                        (chan, t_xfer, "xfer"),
+                        (chip, t_prog, "cell"),
                     )
                 else:
                     seg = Segment(
-                        op.kind, "xfer", self.timing.t_xfer_us, inflight,
-                        follow=(chip, self.timing.t_prog_us, "cell"),
+                        op.kind, "xfer", t_xfer, inflight,
+                        follow=(chip, t_prog, "cell"),
                     )
-                    self._enqueue(self.servers[chan], seg)
+                    self._enqueue(servers[chan], seg)
             else:
-                duration = self.timing.cell_duration_us(op.kind)
+                duration = timing.cell_duration_us(op.kind)
                 seg = Segment(op.kind, "cell", duration, inflight)
                 if deferring and self.policy.defers(seg):
                     seg.request = None  # off the request critical path
-                    self._defer_lock(self.servers[chip], seg)
+                    self._defer_lock(servers[chip], seg)
                 else:
                     inflight.remaining += 1
-                    self._enqueue(self.servers[chip], seg)
+                    self._enqueue(servers[chip], seg)
 
         if inflight.remaining == 0:
             # unmapped reads / pure-trim bookkeeping: no flash service
@@ -399,8 +442,42 @@ class QueueingEngine:
         s2 = Segment(kind, s2_stage, s2_dur, inflight)
         s2.ready = False
         s1.successor = (s2_server, s2)
+        if self._fifo_queues:
+            # _enqueue for s1, inlined (this runs once per two-stage op):
+            # FIFO queues never preempt, so only the idle-start attempt
+            # survives.  s2 is then pushed with no start attempt at all
+            # -- an unready segment can never start service (an idle
+            # in-order server's head is unready or its queue is empty)
+            # nor preempt (in-order mode is the non-preemptive family).
+            # Counter/peak update order matches _enqueue exactly.
+            seq = self._seq
+            s1.seq = seq
+            s2.seq = seq + 1
+            self._seq = seq + 2
+            server = self.servers[s1_server]
+            server.queue.append(s1)
+            queued = self.queued_segments + 1
+            self.queued_segments = queued
+            if queued > self.queued_segments_peak:
+                self.queued_segments_peak = queued
+            if server.current is None:
+                self._start_next(server)
+            self.servers[s2_server].queue.append(s2)
+            queued = self.queued_segments + 1
+            self.queued_segments = queued
+            if queued > self.queued_segments_peak:
+                self.queued_segments_peak = queued
+            return
         self._enqueue(self.servers[s1_server], s1)
-        self._enqueue(self.servers[s2_server], s2)
+        s2.seq = self._seq
+        self._seq += 1
+        priority = self._const_priority
+        if priority is None:
+            priority = self.policy.priority(s2)
+        heapq.heappush(self.servers[s2_server].queue, (priority, s2.seq, s2))
+        self.queued_segments += 1
+        if self.queued_segments > self.queued_segments_peak:
+            self.queued_segments_peak = self.queued_segments
 
     def _defer_lock(self, server: Server, segment: Segment) -> None:
         if not server.pending_locks:
@@ -441,8 +518,18 @@ class QueueingEngine:
     ) -> None:
         segment.seq = self._seq
         self._seq += 1
-        pr = self.policy.priority(segment) if priority is None else priority
-        heapq.heappush(server.queue, (pr, segment.seq, segment))
+        if self._fifo_queues:
+            # a priority override (lock-drain flush) cannot reach a FIFO
+            # queue: only DeferLocksPolicy defers, and it is priority-based
+            server.queue.append(segment)
+        else:
+            if priority is None:
+                # FIFO-family policies never override priority(): skip the
+                # per-segment call (see __init__'s _const_priority probe)
+                priority = self._const_priority
+                if priority is None:
+                    priority = self.policy.priority(segment)
+            heapq.heappush(server.queue, (priority, segment.seq, segment))
         self.queued_segments += 1
         if self.queued_segments > self.queued_segments_peak:
             self.queued_segments_peak = self.queued_segments
@@ -475,18 +562,33 @@ class QueueingEngine:
         self.suspensions += 1
 
     def _start_next(self, server: Server) -> None:
-        if server.current is not None or not server.queue:
+        queue = server.queue
+        if server.current is not None or not queue:
             return
-        if not server.queue[0][2].ready:
-            return  # in-order mode: head-of-line stall until ready
-        _, _, segment = heapq.heappop(server.queue)
+        if self._fifo_queues:
+            segment = queue[0]
+            if not segment.ready:
+                return  # in-order mode: head-of-line stall until ready
+            queue.popleft()
+        else:
+            segment = queue[0][2]
+            if not segment.ready:
+                return
+            heapq.heappop(queue)
         self.queued_segments -= 1
         now = self.clock.now_us
         server.current = segment
         server.current_start_us = now
-        server.current_end_us = now + segment.duration_us
-        server.token += 1
-        self.heap.push(server.current_end_us, _EV_DONE, (server, server.token))
+        end = now + segment.duration_us
+        server.current_end_us = end
+        token = server.token + 1
+        server.token = token
+        # EventHeap.schedule, inlined: one DONE event per started
+        # segment (the negative-time guard is unnecessary, end >= now)
+        heap = self.heap
+        heapq.heappush(heap._heap, (end, heap._seq, _EV_DONE, (server, token)))
+        heap._seq += 1
+        heap.pushed += 1
 
     def _on_done(self, server: Server, token: int) -> None:
         if token != server.token:
@@ -529,14 +631,40 @@ class QueueingEngine:
         if segment.successor is not None:
             target, next_segment = segment.successor
             next_segment.ready = True
-            self._start_next(self.servers[target])
+            successor_server = self.servers[target]
+            if successor_server.current is None:
+                self._start_next(successor_server)
         if segment.request is not None:
             segment.request.remaining -= 1
             if segment.request.remaining == 0:
                 self._complete(segment.request)
-        if server.idle and server.pending_locks:
+        if server.pending_locks and server.idle:
             self._drain_locks(server)  # the idle window deferral waits for
-        self._start_next(server)
+        # tail of every completion: _start_next, inlined (the extra call
+        # per event is measurable).  KEEP IN LOCKSTEP with _start_next.
+        # The current-is-None guard stays: _drain_locks above may have
+        # already restarted this server via _enqueue.
+        queue = server.queue
+        if queue and server.current is None:
+            segment = queue[0] if self._fifo_queues else queue[0][2]
+            if segment.ready:
+                if self._fifo_queues:
+                    queue.popleft()
+                else:
+                    heapq.heappop(queue)
+                self.queued_segments -= 1
+                server.current = segment
+                server.current_start_us = now
+                end = now + segment.duration_us
+                server.current_end_us = end
+                token = server.token + 1
+                server.token = token
+                heap = self.heap  # EventHeap.schedule, inlined (as above)
+                heapq.heappush(
+                    heap._heap, (end, heap._seq, _EV_DONE, (server, token))
+                )
+                heap._seq += 1
+                heap.pushed += 1
 
     def _complete(self, inflight: _InFlight) -> None:
         now = self.clock.now_us
@@ -555,7 +683,7 @@ class QueueingEngine:
         if inflight.index >= self.steady_start:
             self.latency.add(inflight.op, now - inflight.arrival_us)
         if self.arrivals.closed_loop and self._next_index < len(self.requests):
-            self.heap.push(now, _EV_ARRIVAL, self._next_index)
+            self.heap.schedule(now, _EV_ARRIVAL, self._next_index)
             self._next_index += 1
 
     # ------------------------------------------------------------------

@@ -17,7 +17,7 @@ from repro.ssd.request import RequestOp
 # the shared nearest-rank implementation and report-order percentile
 # list live in repro.telemetry.histogram; re-exported here because the
 # sim package's public API predates the telemetry layer.
-from repro.telemetry.histogram import PERCENTILES, percentile
+from repro.telemetry.histogram import PERCENTILES, percentile, summarize
 
 __all__ = ["PERCENTILES", "percentile", "LatencyRecorder", "DepthSeries"]
 
@@ -43,20 +43,12 @@ class LatencyRecorder:
     # ------------------------------------------------------------------
     def summary_for(self, op: RequestOp | None) -> dict[str, float]:
         if op is not None:
-            data = sorted(self.samples[op])
+            data = self.samples[op]
         else:
-            merged: list[float] = []
+            data = []
             for values in self.samples.values():
-                merged.extend(values)
-            data = sorted(merged)
-        out: dict[str, float] = {
-            "count": float(len(data)),
-            "mean_us": (sum(data) / len(data)) if data else 0.0,
-        }
-        for label, q in PERCENTILES:
-            out[label] = percentile(data, q)
-        out["max_us"] = data[-1] if data else 0.0
-        return out
+                data.extend(values)
+        return summarize(data)
 
     def summary(self) -> dict[str, dict[str, float]]:
         """Per-class and combined percentile report (JSON-ready)."""

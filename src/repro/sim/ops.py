@@ -14,8 +14,8 @@ open-loop model cannot express -- falls out of the event schedule.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from enum import Enum
+from typing import NamedTuple
 
 from repro.ssd.config import SSDConfig
 from repro.ssd.timing import TimingModel
@@ -40,9 +40,14 @@ LOCK_KINDS = frozenset({OpKind.PLOCK, OpKind.BLOCK_LOCK})
 SUSPENDABLE_KINDS = frozenset({OpKind.ERASE, OpKind.PROGRAM})
 
 
-@dataclass(frozen=True)
-class FlashOp:
-    """One captured primitive operation on one chip."""
+class FlashOp(NamedTuple):
+    """One captured primitive operation on one chip.
+
+    A ``NamedTuple`` rather than a dataclass: one is constructed per
+    captured flash op (hundreds of thousands per benchmark run) and
+    tuple construction is several times cheaper than a frozen-dataclass
+    ``__init__``.
+    """
 
     kind: OpKind
     chip_id: int
@@ -60,6 +65,14 @@ class RecordingTiming(TimingModel):
     def __post_init__(self) -> None:
         super().__post_init__()
         self._ops: list[FlashOp] | None = None
+        self._cell_us = {
+            OpKind.READ: self.t_read_us,
+            OpKind.PROGRAM: self.t_prog_us,
+            OpKind.ERASE: self.t_erase_us,
+            OpKind.PLOCK: self.t_plock_us,
+            OpKind.BLOCK_LOCK: self.t_block_lock_us,
+            OpKind.SCRUB: self.t_scrub_us,
+        }
 
     @classmethod
     def from_config(cls, config: SSDConfig) -> "RecordingTiming":
@@ -92,14 +105,53 @@ class RecordingTiming(TimingModel):
             self._ops.append(FlashOp(kind, chip_id))
 
     # ------------------------------------------------------------------
+    # read/program run once per data page moved, so they inline both the
+    # capture append and the parent's scheduling body (one page move is
+    # two method layers otherwise).  KEEP IN LOCKSTEP with
+    # TimingModel.read/program -- any accounting drift here breaks the
+    # open-loop agreement contract, which the crosscheck tests enforce.
     def read(self, chip_id: int) -> float:
-        end = super().read(chip_id)
-        self._emit(OpKind.READ, chip_id)
+        chip_busy = self.chip_busy
+        if not 0 <= chip_id < len(chip_busy):
+            self._check_chip(chip_id)
+        channel_busy = self.channel_busy
+        t_read = self.t_read_us
+        t_xfer = self.t_xfer_us
+        ch = chip_id // self.chips_per_channel
+        sense_end = chip_busy[chip_id] + t_read
+        chip_busy[chip_id] = sense_end
+        chan_free = channel_busy[ch]
+        xfer_start = sense_end if sense_end > chan_free else chan_free
+        end = xfer_start + t_xfer
+        channel_busy[ch] = end
+        self.cell_work_us += t_read
+        self.xfer_work_us += t_xfer
+        self.total_work_us += t_read + t_xfer
+        ops = self._ops
+        if ops is not None:
+            ops.append(FlashOp(OpKind.READ, chip_id))
         return end
 
     def program(self, chip_id: int) -> float:
-        end = super().program(chip_id)
-        self._emit(OpKind.PROGRAM, chip_id)
+        chip_busy = self.chip_busy
+        if not 0 <= chip_id < len(chip_busy):
+            self._check_chip(chip_id)
+        channel_busy = self.channel_busy
+        t_prog = self.t_prog_us
+        t_xfer = self.t_xfer_us
+        ch = chip_id // self.chips_per_channel
+        xfer_end = channel_busy[ch] + t_xfer
+        channel_busy[ch] = xfer_end
+        chip_free = chip_busy[chip_id]
+        start = chip_free if chip_free > xfer_end else xfer_end
+        end = start + t_prog
+        chip_busy[chip_id] = end
+        self.cell_work_us += t_prog
+        self.xfer_work_us += t_xfer
+        self.total_work_us += t_prog + t_xfer
+        ops = self._ops
+        if ops is not None:
+            ops.append(FlashOp(OpKind.PROGRAM, chip_id))
         return end
 
     def erase(self, chip_id: int) -> float:
@@ -125,11 +177,4 @@ class RecordingTiming(TimingModel):
     # ------------------------------------------------------------------
     def cell_duration_us(self, kind: OpKind) -> float:
         """Chip occupancy of one operation (the cell-op stage)."""
-        return {
-            OpKind.READ: self.t_read_us,
-            OpKind.PROGRAM: self.t_prog_us,
-            OpKind.ERASE: self.t_erase_us,
-            OpKind.PLOCK: self.t_plock_us,
-            OpKind.BLOCK_LOCK: self.t_block_lock_us,
-            OpKind.SCRUB: self.t_scrub_us,
-        }[kind]
+        return self._cell_us[kind]

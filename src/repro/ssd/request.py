@@ -33,7 +33,7 @@ class RequestFlags(Flag):
     INSEC_WRITE = auto()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class IoRequest:
     """One host request over a contiguous LPA range.
 

@@ -101,14 +101,23 @@ class TraceBus:
         self.dropped = 0
         self.sampled_out = 0
         self.category_counts: dict[str, int] = {}
+        #: constant-time kill switch: while False, ``instant``/``complete``
+        #: return immediately -- no event construction, no counting, no
+        #: clock read.  Flip it back on to resume publishing; the pause
+        #: is invisible to retention accounting (nothing was published).
+        self.enabled = True
 
     # ------------------------------------------------------------------
     def now_us(self) -> float:
         return self.clock() if self.clock is not None else 0.0
 
     def _admit(self, cat: str) -> bool:
-        seen = self.category_counts.get(cat, 0)
-        self.category_counts[cat] = seen + 1
+        counts = self.category_counts
+        seen = counts.get(cat, 0)
+        counts[cat] = seen + 1
+        if not self.sample:
+            # the common unsampled bus: one dict get + set, no stride math
+            return True
         stride = self.sample.get(cat, 1)
         if stride > 1 and seen % stride != 0:
             self.sampled_out += 1
@@ -129,6 +138,8 @@ class TraceBus:
         args: dict[str, object] | None = None,
     ) -> None:
         """Publish a point-in-time event at the current simulated time."""
+        if not self.enabled:
+            return
         if self._admit(cat):
             self._push(TraceEvent(name, cat, "i", self.now_us(), tid=tid, args=args))
 
@@ -142,6 +153,8 @@ class TraceBus:
         args: dict[str, object] | None = None,
     ) -> None:
         """Publish a duration event covering ``[ts_us, ts_us + dur_us]``."""
+        if not self.enabled:
+            return
         if self._admit(cat):
             self._push(
                 TraceEvent(name, cat, "X", ts_us, dur_us=dur_us, tid=tid, args=args)

@@ -18,6 +18,7 @@ min, and max are kept alongside, so rates and means stay exact.
 from __future__ import annotations
 
 from bisect import bisect_left
+from math import ceil
 
 #: the percentiles every latency/work summary reports, in report order.
 PERCENTILES: tuple[tuple[str, float], ...] = (
@@ -37,21 +38,38 @@ DEFAULT_BOUNDS_US: tuple[float, ...] = (
 
 
 def percentile(sorted_data: list[float], q: float) -> float:
-    """Nearest-rank percentile of pre-sorted data (0 for empty)."""
+    """Nearest-rank percentile of pre-sorted data (0 for empty).
+
+    Canonical nearest rank: ``ceil(q/100 * N) - 1`` (0-indexed), clamped
+    to the valid range.  The old ``round()``-based rank used banker's
+    rounding on ``q/100 * (N-1)``, which is non-canonical and
+    non-monotonic in the sample count (p50 of 4 samples picked the
+    *upper* neighbor, p50 of 6 the lower).  The ceil rule is the
+    textbook definition: the smallest sample with at least ``q`` percent
+    of the data at or below it.
+    """
     if not 0.0 <= q <= 100.0:
         raise ValueError("q must be in [0, 100]")
-    if not sorted_data:
+    n = len(sorted_data)
+    if not n:
         return 0.0
-    rank = max(0, min(len(sorted_data) - 1, round(q / 100.0 * (len(sorted_data) - 1))))
+    rank = max(0, min(n - 1, ceil(q / 100.0 * n) - 1))
     return sorted_data[rank]
 
 
 def summarize(data: list[float]) -> dict[str, float]:
-    """count/mean/:data:`PERCENTILES`/max of unsorted samples."""
+    """count/mean/min/:data:`PERCENTILES`/max of unsorted samples.
+
+    Same key set as :meth:`FixedBucketHistogram.snapshot`, with the same
+    empty-input semantics: when ``count`` is 0 every other field reads
+    0.0 and carries no information -- consumers must gate on ``count``
+    (a real 0 us minimum is distinguishable only that way).
+    """
     ordered = sorted(data)
     out: dict[str, float] = {
         "count": float(len(ordered)),
         "mean_us": (sum(ordered) / len(ordered)) if ordered else 0.0,
+        "min_us": ordered[0] if ordered else 0.0,
     }
     for label, q in PERCENTILES:
         out[label] = percentile(ordered, q)
@@ -99,21 +117,35 @@ class FixedBucketHistogram:
         return self.total / self.count if self.count else 0.0
 
     def percentile(self, q: float) -> float:
-        """Nearest-rank estimate: the matched bucket's upper bound."""
+        """Nearest-rank estimate: the matched bucket's upper bound.
+
+        The estimate is clamped to the exact observed maximum, so it can
+        never exceed ``max`` (a lone 5.0 us sample answers 5.0, not its
+        bucket's 10.0 bound); the overflow bucket answers the exact
+        maximum directly.  Tails are therefore never over- *or*
+        under-reported past the true extremes.
+        """
         if not 0.0 <= q <= 100.0:
             raise ValueError("q must be in [0, 100]")
         if self.count == 0:
             return 0.0
-        rank = max(0, min(self.count - 1, round(q / 100.0 * (self.count - 1))))
+        rank = max(0, min(self.count - 1, ceil(q / 100.0 * self.count) - 1))
         seen = 0
         for i, n in enumerate(self.counts):
             seen += n
             if rank < seen:
-                return self.bounds[i] if i < len(self.bounds) else self.max
+                if i >= len(self.bounds):
+                    return self.max
+                return min(self.bounds[i], self.max)
         raise AssertionError("unreachable")  # pragma: no cover
 
     def snapshot(self) -> dict[str, float]:
-        """JSON-ready summary (exact count/mean/min/max, bucketed tails)."""
+        """JSON-ready summary (exact count/mean/min/max, bucketed tails).
+
+        Same key set and empty-input semantics as :func:`summarize`:
+        ``count`` is always present, and when it is 0 every other field
+        reads 0.0 and is meaningless -- gate on ``count``.
+        """
         out: dict[str, float] = {
             "count": float(self.count),
             "mean_us": self.mean,

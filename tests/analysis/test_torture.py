@@ -95,7 +95,7 @@ class TestCaseRunners:
 
 
 class TestScorecard:
-    def run(self, tiny_config):
+    def run(self, tiny_config, jobs=1):
         return run_torture(
             tiny_config,
             variants=("baseline", "secSSD"),
@@ -104,6 +104,7 @@ class TestScorecard:
             rates=(0.01,),
             window_start=20,
             window=2,
+            jobs=jobs,
         )
 
     def test_sweep_passes_and_covers_expected_cases(self, tiny_config):
@@ -124,6 +125,14 @@ class TestScorecard:
 
     def test_byte_identical_reruns(self, tiny_config):
         assert self.run(tiny_config).to_json() == self.run(tiny_config).to_json()
+
+    def test_parallel_jobs_byte_identical(self, tiny_config):
+        # the whole case grid on 3 workers: the merged scorecard must be
+        # byte-for-byte the serial one (canonical-order merge contract)
+        assert (
+            self.run(tiny_config, jobs=3).to_json()
+            == self.run(tiny_config).to_json()
+        )
 
     def test_json_round_trips(self, tiny_config):
         card = self.run(tiny_config)

@@ -642,3 +642,74 @@ class TestSim08NoPrint:
             """,
         )
         assert findings == []
+
+
+class TestSim09ParallelOnly:
+    def test_multiprocessing_import_flagged(self, tmp_path):
+        findings = _lint(
+            tmp_path,
+            "repro/analysis/rogue.py",
+            """
+            import multiprocessing
+
+            def fan_out(tasks):
+                with multiprocessing.Pool() as pool:
+                    return pool.map(str, tasks)
+            """,
+        )
+        assert _ids(findings) == ["SIM09"]
+        assert "multiprocessing" in findings[0].message
+
+    def test_concurrent_futures_from_import_flagged(self, tmp_path):
+        findings = _lint(
+            tmp_path,
+            "repro/sim/rogue.py",
+            """
+            from concurrent.futures import ProcessPoolExecutor
+            """,
+        )
+        assert _ids(findings) == ["SIM09"]
+
+    def test_submodule_import_flagged(self, tmp_path):
+        findings = _lint(
+            tmp_path,
+            "repro/ftl/rogue.py",
+            """
+            import multiprocessing.pool as mp_pool
+            """,
+        )
+        assert _ids(findings) == ["SIM09"]
+
+    def test_parallel_module_exempt(self, tmp_path):
+        findings = _lint(
+            tmp_path,
+            "repro/analysis/parallel.py",
+            """
+            from concurrent.futures import ProcessPoolExecutor
+
+            def run_grid(fn, tasks, jobs=1):
+                with ProcessPoolExecutor(max_workers=jobs) as pool:
+                    return [f.result() for f in [pool.submit(fn, t) for t in tasks]]
+            """,
+        )
+        assert "SIM09" not in _ids(findings)
+
+    def test_out_of_package_script_exempt(self, tmp_path):
+        findings = _lint(
+            tmp_path,
+            "scripts/fanout.py",
+            """
+            import multiprocessing
+            """,
+        )
+        assert "SIM09" not in _ids(findings)
+
+    def test_threading_not_banned(self, tmp_path):
+        findings = _lint(
+            tmp_path,
+            "repro/telemetry/rogue.py",
+            """
+            import threading
+            """,
+        )
+        assert "SIM09" not in _ids(findings)

@@ -90,3 +90,60 @@ class TestProgramDisturbStudy:
         zero, one = (p.normalized_rber for p in pts)
         assert one < 1.0
         assert one / zero < 1.10
+
+
+class TestStressBucketCache:
+    def test_shared_per_params(self):
+        from repro.flash.reliability import bucket_cache_for
+        from repro.flash.vth import model_for
+
+        # two fresh models with identical calibration share one cache
+        assert bucket_cache_for(model_for(CellType.TLC)) is bucket_cache_for(
+            model_for(CellType.TLC)
+        )
+        assert bucket_cache_for(model_for(CellType.TLC)) is not bucket_cache_for(
+            model_for(CellType.MLC)
+        )
+
+    def test_hit_accounting(self):
+        from repro.flash.reliability import StressBucketCache
+        from repro.flash.vth import StressState, model_for
+
+        cache = StressBucketCache(model_for(CellType.TLC))
+        s = StressState(pe_cycles=1000, retention_days=100.0)
+        first = cache.worst_role_rber(s)
+        assert (cache.hits, cache.misses) == (0, 1)
+        # a nearby stress lands in the same bucket: no re-evaluation
+        again = cache.worst_role_rber(StressState(pe_cycles=1010, retention_days=100.5))
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert again == first
+
+    def test_quantization_error_bound(self):
+        """Bucketed answers stay within ~2% of the exact evaluation."""
+        from repro.flash.reliability import StressBucketCache
+        from repro.flash.vth import StressState, model_for
+
+        model = model_for(CellType.TLC)
+        cache = StressBucketCache(model)
+        # off-center coordinates (deliberately not multiples of any quantum)
+        stresses = [
+            StressState(pe_cycles=987, retention_days=37.3),
+            StressState(pe_cycles=1513, retention_days=401.7, disturb_pulses=2),
+            StressState(pe_cycles=333, open_interval_days=2.71),
+            StressState(pe_cycles=2049, retention_days=3.14,
+                        open_interval_days=0.73, read_disturb_count=777),
+        ]
+        for s in stresses:
+            exact = max(model.expected_rber_all_roles(s).values())
+            bucketed = cache.worst_role_rber(s)
+            assert bucketed == pytest.approx(exact, rel=0.02)
+
+    def test_zero_stress_is_exact(self):
+        from repro.flash.reliability import StressBucketCache
+        from repro.flash.vth import StressState, model_for
+
+        model = model_for(CellType.TLC)
+        cache = StressBucketCache(model)
+        assert cache.bucket_of(StressState()) == StressState()
+        exact = max(model.expected_rber_all_roles(StressState()).values())
+        assert cache.worst_role_rber(StressState()) == exact

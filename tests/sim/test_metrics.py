@@ -10,7 +10,7 @@ class TestPercentile:
     def test_nearest_rank_on_known_data(self):
         data = [float(v) for v in range(1, 101)]  # 1..100
         assert percentile(data, 0.0) == 1.0
-        assert percentile(data, 50.0) == 51.0  # rank round(0.5 * 99) = 50
+        assert percentile(data, 50.0) == 50.0  # rank ceil(0.5 * 100) - 1 = 49
         assert percentile(data, 100.0) == 100.0
 
     def test_single_sample_is_every_percentile(self):
@@ -47,7 +47,7 @@ class TestLatencyRecorder:
         assert set(summary) == {op.value for op in RequestOp} | {"all"}
         for stats in summary.values():
             assert set(stats) == {
-                "count", "mean_us", "max_us"
+                "count", "mean_us", "min_us", "max_us"
             } | {label for label, _ in PERCENTILES}
 
     def test_summary_values(self):
@@ -57,8 +57,9 @@ class TestLatencyRecorder:
         stats = rec.summary_for(RequestOp.READ)
         assert stats["count"] == 4.0
         assert stats["mean_us"] == 25.0
+        assert stats["min_us"] == 10.0
         assert stats["max_us"] == 40.0
-        assert stats["p50_us"] == 30.0  # nearest rank round(0.5 * 3) = 2
+        assert stats["p50_us"] == 20.0  # nearest rank ceil(0.5 * 4) - 1 = 1
 
     def test_empty_class_is_all_zeros(self):
         stats = LatencyRecorder().summary_for(RequestOp.WRITE)

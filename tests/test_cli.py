@@ -216,6 +216,95 @@ class TestBenchCommand:
         assert main(["bench", "--variants", "ghostSSD"]) == 2
         assert "unknown variant" in capsys.readouterr().out
 
+    def test_bench_jobs_and_compare_defaults(self):
+        args = build_parser().parse_args(["bench"])
+        assert args.jobs == 1
+        assert args.compare is None
+        assert args.tolerance == 0.05
+
+    def test_bench_compare_gate(self, tmp_path, capsys):
+        import json
+
+        base = ["bench", "--workload", "Mobile", "--variants", "baseline",
+                "--blocks", "8", "--wordlines", "4", "--multiplier", "0.5",
+                "--qd", "8", "--repeats", "1"]
+        baseline_path = tmp_path / "baseline.json"
+        assert main(base + ["--out", str(baseline_path)]) == 0
+        capsys.readouterr()
+        # same parameters vs the fresh baseline: the gate passes
+        out_path = tmp_path / "BENCH_sim.json"
+        assert main(base + ["--out", str(out_path),
+                            "--compare", str(baseline_path)]) == 0
+        assert "bench compare" in capsys.readouterr().out
+        # inject a synthetic regression into the baseline: simulated
+        # IOPS 50 % above what the run can reach -> gate must fail
+        payload = json.loads(baseline_path.read_text())
+        payload["runs"][0]["iops"] = payload["runs"][0]["iops"] * 1.5
+        baseline_path.write_text(json.dumps(payload))
+        assert main(base + ["--out", str(out_path),
+                            "--compare", str(baseline_path)]) == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_bench_compare_and_out_same_path(self, tmp_path, capsys):
+        """CI gates and refreshes one file: the baseline must be read
+        before the artifact overwrites it (not compared to itself)."""
+        import json
+
+        base = ["bench", "--workload", "Mobile", "--variants", "baseline",
+                "--blocks", "8", "--wordlines", "4", "--multiplier", "0.5",
+                "--qd", "8", "--repeats", "1"]
+        path = tmp_path / "BENCH_sim.json"
+        assert main(base + ["--out", str(path)]) == 0
+        capsys.readouterr()
+        # poison the committed baseline with an unreachable IOPS target;
+        # if the fresh artifact were written first, the gate would
+        # compare the run against itself and wrongly pass
+        payload = json.loads(path.read_text())
+        payload["runs"][0]["iops"] = payload["runs"][0]["iops"] * 1.5
+        path.write_text(json.dumps(payload))
+        assert main(base + ["--out", str(path),
+                            "--compare", str(path)]) == 1
+        assert "REGRESSED" in capsys.readouterr().out
+        # and the artifact was still refreshed (real metrics, not the
+        # poisoned baseline)
+        refreshed = json.loads(path.read_text())
+        assert refreshed["runs"][0]["iops"] < payload["runs"][0]["iops"]
+
+
+class TestProfileCommand:
+    def test_options_and_defaults(self):
+        args = build_parser().parse_args(["profile", "--", "fig9"])
+        assert args.command == "profile"
+        assert args.sort == "cumulative"
+        assert args.limit == 25
+        assert args.cmd == ["--", "fig9"]
+
+    def test_profiles_a_command(self, tmp_path, capsys):
+        out_path = tmp_path / "BENCH_sim.json"
+        code = main(
+            ["profile", "--limit", "5", "--",
+             "bench", "--workload", "Mobile", "--variants", "baseline",
+             "--blocks", "8", "--wordlines", "4", "--multiplier", "0.3",
+             "--qd", "8", "--repeats", "1", "--out", str(out_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "benchmark artifact written" in out  # the command itself ran
+        assert "cumulative" in out                  # the pstats report
+        assert "function calls" in out
+        assert out_path.exists()
+
+    def test_propagates_exit_status(self, capsys):
+        assert main(["profile", "--", "bench", "--variants", "ghostSSD"]) == 2
+
+    def test_empty_command_rejected(self, capsys):
+        assert main(["profile"]) == 2
+        assert "give a repro command" in capsys.readouterr().out
+
+    def test_cannot_profile_itself(self, capsys):
+        assert main(["profile", "--", "profile", "fig9"]) == 2
+        assert "cannot profile itself" in capsys.readouterr().out
+
 
 class TestTraceCommand:
     def test_options_and_defaults(self):
