@@ -1,0 +1,224 @@
+"""AST normalization for lockstep-region equivalence (SIM11).
+
+Two lockstep sites are allowed to differ in *mechanical* ways that do
+not change behaviour -- the inlined hot-path copies cache attributes in
+locals (``t_read = self.t_read_us``) and name intermediates differently
+-- but must stay semantically identical.  The normalizer canonicalizes
+exactly those freedoms and nothing more:
+
+1. **Copy propagation** of locals bound exactly once to a *pure*
+   expression (constants, names, attribute chains, and operator
+   combinations thereof -- never calls or subscripts, whose value can
+   change between binding and use).  A binding is only propagated when
+   no attribute stored anywhere in the region shares a terminal name
+   with an attribute read in the bound expression (a cheap, conservative
+   alias check: storing ``self.token`` blocks propagating a binding that
+   reads ``server.token``).
+2. **Dead-binding elimination**: propagated bindings with no remaining
+   readers disappear.
+3. **Alpha-renaming** of the locals the region itself binds, in first-
+   binding order, to ``_v0``, ``_v1``, ...  Free names (``self``,
+   parameters, globals) keep their spelling: renaming those would let
+   genuinely different code compare equal.
+
+The canonical form is the ``ast.dump`` of the rewritten statements, so
+comparison is exact and the diff between two sites is printable.
+"""
+
+from __future__ import annotations
+
+import ast
+import copy
+from collections.abc import Sequence
+
+_PURE_LEAVES = (ast.Constant, ast.Name)
+_PURE_OPS = (ast.BinOp, ast.UnaryOp, ast.BoolOp, ast.Compare, ast.IfExp)
+
+
+def _is_pure(node: ast.expr) -> bool:
+    """Pure = re-evaluating later cannot change the value or side-effect.
+
+    Attribute loads are treated as pure here; the alias check in
+    :func:`_propagatable` guards against the region itself storing to an
+    attribute of the same name.
+    """
+    if isinstance(node, _PURE_LEAVES):
+        return True
+    if isinstance(node, ast.Attribute):
+        return _is_pure(node.value)
+    if isinstance(node, ast.BinOp):
+        return _is_pure(node.left) and _is_pure(node.right)
+    if isinstance(node, ast.UnaryOp):
+        return _is_pure(node.operand)
+    if isinstance(node, ast.BoolOp):
+        return all(_is_pure(v) for v in node.values)
+    if isinstance(node, ast.Compare):
+        return _is_pure(node.left) and all(_is_pure(c) for c in node.comparators)
+    if isinstance(node, ast.IfExp):
+        return _is_pure(node.test) and _is_pure(node.body) and _is_pure(node.orelse)
+    if isinstance(node, ast.Tuple):
+        return all(_is_pure(e) for e in node.elts)
+    return False
+
+
+def _store_counts(stmts: Sequence[ast.stmt]) -> dict[str, int]:
+    """How many times each plain name is bound anywhere in the region."""
+    counts: dict[str, int] = {}
+    for stmt in stmts:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+                counts[node.id] = counts.get(node.id, 0) + 1
+    return counts
+
+
+def _stored_attrs(stmts: Sequence[ast.stmt]) -> set[str]:
+    """Terminal names of attributes rebound in the region.
+
+    Only ``x.attr = ...`` / ``x.attr += ...`` counts: it changes what a
+    propagated copy of ``x.attr`` would re-read.  Storing *through* a
+    subscript (``x.items[i] = ...``) mutates elements, not the binding,
+    so an alias of ``x.items`` remains valid -- that is exactly the
+    local-alias pattern the inlined hot paths use.
+    """
+    stored: set[str] = set()
+    for stmt in stmts:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Attribute) and isinstance(node.ctx, ast.Store):
+                stored.add(node.attr)
+    return stored
+
+
+def _read_attrs(expr: ast.expr) -> set[str]:
+    attrs: set[str] = set()
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Attribute):
+            attrs.add(node.attr)
+    return attrs
+
+
+def _read_names(expr: ast.expr) -> set[str]:
+    return {
+        n.id
+        for n in ast.walk(expr)
+        if isinstance(n, ast.Name) and isinstance(n.ctx, ast.Load)
+    }
+
+
+class _Substitute(ast.NodeTransformer):
+    def __init__(self, bindings: dict[str, ast.expr]) -> None:
+        self.bindings = bindings
+        self.changed = False
+
+    def visit_Name(self, node: ast.Name) -> ast.expr:
+        if isinstance(node.ctx, ast.Load) and node.id in self.bindings:
+            self.changed = True
+            return copy.deepcopy(self.bindings[node.id])
+        return node
+
+
+class _AlphaRename(ast.NodeTransformer):
+    def __init__(self, mapping: dict[str, str]) -> None:
+        self.mapping = mapping
+
+    def visit_Name(self, node: ast.Name) -> ast.Name:
+        new = self.mapping.get(node.id)
+        if new is not None:
+            return ast.copy_location(ast.Name(id=new, ctx=node.ctx), node)
+        return node
+
+
+def _propagatable(
+    stmts: Sequence[ast.stmt],
+) -> dict[str, ast.expr]:
+    """Bindings eligible for copy propagation (name -> RHS)."""
+    counts = _store_counts(stmts)
+    stored = _stored_attrs(stmts)
+    bindings: dict[str, ast.expr] = {}
+    for stmt in stmts:
+        if not isinstance(stmt, ast.Assign) or len(stmt.targets) != 1:
+            continue
+        target = stmt.targets[0]
+        if not isinstance(target, ast.Name):
+            continue
+        if counts.get(target.id, 0) != 1:
+            continue
+        if not _is_pure(stmt.value):
+            continue
+        if _read_attrs(stmt.value) & stored:
+            # region stores an attribute of the same terminal name: the
+            # bound value may change after the store, keep the binding
+            continue
+        bindings[target.id] = stmt.value
+    return bindings
+
+
+def normalize_region(stmts: Sequence[ast.stmt]) -> str:
+    """Canonical dump of a lockstep region (see module docstring)."""
+    work: list[ast.stmt] = [copy.deepcopy(s) for s in stmts]
+
+    # copy-propagate to fixpoint (bindings may reference each other)
+    for _ in range(len(work) + 2):
+        bindings = _propagatable(work)
+        # drop self-referencing bindings (cannot converge)
+        bindings = {
+            name: expr
+            for name, expr in bindings.items()
+            if name not in _read_names(expr)
+        }
+        if not bindings:
+            break
+        # substitute into every statement, including other bindings'
+        # right-hand sides (store-context names are untouched), so
+        # chained bindings flatten and can die together below
+        sub = _Substitute(bindings)
+        work = [sub.visit(stmt) for stmt in work]
+        if not sub.changed:
+            break
+
+    # dead-binding elimination: propagated names with no remaining loads
+    while True:
+        bindings = _propagatable(work)
+        live: set[str] = set()
+        for stmt in work:
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                    live.add(node.id)
+        kept = [
+            stmt
+            for stmt in work
+            if not (
+                isinstance(stmt, ast.Assign)
+                and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Name)
+                and stmt.targets[0].id in bindings
+                and stmt.targets[0].id not in live
+            )
+        ]
+        if len(kept) == len(work):
+            break
+        work = kept
+
+    # alpha-rename region-bound locals in first-binding order
+    mapping: dict[str, str] = {}
+    for stmt in work:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+                if node.id not in mapping:
+                    mapping[node.id] = f"_v{len(mapping)}"
+    renamer = _AlphaRename(mapping)
+    work = [renamer.visit(stmt) for stmt in work]
+
+    module = ast.Module(body=list(work), type_ignores=[])
+    return ast.dump(module)
+
+
+def region_diff(dump_a: str, dump_b: str) -> str:
+    """First divergence between two canonical dumps, for the finding."""
+    limit = min(len(dump_a), len(dump_b))
+    pos = 0
+    while pos < limit and dump_a[pos] == dump_b[pos]:
+        pos += 1
+    lo = max(0, pos - 40)
+    return (
+        f"...{dump_a[lo:pos + 40]}... vs ...{dump_b[lo:pos + 40]}..."
+    )

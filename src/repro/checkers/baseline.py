@@ -1,0 +1,114 @@
+"""Committed-baseline support for incremental lint adoption.
+
+A baseline file records the findings a tree is *known* to have, so the
+lint gate can demand "no new findings" without first paying down every
+historical one.  Fingerprints deliberately exclude line numbers --
+unrelated edits move code around, and a baseline that churns on every
+refactor trains people to regenerate it blindly.  Instead a finding is
+identified by ``rule_id :: path :: message``, with a count per
+fingerprint: if a file grows a *second* identical finding, the gate
+still fires.
+
+Format (JSON, committed as ``.lint-baseline.json`` at the repo root)::
+
+    {
+      "version": 1,
+      "fingerprints": {
+        "SIM14::repro/ftl/base.py::<message>": 1,
+        ...
+      }
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path, PurePath
+
+from repro.checkers.lint import Finding
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_NAME = ".lint-baseline.json"
+
+
+def normalize_path(path: str) -> str:
+    """Path suffix from the last ``repro`` directory (machine-portable).
+
+    Findings carry whatever path the CLI was invoked with (absolute in
+    CI, relative locally); fingerprints must match across both, so they
+    key on the ``repro/...`` suffix when one exists.
+    """
+    parts = PurePath(path).parts
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] == "repro":
+            return "/".join(parts[i:])
+    return "/".join(parts)
+
+
+def fingerprint(finding: Finding) -> str:
+    """Line-number-free identity of a finding (stable across refactors)."""
+    return f"{finding.rule_id}::{normalize_path(finding.path)}::{finding.message}"
+
+
+class Baseline:
+    """A set of accepted finding fingerprints with multiplicities."""
+
+    def __init__(self, fingerprints: dict[str, int] | None = None) -> None:
+        self.fingerprints: dict[str, int] = dict(fingerprints or {})
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> "Baseline":
+        counts: dict[str, int] = {}
+        for finding in findings:
+            key = fingerprint(finding)
+            counts[key] = counts.get(key, 0) + 1
+        return cls(counts)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        path = Path(path)
+        if not path.exists():
+            # no baseline recorded yet: everything counts as new
+            return cls()
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        version = payload.get("version")
+        if version != BASELINE_VERSION:
+            raise ValueError(
+                f"unsupported baseline version {version!r} in {path}"
+            )
+        raw = payload.get("fingerprints", {})
+        if not isinstance(raw, dict):
+            raise ValueError(f"malformed baseline file {path}")
+        return cls({str(k): int(v) for k, v in raw.items()})
+
+    def dump(self, path: str | Path) -> None:
+        payload = {
+            "version": BASELINE_VERSION,
+            "fingerprints": {
+                key: self.fingerprints[key]
+                for key in sorted(self.fingerprints)
+            },
+        }
+        Path(path).write_text(
+            json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+        )
+
+    def split(
+        self, findings: list[Finding]
+    ) -> tuple[list[Finding], list[Finding]]:
+        """Partition into (new, baselined) preserving input order.
+
+        Each fingerprint absorbs at most its recorded count; extra
+        occurrences beyond the count surface as new findings.
+        """
+        budget = dict(self.fingerprints)
+        new: list[Finding] = []
+        accepted: list[Finding] = []
+        for finding in findings:
+            key = fingerprint(finding)
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+                accepted.append(finding)
+            else:
+                new.append(finding)
+        return new, accepted

@@ -7,13 +7,27 @@ objects.  Rules are *domain* rules: they encode simulator invariants
 that generic linters cannot know about -- see
 :mod:`repro.checkers.rules` for the catalogue.
 
-Per-line suppression uses the comment syntax::
+Suppression uses two comment syntaxes.  Per line::
 
     something_suspicious()  # lint: disable=SIM03
-    other_thing()           # lint: disable=SIM01,SIM02
+    other_thing()           # lint: disable=SIM01,SIM02 -- why it is fine
     everything_goes()       # lint: disable=all
 
-A suppression only silences findings reported *on that line*.
+and per file (anywhere in the file, conventionally near the top)::
+
+    # lint: disable-file=SIM13 -- this module mixes units on purpose
+
+A per-line suppression only silences findings reported *on that line*;
+a file-level suppression silences the named rules for the whole file.
+File-level wins whenever it applies -- per-line comments for other
+rules keep working independently.  Text after ``--`` is a free-form
+justification (encouraged, never parsed).
+
+Rules come in two flavours: plain :class:`LintRule` sees one file at a
+time; :class:`ProjectRule` runs once over a
+:class:`repro.checkers.project.ProjectContext` built from every linted
+file, which is how the cross-module families (import layering, lockstep
+equivalence, observer completeness) see the whole program.
 """
 
 from __future__ import annotations
@@ -24,8 +38,10 @@ from collections.abc import Callable, Iterable, Iterator, Sequence
 from dataclasses import dataclass
 from pathlib import Path
 
-#: per-line suppression comment, e.g. ``# lint: disable=SIM01,SIM05``.
-SUPPRESS_RE = re.compile(r"#\s*lint:\s*disable=([A-Za-z0-9_*,\s]+)")
+#: suppression comment, e.g. ``# lint: disable=SIM01,SIM05`` (per line)
+#: or ``# lint: disable-file=SIM13`` (whole file).  An optional
+#: ``-- justification`` trailer is ignored by the parser.
+SUPPRESS_RE = re.compile(r"#\s*lint:\s*disable(-file)?=([A-Za-z0-9_*,\s]+)")
 
 #: severity ordering used to sort reports (most severe first).
 SEVERITIES = ("error", "warning")
@@ -107,6 +123,42 @@ class LintRule:
         )
 
 
+class ProjectRule(LintRule):
+    """Base class for whole-program rules.
+
+    The engine collects every parsed file into a
+    :class:`repro.checkers.project.ProjectContext` and calls
+    :meth:`check_project` once; findings still go through the normal
+    per-file/per-line suppression machinery afterwards.
+    """
+
+    def applies_to(self, ctx: FileContext) -> bool:  # pragma: no cover
+        return False  # never run in per-file mode
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:  # pragma: no cover
+        return iter(())
+
+    def check_project(self, project) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def project_finding(
+        self,
+        path: str,
+        line: int,
+        message: str | None = None,
+        col: int = 1,
+    ) -> Finding:
+        return Finding(
+            rule_id=self.rule_id,
+            severity=self.severity,
+            path=path,
+            line=line,
+            col=col,
+            message=message or self.description,
+            hint=self.hint,
+        )
+
+
 # ---------------------------------------------------------------------------
 # shared AST helpers used by the rule implementations
 # ---------------------------------------------------------------------------
@@ -164,9 +216,23 @@ def _suppressions(source: str) -> dict[int, set[str]]:
     out: dict[int, set[str]] = {}
     for lineno, line in enumerate(source.splitlines(), start=1):
         match = SUPPRESS_RE.search(line)
-        if match:
-            ids = {part.strip() for part in match.group(1).split(",")}
+        if match and not match.group(1):
+            ids = {part.strip() for part in match.group(2).split(",")}
             out[lineno] = {i for i in ids if i}
+    return out
+
+
+def _file_suppressions(source: str) -> set[str]:
+    """Rule ids suppressed for the whole file (``disable-file=`` lines)."""
+    out: set[str] = set()
+    for line in source.splitlines():
+        match = SUPPRESS_RE.search(line)
+        if match and match.group(1):
+            out.update(
+                part.strip()
+                for part in match.group(2).split(",")
+                if part.strip()
+            )
     return out
 
 
@@ -205,39 +271,71 @@ def iter_python_files(paths: Iterable[Path | str]) -> Iterator[Path]:
             raise FileNotFoundError(f"not a python file or directory: {path}")
 
 
+def _parse_error_finding(path: Path | str, display_path: str | None,
+                         exc: SyntaxError) -> Finding:
+    return Finding(
+        rule_id="SIM-PARSE",
+        severity="error",
+        path=display_path or str(path),
+        line=exc.lineno or 1,
+        col=(exc.offset or 0) + 1,
+        message=f"file does not parse: {exc.msg}",
+    )
+
+
+def _apply_rules(
+    contexts: Sequence[FileContext],
+    rules: Sequence[LintRule],
+    tree_scan: bool,
+) -> list[Finding]:
+    """Run per-file and project rules, then filter suppressions."""
+    file_rules = [r for r in rules if not isinstance(r, ProjectRule)]
+    project_rules = [r for r in rules if isinstance(r, ProjectRule)]
+    findings: list[Finding] = []
+    for ctx in contexts:
+        for rule in file_rules:
+            if rule.applies_to(ctx):
+                findings.extend(rule.check(ctx))
+    if project_rules and contexts:
+        # imported lazily: project.py depends on this module
+        from repro.checkers.project import ProjectContext
+
+        project = ProjectContext(contexts, tree_scan=tree_scan)
+        for rule in project_rules:
+            findings.extend(rule.check_project(project))
+    line_supp = {c.display_path: _suppressions(c.source) for c in contexts}
+    file_supp = {c.display_path: _file_suppressions(c.source) for c in contexts}
+    kept: list[Finding] = []
+    for finding in findings:
+        in_file = file_supp.get(finding.path, ())
+        if "all" in in_file or finding.rule_id in in_file:
+            continue
+        on_line = line_supp.get(finding.path, {}).get(finding.line, ())
+        if "all" in on_line or finding.rule_id in on_line:
+            continue
+        kept.append(finding)
+    return kept
+
+
 def lint_file(
     path: Path | str,
     rules: Sequence[LintRule] | None = None,
     display_path: str | None = None,
 ) -> list[Finding]:
-    """Run the rule set over one file, honouring suppressions."""
+    """Run the rule set over one file, honouring suppressions.
+
+    Project rules do run, but against a single-file project built in
+    non-tree-scan mode (rules that need to see sibling files -- e.g.
+    "lockstep group has only one site" -- stay quiet).
+    """
     if rules is None:
         rules = default_rules()
     path = Path(path)
     try:
         ctx = make_context(path, display_path)
     except SyntaxError as exc:
-        return [
-            Finding(
-                rule_id="SIM-PARSE",
-                severity="error",
-                path=display_path or str(path),
-                line=exc.lineno or 1,
-                col=(exc.offset or 0) + 1,
-                message=f"file does not parse: {exc.msg}",
-            )
-        ]
-    suppressed = _suppressions(ctx.source)
-    findings: list[Finding] = []
-    for rule in rules:
-        if not rule.applies_to(ctx):
-            continue
-        for finding in rule.check(ctx):
-            on_line = suppressed.get(finding.line, ())
-            if "all" in on_line or finding.rule_id in on_line:
-                continue
-            findings.append(finding)
-    return findings
+        return [_parse_error_finding(path, display_path, exc)]
+    return _apply_rules([ctx], rules, tree_scan=False)
 
 
 def lint_paths(
@@ -246,23 +344,35 @@ def lint_paths(
     """Run the rule set over files/directories; sorted, stable output."""
     if rules is None:
         rules = default_rules()
+    paths = list(paths)
+    tree_scan = any(Path(p).is_dir() for p in paths)
+    contexts: list[FileContext] = []
     findings: list[Finding] = []
     for path in iter_python_files(paths):
-        findings.extend(lint_file(path, rules))
+        try:
+            contexts.append(make_context(path))
+        except SyntaxError as exc:
+            findings.append(_parse_error_finding(path, None, exc))
+    findings.extend(_apply_rules(contexts, rules, tree_scan=tree_scan))
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
     return findings
 
 
-def format_findings(findings: Sequence[Finding], show_hints: bool = True) -> str:
+def format_findings(
+    findings: Sequence[Finding],
+    show_hints: bool = True,
+    baselined: int = 0,
+) -> str:
     """Human-readable report: one block per finding plus a summary line."""
+    suffix = f", {baselined} baselined" if baselined else ""
     if not findings:
-        return "repro lint: clean (0 findings)"
+        return f"repro lint: clean (0 findings{suffix})"
     lines = [f.format(show_hint=show_hints) for f in findings]
     by_sev = {
         sev: sum(1 for f in findings if f.severity == sev) for sev in SEVERITIES
     }
     summary = ", ".join(f"{n} {sev}(s)" for sev, n in by_sev.items() if n)
-    lines.append(f"repro lint: {len(findings)} finding(s): {summary}")
+    lines.append(f"repro lint: {len(findings)} finding(s): {summary}{suffix}")
     return "\n".join(lines)
 
 
@@ -285,14 +395,37 @@ def run_lint(
     paths: Sequence[str] | None = None,
     show_hints: bool = True,
     echo: Callable[[str], object] = print,
+    fmt: str = "text",
+    out: str | None = None,
+    baseline_path: str | None = None,
+    no_baseline: bool = False,
+    write_baseline: bool = False,
 ) -> int:
     """CLI entry: lint the given paths (default: the installed package).
 
     Output goes through ``echo`` (stdout by default; pass a collector to
     capture it -- referencing ``print`` as a value keeps this module
     SIM08-clean, the *call* happens on the caller's authority).
-    Returns a process exit code: 0 when clean, 1 when any finding.
+
+    ``fmt`` selects ``text``, ``json``, or ``sarif``; ``out`` writes the
+    report to a file instead of echoing it.  A baseline file (explicit
+    ``baseline_path``, or ``.lint-baseline.json`` discovered in the
+    working directory or an ancestor of the first linted path) hides
+    known findings; ``write_baseline`` regenerates it from the current
+    findings.
+
+    Returns a process exit code: 0 when no *new* error-severity finding
+    remains, 1 otherwise, 2 on usage errors.
     """
+    from repro.checkers.baseline import (
+        DEFAULT_BASELINE_NAME,
+        Baseline,
+    )
+    from repro.checkers.report import render_json, render_sarif
+
+    if fmt not in ("text", "json", "sarif"):
+        echo(f"repro lint: unknown format {fmt!r}")
+        return 2
     if not paths:
         package_root = Path(__file__).resolve().parent.parent
         paths = [str(package_root)]
@@ -301,5 +434,56 @@ def run_lint(
     except FileNotFoundError as exc:
         echo(f"repro lint: {exc}")
         return 2
-    echo(format_findings(findings, show_hints=show_hints))
-    return 1 if findings else 0
+
+    resolved_baseline: Path | None = None
+    if baseline_path:
+        resolved_baseline = Path(baseline_path)
+    elif not no_baseline:
+        # discover in the working directory first, then up from the
+        # linted path -- `repro lint /path/to/repo/src/repro` should
+        # honour that repo's committed baseline regardless of cwd
+        first = Path(paths[0]).resolve()
+        candidates = [Path.cwd(), first, *first.parents]
+        for directory in candidates:
+            candidate = directory / DEFAULT_BASELINE_NAME
+            if candidate.is_file():
+                resolved_baseline = candidate
+                break
+
+    if write_baseline:
+        target = resolved_baseline or Path.cwd() / DEFAULT_BASELINE_NAME
+        Baseline.from_findings(findings).dump(target)
+        echo(
+            f"repro lint: wrote baseline with {len(findings)} "
+            f"finding(s) to {target}"
+        )
+        return 0
+
+    baselined: list[Finding] = []
+    if resolved_baseline is not None and not no_baseline:
+        try:
+            baseline = Baseline.load(resolved_baseline)
+        except (OSError, ValueError) as exc:
+            echo(f"repro lint: cannot read baseline: {exc}")
+            return 2
+        findings, baselined = baseline.split(findings)
+
+    if fmt == "json":
+        payload = render_json(findings, baselined)
+    elif fmt == "sarif":
+        payload = render_sarif(findings, baselined)
+    else:
+        payload = format_findings(
+            findings, show_hints=show_hints, baselined=len(baselined)
+        )
+
+    if out:
+        Path(out).write_text(payload + "\n", encoding="utf-8")
+        echo(
+            format_findings([], baselined=len(baselined))
+            if not findings
+            else f"repro lint: {len(findings)} finding(s) written to {out}"
+        )
+    else:
+        echo(payload)
+    return 1 if any(f.severity == "error" for f in findings) else 0

@@ -1,0 +1,124 @@
+"""Machine-readable lint reports: JSON and SARIF 2.1.0.
+
+The SARIF output follows the subset of the 2.1.0 schema that code
+hosts actually render: one run, rule metadata on the tool driver, one
+result per finding with a physical location.  Baselined findings are
+emitted with ``"baselineState": "unchanged"`` so viewers can fold them
+away while the gate (exit code) only counts *new* findings.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.checkers.lint import Finding, default_rules
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+TOOL_NAME = "repro-lint"
+
+_SARIF_LEVEL = {"error": "error", "warning": "warning"}
+
+
+def _finding_dict(finding: Finding) -> dict:
+    out = {
+        "rule_id": finding.rule_id,
+        "severity": finding.severity,
+        "path": finding.path,
+        "line": finding.line,
+        "col": finding.col,
+        "message": finding.message,
+    }
+    if finding.hint:
+        out["hint"] = finding.hint
+    return out
+
+
+def render_json(
+    new: list[Finding], baselined: list[Finding]
+) -> str:
+    """Stable JSON document for scripting against lint output."""
+    payload = {
+        "version": 1,
+        "tool": TOOL_NAME,
+        "summary": {
+            "findings": len(new),
+            "errors": sum(1 for f in new if f.severity == "error"),
+            "warnings": sum(1 for f in new if f.severity == "warning"),
+            "baselined": len(baselined),
+        },
+        "findings": [_finding_dict(f) for f in new],
+        "baselined": [_finding_dict(f) for f in baselined],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def _sarif_result(finding: Finding, baselined: bool) -> dict:
+    message = finding.message
+    if finding.hint:
+        message = f"{message} (hint: {finding.hint})"
+    result = {
+        "ruleId": finding.rule_id,
+        "level": _SARIF_LEVEL.get(finding.severity, "warning"),
+        "message": {"text": message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": finding.path},
+                    "region": {
+                        "startLine": max(finding.line, 1),
+                        "startColumn": max(finding.col, 1),
+                    },
+                }
+            }
+        ],
+    }
+    if baselined:
+        result["baselineState"] = "unchanged"
+    return result
+
+
+def render_sarif(
+    new: list[Finding], baselined: list[Finding]
+) -> str:
+    """SARIF 2.1.0 log with rule metadata and baseline states."""
+    rules_meta = []
+    seen: set[str] = set()
+    for rule in default_rules():
+        if rule.rule_id in seen:
+            continue
+        seen.add(rule.rule_id)
+        rules_meta.append(
+            {
+                "id": rule.rule_id,
+                "shortDescription": {"text": rule.description},
+                "help": {"text": rule.hint},
+                "defaultConfiguration": {
+                    "level": _SARIF_LEVEL.get(rule.severity, "warning")
+                },
+            }
+        )
+    results = [_sarif_result(f, baselined=False) for f in new]
+    results.extend(_sarif_result(f, baselined=True) for f in baselined)
+    log = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "informationUri": (
+                            "https://example.invalid/repro-lint"
+                        ),
+                        "rules": rules_meta,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(log, indent=2)

@@ -22,7 +22,27 @@ Each rule lives in its own module and encodes one simulator invariant:
   ``concurrent.futures`` imports outside ``analysis/parallel.py``
   (process fan-out goes through ``run_grid``'s determinism contract).
 
-Suppress a rule on one line with ``# lint: disable=SIM0x``.
+The whole-program families (SIM10..SIM14) run over the
+:class:`~repro.checkers.project.ProjectContext` built from every linted
+file:
+
+* ``SIM10`` (:mod:`.taint`) -- determinism taint: wall clock, entropy,
+  process identity, and set iteration order must not flow into
+  ``RunResult``, telemetry events, or JSON artifacts;
+* ``SIM11`` (:mod:`.lockstep`) -- ``# lockstep:``-tagged paired code
+  regions must stay AST-equivalent after normalization;
+* ``SIM12`` (:mod:`.observer_complete`) -- ``PageMappedFtl`` methods
+  that mutate page status or the L2P must emit the matching observer
+  event (directly or through a self-helper);
+* ``SIM13`` (:mod:`.units`) -- ``_ns``/``_us``/``_ms``/``_s`` suffix
+  dimensional analysis over arithmetic, comparisons, and bindings;
+* ``SIM14`` (:mod:`.layering`) -- the import-layer stack
+  ``flash < ftl < ssd < sim < telemetry < analysis`` admits no upward
+  (and therefore no cyclic) imports.
+
+Suppress a rule on one line with ``# lint: disable=SIM0x`` or for a
+whole file with ``# lint: disable-file=SIM0x`` (add a justification
+after ``--``).
 """
 
 from repro.checkers.rules.accounting import LockAccountingRule
@@ -30,10 +50,15 @@ from repro.checkers.rules.determinism import UnseededRandomnessRule
 from repro.checkers.rules.encapsulation import StatusTableEncapsulationRule
 from repro.checkers.rules.fault_handling import SwallowedFlashErrorRule
 from repro.checkers.rules.float_eq import FloatEqualityRule
+from repro.checkers.rules.layering import ImportLayeringRule
+from repro.checkers.rules.lockstep import LockstepEquivalenceRule
 from repro.checkers.rules.no_print import NoPrintRule
+from repro.checkers.rules.observer_complete import ObserverCompletenessRule
 from repro.checkers.rules.observers import SanitizeObserverRule
 from repro.checkers.rules.parallel_only import ParallelOnlyRule
 from repro.checkers.rules.sim_clock import SimWallClockRule
+from repro.checkers.rules.taint import DeterminismTaintRule
+from repro.checkers.rules.units import TimeUnitConsistencyRule
 
 #: registration order == report order for same-location findings.
 ALL_RULES = (
@@ -46,6 +71,11 @@ ALL_RULES = (
     SimWallClockRule,
     NoPrintRule,
     ParallelOnlyRule,
+    DeterminismTaintRule,
+    LockstepEquivalenceRule,
+    ObserverCompletenessRule,
+    TimeUnitConsistencyRule,
+    ImportLayeringRule,
 )
 
 RULES_BY_ID = {cls.rule_id: cls for cls in ALL_RULES}
@@ -53,13 +83,18 @@ RULES_BY_ID = {cls.rule_id: cls for cls in ALL_RULES}
 __all__ = [
     "ALL_RULES",
     "RULES_BY_ID",
+    "DeterminismTaintRule",
     "FloatEqualityRule",
+    "ImportLayeringRule",
     "LockAccountingRule",
+    "LockstepEquivalenceRule",
     "NoPrintRule",
+    "ObserverCompletenessRule",
     "ParallelOnlyRule",
     "SanitizeObserverRule",
     "SimWallClockRule",
     "StatusTableEncapsulationRule",
     "SwallowedFlashErrorRule",
+    "TimeUnitConsistencyRule",
     "UnseededRandomnessRule",
 ]

@@ -1,0 +1,70 @@
+"""SIM14: import-layering contract across the simulator packages.
+
+The packages form a strict stack -- each layer may import only from
+layers *below* it::
+
+    flash  <  ftl  <  ssd  <  sim  <  telemetry  <  analysis
+
+``flash`` is pure device physics; ``ftl`` builds mapping policy on it;
+``ssd`` composes an FTL with timing/config into a device; ``sim`` drives
+devices through the event engine; ``telemetry`` observes everything
+beneath it; ``analysis`` consumes finished runs.  An *upward* import
+(``ftl`` importing ``sim``, say) inverts the dependency stack, and --
+because the contract is a total order -- any import cycle between named
+layers necessarily contains an upward edge, so this one rule also keeps
+the layer graph acyclic.
+
+Packages outside the stack (``core``, ``host``, ``security``,
+``workloads``, ``checkers``, ``faults``, top-level modules) are
+cross-cutting and exempt.  Imports under ``if TYPE_CHECKING:`` are
+allowed: they never execute, so they cannot create a runtime cycle, and
+annotations legitimately point upward (an observer protocol typed
+against the engine that drives it).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.checkers.lint import Finding, ProjectRule
+
+#: the layer stack, lowest first.  Index == layer height.
+LAYER_ORDER = ("flash", "ftl", "ssd", "sim", "telemetry", "analysis")
+LAYERS = {name: i for i, name in enumerate(LAYER_ORDER)}
+
+
+class ImportLayeringRule(ProjectRule):
+    rule_id = "SIM14"
+    severity = "error"
+    description = (
+        "upward import between simulator layers "
+        f"({' < '.join(LAYER_ORDER)})"
+    )
+    hint = (
+        "depend downward only: move the shared code below both layers, "
+        "invert the dependency through an observer/callback seam, or "
+        "import under `if TYPE_CHECKING:` when only annotations need it"
+    )
+
+    def check_project(self, project) -> Iterator[Finding]:
+        for module in project.iter_modules():
+            src_pkg = module.top_package
+            if src_pkg not in LAYERS:
+                continue
+            src_level = LAYERS[src_pkg]
+            for edge in module.imports:
+                dst_pkg = edge.top_package
+                if dst_pkg is None or dst_pkg not in LAYERS:
+                    continue
+                if dst_pkg == src_pkg or edge.type_only:
+                    continue
+                dst_level = LAYERS[dst_pkg]
+                if dst_level > src_level:
+                    yield self.project_finding(
+                        module.ctx.display_path,
+                        edge.lineno,
+                        f"{src_pkg!r} (layer {src_level}) imports "
+                        f"{edge.module!r} from higher layer {dst_pkg!r} "
+                        f"(layer {dst_level})",
+                        col=edge.col,
+                    )

@@ -1,0 +1,115 @@
+"""SIM11: AST-normalized equivalence of paired "lockstep" regions.
+
+The hot paths duplicate small blocks of accounting code on purpose --
+``RecordingTiming.read`` inlines ``TimingModel.read`` plus an op
+capture, the engine inlines ``_start_next`` into ``_on_done`` -- because
+a function call per flash op is measurable.  PR 5 marked those copies
+"KEEP IN LOCKSTEP"; this rule makes the marker machine-checked, so the
+vectorized-core and fleet-sharding refactors on the roadmap cannot
+silently drift one copy (which would corrupt the byte-identity perf
+gate rather than fail a test).
+
+Sites declare themselves with ``# lockstep: begin/end <group>`` marker
+comments (see :mod:`repro.checkers.project`); site-specific lines are
+carved out with justified ``skip-begin``/``skip-end`` sub-regions.
+Each group's sites are normalized by
+:func:`repro.checkers.astnorm.normalize_region` -- copy propagation of
+pure single-assignment locals, dead-binding elimination, alpha-renaming
+-- and any canonical-form mismatch is an error.
+
+Also flagged: malformed marker structure, groups with a single site
+(only when a whole tree was scanned -- a lone-file lint cannot see the
+sibling), and files that say "KEEP IN LOCKSTEP" in prose without any
+machine-checkable region.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.checkers.astnorm import normalize_region, region_diff
+from repro.checkers.lint import Finding, ProjectRule
+from repro.checkers.project import (
+    LOCKSTEP_PROSE,
+    extract_region_statements,
+)
+
+
+class LockstepEquivalenceRule(ProjectRule):
+    rule_id = "SIM11"
+    severity = "error"
+    description = "lockstep-tagged code regions have drifted apart"
+    hint = (
+        "edit every `# lockstep: begin <group>` site of the group the "
+        "same way; wrap genuinely site-specific lines in "
+        "`# lockstep: skip-begin -- reason` / `# lockstep: skip-end`"
+    )
+
+    def check_project(self, project) -> Iterator[Finding]:
+        for path, line, message in project.lockstep_errors:
+            yield self.project_finding(path, line, message)
+
+        for group in sorted(project.lockstep_sites):
+            sites = project.lockstep_sites[group]
+            if len(sites) < 2:
+                if project.tree_scan:
+                    site = sites[0]
+                    yield self.project_finding(
+                        site.path,
+                        site.begin_line,
+                        f"lockstep group {group!r} has only one site; "
+                        "either add the paired site or drop the marker",
+                    )
+                continue
+
+            norms = []  # (canonical dump, site)
+            failed = False
+            for site in sites:
+                module = project.by_path.get(site.path)
+                if module is None:
+                    continue
+                stmts, errors = extract_region_statements(
+                    module.ctx.tree, site
+                )
+                for line, message in errors:
+                    failed = True
+                    yield self.project_finding(site.path, line, message)
+                if not stmts:
+                    failed = True
+                    yield self.project_finding(
+                        site.path,
+                        site.begin_line,
+                        f"lockstep region {group!r} contains no statements",
+                    )
+                    continue
+                norms.append((normalize_region(stmts), site))
+            if failed or len(norms) < 2:
+                continue
+            reference, ref_site = norms[0]
+            for canon, site in norms[1:]:
+                if canon != reference:
+                    yield self.project_finding(
+                        site.path,
+                        site.begin_line,
+                        f"lockstep group {group!r} drifted from its "
+                        f"sibling at {ref_site.path}:{ref_site.begin_line}: "
+                        f"first divergence {region_diff(reference, canon)}",
+                    )
+
+        # prose marker without machine checking: the contract exists but
+        # nothing enforces it
+        for module in project.iter_modules():
+            if module.lockstep_prose_line is None:
+                continue
+            if any(
+                site.path == module.ctx.display_path
+                for sites in project.lockstep_sites.values()
+                for site in sites
+            ):
+                continue
+            yield self.project_finding(
+                module.ctx.display_path,
+                module.lockstep_prose_line,
+                f'"{LOCKSTEP_PROSE}" prose comment without a '
+                "machine-checkable `# lockstep: begin <group>` region",
+            )

@@ -1,0 +1,153 @@
+"""SIM12: FTL state mutations must be visible through the observer seam.
+
+The runtime sanitizer, VerTrace profiler, and recovery cross-checker
+shadow the device by replaying :class:`~repro.ftl.observer.FtlObserver`
+events.  A ``PageMappedFtl`` method that flips page status or rewires
+the L2P without an observer event desynchronizes every shadow -- the
+auditors then either report phantom-recoverable pages or, worse, miss
+real ones.  SIM05 already covers the sanitize chip commands; this rule
+covers the *mapping-state* mutations:
+
+=============================  =======================================
+mutation on ``self.status``     required event (direct or transitive)
+=============================  =======================================
+``set_written(...)``            ``on_program``
+``set_invalid(...)``            ``on_invalidate`` or ``on_sanitize``
+``set_erased_block(...)``       ``on_erase``
+-----------------------------  ---------------------------------------
+mutation on ``self.l2p``
+-----------------------------  ---------------------------------------
+``map(...)``                    ``on_program`` or ``on_invalidate``
+``unmap(...)``                  ``on_invalidate`` or ``on_sanitize``
+=============================  =======================================
+
+"Transitive" means the notification may live in a helper the mutating
+method calls on ``self`` (``_invalidate`` pairs ``l2p.unmap`` +
+``status.set_invalid`` + ``on_invalidate`` for everyone); the rule
+closes over same-class and inherited method calls before flagging.
+Only classes whose hierarchy reaches ``PageMappedFtl`` are checked --
+rebuild/audit code (e.g. power-loss recovery) legitimately constructs
+mapping state without a live observer and is resynced explicitly.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.checkers.lint import (
+    Finding,
+    ProjectRule,
+    attr_chain,
+    calls_in,
+)
+
+#: root class of the checked hierarchy.
+FTL_BASE = "PageMappedFtl"
+
+#: ``self.status.<method>`` -> events that account for the mutation.
+STATUS_MUTATORS: dict[str, tuple[str, ...]] = {
+    "set_written": ("on_program",),
+    "set_invalid": ("on_invalidate", "on_sanitize"),
+    "set_erased_block": ("on_erase",),
+}
+
+#: ``self.l2p.<method>`` -> events that account for the mutation.
+L2P_MUTATORS: dict[str, tuple[str, ...]] = {
+    "map": ("on_program", "on_invalidate"),
+    "unmap": ("on_invalidate", "on_sanitize"),
+}
+
+
+def _direct_events(func: ast.AST) -> set[str]:
+    """Observer events this function emits directly."""
+    events: set[str] = set()
+    for call in calls_in(func):
+        chain = attr_chain(call.func)
+        if chain is None:
+            continue
+        # self.observer.on_x(...) or observer.on_x(...)
+        if len(chain) >= 2 and chain[-2] == "observer":
+            events.add(chain[-1])
+        # notify_optional(self.observer, "on_x", ...)
+        if chain[-1] == "notify_optional" and len(call.args) >= 2:
+            method = call.args[1]
+            if isinstance(method, ast.Constant) and isinstance(
+                method.value, str
+            ):
+                events.add(method.value)
+    return events
+
+
+def _self_calls(func: ast.AST) -> set[str]:
+    """Names of methods this function calls on ``self``."""
+    out: set[str] = set()
+    for call in calls_in(func):
+        chain = attr_chain(call.func)
+        if chain is not None and len(chain) == 2 and chain[0] == "self":
+            out.add(chain[1])
+    return out
+
+
+def _mutations(func: ast.AST) -> list[tuple[ast.Call, str, tuple[str, ...]]]:
+    """(call node, mutator label, acceptable events) per mutation."""
+    out = []
+    for call in calls_in(func):
+        chain = attr_chain(call.func)
+        if chain is None or len(chain) != 3 or chain[0] != "self":
+            continue
+        receiver, method = chain[1], chain[2]
+        if receiver == "status" and method in STATUS_MUTATORS:
+            out.append((call, f"status.{method}", STATUS_MUTATORS[method]))
+        elif receiver == "l2p" and method in L2P_MUTATORS:
+            out.append((call, f"l2p.{method}", L2P_MUTATORS[method]))
+    return out
+
+
+class ObserverCompletenessRule(ProjectRule):
+    rule_id = "SIM12"
+    severity = "error"
+    description = (
+        "FTL page-status/L2P mutation without a matching observer event"
+    )
+    hint = (
+        "emit the event in the mutating method or a self-helper it "
+        "calls: set_written->on_program, set_invalid->on_invalidate, "
+        "set_erased_block->on_erase, l2p.map->on_program, "
+        "l2p.unmap->on_invalidate"
+    )
+
+    def check_project(self, project) -> Iterator[Finding]:
+        for cls in project.subclasses_of(FTL_BASE):
+            table = project.resolved_methods(cls)
+            # events reachable from each method through self-calls
+            reach_cache: dict[str, set[str]] = {}
+
+            def reachable(name: str, stack: frozenset[str]) -> set[str]:
+                if name in reach_cache:
+                    return reach_cache[name]
+                func = table.get(name)
+                if func is None or name in stack:
+                    return set()
+                events = set(_direct_events(func))
+                for callee in _self_calls(func):
+                    events |= reachable(callee, stack | {name})
+                reach_cache[name] = events
+                return events
+
+            module = project.modules.get(cls.module)
+            if module is None:
+                continue
+            display = module.ctx.display_path
+            for name, func in sorted(cls.methods.items()):
+                for call, label, accepted in _mutations(func):
+                    events = reachable(name, frozenset())
+                    if not events.intersection(accepted):
+                        wanted = " or ".join(accepted)
+                        yield self.project_finding(
+                            display,
+                            call.lineno,
+                            f"{cls.name}.{name} mutates self.{label} "
+                            f"without notifying the observer ({wanted})",
+                            col=call.col_offset + 1,
+                        )

@@ -25,7 +25,7 @@ the run's structured event trace as a Chrome-trace-event file.
 
 Four maintenance commands ship with the simulator itself::
 
-    python -m repro lint                   # static domain lint (SIM01-SIM09)
+    python -m repro lint                   # static domain lint (SIM01-SIM14)
     python -m repro check                  # runtime invariant sanitizer run
     python -m repro torture                # fault-injection robustness sweep
     python -m repro profile -- bench ...   # cProfile any repro command
@@ -333,10 +333,21 @@ def cmd_profile(args: argparse.Namespace) -> int:
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
-    """Static domain lint (SIM01-SIM08) over the simulator sources."""
-    from repro.checkers.lint import run_lint
+    """Static domain lint (SIM01-SIM14) over the simulator sources."""
+    from repro.checkers.lint import rule_catalogue, run_lint
 
-    return run_lint(args.paths, show_hints=not args.no_hints)
+    if args.rules:
+        print(rule_catalogue())
+        return 0
+    return run_lint(
+        args.paths,
+        show_hints=not args.no_hints,
+        fmt=args.format,
+        out=args.out,
+        baseline_path=args.baseline,
+        no_baseline=args.no_baseline,
+        write_baseline=args.write_baseline,
+    )
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
@@ -511,12 +522,27 @@ def build_parser() -> argparse.ArgumentParser:
     for name in sorted(COMMANDS):
         if name == "lint":
             p = sub.add_parser(
-                name, help="static domain lint (rules SIM01-SIM09)"
+                name, help="static domain lint (rules SIM01-SIM14)"
             )
             p.add_argument("paths", nargs="*", default=None,
                            help="files/dirs to lint (default: the package)")
             p.add_argument("--no-hints", action="store_true",
                            help="omit fix hints from the report")
+            p.add_argument("--format", choices=("text", "json", "sarif"),
+                           default="text",
+                           help="report format (default: text)")
+            p.add_argument("--out", default=None, metavar="FILE",
+                           help="write the report to FILE instead of stdout")
+            p.add_argument("--baseline", default=None, metavar="FILE",
+                           help="baseline file of accepted findings "
+                                "(default: ./.lint-baseline.json if present)")
+            p.add_argument("--no-baseline", action="store_true",
+                           help="ignore any baseline file")
+            p.add_argument("--write-baseline", action="store_true",
+                           help="regenerate the baseline from the current "
+                                "findings and exit")
+            p.add_argument("--rules", action="store_true",
+                           help="list the rule catalogue and exit")
         elif name == "torture":
             p = sub.add_parser(
                 name,

@@ -43,7 +43,11 @@ from repro.ssd.config import SSDConfig
 from repro.ssd.request import IoRequest, RequestOp
 from repro.ssd.stats import DeviceStats
 from repro.ssd.timing import TimingModel
-from repro.telemetry import DISABLED, AnyTelemetry, Telemetry
+from repro.telemetry import (  # lint: disable=SIM14 -- telemetry is the cross-cutting observability seam (DESIGN 3f); DISABLED makes it zero-cost
+    DISABLED,
+    AnyTelemetry,
+    Telemetry,
+)
 
 
 class InvalidationEvent(NamedTuple):

@@ -43,7 +43,7 @@ from repro.sim.ops import OpKind, RecordingTiming
 from repro.sim.policies import DeferLocksPolicy, SchedulingPolicy
 from repro.ssd.device import SSD
 from repro.ssd.request import IoRequest, RequestOp
-from repro.telemetry import Telemetry
+from repro.telemetry import Telemetry  # lint: disable=SIM14 -- cross-cutting observability seam, zero-cost when disabled
 
 _EV_ARRIVAL = "arrival"
 _EV_DONE = "done"
@@ -565,15 +565,13 @@ class QueueingEngine:
         queue = server.queue
         if server.current is not None or not queue:
             return
+        segment = queue[0] if self._fifo_queues else queue[0][2]
+        if not segment.ready:
+            return  # in-order mode: head-of-line stall until ready
+        # lockstep: begin engine-start-segment
         if self._fifo_queues:
-            segment = queue[0]
-            if not segment.ready:
-                return  # in-order mode: head-of-line stall until ready
             queue.popleft()
         else:
-            segment = queue[0][2]
-            if not segment.ready:
-                return
             heapq.heappop(queue)
         self.queued_segments -= 1
         now = self.clock.now_us
@@ -589,6 +587,7 @@ class QueueingEngine:
         heapq.heappush(heap._heap, (end, heap._seq, _EV_DONE, (server, token)))
         heap._seq += 1
         heap.pushed += 1
+        # lockstep: end engine-start-segment
 
     def _on_done(self, server: Server, token: int) -> None:
         if token != server.token:
@@ -648,11 +647,13 @@ class QueueingEngine:
         if queue and server.current is None:
             segment = queue[0] if self._fifo_queues else queue[0][2]
             if segment.ready:
+                # lockstep: begin engine-start-segment
                 if self._fifo_queues:
                     queue.popleft()
                 else:
                     heapq.heappop(queue)
                 self.queued_segments -= 1
+                now = self.clock.now_us
                 server.current = segment
                 server.current_start_us = now
                 end = now + segment.duration_us
@@ -665,6 +666,7 @@ class QueueingEngine:
                 )
                 heap._seq += 1
                 heap.pushed += 1
+                # lockstep: end engine-start-segment
 
     def _complete(self, inflight: _InFlight) -> None:
         now = self.clock.now_us

@@ -17,7 +17,11 @@ from repro.ssd.request import RequestOp
 # the shared nearest-rank implementation and report-order percentile
 # list live in repro.telemetry.histogram; re-exported here because the
 # sim package's public API predates the telemetry layer.
-from repro.telemetry.histogram import PERCENTILES, percentile, summarize
+from repro.telemetry.histogram import (  # lint: disable=SIM14 -- pure math helpers re-exported; sim's public API predates the telemetry layer
+    PERCENTILES,
+    percentile,
+    summarize,
+)
 
 __all__ = ["PERCENTILES", "percentile", "LatencyRecorder", "DepthSeries"]
 

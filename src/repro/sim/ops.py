@@ -109,8 +109,10 @@ class RecordingTiming(TimingModel):
     # capture append and the parent's scheduling body (one page move is
     # two method layers otherwise).  KEEP IN LOCKSTEP with
     # TimingModel.read/program -- any accounting drift here breaks the
-    # open-loop agreement contract, which the crosscheck tests enforce.
+    # open-loop agreement contract, which the crosscheck tests enforce
+    # and the SIM11 lockstep regions below verify statically.
     def read(self, chip_id: int) -> float:
+        # lockstep: begin timing-read
         chip_busy = self.chip_busy
         if not 0 <= chip_id < len(chip_busy):
             self._check_chip(chip_id)
@@ -127,12 +129,17 @@ class RecordingTiming(TimingModel):
         self.cell_work_us += t_read
         self.xfer_work_us += t_xfer
         self.total_work_us += t_read + t_xfer
+        # lockstep: skip-begin -- op capture is the whole point of this
+        # subclass; it has no accounting effect
         ops = self._ops
         if ops is not None:
             ops.append(FlashOp(OpKind.READ, chip_id))
+        # lockstep: skip-end
         return end
+        # lockstep: end timing-read
 
     def program(self, chip_id: int) -> float:
+        # lockstep: begin timing-program
         chip_busy = self.chip_busy
         if not 0 <= chip_id < len(chip_busy):
             self._check_chip(chip_id)
@@ -149,10 +156,14 @@ class RecordingTiming(TimingModel):
         self.cell_work_us += t_prog
         self.xfer_work_us += t_xfer
         self.total_work_us += t_prog + t_xfer
+        # lockstep: skip-begin -- op capture is the whole point of this
+        # subclass; it has no accounting effect
         ops = self._ops
         if ops is not None:
             ops.append(FlashOp(OpKind.PROGRAM, chip_id))
+        # lockstep: skip-end
         return end
+        # lockstep: end timing-program
 
     def erase(self, chip_id: int) -> float:
         end = super().erase(chip_id)

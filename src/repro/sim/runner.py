@@ -30,7 +30,7 @@ from repro.ssd.config import SSDConfig
 from repro.ssd.device import SSD
 from repro.ssd.request import IoRequest
 from repro.ssd.stats import RunResult
-from repro.telemetry import Telemetry
+from repro.telemetry import Telemetry  # lint: disable=SIM14 -- cross-cutting observability seam, zero-cost when disabled
 from repro.workloads import WORKLOADS
 
 

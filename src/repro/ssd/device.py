@@ -18,8 +18,8 @@ from repro.ssd.config import SSDConfig
 from repro.ssd.request import IoRequest
 from repro.ssd.stats import RunResult
 from repro.ssd.worklog import WorkLog
-from repro.telemetry import Telemetry
-from repro.telemetry.bridge import TelemetryObserver
+from repro.telemetry import Telemetry  # lint: disable=SIM14 -- cross-cutting observability seam, zero-cost when disabled
+from repro.telemetry.bridge import TelemetryObserver  # lint: disable=SIM14 -- bridge adapts the observer seam; no behavioural dependency
 
 
 class SSD:

@@ -114,9 +114,14 @@ class TimingModel:
     # function calls per op.  The accounting order is fixed (cell, then
     # xfer, then total) -- float addition is order-sensitive and the
     # totals feed byte-identity contracts.
+    #
+    # KEEP IN LOCKSTEP with the inlined copies in
+    # :class:`repro.sim.ops.RecordingTiming`; the `# lockstep:` regions
+    # below make SIM11 verify the pairing on every lint run.
 
     def read(self, chip_id: int) -> float:
         """Schedule a page read: chip sense, then channel transfer out."""
+        # lockstep: begin timing-read
         chip_busy = self.chip_busy
         if not 0 <= chip_id < len(chip_busy):
             self._check_chip(chip_id)
@@ -125,14 +130,17 @@ class TimingModel:
         chip_busy[chip_id] = sense_end
         chan_free = self.channel_busy[ch]
         xfer_start = sense_end if sense_end > chan_free else chan_free
-        self.channel_busy[ch] = xfer_start + self.t_xfer_us
+        end = xfer_start + self.t_xfer_us
+        self.channel_busy[ch] = end
         self.cell_work_us += self.t_read_us
         self.xfer_work_us += self.t_xfer_us
         self.total_work_us += self.t_read_us + self.t_xfer_us
-        return self.channel_busy[ch]
+        return end
+        # lockstep: end timing-read
 
     def program(self, chip_id: int) -> float:
         """Schedule a page program: channel transfer in, then cell op."""
+        # lockstep: begin timing-program
         chip_busy = self.chip_busy
         if not 0 <= chip_id < len(chip_busy):
             self._check_chip(chip_id)
@@ -143,11 +151,13 @@ class TimingModel:
         self.channel_busy[ch] = xfer_end
         chip_free = chip_busy[chip_id]
         start = chip_free if chip_free > xfer_end else xfer_end
-        chip_busy[chip_id] = start + self.t_prog_us
+        end = start + self.t_prog_us
+        chip_busy[chip_id] = end
         self.cell_work_us += self.t_prog_us
         self.xfer_work_us += self.t_xfer_us
         self.total_work_us += self.t_prog_us + self.t_xfer_us
-        return chip_busy[chip_id]
+        return end
+        # lockstep: end timing-program
 
     def copy(self, src_chip: int, dst_chip: int) -> float:
         """Schedule a page copy (GC move): read on src, program on dst."""

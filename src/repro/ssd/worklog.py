@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.ssd.request import RequestOp
-from repro.telemetry.histogram import percentile as _nearest_rank
+from repro.telemetry.histogram import percentile as _nearest_rank  # lint: disable=SIM14 -- pure math helper, shared to keep one percentile definition
 
 
 @dataclass

@@ -111,6 +111,94 @@ class TestSuppression:
         assert findings[0].line == 4  # the unsuppressed comparison
 
 
+class TestFileSuppression:
+    """`# lint: disable-file=ID` silences a rule for the whole file."""
+
+    def test_file_level_silences_all_occurrences(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "repro/flash/x.py",
+            """
+            # lint: disable-file=SIM04 -- tolerance table is exact by design
+            def f(x):
+                a = x == 1.0
+                b = x == 2.0
+                return a or b
+            """,
+        )
+        assert lint_file(path) == []
+
+    def test_file_level_is_rule_scoped(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "repro/flash/x.py",
+            """
+            # lint: disable-file=SIM01
+            def f(x):
+                return x == 1.0
+            """,
+        )
+        assert [f.rule_id for f in lint_file(path)] == ["SIM04"]
+
+    def test_file_level_wildcard(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "repro/flash/x.py",
+            """
+            # lint: disable-file=all
+            def f(x):
+                return x == 1.0
+            """,
+        )
+        assert lint_file(path) == []
+
+    def test_file_level_applies_regardless_of_position(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "repro/flash/x.py",
+            """
+            def f(x):
+                return x == 1.0
+
+            # lint: disable-file=SIM04 -- declared after the finding
+            """,
+        )
+        assert lint_file(path) == []
+
+    def test_file_level_and_line_level_compose(self, tmp_path):
+        """File-level for one rule leaves per-line control of others."""
+        path = _write(
+            tmp_path,
+            "repro/flash/x.py",
+            """
+            # lint: disable-file=SIM04
+            import random
+
+            def f(x):
+                a = random.random()  # lint: disable=SIM03
+                b = random.random()
+                return a == 1.0 or b == 2.0
+            """,
+        )
+        findings = lint_file(path)
+        # SIM04 gone file-wide; SIM03 suppressed only on the first call
+        assert [f.rule_id for f in findings] == ["SIM03"]
+        assert findings[0].line == 7
+
+    def test_line_suppression_does_not_leak_file_wide(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "repro/flash/x.py",
+            """
+            def f(x):
+                a = x == 1.0  # lint: disable=SIM04
+                b = x == 2.0
+                return a or b
+            """,
+        )
+        assert [f.line for f in lint_file(path)] == [4]
+
+
 class TestParseErrors:
     def test_syntax_error_becomes_finding(self, tmp_path):
         path = _write(tmp_path, "repro/bad.py", "def f(:\n")
@@ -173,8 +261,21 @@ class TestRegistry:
         out = capsys.readouterr().out
         assert "SIM04" in out and "x.py:1" in out
 
-    def test_shipped_package_is_clean(self):
+    def test_shipped_package_is_clean_against_baseline(self):
+        """The tree has zero findings beyond the committed baseline."""
+        from pathlib import Path
+
+        from repro.checkers.baseline import Baseline
+
         import repro
 
-        package_root = repro.__file__.rsplit("/", 1)[0]
-        assert lint_paths([package_root]) == []
+        package_root = Path(repro.__file__).resolve().parent
+        repo_root = package_root.parent.parent
+        baseline = Baseline.load(repo_root / ".lint-baseline.json")
+        new, accepted = baseline.split(lint_paths([package_root]))
+        assert new == [], "non-baselined findings:\n" + "\n".join(
+            f.format(show_hint=False) for f in new
+        )
+        # the baseline must not contain stale entries either: every
+        # accepted fingerprint is still produced by the tree
+        assert len(accepted) == sum(baseline.fingerprints.values())

@@ -1,0 +1,221 @@
+"""SIM11: lockstep-region equivalence, markers, and the normalizer."""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+from repro.checkers.astnorm import normalize_region
+from repro.checkers.lint import lint_file, lint_paths
+from repro.checkers.rules.lockstep import LockstepEquivalenceRule
+
+RULES = [LockstepEquivalenceRule()]
+
+
+def _write(tmp_path, relpath: str, body: str):
+    path = tmp_path.joinpath(*relpath.split("/"))
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(body), encoding="utf-8")
+    return path
+
+
+def _lint(tmp_path):
+    return lint_paths([tmp_path], rules=RULES)
+
+
+def _norm(body: str) -> str:
+    return normalize_region(ast.parse(textwrap.dedent(body)).body)
+
+
+CANONICAL = """
+    def read(self, ch, start):
+        # lockstep: begin tm-read
+        end = start + self.t_read_us
+        self.channel_busy[ch] = end
+        self.reads += 1
+        return end
+        # lockstep: end tm-read
+"""
+
+# same semantics, written the way the inlined hot path writes it:
+# attribute cached in a local, different intermediate names
+EQUIVALENT = """
+    def read(self, ch, start):
+        # lockstep: begin tm-read
+        busy = self.channel_busy
+        t_read = self.t_read_us
+        finish = start + t_read
+        busy[ch] = finish
+        self.reads += 1
+        return finish
+        # lockstep: end tm-read
+"""
+
+DRIFTED = """
+    def read(self, ch, start):
+        # lockstep: begin tm-read
+        end = start + self.t_read_us
+        self.channel_busy[ch] = end
+        self.reads += 2
+        return end
+        # lockstep: end tm-read
+"""
+
+
+class TestEquivalence:
+    def test_equivalent_pair_is_clean(self, tmp_path):
+        _write(tmp_path, "repro/ssd/timing.py", CANONICAL)
+        _write(tmp_path, "repro/sim/ops.py", EQUIVALENT)
+        assert _lint(tmp_path) == []
+
+    def test_mutated_pair_is_caught(self, tmp_path):
+        # the acceptance-criteria fixture: one copy drifted
+        _write(tmp_path, "repro/ssd/timing.py", CANONICAL)
+        _write(tmp_path, "repro/sim/ops.py", DRIFTED)
+        (finding,) = _lint(tmp_path)
+        assert finding.rule_id == "SIM11"
+        assert "drifted" in finding.message
+        # sites process in sorted path order, so the reference is ops.py
+        # and the finding lands on timing.py, pointing at its sibling
+        assert finding.path.endswith("timing.py")
+        assert "ops.py" in finding.message
+
+    def test_skip_region_carves_out_site_specific_lines(self, tmp_path):
+        _write(tmp_path, "repro/ssd/timing.py", CANONICAL)
+        _write(tmp_path, "repro/sim/ops.py", """
+            def read(self, ch, start):
+                # lockstep: begin tm-read
+                end = start + self.t_read_us
+                self.channel_busy[ch] = end
+                self.reads += 1
+                # lockstep: skip-begin -- op capture is site-specific
+                self.ops.append(("read", ch, start, end))
+                # lockstep: skip-end
+                return end
+                # lockstep: end tm-read
+        """)
+        assert _lint(tmp_path) == []
+
+    def test_unskipped_extra_statement_is_drift(self, tmp_path):
+        _write(tmp_path, "repro/ssd/timing.py", CANONICAL)
+        _write(tmp_path, "repro/sim/ops.py", """
+            def read(self, ch, start):
+                # lockstep: begin tm-read
+                end = start + self.t_read_us
+                self.channel_busy[ch] = end
+                self.reads += 1
+                self.ops.append(("read", ch, start, end))
+                return end
+                # lockstep: end tm-read
+        """)
+        assert [f.rule_id for f in _lint(tmp_path)] == ["SIM11"]
+
+
+class TestMarkerStructure:
+    def test_single_site_flagged_on_tree_scan(self, tmp_path):
+        _write(tmp_path, "repro/ssd/timing.py", CANONICAL)
+        (finding,) = _lint(tmp_path)
+        assert "only one site" in finding.message
+
+    def test_single_site_not_flagged_on_lone_file(self, tmp_path):
+        # linting one file cannot see the sibling; stay quiet
+        path = _write(tmp_path, "repro/ssd/timing.py", CANONICAL)
+        assert lint_file(path, rules=RULES) == []
+
+    def test_end_without_begin(self, tmp_path):
+        _write(tmp_path, "repro/a.py", """
+            x = 1
+            # lockstep: end grp
+        """)
+        (finding,) = _lint(tmp_path)
+        assert "without" in finding.message
+
+    def test_empty_region_flagged(self, tmp_path):
+        _write(tmp_path, "repro/a.py", """
+            # lockstep: begin grp
+            # lockstep: end grp
+        """)
+        _write(tmp_path, "repro/b.py", """
+            # lockstep: begin grp
+            # lockstep: end grp
+        """)
+        findings = _lint(tmp_path)
+        assert findings and all(
+            "no statements" in f.message for f in findings
+        )
+
+    def test_prose_without_region_flagged(self, tmp_path):
+        _write(tmp_path, "repro/a.py", """
+            # KEEP IN LOCKSTEP with the copy in ops.py
+            x = 1
+        """)
+        (finding,) = _lint(tmp_path)
+        assert "machine-checkable" in finding.message
+
+    def test_prose_with_region_in_same_file_ok(self, tmp_path):
+        _write(tmp_path, "repro/ssd/timing.py", """
+            # KEEP IN LOCKSTEP with the copy in ops.py
+        """ + CANONICAL)
+        _write(tmp_path, "repro/sim/ops.py", EQUIVALENT)
+        assert _lint(tmp_path) == []
+
+
+class TestNormalizer:
+    def test_alias_caching_normalizes_away(self):
+        a = _norm("""
+            end = start + self.t_read_us
+            self.busy[ch] = end
+            return end
+        """)
+        b = _norm("""
+            t = self.t_read_us
+            fin = start + t
+            self.busy[ch] = fin
+            return fin
+        """)
+        assert a == b
+
+    def test_subscript_store_does_not_invalidate_alias(self):
+        # busy[ch] = ... mutates an element, not the self.busy binding
+        a = _norm("""
+            busy = self.busy
+            busy[ch] = end
+        """)
+        b = _norm("""
+            self.busy[ch] = end
+        """)
+        assert a == b
+
+    def test_attribute_store_blocks_propagation(self):
+        # storing self.token means a cached read of server.token is NOT
+        # interchangeable with re-reading it afterwards
+        a = _norm("""
+            t = server.token
+            self.token = t + 1
+            use(t)
+        """)
+        b = _norm("""
+            self.token = server.token + 1
+            use(server.token)
+        """)
+        assert a != b
+
+    def test_call_results_never_propagate(self):
+        a = _norm("""
+            v = roll()
+            use(v, v)
+        """)
+        b = _norm("""
+            use(roll(), roll())
+        """)
+        assert a != b
+
+    def test_free_names_are_not_renamed(self):
+        a = _norm("self.total += amount\n")
+        b = _norm("self.total += delta\n")
+        assert a != b
+
+    def test_semantic_change_survives_normalization(self):
+        a = _norm("end = start + self.t_us\nreturn end\n")
+        b = _norm("end = start - self.t_us\nreturn end\n")
+        assert a != b

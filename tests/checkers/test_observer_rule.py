@@ -1,0 +1,121 @@
+"""SIM12: FTL status/L2P mutations must notify the observer seam."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.checkers.lint import lint_paths
+from repro.checkers.rules.observer_complete import ObserverCompletenessRule
+
+RULES = [ObserverCompletenessRule()]
+
+
+def _write(tmp_path, relpath: str, body: str):
+    path = tmp_path.joinpath(*relpath.split("/"))
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(body), encoding="utf-8")
+    return path
+
+
+def _lint(tmp_path):
+    return lint_paths([tmp_path], rules=RULES)
+
+
+BASE = """
+    class PageMappedFtl:
+        def _invalidate(self, gppa):
+            self.status.set_invalid(gppa)
+            self.l2p.unmap(gppa)
+            self.observer.on_invalidate(gppa)
+"""
+
+
+class TestViolations:
+    def test_silent_status_mutation_flagged(self, tmp_path):
+        _write(tmp_path, "repro/ftl/base.py", BASE)
+        _write(tmp_path, "repro/ftl/secure.py", """
+            class SecureFtl(PageMappedFtl):
+                def fast_erase(self, block):
+                    self.status.set_erased_block(block)
+        """)
+        (finding,) = _lint(tmp_path)
+        assert finding.rule_id == "SIM12"
+        assert "SecureFtl.fast_erase" in finding.message
+        assert "on_erase" in finding.message
+
+    def test_wrong_event_does_not_satisfy(self, tmp_path):
+        _write(tmp_path, "repro/ftl/base.py", BASE)
+        _write(tmp_path, "repro/ftl/secure.py", """
+            class SecureFtl(PageMappedFtl):
+                def write(self, lpn, gppa):
+                    self.l2p.map(lpn, gppa)
+                    self.observer.on_erase(gppa)
+        """)
+        (finding,) = _lint(tmp_path)
+        assert "l2p.map" in finding.message
+
+    def test_silent_mutation_in_base_class_itself(self, tmp_path):
+        _write(tmp_path, "repro/ftl/base.py", """
+            class PageMappedFtl:
+                def rewire(self, lpn, gppa):
+                    self.l2p.map(lpn, gppa)
+        """)
+        (finding,) = _lint(tmp_path)
+        assert "PageMappedFtl.rewire" in finding.message
+
+
+class TestSatisfied:
+    def test_direct_notification_ok(self, tmp_path):
+        _write(tmp_path, "repro/ftl/base.py", """
+            class PageMappedFtl:
+                def program(self, lpn, gppa):
+                    self.status.set_written(gppa)
+                    self.l2p.map(lpn, gppa)
+                    self.observer.on_program(lpn, gppa)
+        """)
+        assert _lint(tmp_path) == []
+
+    def test_transitive_helper_notification_ok(self, tmp_path):
+        # the mutator delegates the event to a self-helper
+        _write(tmp_path, "repro/ftl/base.py", BASE)
+        _write(tmp_path, "repro/ftl/secure.py", """
+            class SecureFtl(PageMappedFtl):
+                def trim(self, gppa):
+                    self.l2p.unmap(gppa)
+                    self._note(gppa)
+
+                def _note(self, gppa):
+                    self.observer.on_invalidate(gppa)
+        """)
+        assert _lint(tmp_path) == []
+
+    def test_inherited_helper_notification_ok(self, tmp_path):
+        # the helper carrying the event lives on the base class
+        _write(tmp_path, "repro/ftl/base.py", BASE)
+        _write(tmp_path, "repro/ftl/secure.py", """
+            class SecureFtl(PageMappedFtl):
+                def trim(self, gppa):
+                    self.status.set_invalid(gppa)
+                    self._invalidate(gppa)
+        """)
+        assert _lint(tmp_path) == []
+
+    def test_notify_optional_string_form_ok(self, tmp_path):
+        _write(tmp_path, "repro/ftl/base.py", """
+            class PageMappedFtl:
+                def program(self, lpn, gppa):
+                    self.status.set_written(gppa)
+                    notify_optional(self.observer, "on_program", lpn, gppa)
+        """)
+        assert _lint(tmp_path) == []
+
+    def test_non_subclass_is_exempt(self, tmp_path):
+        # recovery/audit code rebuilds mapping state without an observer
+        _write(tmp_path, "repro/ftl/base.py", BASE)
+        _write(tmp_path, "repro/ftl/recovery.py", """
+            class PowerLossRecovery:
+                def rebuild(self, lpn, gppa):
+                    self.l2p.map(lpn, gppa)
+                    self.status.set_written(gppa)
+        """)
+        assert _lint(tmp_path) == []

@@ -1,0 +1,155 @@
+"""SIM10: determinism taint flowing into results, telemetry, artifacts."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.checkers.lint import lint_paths
+from repro.checkers.rules.taint import DeterminismTaintRule
+
+RULES = [DeterminismTaintRule()]
+
+
+def _write(tmp_path, relpath: str, body: str):
+    path = tmp_path.joinpath(*relpath.split("/"))
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(body), encoding="utf-8")
+    return path
+
+
+def _lint(tmp_path):
+    return lint_paths([tmp_path], rules=RULES)
+
+
+class TestSinks:
+    def test_wall_clock_into_run_result(self, tmp_path):
+        _write(tmp_path, "repro/sim/runner.py", """
+            import time
+
+            def run(cfg):
+                started = time.time()
+                return RunResult(config=cfg, wall_s=started)
+        """)
+        (finding,) = _lint(tmp_path)
+        assert finding.rule_id == "SIM10"
+        assert "wall-clock" in finding.message
+        assert "RunResult" in finding.message
+
+    def test_entropy_into_json_artifact(self, tmp_path):
+        _write(tmp_path, "repro/analysis/report.py", """
+            import json
+            import os
+
+            def dump(path):
+                token = os.urandom(8).hex()
+                with open(path, "w") as fh:
+                    json.dump({"token": token}, fh)
+        """)
+        (finding,) = _lint(tmp_path)
+        assert "entropy" in finding.message
+        assert "json.dump" in finding.message
+
+    def test_process_identity_into_bus_emit(self, tmp_path):
+        _write(tmp_path, "repro/ftl/base.py", """
+            import os
+
+            def emit(self):
+                pid = os.getpid()
+                self.bus.instant("gc-start", pid=pid)
+        """)
+        (finding,) = _lint(tmp_path)
+        assert "process-identity" in finding.message
+
+    def test_set_iteration_order_into_dumps(self, tmp_path):
+        _write(tmp_path, "repro/analysis/x.py", """
+            import json
+
+            def bad(blocks):
+                victims = set(blocks)
+                order = [b for b in victims]
+                return json.dumps(order)
+        """)
+        (finding,) = _lint(tmp_path)
+        assert "set-order" in finding.message
+
+
+class TestSanitizers:
+    def test_sorted_set_is_clean(self, tmp_path):
+        _write(tmp_path, "repro/analysis/x.py", """
+            import json
+
+            def good(blocks):
+                victims = set(blocks)
+                return json.dumps(sorted(victims))
+        """)
+        assert _lint(tmp_path) == []
+
+    def test_aggregation_is_clean(self, tmp_path):
+        _write(tmp_path, "repro/analysis/x.py", """
+            import json
+
+            def good(blocks):
+                victims = set(blocks)
+                return json.dumps({"n": len(victims), "sum": sum(victims)})
+        """)
+        assert _lint(tmp_path) == []
+
+    def test_monotonic_timing_not_in_sink_is_clean(self, tmp_path):
+        # measuring wall time is fine as long as it stays out of sinks
+        _write(tmp_path, "repro/sim/runner.py", """
+            import time
+
+            def run(cfg):
+                t0 = time.perf_counter()
+                result = RunResult(config=cfg)
+                print(time.perf_counter() - t0)
+                return result
+        """)
+        assert _lint(tmp_path) == []
+
+
+class TestPropagation:
+    def test_taint_through_arithmetic_and_fstring(self, tmp_path):
+        _write(tmp_path, "repro/sim/runner.py", """
+            import time
+
+            def run(cfg):
+                elapsed = time.perf_counter() - cfg.t0
+                label = f"run-{elapsed:.1f}"
+                return RunResult(config=cfg, label=label)
+        """)
+        (finding,) = _lint(tmp_path)
+        assert "wall-clock" in finding.message
+
+    def test_function_alias_is_tracked(self, tmp_path):
+        _write(tmp_path, "repro/sim/runner.py", """
+            import time
+
+            def run(cfg, timer=None):
+                clock = timer if timer is not None else time.perf_counter
+                return RunResult(config=cfg, t=clock())
+        """)
+        (finding,) = _lint(tmp_path)
+        assert "wall-clock" in finding.message
+
+    def test_container_mutation_taints_receiver(self, tmp_path):
+        _write(tmp_path, "repro/sim/runner.py", """
+            import time
+
+            def run(cfg):
+                rows = []
+                rows.append(time.time_ns())
+                return RunResult(config=cfg, rows=rows)
+        """)
+        (finding,) = _lint(tmp_path)
+        assert "wall-clock" in finding.message
+
+    def test_inline_suppression(self, tmp_path):
+        _write(tmp_path, "repro/sim/runner.py", """
+            import time
+
+            def run(cfg):
+                t = time.time()
+                return RunResult(config=cfg, t=t)  # lint: disable=SIM10
+        """)
+        assert _lint(tmp_path) == []
