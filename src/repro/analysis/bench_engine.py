@@ -29,7 +29,7 @@ import time
 from collections.abc import Callable
 from pathlib import Path
 
-from repro.analysis.parallel import GridTask, run_grid
+from repro.analysis.parallel import GridResultCache, GridTask, run_grid_detailed
 from repro.sim.arrivals import ClosedLoopArrivals
 from repro.sim.policies import policy_by_name
 from repro.sim.runner import simulate_workload
@@ -133,6 +133,7 @@ def run_bench(
     repeats: int = 3,
     jobs: int = 1,
     timer: Callable[[], float] | None = None,
+    resume_dir: str | Path | None = None,
 ) -> dict[str, object]:
     """Benchmark the engine on each variant; keep each variant's best run.
 
@@ -148,6 +149,11 @@ def run_bench(
     ``wall_s``/``events_per_sec`` numbers differ between job counts;
     with an injected deterministic ``timer`` the artifact is
     byte-identical for any ``jobs``.
+
+    ``resume_dir`` makes the grid checkpoint-aware: each completed
+    (variant, repeat) shard is persisted there, and a re-run after a
+    crash serves validated shards from disk instead of recomputing
+    them (corrupt shard files are quarantined and recomputed).
     """
     if repeats < 1:
         raise ValueError("repeats must be >= 1")
@@ -163,7 +169,9 @@ def run_bench(
         for v_index, variant in enumerate(variants)
         for repeat in range(repeats)
     ]
-    results = run_grid(_bench_task, tasks, jobs=jobs)
+    cache = None if resume_dir is None else GridResultCache(resume_dir)
+    grid = run_grid_detailed(_bench_task, tasks, jobs=jobs, cache=cache)
+    results = grid.results
     runs = []
     for v_index in range(len(variants)):
         best: dict[str, object] | None = None
@@ -182,6 +190,8 @@ def run_bench(
             "chips_per_channel": config.chips_per_channel,
         },
         "repeats": repeats,
+        "retried_shards": grid.retried_shards,
+        "cached_shards": grid.cached_shards,
         "runs": runs,
         "best_events_per_sec": max(
             (r["events_per_sec"] for r in runs), default=0.0
@@ -196,36 +206,64 @@ def write_bench_json(payload: dict[str, object], path: str | Path) -> Path:
     return target
 
 
-def compare_bench(
+def compare_bench_detailed(
     current: dict[str, object],
     baseline: dict[str, object],
     tolerance: float = 0.05,
-) -> list[str]:
-    """Diff simulated metrics against a committed baseline artifact.
+) -> dict[str, object]:
+    """Structured diff of simulated metrics vs a committed baseline.
 
-    Returns one human-readable line per regression (empty list: gate
-    passes).  A run regresses when a :data:`COMPARE_METRICS` metric is
-    worse than the baseline by more than ``tolerance`` (a fraction:
-    0.05 allows 5 % slack).  The simulated metrics are deterministic
-    for a given config+seed, so the band exists to absorb *intended*
-    small model adjustments, not machine noise -- wall-clock metrics
-    never participate.  A (workload, variant) present in the baseline
-    but missing from the current payload is itself a regression (a
-    silently dropped variant must not pass the gate); new runs with no
-    baseline counterpart are ignored.
+    Returns the full per-(workload, variant) per-metric table -- not
+    just the failures -- so a gate trip in CI shows every delta against
+    its tolerance band at a glance::
+
+        {
+          "tolerance": 0.05,
+          "regressed": bool,               # any cell tripped
+          "runs": [
+            {
+              "workload": ..., "variant": ...,
+              "missing": False,            # baseline row absent from current
+              "metrics": [
+                {"metric": "iops", "direction": +1,
+                 "baseline": ..., "current": ..., "delta_pct": ...,
+                 "limit": ..., "regressed": bool},
+                ...
+              ],
+            },
+            ...
+          ],
+        }
+
+    A run regresses when a :data:`COMPARE_METRICS` metric is worse than
+    the baseline by more than ``tolerance`` (a fraction: 0.05 allows
+    5 % slack).  The simulated metrics are deterministic for a given
+    config+seed, so the band exists to absorb *intended* small model
+    adjustments, not machine noise -- wall-clock metrics never
+    participate.  A (workload, variant) present in the baseline but
+    missing from the current payload is itself a regression (a silently
+    dropped variant must not pass the gate); new runs with no baseline
+    counterpart are ignored.
     """
     if tolerance < 0.0:
         raise ValueError("tolerance must be >= 0")
     current_runs = {
         (run["workload"], run["variant"]): run for run in current["runs"]
     }
-    problems: list[str] = []
+    rows: list[dict[str, object]] = []
+    any_regressed = False
     for run in baseline["runs"]:
         key = (run["workload"], run["variant"])
-        label = f"{key[0]}/{key[1]}"
         against = current_runs.get(key)
+        row: dict[str, object] = {
+            "workload": key[0],
+            "variant": key[1],
+            "missing": against is None,
+            "metrics": [],
+        }
         if against is None:
-            problems.append(f"{label}: present in baseline but not benchmarked")
+            any_regressed = True
+            rows.append(row)
             continue
         for metric, direction in COMPARE_METRICS:
             base = float(run[metric])
@@ -236,12 +274,78 @@ def compare_bench(
             else:
                 limit = base * (1.0 + tolerance)
                 regressed = now > limit
-            if regressed:
-                problems.append(
-                    f"{label}: {metric} {now:,.1f} vs baseline {base:,.1f} "
-                    f"(allowed {'>=' if direction > 0 else '<='} {limit:,.1f}, "
-                    f"tolerance {tolerance:.0%})"
-                )
+            any_regressed = any_regressed or regressed
+            row["metrics"].append(
+                {
+                    "metric": metric,
+                    "direction": direction,
+                    "baseline": base,
+                    "current": now,
+                    "delta_pct": ((now - base) / base * 100.0) if base else 0.0,
+                    "limit": limit,
+                    "regressed": regressed,
+                }
+            )
+        rows.append(row)
+    return {
+        "tolerance": tolerance,
+        "regressed": any_regressed,
+        "runs": rows,
+    }
+
+
+def format_compare(diff: dict[str, object]) -> str:
+    """Human-readable rendering of :func:`compare_bench_detailed`."""
+    lines = [
+        f"bench compare (tolerance {diff['tolerance']:.0%}): "
+        + ("REGRESSED" if diff["regressed"] else "ok")
+    ]
+    for row in diff["runs"]:
+        label = f"{row['workload']}/{row['variant']}"
+        if row["missing"]:
+            lines.append(
+                f"  FAIL {label}: present in baseline but not benchmarked"
+            )
+            continue
+        for cell in row["metrics"]:
+            mark = "FAIL" if cell["regressed"] else "ok  "
+            bound = ">=" if cell["direction"] > 0 else "<="
+            lines.append(
+                f"  {mark} {label}: {cell['metric']} "
+                f"{cell['current']:,.1f} vs baseline {cell['baseline']:,.1f} "
+                f"({cell['delta_pct']:+.2f}%, allowed {bound} "
+                f"{cell['limit']:,.1f})"
+            )
+    return "\n".join(lines)
+
+
+def compare_bench(
+    current: dict[str, object],
+    baseline: dict[str, object],
+    tolerance: float = 0.05,
+) -> list[str]:
+    """One human-readable line per regression (empty list: gate passes).
+
+    The legacy flat view of :func:`compare_bench_detailed` -- see there
+    for the gate semantics.
+    """
+    diff = compare_bench_detailed(current, baseline, tolerance=tolerance)
+    problems: list[str] = []
+    for row in diff["runs"]:
+        label = f"{row['workload']}/{row['variant']}"
+        if row["missing"]:
+            problems.append(f"{label}: present in baseline but not benchmarked")
+            continue
+        for cell in row["metrics"]:
+            if not cell["regressed"]:
+                continue
+            bound = ">=" if cell["direction"] > 0 else "<="
+            problems.append(
+                f"{label}: {cell['metric']} {cell['current']:,.1f} vs "
+                f"baseline {cell['baseline']:,.1f} "
+                f"(allowed {bound} {cell['limit']:,.1f}, "
+                f"tolerance {diff['tolerance']:.0%})"
+            )
     return problems
 
 

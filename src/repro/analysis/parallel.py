@@ -29,9 +29,20 @@ a subtly order-dependent one.
 from __future__ import annotations
 
 import hashlib
+import json
+import os
 from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
+from pathlib import Path
+
+from repro.checkpoint.codec import (
+    CodecError,
+    canonical_dumps,
+    decode,
+    encode,
+    section_checksum,
+)
 
 
 @dataclass(frozen=True)
@@ -106,6 +117,197 @@ class DeterministicTimer:
         return now
 
 
+class GridResultCache:
+    """Durable per-shard results for resumable grids.
+
+    One file per completed task (``task-<index>.json``), written
+    atomically (tmp + rename) through the :mod:`repro.checkpoint.codec`
+    tagged-JSON format with an embedded SHA-256 checksum.  A re-run of
+    the same grid with the same cache directory skips every shard whose
+    file validates -- a crashed sweep resumes from its last completed
+    shard instead of recomputing the grid.
+
+    Safety matches the checkpoint store's: a cache file that is
+    truncated, bit-flipped, or keyed to different task coordinates is
+    quarantined (renamed ``*.corrupt``) and the shard is recomputed;
+    corruption can cost work, never correctness.
+
+    ``to_state``/``from_state`` adapt non-JSON-native results (e.g. a
+    dataclass's ``to_dict``/``from_dict`` pair); the default identity
+    pair suits plain dict/list results.
+    """
+
+    def __init__(
+        self,
+        root: str | Path,
+        to_state: Callable[[object], object] | None = None,
+        from_state: Callable[[object], object] | None = None,
+    ) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._to_state = to_state if to_state is not None else (lambda r: r)
+        self._from_state = (
+            from_state if from_state is not None else (lambda s: s)
+        )
+        #: shards served from disk by the last :func:`run_grid_detailed`.
+        self.hits = 0
+
+    @staticmethod
+    def _key(task: GridTask) -> dict[str, object]:
+        return {
+            "index": task.index,
+            "variant": task.variant,
+            "workload": task.workload,
+            "seed": task.seed,
+        }
+
+    def _path(self, task: GridTask) -> Path:
+        return self.root / f"task-{task.index:06d}.json"
+
+    def _quarantine(self, path: Path) -> None:
+        target = path.with_suffix(".json.corrupt")
+        n = 1
+        while target.exists():  # pragma: no cover - repeat corruption
+            n += 1
+            target = path.with_suffix(f".json.corrupt.{n}")
+        os.rename(path, target)
+
+    def load(self, task: GridTask) -> tuple[bool, object]:
+        """``(True, result)`` on a validated hit, ``(False, None)`` else."""
+        path = self._path(task)
+        if not path.exists():
+            return False, None
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            if payload["key"] != self._key(task):
+                raise ValueError("cache file keyed to different coordinates")
+            body = canonical_dumps(payload["result"])
+            if section_checksum(body) != payload["checksum"]:
+                raise ValueError("checksum mismatch")
+            result = self._from_state(decode(payload["result"]))
+        except (OSError, ValueError, KeyError, TypeError, CodecError):
+            self._quarantine(path)
+            return False, None
+        return True, result
+
+    def store(self, task: GridTask, result: object) -> None:
+        encoded = encode(self._to_state(result))
+        payload = {
+            "key": self._key(task),
+            "checksum": section_checksum(canonical_dumps(encoded)),
+            "result": encoded,
+        }
+        path = self._path(task)
+        tmp = path.with_suffix(".json.tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(canonical_dumps(payload))
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.rename(tmp, path)
+
+
+@dataclass
+class GridResult:
+    """Merged grid output plus the shard-level recovery accounting."""
+
+    results: list[object]
+    #: shards that failed once and succeeded on their single retry.
+    retried_shards: int = 0
+    #: canonical indices of those shards, ascending.
+    retried: tuple[int, ...] = ()
+    #: shards served from a :class:`GridResultCache` instead of run.
+    cached_shards: int = 0
+
+
+def _first_pass(
+    fn: Callable[[GridTask], object],
+    pending: Sequence[GridTask],
+    jobs: int,
+) -> dict[int, object | BaseException]:
+    """Run every pending task once; map index -> result or exception."""
+    outcome: dict[int, object | BaseException] = {}
+    if jobs == 1 or len(pending) <= 1:
+        for task in pending:
+            try:
+                outcome[task.index] = fn(task)
+            except Exception as exc:
+                outcome[task.index] = exc
+        return outcome
+    with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+        futures = [pool.submit(fn, task) for task in pending]
+        for task, future in zip(pending, futures):
+            try:
+                outcome[task.index] = future.result()
+            except Exception as exc:
+                outcome[task.index] = exc
+    return outcome
+
+
+def run_grid_detailed(
+    fn: Callable[[GridTask], object],
+    tasks: Iterable[GridTask],
+    jobs: int = 1,
+    cache: GridResultCache | None = None,
+) -> GridResult:
+    """:func:`run_grid` plus retry/cache accounting.
+
+    **Bounded retry**: a shard that fails its first attempt is retried
+    exactly once, in-process, with the identical task (the re-derived
+    seed is unchanged -- a retry must compute the same cell, not a
+    luckier one).  Retries run in ascending canonical index order after
+    the first pass completes, so which shard retried first never
+    depends on pool scheduling.  A shard that fails *twice* raises
+    :class:`GridTaskError` for the lowest-indexed such cell, with the
+    second failure chained as ``__cause__``.
+
+    **Cache**: with a :class:`GridResultCache`, validated cached shards
+    are returned without running ``fn`` and fresh results are persisted
+    as soon as they are computed, so a crashed sweep's next invocation
+    resumes from its last completed shard.
+    """
+    ordered: Sequence[GridTask] = list(tasks)
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    merged: dict[int, object] = {}
+    cached = 0
+    pending: list[GridTask] = []
+    for task in ordered:
+        if cache is not None:
+            hit, result = cache.load(task)
+            if hit:
+                merged[task.index] = result
+                cached += 1
+                continue
+        pending.append(task)
+    if cache is not None:
+        cache.hits = cached
+    outcome = _first_pass(fn, pending, jobs)
+    retried: list[int] = []
+    failures: list[tuple[GridTask, BaseException]] = []
+    for task in pending:
+        result = outcome[task.index]
+        if isinstance(result, BaseException):
+            # single bounded retry, same task, same seed, in index order
+            try:
+                result = fn(task)
+            except Exception as exc:
+                failures.append((task, exc))
+                continue
+            retried.append(task.index)
+        merged[task.index] = result
+        if cache is not None:
+            cache.store(task, result)
+    if failures:
+        task, cause = failures[0]
+        raise GridTaskError(task, cause) from cause
+    return GridResult(
+        results=[merged[task.index] for task in ordered],
+        retried_shards=len(retried),
+        retried=tuple(retried),
+        cached_shards=cached,
+    )
+
+
 def run_grid(
     fn: Callable[[GridTask], object],
     tasks: Iterable[GridTask],
@@ -119,27 +321,8 @@ def run_grid(
     task's payload must then be picklable (module-level function,
     frozen-dataclass arguments).
 
-    A failing task raises :class:`GridTaskError` naming the cell; with
-    a pool, earlier-indexed results are still collected first, so the
-    error reported is the failing task with the lowest index.
+    A shard that fails is retried once (see :func:`run_grid_detailed`);
+    a shard that fails twice raises :class:`GridTaskError` naming the
+    lowest-indexed failing cell.
     """
-    ordered: Sequence[GridTask] = list(tasks)
-    if jobs < 1:
-        raise ValueError("jobs must be >= 1")
-    if jobs == 1 or len(ordered) <= 1:
-        results: list[object] = []
-        for task in ordered:
-            try:
-                results.append(fn(task))
-            except Exception as exc:
-                raise GridTaskError(task, exc) from exc
-        return results
-    with ProcessPoolExecutor(max_workers=min(jobs, len(ordered))) as pool:
-        futures = [pool.submit(fn, task) for task in ordered]
-        results = []
-        for task, future in zip(ordered, futures):
-            try:
-                results.append(future.result())
-            except Exception as exc:
-                raise GridTaskError(task, exc) from exc
-    return results
+    return run_grid_detailed(fn, tasks, jobs=jobs).results

@@ -34,14 +34,19 @@ from __future__ import annotations
 
 import json
 import random
+import tempfile
 from dataclasses import dataclass, field
+from pathlib import Path
 
-from repro.analysis.parallel import GridTask, run_grid
+from repro.analysis.parallel import GridResultCache, GridTask, run_grid_detailed
 from repro.checkers.sanitizer import InvariantViolation
+from repro.checkpoint import run_chunked_simulation
+from repro.checkpoint.store import StoreCrashInjected
 from repro.faults import FaultKind, FaultPlan
 from repro.flash.errors import FlashError, PowerLossInjected
 from repro.ftl.mapping import UNMAPPED
 from repro.ftl.recovery import PowerLossRecovery
+from repro.sim.runner import capture_block_trace
 from repro.ssd.config import SSDConfig
 from repro.ssd.device import SSD
 from repro.ssd.request import IoRequest, read, trim, write
@@ -69,6 +74,9 @@ LOCKING_VARIANTS = ("secSSD_nobLock", "secSSD")
 
 #: per-op fault probabilities of the default rate sweep.
 DEFAULT_RATES = (1e-3, 1e-2)
+
+#: checkpoint-corruption modes exercised by the checkpoint sweep.
+CHECKPOINT_MODES = ("powercut", "bitflip", "truncate")
 
 
 # ---------------------------------------------------------------------------
@@ -188,6 +196,19 @@ class TortureCase:
             "exempt": self.exempt,
         }
 
+    @classmethod
+    def from_dict(cls, data: dict) -> TortureCase:
+        """Inverse of :meth:`to_dict` (shard-cache rehydration)."""
+        return cls(
+            variant=str(data["variant"]),
+            kind=str(data["kind"]),
+            detail=str(data["detail"]),
+            outcome=str(data["outcome"]),
+            robustness={str(k): int(v) for k, v in data["robustness"].items()},
+            injected={str(k): int(v) for k, v in data["injected"].items()},
+            exempt=int(data["exempt"]),
+        )
+
 
 @dataclass
 class TortureScorecard:
@@ -195,6 +216,10 @@ class TortureScorecard:
 
     seed: int
     cases: list[TortureCase] = field(default_factory=list)
+    #: shards that failed once and passed their single bounded retry.
+    retried_shards: int = 0
+    #: shards rehydrated from a ``--resume`` shard cache instead of run.
+    cached_shards: int = 0
 
     @property
     def failures(self) -> list[TortureCase]:
@@ -212,6 +237,8 @@ class TortureScorecard:
                 "passed": self.passed,
                 "n_cases": len(self.cases),
                 "n_failures": len(self.failures),
+                "retried_shards": self.retried_shards,
+                "cached_shards": self.cached_shards,
                 "cases": [case.to_dict() for case in self.cases],
             },
             sort_keys=True,
@@ -229,10 +256,16 @@ class TortureScorecard:
                 f"{case.detail:<12} faults={faults:<4} {case.outcome}"
             )
         verdict = "PASS" if self.passed else "FAIL"
+        recovery = ""
+        if self.retried_shards or self.cached_shards:
+            recovery = (
+                f", {self.retried_shards} retried, "
+                f"{self.cached_shards} cached"
+            )
         lines.append(
             f"torture: {verdict} "
             f"({len(self.cases)} cases, {len(self.failures)} failure(s), "
-            f"seed {self.seed})"
+            f"seed {self.seed}{recovery})"
         )
         return "\n".join(lines)
 
@@ -389,6 +422,119 @@ def run_power_loss_case(
     )
 
 
+def run_checkpoint_case(
+    config: SSDConfig,
+    variant: str,
+    mode: str,
+    seed: int,
+    workload: str = "MailServer",
+    write_multiplier: float = 0.25,
+) -> TortureCase:
+    """Corrupt a resumable campaign's checkpoints; it must still finish.
+
+    Three attack modes against :func:`repro.checkpoint.
+    run_chunked_simulation`:
+
+    * ``powercut`` -- power dies *mid-checkpoint-write* (after one
+      section of the next generation hit disk, before the manifest and
+      the atomic rename), leaving a torn ``gen-*.tmp`` directory;
+    * ``bitflip`` -- one byte of the newest generation's FTL section is
+      flipped on disk;
+    * ``truncate`` -- the newest generation's manifest is cut in half.
+
+    In every mode the final resume must quarantine the damaged
+    generation, fall back to the previous good one, report the recovery
+    on ``result.run.extra["checkpoint_recovery"]``, and end
+    byte-identical to the same campaign run uninterrupted.
+    """
+    if mode not in CHECKPOINT_MODES:
+        raise ValueError(f"unknown checkpoint mode {mode!r}")
+    try:
+        requests, _ = capture_block_trace(
+            config, workload, seed=seed, write_multiplier=write_multiplier
+        )
+        every = max(1, len(requests) // 3)  # >= 3 checkpoint windows
+        with tempfile.TemporaryDirectory() as tmp:
+            common = dict(
+                seed=seed, write_multiplier=write_multiplier, checked=True
+            )
+            reference = run_chunked_simulation(
+                config, workload, variant, Path(tmp) / "ref", every, **common
+            )
+            run_dir = Path(tmp) / "run"
+            # the interrupted campaign: killed after its first checkpoint
+            run_chunked_simulation(
+                config, workload, variant, run_dir, every,
+                stop_after=1, **common,
+            )
+            if mode == "powercut":
+                # resume, then cut power mid-write of the next generation
+                try:
+                    run_chunked_simulation(
+                        config, workload, variant, run_dir, every,
+                        resume=True, _crash_after="section:ftl", **common,
+                    )
+                    return TortureCase(
+                        variant=variant,
+                        kind="checkpoint",
+                        detail=mode,
+                        outcome="FAIL: mid-write power cut never fired",
+                    )
+                except StoreCrashInjected:
+                    pass
+            else:
+                # complete one more window, then damage its checkpoint
+                run_chunked_simulation(
+                    config, workload, variant, run_dir, every,
+                    resume=True, stop_after=1, **common,
+                )
+                newest = max(
+                    p for p in run_dir.iterdir()
+                    if p.is_dir() and len(p.name) == len("gen-000000")
+                )
+                if mode == "bitflip":
+                    target = newest / "ftl.json"
+                    raw = bytearray(target.read_bytes())
+                    raw[len(raw) // 2] ^= 0x40
+                    target.write_bytes(bytes(raw))
+                else:  # truncate
+                    target = newest / "MANIFEST.json"
+                    raw = target.read_bytes()
+                    target.write_bytes(raw[: len(raw) // 2])
+            final = run_chunked_simulation(
+                config, workload, variant, run_dir, every,
+                resume=True, **common,
+            )
+            recovery = final.run.extra.get("checkpoint_recovery", [])
+            qdir = run_dir / "quarantine"
+            quarantined = sorted(
+                p.name for p in qdir.iterdir()
+            ) if qdir.is_dir() else []
+            if not recovery or not quarantined:
+                outcome = (
+                    "FAIL: damaged checkpoint was not quarantined "
+                    f"(reports={len(recovery)}, on-disk={quarantined})"
+                )
+            elif final.to_json() != reference.to_json():
+                outcome = "FAIL: resumed result diverges from reference"
+            else:
+                outcome = "PASS"
+            return TortureCase(
+                variant=variant,
+                kind="checkpoint",
+                detail=mode,
+                outcome=outcome,
+                injected={"checkpoint_corruption": len(recovery)},
+            )
+    except Exception as exc:  # never a traceback: a FAIL case instead
+        return TortureCase(
+            variant=variant,
+            kind="checkpoint",
+            detail=mode,
+            outcome=f"FAIL: {type(exc).__name__}: {exc}",
+        )
+
+
 # ---------------------------------------------------------------------------
 # the full torture sweep
 # ---------------------------------------------------------------------------
@@ -397,6 +543,8 @@ def _run_torture_case(task: GridTask) -> TortureCase:
     case_kind, case_args = task.payload
     if case_kind == "rate":
         return run_rate_case(*case_args)
+    if case_kind == "checkpoint":
+        return run_checkpoint_case(*case_args)
     return run_power_loss_case(*case_args)
 
 
@@ -409,14 +557,23 @@ def run_torture(
     window_start: int = 0,
     window: int = 200,
     jobs: int = 1,
+    checkpoint_modes: tuple[str, ...] = CHECKPOINT_MODES,
+    resume_dir: str | Path | None = None,
 ) -> TortureScorecard:
-    """Rate sweep + forced lock failures + power-loss window sweep.
+    """Rate + forced-lock + power-loss + checkpoint-corruption sweeps.
 
     Every case is independent (own device, own seed-derived fault
     plan), so ``jobs > 1`` fans them over worker processes via
-    :func:`repro.analysis.parallel.run_grid`.  Cases are enumerated in
-    one canonical order and merged in that order, so the scorecard is
-    byte-identical for any job count.
+    :func:`repro.analysis.parallel.run_grid_detailed`.  Cases are
+    enumerated in one canonical order and merged in that order, so the
+    scorecard is byte-identical for any job count.
+
+    ``resume_dir`` makes the sweep itself resumable: completed cases
+    are persisted one file per shard (checksummed, atomically written)
+    and a re-run with the same directory recomputes only the missing
+    or corrupt shards.  The scorecard reports how many shards were
+    served from the cache (``cached_shards``) and how many needed the
+    single bounded retry (``retried_shards``).
     """
     card = TortureScorecard(seed=seed)
     tasks: list[GridTask] = []
@@ -482,5 +639,17 @@ def run_torture(
                 "power_loss",
                 (config, variant, op_index, n_requests, seed),
             )
-    card.cases.extend(run_grid(_run_torture_case, tasks, jobs=jobs))
+        for mode in checkpoint_modes:
+            add(variant, "checkpoint", (config, variant, mode, seed))
+    cache = None
+    if resume_dir is not None:
+        cache = GridResultCache(
+            resume_dir,
+            to_state=lambda case: case.to_dict(),
+            from_state=TortureCase.from_dict,
+        )
+    grid = run_grid_detailed(_run_torture_case, tasks, jobs=jobs, cache=cache)
+    card.cases.extend(grid.results)
+    card.retried_shards = grid.retried_shards
+    card.cached_shards = grid.cached_shards
     return card

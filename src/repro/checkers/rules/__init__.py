@@ -1,4 +1,4 @@
-"""The domain rule catalogue (SIM01..SIM09).
+"""The domain rule catalogue (SIM01..SIM15).
 
 Each rule lives in its own module and encodes one simulator invariant:
 
@@ -20,7 +20,10 @@ Each rule lives in its own module and encodes one simulator invariant:
   (``cli.py`` is the one module that talks to stdout);
 * ``SIM09`` (:mod:`.parallel_only`) -- no ``multiprocessing`` /
   ``concurrent.futures`` imports outside ``analysis/parallel.py``
-  (process fan-out goes through ``run_grid``'s determinism contract).
+  (process fan-out goes through ``run_grid``'s determinism contract);
+* ``SIM15`` (:mod:`.serialization`) -- no ``pickle``/``marshal``/
+  ``shelve`` imports outside ``checkpoint/`` (durable state goes
+  through the versioned, checksummed checkpoint codec).
 
 The whole-program families (SIM10..SIM14) run over the
 :class:`~repro.checkers.project.ProjectContext` built from every linted
@@ -56,6 +59,7 @@ from repro.checkers.rules.no_print import NoPrintRule
 from repro.checkers.rules.observer_complete import ObserverCompletenessRule
 from repro.checkers.rules.observers import SanitizeObserverRule
 from repro.checkers.rules.parallel_only import ParallelOnlyRule
+from repro.checkers.rules.serialization import SerializationBoundaryRule
 from repro.checkers.rules.sim_clock import SimWallClockRule
 from repro.checkers.rules.taint import DeterminismTaintRule
 from repro.checkers.rules.units import TimeUnitConsistencyRule
@@ -76,6 +80,7 @@ ALL_RULES = (
     ObserverCompletenessRule,
     TimeUnitConsistencyRule,
     ImportLayeringRule,
+    SerializationBoundaryRule,
 )
 
 RULES_BY_ID = {cls.rule_id: cls for cls in ALL_RULES}
@@ -92,6 +97,7 @@ __all__ = [
     "ObserverCompletenessRule",
     "ParallelOnlyRule",
     "SanitizeObserverRule",
+    "SerializationBoundaryRule",
     "SimWallClockRule",
     "StatusTableEncapsulationRule",
     "SwallowedFlashErrorRule",

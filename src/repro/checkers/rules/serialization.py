@@ -1,0 +1,66 @@
+"""SIM15: serialization decisions live in ``repro/checkpoint/`` only.
+
+Durable state is a format contract: whatever writes it must still be
+readable after a refactor, on the other Python version, and after a
+torn write.  ``pickle`` and its relatives fail all three -- they
+serialize *implementation* (class paths, attribute layouts), execute
+arbitrary code on load, and offer no way to validate a partial read --
+so the repo funnels every durable-state decision through
+:mod:`repro.checkpoint`: a versioned, checksummed, tagged-JSON codec
+with explicit ``state_dict`` contracts per subsystem.
+
+This rule bans importing the pickle family anywhere outside
+``checkpoint/`` (where the one sanctioned codec lives, should it ever
+need to interoperate).  JSON via the checkpoint codec -- or plain
+``json`` for *ephemeral, schema-stable* artifacts like reports -- is
+the sanctioned path.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.checkers.lint import FileContext, Finding, LintRule
+
+#: top-level module names that smuggle unversioned, code-executing
+#: serialization formats into durable state.
+FORBIDDEN_MODULES = ("pickle", "cPickle", "marshal", "shelve", "dill")
+
+
+class SerializationBoundaryRule(LintRule):
+    rule_id = "SIM15"
+    severity = "error"
+    description = (
+        "unversioned serialization outside checkpoint/ "
+        "(pickle/marshal/shelve import)"
+    )
+    hint = (
+        "durable state goes through repro.checkpoint (versioned, "
+        "checksummed, tagged-JSON state_dict contracts); only the "
+        "checkpoint package may touch the pickle family"
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        # in-package files only, except the sanctioned checkpoint package
+        return (
+            ctx.rel_parts != ctx.path.parts
+            and ctx.rel_parts[:1] != ("checkpoint",)
+        )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                names = [alias.name for alias in node.names]
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                names = [node.module]
+            else:
+                continue
+            for name in names:
+                if name.split(".")[0] in FORBIDDEN_MODULES:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"{self.description}: imports {name!r}",
+                    )
+                    break

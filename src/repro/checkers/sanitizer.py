@@ -462,3 +462,33 @@ class FtlSanitizer:
             "probes": self.probes,
             "tracked_sanitized": len(self._sanitized),
         }
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, object]:
+        """Checkpoint payload (see :mod:`repro.checkpoint`).
+
+        The shadow table and sanitize tracking must round-trip exactly:
+        a restored checked run has to keep enforcing from the same
+        vantage point -- and report the same counters -- as one that was
+        never interrupted.
+        """
+        return {
+            "batch": self.batch,
+            "full_checks": self.full_checks,
+            "probes": self.probes,
+            "shadow": [int(s) for s in self._shadow],
+            "pending": set(self._pending),
+            "sanitized": dict(self._sanitized),
+            "fresh": set(self._fresh),
+            "trail": list(self._trail),
+        }
+
+    def load_state_dict(self, state: dict[str, object]) -> None:
+        self.batch = state["batch"]
+        self.full_checks = state["full_checks"]
+        self.probes = state["probes"]
+        self._shadow = [PageStatus(v) for v in state["shadow"]]
+        self._pending = set(state["pending"])
+        self._sanitized = dict(state["sanitized"])
+        self._fresh = set(state["fresh"])
+        self._trail = deque(state["trail"], maxlen=self._trail.maxlen)

@@ -1,0 +1,358 @@
+"""Crash-consistent generation store for device checkpoints.
+
+One checkpoint *generation* is a directory::
+
+    <root>/
+      campaign.json            # campaign manifest (params fingerprint)
+      gen-000001/
+        MANIFEST.json          # format version + per-section checksums
+        ftl.json               # one file per state section
+        chips.json
+        ...
+      gen-000002/
+      quarantine/
+        gen-000002.bad-checksum/   # corrupt generations moved, not deleted
+
+The write protocol is the classic journaling dance:
+
+1. write every section into ``gen-NNNNNN.tmp/`` (write, flush, fsync);
+2. write ``MANIFEST.json`` *last* -- a directory without a manifest is
+   by definition torn;
+3. fsync the tmp directory, then atomically ``os.rename`` it into
+   place, then fsync the parent so the rename itself is durable.
+
+A crash at any point leaves either (a) the previous generations intact
+and a stray ``*.tmp`` directory, or (b) the fully-renamed new
+generation.  :meth:`CheckpointStore.latest_good` quarantines stray tmp
+directories as torn writes, validates manifests and section checksums
+newest-first, quarantines anything corrupt (truncated, bit-flipped,
+missing sections, stale format version) with a structured
+:class:`CorruptionReport`, and falls back to the newest generation that
+validates.  Only when *no* generation survives does it raise
+:class:`CheckpointError` -- carrying every report, so the caller can
+render a diagnosis instead of a traceback.
+
+``_crash_after`` is the torture hook: naming a protocol point (e.g.
+``"section:ftl"`` or ``"rename"``) makes the next write raise
+:class:`StoreCrashInjected` at exactly that point, leaving the same
+on-disk state a power cut there would.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.checkpoint.codec import (
+    CodecError,
+    canonical_dumps,
+    decode,
+    encode,
+    section_checksum,
+)
+
+__all__ = [
+    "FORMAT_VERSION",
+    "CheckpointError",
+    "CheckpointStore",
+    "CorruptionReport",
+    "LoadReport",
+    "StoreCrashInjected",
+]
+
+#: bump on any incompatible change to the manifest or codec format.
+FORMAT_VERSION = 1
+
+_MANIFEST = "MANIFEST.json"
+_GEN_PREFIX = "gen-"
+_CAMPAIGN = "campaign.json"
+
+
+class StoreCrashInjected(RuntimeError):
+    """Raised by the ``_crash_after`` torture hook mid-write."""
+
+
+@dataclass(frozen=True)
+class CorruptionReport:
+    """One generation found corrupt, and what was done about it."""
+
+    generation: int
+    reason: str
+    detail: str
+    quarantined_to: str
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "generation": self.generation,
+            "reason": self.reason,
+            "detail": self.detail,
+            "quarantined_to": self.quarantined_to,
+        }
+
+
+@dataclass
+class LoadReport:
+    """A successfully loaded generation plus any corruption en route."""
+
+    generation: int
+    sections: dict[str, Any]
+    meta: dict[str, Any]
+    corrupt: list[CorruptionReport] = field(default_factory=list)
+
+
+class CheckpointError(Exception):
+    """No usable checkpoint generation exists.
+
+    Carries the :class:`CorruptionReport` list so callers can print a
+    structured account of every generation that was tried and rejected.
+    """
+
+    def __init__(self, message: str, reports: list[CorruptionReport]) -> None:
+        super().__init__(message)
+        self.reports = reports
+
+    def render(self) -> str:
+        lines = [f"checkpoint recovery failed: {self}"]
+        for report in self.reports:
+            lines.append(
+                f"  gen {report.generation:06d}: {report.reason}"
+                f" ({report.detail}) -> quarantined as"
+                f" {report.quarantined_to}"
+            )
+        if not self.reports:
+            lines.append("  (no checkpoint generations present)")
+        return "\n".join(lines)
+
+
+def _fsync_path(path: Path) -> None:
+    """fsync a file or directory so a preceding write/rename is durable."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+class CheckpointStore:
+    """Generation-directory checkpoint store under one root directory."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        #: torture hook -- a protocol point name at which the next
+        #: :meth:`write_generation` raises :class:`StoreCrashInjected`:
+        #: ``"section:<name>"`` (after that section file is written),
+        #: ``"manifest"`` (after the manifest, before the rename), or
+        #: ``"rename"`` (after the rename, before the parent fsync).
+        self._crash_after: str | None = None
+
+    # -- campaign manifest ---------------------------------------------
+    def write_campaign_manifest(self, manifest: dict[str, Any]) -> None:
+        """Atomically write the campaign parameter fingerprint."""
+        text = canonical_dumps(encode(manifest))
+        tmp = self.root / (_CAMPAIGN + ".tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.rename(tmp, self.root / _CAMPAIGN)
+        _fsync_path(self.root)
+
+    def read_campaign_manifest(self) -> dict[str, Any] | None:
+        """The campaign fingerprint, or None when absent/unreadable."""
+        path = self.root / _CAMPAIGN
+        try:
+            return decode(json.loads(path.read_text(encoding="utf-8")))
+        except (OSError, ValueError, CodecError):
+            return None
+
+    # -- generation enumeration ----------------------------------------
+    @staticmethod
+    def _gen_name(generation: int) -> str:
+        return f"{_GEN_PREFIX}{generation:06d}"
+
+    def _gen_path(self, generation: int) -> Path:
+        return self.root / self._gen_name(generation)
+
+    def generations(self) -> list[int]:
+        """Fully-renamed generation numbers, ascending."""
+        found = []
+        for entry in self.root.iterdir():
+            name = entry.name
+            if not entry.is_dir() or not name.startswith(_GEN_PREFIX):
+                continue
+            if name.endswith(".tmp"):
+                continue
+            suffix = name[len(_GEN_PREFIX):]
+            if suffix.isdigit():
+                found.append(int(suffix))
+        return sorted(found)
+
+    # -- writing -------------------------------------------------------
+    def _maybe_crash(self, point: str) -> None:
+        if self._crash_after == point:
+            self._crash_after = None
+            raise StoreCrashInjected(f"injected power loss after {point!r}")
+
+    def write_generation(
+        self, sections: dict[str, Any], meta: dict[str, Any] | None = None
+    ) -> int:
+        """Write one new generation durably; returns its number.
+
+        Sections are raw state values; this encodes, checksums, and
+        writes each to its own file, then the manifest, then performs
+        the atomic rename.  A crash (real or injected via
+        ``_crash_after``) at any point never damages prior generations.
+        """
+        generation = (self.generations() or [0])[-1] + 1
+        final = self._gen_path(generation)
+        tmp = self.root / (self._gen_name(generation) + ".tmp")
+        if tmp.exists():  # pragma: no cover - stale from a prior crash
+            shutil.rmtree(tmp)
+        tmp.mkdir()
+        checksums: dict[str, dict[str, Any]] = {}
+        for name in sorted(sections):
+            text = canonical_dumps(encode(sections[name]))
+            path = tmp / f"{name}.json"
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(text)
+                handle.flush()
+                os.fsync(handle.fileno())
+            checksums[name] = {
+                "checksum": section_checksum(text),
+                "size": len(text.encode("utf-8")),
+            }
+            self._maybe_crash(f"section:{name}")
+        manifest = {
+            "format_version": FORMAT_VERSION,
+            "generation": generation,
+            "sections": checksums,
+            "meta": dict(meta or {}),
+        }
+        text = canonical_dumps(manifest)
+        with open(tmp / _MANIFEST, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        _fsync_path(tmp)
+        self._maybe_crash("manifest")
+        os.rename(tmp, final)
+        self._maybe_crash("rename")
+        _fsync_path(self.root)
+        return generation
+
+    # -- quarantine + recovery -----------------------------------------
+    def quarantine(self, path: Path, reason: str) -> Path:
+        """Move a directory into ``quarantine/`` tagged with the reason."""
+        qdir = self.root / "quarantine"
+        qdir.mkdir(exist_ok=True)
+        target = qdir / f"{path.name}.{reason}"
+        n = 1
+        while target.exists():  # pragma: no cover - repeat corruption
+            n += 1
+            target = qdir / f"{path.name}.{reason}.{n}"
+        os.rename(path, target)
+        return target
+
+    def quarantine_generation(
+        self, generation: int, reason: str, detail: str
+    ) -> CorruptionReport:
+        """Quarantine a fully-renamed generation (e.g. a failed audit)."""
+        target = self.quarantine(self._gen_path(generation), reason)
+        return CorruptionReport(
+            generation=generation,
+            reason=reason,
+            detail=detail,
+            quarantined_to=target.name,
+        )
+
+    def _validate_generation(self, generation: int) -> tuple[dict, dict]:
+        """Raise ValueError on any corruption; return (sections, meta)."""
+        path = self._gen_path(generation)
+        manifest_path = path / _MANIFEST
+        try:
+            manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            raise ValueError("missing-manifest: MANIFEST.json absent")
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ValueError(f"bad-manifest: {exc}")
+        version = manifest.get("format_version")
+        if version != FORMAT_VERSION:
+            raise ValueError(
+                f"stale-version: format_version={version!r},"
+                f" expected {FORMAT_VERSION}"
+            )
+        listed = manifest.get("sections")
+        if not isinstance(listed, dict):
+            raise ValueError("bad-manifest: sections table missing")
+        sections: dict[str, Any] = {}
+        for name in sorted(listed):
+            entry = listed[name]
+            section_path = path / f"{name}.json"
+            try:
+                text = section_path.read_text(encoding="utf-8")
+            except FileNotFoundError:
+                raise ValueError(f"missing-section: {name}.json absent")
+            except OSError as exc:  # pragma: no cover - I/O error
+                raise ValueError(f"unreadable-section: {name}: {exc}")
+            if section_checksum(text) != entry.get("checksum"):
+                raise ValueError(
+                    f"bad-checksum: section {name!r} does not match manifest"
+                )
+            try:
+                sections[name] = decode(json.loads(text))
+            except (json.JSONDecodeError, CodecError) as exc:
+                # checksum matched, so the *write* was intact but the
+                # content is undecodable -- a format bug, still quarantine.
+                raise ValueError(f"undecodable-section: {name}: {exc}")
+        return sections, manifest.get("meta", {})
+
+    def sweep_torn_writes(self) -> list[CorruptionReport]:
+        """Quarantine stray ``*.tmp`` generation dirs (torn writes)."""
+        reports = []
+        for entry in sorted(self.root.iterdir()):
+            name = entry.name
+            if entry.is_dir() and name.startswith(_GEN_PREFIX) and name.endswith(".tmp"):
+                suffix = name[len(_GEN_PREFIX):-len(".tmp")]
+                generation = int(suffix) if suffix.isdigit() else -1
+                target = self.quarantine(entry, "torn-write")
+                reports.append(
+                    CorruptionReport(
+                        generation=generation,
+                        reason="torn-write",
+                        detail="tmp directory left by an interrupted write",
+                        quarantined_to=target.name,
+                    )
+                )
+        return reports
+
+    def latest_good(self) -> LoadReport:
+        """Newest generation that validates, quarantining the corrupt.
+
+        Scans newest-first.  Each corrupt generation is moved into
+        ``quarantine/`` and recorded; the first one that validates wins.
+        Raises :class:`CheckpointError` (with every report) when none do.
+        """
+        corrupt = self.sweep_torn_writes()
+        for generation in reversed(self.generations()):
+            try:
+                sections, meta = self._validate_generation(generation)
+            except ValueError as exc:
+                reason, _, detail = str(exc).partition(": ")
+                corrupt.append(
+                    self.quarantine_generation(generation, reason, detail)
+                )
+                continue
+            return LoadReport(
+                generation=generation,
+                sections=sections,
+                meta=meta,
+                corrupt=corrupt,
+            )
+        raise CheckpointError(
+            "no valid checkpoint generation found", corrupt
+        )

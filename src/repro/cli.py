@@ -23,9 +23,17 @@ Three commands drive the closed-loop discrete-event engine (repro.sim)::
 ``simulate`` and ``torture`` also take ``--trace-out PATH`` to record
 the run's structured event trace as a Chrome-trace-event file.
 
+``simulate --checkpoint-every N --checkpoint-dir DIR`` writes a
+crash-consistent device checkpoint every N requests; an interrupted
+run continues with ``--resume`` and finishes byte-identical to an
+uninterrupted one (corrupt checkpoints are quarantined and the run
+falls back to the previous good generation).  ``bench --resume DIR``
+and ``torture --resume DIR`` cache completed grid shards so a killed
+sweep resumes instead of recomputing.
+
 Four maintenance commands ship with the simulator itself::
 
-    python -m repro lint                   # static domain lint (SIM01-SIM14)
+    python -m repro lint                   # static domain lint (SIM01-SIM15)
     python -m repro check                  # runtime invariant sanitizer run
     python -m repro torture                # fault-injection robustness sweep
     python -m repro profile -- bench ...   # cProfile any repro command
@@ -206,6 +214,15 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         )
     else:
         arrivals = ClosedLoopArrivals(args.qd)
+    checkpointing = bool(args.checkpoint_every or args.resume)
+    if checkpointing and not args.checkpoint_dir:
+        print("simulate: --checkpoint-dir is required with "
+              "--checkpoint-every/--resume")
+        return 2
+    if checkpointing and not args.checkpoint_every:
+        print("simulate: --checkpoint-every is required with --resume "
+              "(it is part of the campaign's determinism contract)")
+        return 2
     trace_sessions = {}
     results = {}
     for variant in variants:
@@ -221,19 +238,67 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             from repro.telemetry import Telemetry
 
             telemetry = trace_sessions[variant] = Telemetry()
-        results[variant] = simulate_workload(
-            _config(args),
-            args.workload,
-            variant,
-            seed=args.seed,
-            write_multiplier=args.multiplier,
-            policy=policy,
-            arrivals=arrivals,
-            checked=True if args.checked else None,
-            check_interval=args.interval,
-            telemetry=telemetry,
-        )
-    print(format_tail_latency(results))
+        if checkpointing:
+            from pathlib import Path
+
+            from repro.checkpoint import (
+                CampaignMismatchError,
+                CheckpointError,
+                run_chunked_simulation,
+            )
+
+            try:
+                result = run_chunked_simulation(
+                    _config(args),
+                    args.workload,
+                    variant,
+                    Path(args.checkpoint_dir) / variant,
+                    args.checkpoint_every,
+                    seed=args.seed,
+                    write_multiplier=args.multiplier,
+                    policy=policy,
+                    arrivals=arrivals,
+                    checked=True if args.checked else None,
+                    check_interval=args.interval,
+                    telemetry=telemetry,
+                    resume=args.resume,
+                    stop_after=args.stop_after,
+                )
+            except CheckpointError as exc:
+                print(exc.render())
+                return 1
+            except CampaignMismatchError as exc:
+                print(f"simulate: {exc}")
+                return 2
+            if result is None:
+                print(
+                    f"{variant}: stopped after {args.stop_after} "
+                    f"checkpoint(s) in {args.checkpoint_dir}; "
+                    "continue with --resume"
+                )
+                continue
+            for report in result.run.extra.get("checkpoint_recovery", []):
+                print(
+                    f"{variant}: recovered past gen "
+                    f"{report['generation']:06d} ({report['reason']}: "
+                    f"{report['detail']}) -> {report['quarantined_to']}"
+                )
+            results[variant] = result
+        else:
+            results[variant] = simulate_workload(
+                _config(args),
+                args.workload,
+                variant,
+                seed=args.seed,
+                write_multiplier=args.multiplier,
+                policy=policy,
+                arrivals=arrivals,
+                checked=True if args.checked else None,
+                check_interval=args.interval,
+                telemetry=telemetry,
+            )
+    if results:
+        print(format_tail_latency(results))
     if args.trace_out:
         from repro.telemetry.export import write_chrome_trace
 
@@ -256,8 +321,9 @@ def cmd_bench(args: argparse.Namespace) -> int:
     import json
 
     from repro.analysis.bench_engine import (
-        compare_bench,
+        compare_bench_detailed,
         format_bench,
+        format_compare,
         run_bench,
         write_bench_json,
     )
@@ -285,21 +351,24 @@ def cmd_bench(args: argparse.Namespace) -> int:
         write_multiplier=args.multiplier,
         repeats=args.repeats,
         jobs=args.jobs,
+        resume_dir=args.resume,
     )
     print(format_bench(payload))
+    if payload.get("cached_shards") or payload.get("retried_shards"):
+        print(
+            f"grid shards: {payload.get('cached_shards', 0)} cached, "
+            f"{payload.get('retried_shards', 0)} retried"
+        )
     target = write_bench_json(payload, args.out)
     print(f"benchmark artifact written to {target}")
     if baseline is not None:
-        problems = compare_bench(payload, baseline, tolerance=args.tolerance)
-        if problems:
-            print(f"bench compare vs {args.compare}: REGRESSED")
-            for line in problems:
-                print(f"  {line}")
-            return 1
-        print(
-            f"bench compare vs {args.compare}: ok "
-            f"(tolerance {args.tolerance:.0%})"
+        diff = compare_bench_detailed(
+            payload, baseline, tolerance=args.tolerance
         )
+        print(f"vs {args.compare}:")
+        print(format_compare(diff))
+        if diff["regressed"]:
+            return 1
     return 0
 
 
@@ -333,7 +402,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
-    """Static domain lint (SIM01-SIM14) over the simulator sources."""
+    """Static domain lint (SIM01-SIM15) over the simulator sources."""
     from repro.checkers.lint import rule_catalogue, run_lint
 
     if args.rules:
@@ -395,13 +464,27 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 def cmd_torture(args: argparse.Namespace) -> int:
     """Fault-injection torture sweep with a robustness scorecard."""
-    from repro.analysis.torture import TORTURE_VARIANTS, run_torture
+    from repro.analysis.torture import (
+        CHECKPOINT_MODES,
+        TORTURE_VARIANTS,
+        run_torture,
+    )
     from repro.ftl import FTL_VARIANTS
 
     variants = tuple(args.variants or TORTURE_VARIANTS)
     unknown = [v for v in variants if v not in FTL_VARIANTS]
     if unknown:
         print(f"unknown variant(s) {unknown}; choose from {sorted(FTL_VARIANTS)}")
+        return 2
+    modes = (
+        CHECKPOINT_MODES
+        if args.checkpoint_modes is None
+        else tuple(args.checkpoint_modes)
+    )
+    bad_modes = [m for m in modes if m not in CHECKPOINT_MODES]
+    if bad_modes:
+        print(f"unknown checkpoint mode(s) {bad_modes}; "
+              f"choose from {list(CHECKPOINT_MODES)}")
         return 2
     card = run_torture(
         _config(args),
@@ -412,6 +495,8 @@ def cmd_torture(args: argparse.Namespace) -> int:
         window_start=args.window_start,
         window=args.window,
         jobs=args.jobs,
+        checkpoint_modes=modes,
+        resume_dir=args.resume,
     )
     print(card.to_json() if args.json else card.format())
     if args.trace_out:
@@ -522,7 +607,7 @@ def build_parser() -> argparse.ArgumentParser:
     for name in sorted(COMMANDS):
         if name == "lint":
             p = sub.add_parser(
-                name, help="static domain lint (rules SIM01-SIM14)"
+                name, help="static domain lint (rules SIM01-SIM15)"
             )
             p.add_argument("paths", nargs="*", default=None,
                            help="files/dirs to lint (default: the package)")
@@ -573,6 +658,14 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--jobs", type=int, default=1,
                            help="worker processes for the case grid "
                                 "(scorecard is identical for any count)")
+            p.add_argument("--checkpoint-modes", nargs="*", default=None,
+                           metavar="MODE",
+                           help="checkpoint-corruption cases to include "
+                                "(powercut bitflip truncate; default all; "
+                                "pass no MODE to disable)")
+            p.add_argument("--resume", default=None, metavar="DIR",
+                           help="persist completed cases to DIR and "
+                                "resume a killed sweep from there")
             p.add_argument("--json", action="store_true",
                            help="emit the machine-readable scorecard")
             p.add_argument("--trace-out", default=None, metavar="PATH",
@@ -606,6 +699,22 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--trace-out", default=None, metavar="PATH",
                            help="record each variant's event trace into "
                                 "one Chrome-trace-event file")
+            p.add_argument("--checkpoint-every", type=int, default=None,
+                           metavar="N",
+                           help="write a crash-consistent device "
+                                "checkpoint every N requests")
+            p.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                           help="campaign directory (one subdirectory "
+                                "per variant)")
+            p.add_argument("--resume", action="store_true",
+                           help="resume an interrupted campaign from "
+                                "--checkpoint-dir (byte-identical to an "
+                                "uninterrupted run)")
+            p.add_argument("--stop-after", type=int, default=None,
+                           metavar="K",
+                           help="exit after writing K checkpoints "
+                                "(deterministic interruption, for tests "
+                                "and CI smoke)")
         elif name == "trace":
             p = sub.add_parser(
                 name, parents=[scale],
@@ -659,6 +768,9 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--tolerance", type=float, default=0.05,
                            help="allowed fractional slack for --compare "
                                 "(default 0.05 = 5%%)")
+            p.add_argument("--resume", default=None, metavar="DIR",
+                           help="persist completed grid shards to DIR and "
+                                "resume a killed benchmark from there")
         elif name == "check":
             p = sub.add_parser(
                 name, parents=[scale],

@@ -137,3 +137,36 @@ class PageApArray:
     def erase(self) -> None:
         """Block erase: every flag cell returns to the enabled state."""
         self._flags.clear()
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, object]:
+        """Checkpoint payload (see :mod:`repro.checkpoint`).
+
+        The RNG stream is captured as the bit generator's state dict so a
+        restored array draws the exact same binomial/uniform sequence a
+        never-interrupted run would.
+        """
+        return {
+            "flags": {
+                offset: {
+                    "k": flag.k,
+                    "programmed_cells": flag.programmed_cells,
+                    "flip_thresholds": flag.flip_thresholds,
+                    "lock_day": flag.lock_day,
+                }
+                for offset, flag in self._flags.items()
+            },
+            "rng_state": self._rng.bit_generator.state,
+        }
+
+    def load_state_dict(self, state: dict[str, object]) -> None:
+        self._flags = {
+            offset: PapFlag(
+                k=payload["k"],
+                programmed_cells=payload["programmed_cells"],
+                flip_thresholds=payload["flip_thresholds"],
+                lock_day=payload["lock_day"],
+            )
+            for offset, payload in state["flags"].items()
+        }
+        self._rng.bit_generator.state = state["rng_state"]

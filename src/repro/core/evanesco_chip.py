@@ -179,3 +179,18 @@ class EvanescoChip(FlashChip):
     def locked_page_count(self) -> int:
         """Pages with a pLock issued (plus none from bLock), for stats."""
         return sum(len(pap.locked_offsets()) for pap in self._pap)
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, object]:
+        """Base chip state plus the pAP/bAP flag arrays."""
+        state = super().state_dict()
+        state["pap"] = [pap.state_dict() for pap in self._pap]
+        state["bap"] = [bap.state_dict() for bap in self._bap]
+        return state
+
+    def load_state_dict(self, state: dict[str, object]) -> None:
+        super().load_state_dict(state)
+        for pap, payload in zip(self._pap, state["pap"]):
+            pap.load_state_dict(payload)
+        for bap, payload in zip(self._bap, state["bap"]):
+            bap.load_state_dict(payload)

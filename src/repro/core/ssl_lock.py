@@ -154,3 +154,11 @@ class BlockApFlag:
             return False
         elapsed = max(0.0, day - self.lock_day)
         return self.model.is_blocking(self.pulse, elapsed)
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, float | None]:
+        """Checkpoint payload -- only ``lock_day`` is mutable."""
+        return {"lock_day": self.lock_day}
+
+    def load_state_dict(self, state: dict[str, float | None]) -> None:
+        self.lock_day = state["lock_day"]

@@ -144,6 +144,28 @@ class FaultPlan:
             out["active_until"] = self.active_until
         return out
 
+    # ------------------------------------------------------------------
+    def to_state(self) -> dict[str, object]:
+        """Lossless checkpoint form (unlike :meth:`describe`, which
+        flattens kinds to their string values)."""
+        return {
+            "seed": self.seed,
+            "rates": self.rates,
+            "schedule": self.schedule,
+            "active_from": self.active_from,
+            "active_until": self.active_until,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict[str, object]) -> "FaultPlan":
+        return cls(
+            seed=state["seed"],
+            rates=state["rates"],
+            schedule=state["schedule"],
+            active_from=state["active_from"],
+            active_until=state["active_until"],
+        )
+
 
 @dataclass
 class FaultInjector:
@@ -214,6 +236,27 @@ class FaultInjector:
     @property
     def total_injected(self) -> int:
         return sum(self.injected.values())
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, object]:
+        """Checkpoint payload: plan fingerprint + cursor + RNG stream."""
+        return {
+            "plan": self.plan.to_state(),
+            "op_index": self.op_index,
+            "tripped": self.tripped,
+            "injected": dict(self.injected),
+            "rng_state": self._rng.getstate(),
+        }
+
+    def load_state_dict(self, state: dict[str, object]) -> None:
+        if FaultPlan.from_state(state["plan"]) != self.plan:
+            raise ValueError(
+                "fault-plan checkpoint does not match the configured plan"
+            )
+        self.op_index = state["op_index"]
+        self.tripped = state["tripped"]
+        self.injected = dict(state["injected"])
+        self._rng.setstate(state["rng_state"])
 
     # ------------------------------------------------------------------
     @contextmanager

@@ -184,3 +184,26 @@ class Block:
     def record_wl_disturb(self, wordline: int) -> None:
         """Count one inhibited program pulse on a wordline (pLock)."""
         self.wl_disturb_pulses[wordline] += 1
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, Any]:
+        """Checkpoint payload (see :mod:`repro.checkpoint`)."""
+        return {
+            "pages": [page.state_dict() for page in self.pages],
+            "erase_count": self.erase_count,
+            "next_page": self.next_page,
+            "last_erase_time": self.last_erase_time,
+            "wl_disturb_pulses": list(self.wl_disturb_pulses),
+            "state": self._state,
+        }
+
+    def load_state_dict(self, state: dict[str, Any]) -> None:
+        for page, payload in zip(self.pages, state["pages"]):
+            page.load_state_dict(payload)
+        self.erase_count = state["erase_count"]
+        self.next_page = state["next_page"]
+        self.last_erase_time = state["last_erase_time"]
+        self.wl_disturb_pulses = list(state["wl_disturb_pulses"])
+        # bypass the setter: the owning chip rebuilds its free set in one
+        # pass after every block is loaded, so no listener churn here.
+        self._state = state["state"]

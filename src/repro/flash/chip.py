@@ -81,6 +81,18 @@ class ChipStats:
             "busy_time_us": self.busy_time_us,
         }
 
+    def state_dict(self) -> dict[str, float]:
+        """Checkpoint payload -- same keys as :meth:`snapshot`."""
+        return self.snapshot()
+
+    def load_state_dict(self, state: dict[str, float]) -> None:
+        self.reads = state["reads"]
+        self.programs = state["programs"]
+        self.erases = state["erases"]
+        self.plocks = state["plocks"]
+        self.blocks_locked = state["blocks_locked"]
+        self.busy_time_us = state["busy_time_us"]
+
 
 @dataclass
 class FlashChip:
@@ -258,6 +270,27 @@ class FlashChip:
         recovery layouts stay byte-identical to the scan they replaced.
         """
         return sorted(self._free_blocks)
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, Any]:
+        """Checkpoint payload (see :mod:`repro.checkpoint`)."""
+        return {
+            "blocks": [block.state_dict() for block in self.blocks],
+            "stats": self.stats.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict[str, Any]) -> None:
+        """Restore in place -- Block objects are mutated, not replaced,
+        so their ``state_listener`` wiring survives; the free set is
+        rebuilt in one pass afterwards."""
+        for block, payload in zip(self.blocks, state["blocks"]):
+            block.load_state_dict(payload)
+        self.stats.load_state_dict(state["stats"])
+        self._free_blocks = {
+            i
+            for i, block in enumerate(self.blocks)
+            if block.state is BlockState.FREE
+        }
 
     def raw_dump(self) -> dict[int, Any]:
         """Forensic view: payload of every programmed page, keyed by PPN.

@@ -220,3 +220,42 @@ class BlockAllocator:
         if st.active_block is None:
             return 0
         return self._pages_per_block - st.next_offset
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, object]:
+        """Checkpoint payload: queue order and cursors are preserved
+        exactly (free/pending deque order decides which block is reused
+        next, so it is behaviorally significant)."""
+        return {
+            "chips": [
+                {
+                    "free_blocks": deque(chip.free_blocks),
+                    "pending_blocks": deque(chip.pending_blocks),
+                    "streams": {
+                        name: {
+                            "active_block": st.active_block,
+                            "next_offset": st.next_offset,
+                        }
+                        for name, st in chip.streams.items()
+                    },
+                    "retired": set(chip.retired),
+                }
+                for chip in self._chips
+            ],
+        }
+
+    def load_state_dict(self, state: dict[str, object]) -> None:
+        chips = state["chips"]
+        if len(chips) != len(self._chips):
+            raise ValueError("allocator checkpoint does not match chip count")
+        for chip, payload in zip(self._chips, chips):
+            chip.free_blocks = deque(payload["free_blocks"])
+            chip.pending_blocks = deque(payload["pending_blocks"])
+            chip.streams = {
+                name: StreamState(
+                    active_block=st["active_block"],
+                    next_offset=st["next_offset"],
+                )
+                for name, st in payload["streams"].items()
+            }
+            chip.retired = set(payload["retired"])

@@ -672,3 +672,41 @@ class PageMappedFtl:
 
     def elapsed_us(self) -> float:
         return self.timing.elapsed_us
+
+    # ------------------------------------------------------------------
+    # checkpoint support (repro.checkpoint)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, object]:
+        """FTL tables and cursors only -- chip arrays, the fault
+        injector, the timing model, and the sanitizer are separate
+        checkpoint sections (see repro.checkpoint.device)."""
+        return {
+            "l2p": self.l2p.state_dict(),
+            "status": self.status.state_dict(),
+            "alloc": self.alloc.state_dict(),
+            "pending_victims": set(self._pending_victims),
+            "rr_chip": self._rr_chip,
+            "write_seq": self._write_seq,
+            "logical_time": self._logical_time,
+            "block_last_program": list(self._block_last_program),
+            "block_reads": list(self._block_reads),
+            "bad_blocks": set(self._bad_blocks),
+            "condemned": set(self._condemned),
+            "block_program_fails": list(self._block_program_fails),
+            "stats": self.stats.to_dict(),
+        }
+
+    def load_state_dict(self, state: dict[str, object]) -> None:
+        self.l2p.load_state_dict(state["l2p"])
+        self.status.load_state_dict(state["status"])
+        self.alloc.load_state_dict(state["alloc"])
+        self._pending_victims = set(state["pending_victims"])
+        self._rr_chip = state["rr_chip"]
+        self._write_seq = state["write_seq"]
+        self._logical_time = state["logical_time"]
+        self._block_last_program = list(state["block_last_program"])
+        self._block_reads = list(state["block_reads"])
+        self._bad_blocks = set(state["bad_blocks"])
+        self._condemned = set(state["condemned"])
+        self._block_program_fails = list(state["block_program_fails"])
+        self.stats = DeviceStats.from_dict(state["stats"])

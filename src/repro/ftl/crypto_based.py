@@ -105,3 +105,17 @@ class CryptoFtl(PageMappedFtl):
         if key_id not in self.key_store:
             return None
         return plaintext
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, object]:
+        state = super().state_dict()
+        state["key_store"] = dict(self.key_store)
+        state["next_key"] = self._next_key
+        state["key_deletions"] = self.key_deletions
+        return state
+
+    def load_state_dict(self, state: dict[str, object]) -> None:
+        super().load_state_dict(state)
+        self.key_store = dict(state["key_store"])
+        self._next_key = state["next_key"]
+        self.key_deletions = state["key_deletions"]

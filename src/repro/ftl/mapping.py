@@ -95,3 +95,16 @@ class L2PTable:
 
     def mapped_count(self) -> int:
         return sum(1 for g in self._l2p if g != UNMAPPED)
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, list[int]]:
+        """Checkpoint payload (see :mod:`repro.checkpoint`)."""
+        return {"l2p": list(self._l2p), "p2l": list(self._p2l)}
+
+    def load_state_dict(self, state: dict[str, list[int]]) -> None:
+        if len(state["l2p"]) != len(self._l2p) or len(state["p2l"]) != len(
+            self._p2l
+        ):
+            raise ValueError("L2P checkpoint does not match table geometry")
+        self._l2p = list(state["l2p"])
+        self._p2l = list(state["p2l"])

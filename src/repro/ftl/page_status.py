@@ -120,3 +120,21 @@ class StatusTable:
         for s in self._status:
             out[s] += 1
         return out
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, list[int]]:
+        """Checkpoint payload; statuses as ints (4x smaller than tags)."""
+        return {
+            "status": [int(s) for s in self._status],
+            "live": list(self._live),
+            "secured": list(self._secured),
+            "invalid": list(self._invalid),
+        }
+
+    def load_state_dict(self, state: dict[str, list[int]]) -> None:
+        if len(state["status"]) != len(self._status):
+            raise ValueError("status checkpoint does not match table geometry")
+        self._status = [PageStatus(v) for v in state["status"]]
+        self._live = list(state["live"])
+        self._secured = list(state["secured"])
+        self._invalid = list(state["invalid"])

@@ -41,6 +41,14 @@ class ArrivalProcess:
     def describe(self) -> dict[str, object]:
         return {"name": self.name}
 
+    # checkpoint support: stateless processes round-trip an empty dict;
+    # RNG-owning subclasses override both methods.
+    def state_dict(self) -> dict[str, object]:
+        return {}
+
+    def load_state_dict(self, state: dict[str, object]) -> None:
+        pass
+
 
 class ClosedLoopArrivals(ArrivalProcess):
     """Fixed queue depth: QD requests in flight whenever work remains."""
@@ -74,6 +82,12 @@ class PoissonArrivals(ArrivalProcess):
 
     def describe(self) -> dict[str, object]:
         return {"name": self.name, "rate_iops": self.rate_iops}
+
+    def state_dict(self) -> dict[str, object]:
+        return {"rng_state": self._rng.getstate()}
+
+    def load_state_dict(self, state: dict[str, object]) -> None:
+        self._rng.setstate(state["rng_state"])
 
 
 class BurstyArrivals(ArrivalProcess):
@@ -126,3 +140,13 @@ class BurstyArrivals(ArrivalProcess):
             "on_mean_us": self.on_mean_us,
             "off_mean_us": self.off_mean_us,
         }
+
+    def state_dict(self) -> dict[str, object]:
+        return {
+            "rng_state": self._rng.getstate(),
+            "on_left_us": self._on_left_us,
+        }
+
+    def load_state_dict(self, state: dict[str, object]) -> None:
+        self._rng.setstate(state["rng_state"])
+        self._on_left_us = state["on_left_us"]

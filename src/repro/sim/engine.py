@@ -251,6 +251,10 @@ class QueueingEngine:
         self.arrivals = arrivals
         self.policy = policy
         self.steady_start = steady_start
+        #: dispatch horizon: requests with index >= _limit are not
+        #: released.  ``run()`` sets it to the full stream; checkpointed
+        #: campaigns move it forward window by window (``run_window``).
+        self._limit = len(requests)
 
         # policies that never override priority() (FIFO family) get a
         # constant: _enqueue then skips one method call per segment
@@ -302,6 +306,24 @@ class QueueingEngine:
     # run loop
     # ------------------------------------------------------------------
     def run(self) -> EngineReport:
+        self.run_window(len(self.requests))
+        return self._report()
+
+    def run_window(self, stop: int) -> None:
+        """Dispatch and fully drain requests up to index ``stop``.
+
+        At return the engine is *quiescent* -- heap empty, nothing in
+        flight, every server idle with no pending lock pulses -- which
+        is the only point a device checkpoint is taken (see
+        repro.checkpoint.campaign).  ``run()`` is exactly one window
+        over the whole stream.
+        """
+        if not self._next_index <= stop <= len(self.requests):
+            raise ValueError(
+                f"window stop {stop} out of range "
+                f"[{self._next_index}, {len(self.requests)}]"
+            )
+        self._limit = stop
         self._seed_arrivals()
         # the loop body executes once per event (hundreds of thousands
         # per run): bind the hot callables/objects to locals and drain
@@ -327,30 +349,40 @@ class QueueingEngine:
             if not stragglers:
                 break
             # lock pulses deferred on chips that never went idle and saw
-            # no later traffic: the run's final idle window drains them.
+            # no later traffic: the window's final idle gap drains them.
             for server in stragglers:
                 self._drain_locks(server)
-        return self._report()
 
     def _seed_arrivals(self) -> None:
-        n = len(self.requests)
-        if n == 0:
+        limit = self._limit
+        if self._next_index >= limit:
             return
+        now = self.clock.now_us
         if self.arrivals.closed_loop:
-            first = min(self.arrivals.queue_depth, n)
-            for index in range(first):
-                self.heap.schedule(0.0, _EV_ARRIVAL, index)
-            self._next_index = first
-        else:
+            first = min(self.arrivals.queue_depth, limit - self._next_index)
+            for _ in range(first):
+                self.heap.schedule(now, _EV_ARRIVAL, self._next_index)
+                self._next_index += 1
+        elif self._next_index == 0:
+            # the stream's very first arrival is pinned at t=0 and
+            # consumes no RNG draw (the historical open-loop contract)
             self.heap.schedule(0.0, _EV_ARRIVAL, 0)
             self._next_index = 1
+        else:
+            # a resumed open-loop window: draw the next gap exactly as
+            # _dispatch would have
+            self._arrival_time_us += self.arrivals.interarrival_us()
+            self.heap.schedule(
+                max(self._arrival_time_us, now), _EV_ARRIVAL, self._next_index
+            )
+            self._next_index += 1
 
     # ------------------------------------------------------------------
     # arrivals and dispatch
     # ------------------------------------------------------------------
     def _dispatch(self, index: int) -> None:
         now = self.clock.now_us
-        if not self.arrivals.closed_loop and self._next_index < len(self.requests):
+        if not self.arrivals.closed_loop and self._next_index < self._limit:
             self._arrival_time_us += self.arrivals.interarrival_us()
             self.heap.schedule(
                 max(self._arrival_time_us, now), _EV_ARRIVAL, self._next_index
@@ -684,9 +716,77 @@ class QueueingEngine:
             )
         if inflight.index >= self.steady_start:
             self.latency.add(inflight.op, now - inflight.arrival_us)
-        if self.arrivals.closed_loop and self._next_index < len(self.requests):
+        if self.arrivals.closed_loop and self._next_index < self._limit:
             self.heap.schedule(now, _EV_ARRIVAL, self._next_index)
             self._next_index += 1
+
+    # ------------------------------------------------------------------
+    # checkpoint support (repro.checkpoint)
+    # ------------------------------------------------------------------
+    def assert_quiescent(self) -> None:
+        """Raise unless the engine is at a checkpointable boundary."""
+        if self.heap.entries():
+            raise RuntimeError("engine not quiescent: events pending")
+        if self.in_flight:
+            raise RuntimeError(
+                f"engine not quiescent: {self.in_flight} request(s) in flight"
+            )
+        if self.queued_segments:
+            raise RuntimeError(
+                f"engine not quiescent: {self.queued_segments} queued segment(s)"
+            )
+        for server in self.servers:
+            if server.current is not None or server.queue or server.pending_locks:
+                raise RuntimeError(
+                    f"engine not quiescent: server {server.key} busy"
+                )
+
+    def state_dict(self) -> dict[str, object]:
+        """Checkpoint payload; only valid at a quiescent boundary (the
+        heap and server queues hold live object graphs that need not --
+        and therefore must not -- be serialized)."""
+        self.assert_quiescent()
+        return {
+            "clock_us": self.clock.now_us,
+            "heap_seq": self.heap._seq,
+            "heap_pushed": self.heap.pushed,
+            "seq": self._seq,
+            "next_index": self._next_index,
+            "arrival_time_us": self._arrival_time_us,
+            "completed": self.completed,
+            "queued_segments_peak": self.queued_segments_peak,
+            "deferred_lock_pulses": self.deferred_lock_pulses,
+            "lock_drains": self.lock_drains,
+            "suspensions": self.suspensions,
+            "servers": [
+                {"busy_us": s.busy_us, "token": s.token} for s in self.servers
+            ],
+            "latency": self.latency.state_dict(),
+            "depth": self.depth.state_dict(),
+            "arrivals": self.arrivals.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict[str, object]) -> None:
+        self.assert_quiescent()
+        if len(state["servers"]) != len(self.servers):
+            raise ValueError("engine checkpoint does not match topology")
+        self.clock.now_us = state["clock_us"]
+        self.heap._seq = state["heap_seq"]
+        self.heap.pushed = state["heap_pushed"]
+        self._seq = state["seq"]
+        self._next_index = state["next_index"]
+        self._arrival_time_us = state["arrival_time_us"]
+        self.completed = state["completed"]
+        self.queued_segments_peak = state["queued_segments_peak"]
+        self.deferred_lock_pulses = state["deferred_lock_pulses"]
+        self.lock_drains = state["lock_drains"]
+        self.suspensions = state["suspensions"]
+        for server, payload in zip(self.servers, state["servers"]):
+            server.busy_us = payload["busy_us"]
+            server.token = payload["token"]
+        self.latency.load_state_dict(state["latency"])
+        self.depth.load_state_dict(state["depth"])
+        self.arrivals.load_state_dict(state["arrivals"])
 
     # ------------------------------------------------------------------
     def _report(self) -> EngineReport:

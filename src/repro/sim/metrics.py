@@ -60,6 +60,14 @@ class LatencyRecorder:
         out["all"] = self.summary_for(None)
         return out
 
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, list[float]]:
+        """Checkpoint payload, keyed by the op's string value."""
+        return {op.value: list(values) for op, values in self.samples.items()}
+
+    def load_state_dict(self, state: dict[str, list[float]]) -> None:
+        self.samples = {op: list(state.get(op.value, [])) for op in RequestOp}
+
 
 @dataclass
 class DepthSeries:
@@ -106,6 +114,14 @@ class DepthSeries:
             if end > t:
                 total += (end - t) * level
         return total / until_us
+
+    def state_dict(self) -> dict[str, list[float] | list[int]]:
+        """Checkpoint payload (see :mod:`repro.checkpoint`)."""
+        return {"times_us": list(self.times_us), "levels": list(self.levels)}
+
+    def load_state_dict(self, state: dict[str, object]) -> None:
+        self.times_us = list(state["times_us"])
+        self.levels = list(state["levels"])
 
     def downsample(self, max_points: int = 256) -> list[tuple[float, int]]:
         """At most ``max_points`` (time, level) pairs, ends preserved."""

@@ -198,3 +198,35 @@ class TimingModel:
         if total <= 0.0:
             return [0.0] * self.n_chips
         return [b / total for b in self.chip_busy]
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, object]:
+        """Checkpoint payload: busy arrays + work accumulators, plus the
+        per-op durations for validation only (a restore target whose
+        timings differ was built from different parameters -- e.g. a
+        cryptSSD checkpoint loaded into a baseline device)."""
+        return {
+            "chip_busy": list(self.chip_busy),
+            "channel_busy": list(self.channel_busy),
+            "total_work_us": self.total_work_us,
+            "cell_work_us": self.cell_work_us,
+            "xfer_work_us": self.xfer_work_us,
+            "timings": {name: getattr(self, name) for name in self.TIMING_FIELDS},
+        }
+
+    def load_state_dict(self, state: dict[str, object]) -> None:
+        if len(state["chip_busy"]) != len(self.chip_busy) or len(
+            state["channel_busy"]
+        ) != len(self.channel_busy):
+            raise ValueError("timing checkpoint does not match topology")
+        for name in self.TIMING_FIELDS:
+            if state["timings"][name] != getattr(self, name):
+                raise ValueError(
+                    f"timing checkpoint {name}={state['timings'][name]!r} does"
+                    f" not match the configured {getattr(self, name)!r}"
+                )
+        self.chip_busy = list(state["chip_busy"])
+        self.channel_busy = list(state["channel_busy"])
+        self.total_work_us = state["total_work_us"]
+        self.cell_work_us = state["cell_work_us"]
+        self.xfer_work_us = state["xfer_work_us"]

@@ -62,6 +62,14 @@ class WorkLog:
         }
 
     # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, list[float]]:
+        """Checkpoint payload, keyed by the op's string value."""
+        return {op.value: list(values) for op, values in self.samples.items()}
+
+    def load_state_dict(self, state: dict[str, list[float]]) -> None:
+        self.samples = {op: list(state.get(op.value, [])) for op in RequestOp}
+
+    # ------------------------------------------------------------------
     def _select(self, op: RequestOp | None) -> list[float]:
         if op is not None:
             return self.samples[op]

@@ -64,6 +64,17 @@ class Telemetry:
         out["trace"] = self.bus.stats()
         return out
 
+    def state_dict(self) -> dict[str, object]:
+        """Checkpoint payload (see :mod:`repro.checkpoint`)."""
+        return {
+            "metrics": self.metrics.state_dict(),
+            "bus": self.bus.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict[str, object]) -> None:
+        self.metrics.load_state_dict(state["metrics"])
+        self.bus.load_state_dict(state["bus"])
+
 
 class _DisabledTelemetry:
     """The no-op singleton; every untraced run shares this instance."""

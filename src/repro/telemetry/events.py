@@ -178,3 +178,33 @@ class TraceBus:
             "sampled_out": self.sampled_out,
             "published": dict(sorted(self.category_counts.items())),
         }
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, object]:
+        """Checkpoint payload: accounting *and* the retained ring.
+
+        The retained events must round-trip -- a resumed run's final
+        trace export and ``stats()["retained"]`` have to match an
+        uninterrupted run's byte for byte.
+        """
+        return {
+            "dropped": self.dropped,
+            "sampled_out": self.sampled_out,
+            "category_counts": dict(self.category_counts),
+            "events": [
+                [e.name, e.cat, e.ph, e.ts_us, e.dur_us, e.tid, dict(e.args)]
+                for e in self._events
+            ],
+        }
+
+    def load_state_dict(self, state: dict[str, object]) -> None:
+        self.dropped = state["dropped"]
+        self.sampled_out = state["sampled_out"]
+        self.category_counts = dict(state["category_counts"])
+        self._events = deque(
+            (
+                TraceEvent(name, cat, ph, ts_us, dur_us=dur_us, tid=tid, args=args)
+                for name, cat, ph, ts_us, dur_us, tid, args in state["events"]
+            ),
+            maxlen=self.capacity,
+        )

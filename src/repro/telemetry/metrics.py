@@ -72,6 +72,46 @@ class MetricsRegistry:
         return found
 
     # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, object]:
+        """Checkpoint payload (see :mod:`repro.checkpoint`).
+
+        Histograms serialize their full internals (bounds + bucket
+        counts + exact aggregates), not the quantized snapshot, so a
+        restored registry keeps observing into the same buckets.
+        """
+        return {
+            "counters": {name: c.value for name, c in self._counters.items()},
+            "gauges": {name: g.value for name, g in self._gauges.items()},
+            "histograms": {
+                name: {
+                    "bounds": h.bounds,
+                    "counts": list(h.counts),
+                    "count": h.count,
+                    "total": h.total,
+                    "min": h.min,
+                    "max": h.max,
+                }
+                for name, h in self._histograms.items()
+            },
+        }
+
+    def load_state_dict(self, state: dict[str, object]) -> None:
+        self._counters = {}
+        self._gauges = {}
+        self._histograms = {}
+        for name, value in state["counters"].items():
+            self.counter(name).value = value
+        for name, value in state["gauges"].items():
+            self.gauge(name).value = value
+        for name, payload in state["histograms"].items():
+            hist = self.histogram(name, bounds=payload["bounds"])
+            hist.counts = list(payload["counts"])
+            hist.count = payload["count"]
+            hist.total = payload["total"]
+            hist.min = payload["min"]
+            hist.max = payload["max"]
+
+    # ------------------------------------------------------------------
     def snapshot(self) -> dict[str, object]:
         """All metrics as one sorted, JSON-ready dict."""
         return {

@@ -12,15 +12,19 @@ import pytest
 
 from repro.analysis.bench_engine import (
     compare_bench,
+    compare_bench_detailed,
+    format_compare,
     run_bench,
     write_bench_json,
 )
 from repro.analysis.parallel import (
     DeterministicTimer,
+    GridResultCache,
     GridTask,
     GridTaskError,
     derive_seed,
     run_grid,
+    run_grid_detailed,
 )
 from repro.ssd import scaled_config
 
@@ -219,3 +223,155 @@ class TestCompareBench:
     def test_negative_tolerance_rejected(self, payload):
         with pytest.raises(ValueError):
             compare_bench(payload, payload, tolerance=-0.1)
+
+
+# ---------------------------------------------------------------------------
+# bounded retry + shard cache (run_grid_detailed)
+# ---------------------------------------------------------------------------
+_CALLS: dict[int, int] = {}
+
+
+def _flaky_first_attempt(task: GridTask) -> int:
+    """Fails the first attempt of odd-seed cells, passes the retry."""
+    attempt = _CALLS.get(task.index, 0) + 1
+    _CALLS[task.index] = attempt
+    if task.seed % 2 and attempt == 1:
+        raise ValueError("transient shard failure")
+    return task.seed * 10
+
+
+def _parent_pid_only(task: GridTask) -> int:
+    """Fails in any worker process, passes on the in-process retry."""
+    import os
+
+    if os.getpid() != task.payload:
+        raise ValueError("worker-process transient")
+    return task.seed
+
+
+def _never_called(task: GridTask) -> int:
+    raise AssertionError("cached shard must not be recomputed")
+
+
+class TestBoundedRetry:
+    def test_single_retry_recovers_and_is_counted(self):
+        _CALLS.clear()
+        grid = run_grid_detailed(_flaky_first_attempt, _tasks([1, 2, 3, 4]))
+        assert grid.results == [10, 20, 30, 40]
+        assert grid.retried_shards == 2
+        assert grid.retried == (0, 2)  # ascending canonical indices
+        # the retry re-ran the identical task: exactly two attempts each
+        assert _CALLS[0] == 2 and _CALLS[2] == 2
+        assert _CALLS[1] == 1 and _CALLS[3] == 1
+
+    def test_retry_happens_in_process_after_pool_failure(self):
+        import os
+
+        tasks = [
+            GridTask(index=i, variant="v", workload="Mobile", seed=i,
+                     payload=os.getpid())
+            for i in range(3)
+        ]
+        grid = run_grid_detailed(_parent_pid_only, tasks, jobs=2)
+        assert grid.results == [0, 1, 2]
+        assert grid.retried_shards == 3
+
+    def test_double_failure_names_lowest_index(self):
+        with pytest.raises(GridTaskError) as excinfo:
+            run_grid_detailed(_explode_on_seed_7, _tasks([7, 1, 7]))
+        assert excinfo.value.task.index == 0
+        assert isinstance(excinfo.value.__cause__, ValueError)
+
+
+class TestGridResultCache:
+    def test_second_run_serves_every_shard_from_disk(self, tmp_path):
+        tasks = _tasks([3, 1, 4])
+        cache = GridResultCache(tmp_path)
+        first = run_grid_detailed(_square, tasks, cache=cache)
+        assert first.cached_shards == 0
+        # _never_called proves no shard is recomputed
+        second = run_grid_detailed(_never_called, tasks, cache=cache)
+        assert second.results == first.results
+        assert second.cached_shards == 3
+
+    def test_corrupt_shard_is_quarantined_and_recomputed(self, tmp_path):
+        tasks = _tasks([3, 1, 4])
+        cache = GridResultCache(tmp_path)
+        run_grid_detailed(_square, tasks, cache=cache)
+        victim = tmp_path / "task-000001.json"
+        victim.write_bytes(victim.read_bytes()[:-9])
+        again = run_grid_detailed(_square, tasks, cache=cache)
+        assert again.results == [9, 1, 16]
+        assert again.cached_shards == 2
+        assert list(tmp_path.glob("*.corrupt"))
+
+    def test_shard_keyed_to_other_coordinates_is_rejected(self, tmp_path):
+        cache = GridResultCache(tmp_path)
+        run_grid_detailed(
+            _square, [GridTask(index=0, variant="v", workload="w", seed=2)],
+            cache=cache,
+        )
+        # same index, different seed: the stale shard must not be served
+        grid = run_grid_detailed(
+            _square, [GridTask(index=0, variant="v", workload="w", seed=5)],
+            cache=cache,
+        )
+        assert grid.results == [25]
+        assert grid.cached_shards == 0
+        assert list(tmp_path.glob("*.corrupt"))
+
+    def test_state_adapters_round_trip_rich_results(self, tmp_path):
+        cache = GridResultCache(
+            tmp_path,
+            to_state=lambda r: {"v": r},
+            from_state=lambda s: s["v"],
+        )
+        task = GridTask(index=0, variant="v", workload="w", seed=3)
+        cache.store(task, (1, 2))
+        hit, value = cache.load(task)
+        assert hit and value == (1, 2)
+
+
+class TestCompareBenchDetailed:
+    @pytest.fixture(scope="class")
+    def payload(self, bench_config):
+        return _bench(bench_config, jobs=1)
+
+    def test_full_table_even_when_clean(self, payload):
+        diff = compare_bench_detailed(payload, payload)
+        assert diff["regressed"] is False
+        assert len(diff["runs"]) == 2
+        for row in diff["runs"]:
+            metrics = {m["metric"] for m in row["metrics"]}
+            assert metrics == {"iops", "p99_read_us", "p99_all_us"}
+            assert all(not m["regressed"] for m in row["metrics"])
+
+    def test_regression_flags_exact_metric(self, payload):
+        regressed = json.loads(json.dumps(payload))
+        run = regressed["runs"][0]
+        run["iops"] = float(run["iops"]) * 0.8
+        diff = compare_bench_detailed(regressed, payload)
+        assert diff["regressed"] is True
+        flagged = [
+            m for row in diff["runs"] for m in row["metrics"] if m["regressed"]
+        ]
+        assert [m["metric"] for m in flagged] == ["iops"]
+        assert flagged[0]["delta_pct"] == pytest.approx(-20.0)
+        assert flagged[0]["current"] < flagged[0]["limit"]
+
+    def test_missing_variant_is_a_regressed_row(self, payload):
+        partial = json.loads(json.dumps(payload))
+        partial["runs"] = partial["runs"][:1]
+        diff = compare_bench_detailed(partial, payload)
+        assert diff["regressed"] is True
+        missing = [row for row in diff["runs"] if row["missing"]]
+        assert len(missing) == 1 and missing[0]["metrics"] == []
+
+    def test_format_compare_renders_verdict(self, payload):
+        clean = format_compare(compare_bench_detailed(payload, payload))
+        assert "ok" in clean.splitlines()[0]
+        regressed = json.loads(json.dumps(payload))
+        regressed["runs"][0]["iops"] = 0.1
+        text = format_compare(compare_bench_detailed(regressed, payload))
+        assert "REGRESSED" in text.splitlines()[0]
+        assert "iops" in text

@@ -95,7 +95,7 @@ class TestCaseRunners:
 
 
 class TestScorecard:
-    def run(self, tiny_config, jobs=1):
+    def run(self, tiny_config, jobs=1, **kwargs):
         return run_torture(
             tiny_config,
             variants=("baseline", "secSSD"),
@@ -105,6 +105,10 @@ class TestScorecard:
             window_start=20,
             window=2,
             jobs=jobs,
+            # the checkpoint sweep has its own tests (tests/checkpoint/);
+            # keeping it out preserves the exact case counts below
+            checkpoint_modes=(),
+            **kwargs,
         )
 
     def test_sweep_passes_and_covers_expected_cases(self, tiny_config):

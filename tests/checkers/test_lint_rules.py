@@ -713,3 +713,69 @@ class TestSim09ParallelOnly:
             """,
         )
         assert "SIM09" not in _ids(findings)
+
+
+class TestSim15SerializationBoundary:
+    def test_pickle_import_flagged(self, tmp_path):
+        findings = _lint(
+            tmp_path,
+            "repro/analysis/rogue.py",
+            """
+            import pickle
+
+            def save(state, path):
+                pickle.dump(state, open(path, "wb"))
+            """,
+        )
+        assert _ids(findings) == ["SIM15"]
+        assert "pickle" in findings[0].message
+
+    def test_from_import_flagged(self, tmp_path):
+        findings = _lint(
+            tmp_path,
+            "repro/ftl/rogue.py",
+            """
+            from marshal import dumps
+            """,
+        )
+        assert _ids(findings) == ["SIM15"]
+
+    def test_submodule_import_flagged(self, tmp_path):
+        findings = _lint(
+            tmp_path,
+            "repro/sim/rogue.py",
+            """
+            import shelve.whatever as sv
+            """,
+        )
+        assert _ids(findings) == ["SIM15"]
+
+    def test_checkpoint_package_exempt(self, tmp_path):
+        findings = _lint(
+            tmp_path,
+            "repro/checkpoint/interop.py",
+            """
+            import pickle
+            """,
+        )
+        assert "SIM15" not in _ids(findings)
+
+    def test_out_of_package_script_exempt(self, tmp_path):
+        findings = _lint(
+            tmp_path,
+            "scripts/export.py",
+            """
+            import pickle
+            """,
+        )
+        assert "SIM15" not in _ids(findings)
+
+    def test_plain_json_not_banned(self, tmp_path):
+        findings = _lint(
+            tmp_path,
+            "repro/analysis/reports.py",
+            """
+            import json
+            """,
+        )
+        assert "SIM15" not in _ids(findings)

@@ -1,0 +1,126 @@
+"""Tagged-JSON codec: exact round-trips, canonical bytes, strictness."""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+
+import numpy as np
+import pytest
+
+from repro.checkpoint.codec import (
+    CodecError,
+    canonical_dumps,
+    decode,
+    encode,
+    section_checksum,
+)
+from repro.faults import FaultKind
+from repro.ftl.page_status import PageStatus
+
+
+def roundtrip(value):
+    return decode(encode(value))
+
+
+class TestRoundTrips:
+    def test_scalars(self):
+        for value in (None, True, False, 0, -7, 3.25, "text", ""):
+            out = roundtrip(value)
+            assert out == value
+            assert type(out) is type(value)
+
+    def test_tuple_vs_list_distinction(self):
+        value = [(0, "host", 3), [1, 2], ("gc",)]
+        out = roundtrip(value)
+        assert out == value
+        assert isinstance(out[0], tuple)
+        assert isinstance(out[1], list)
+
+    def test_nested_containers(self):
+        value = {"q": deque([1, (2, 3)]), "s": {4, 5}, "t": (deque(), set())}
+        out = roundtrip(value)
+        assert out == value
+        assert isinstance(out["q"], deque)
+        assert isinstance(out["s"], set)
+        assert isinstance(out["t"][0], deque)
+
+    def test_enums(self):
+        value = [PageStatus.SECURED, FaultKind.POWER_LOSS]
+        out = roundtrip(value)
+        assert out == value
+        assert type(out[0]) is PageStatus
+        assert type(out[1]) is FaultKind
+
+    def test_int_keyed_dict(self):
+        value = {3: "a", 1: (True,)}
+        out = roundtrip(value)
+        assert out == value
+        assert all(isinstance(k, int) for k in out)
+
+    def test_dict_with_literal_tag_key(self):
+        value = {"__t": "not-a-tag", "x": 1}
+        assert roundtrip(value) == value
+
+    def test_ndarray_exact(self):
+        arr = np.arange(12, dtype=np.int64).reshape(3, 4)
+        out = roundtrip(arr)
+        assert out.dtype == arr.dtype
+        assert out.shape == arr.shape
+        assert (out == arr).all()
+
+    def test_python_random_state_via_tuple(self):
+        rng = random.Random(7)
+        rng.random()
+        state = rng.getstate()
+        clone = random.Random()
+        clone.setstate(roundtrip(state))
+        assert clone.random() == rng.random()
+
+    def test_numpy_generator_stream_continues(self):
+        rng = np.random.default_rng(5)
+        rng.random(3)
+        clone = roundtrip(rng)
+        assert (clone.random(4) == rng.random(4)).all()
+
+
+class TestCanonicalBytes:
+    def test_key_order_does_not_matter(self):
+        a = canonical_dumps(encode({"b": 1, "a": 2}))
+        b = canonical_dumps(encode({"a": 2, "b": 1}))
+        assert a == b
+
+    def test_set_order_does_not_matter(self):
+        a = canonical_dumps(encode({3, 1, 2}))
+        b = canonical_dumps(encode({2, 3, 1}))
+        assert a == b
+
+    def test_trailing_newline(self):
+        assert canonical_dumps(encode([1])).endswith("\n")
+
+    def test_checksum_tracks_content(self):
+        a = section_checksum(canonical_dumps(encode({"x": 1})))
+        b = section_checksum(canonical_dumps(encode({"x": 2})))
+        assert a != b
+        assert len(a) == 64
+
+
+class TestStrictness:
+    def test_unknown_type_rejected_on_encode(self):
+        class Opaque:
+            pass
+
+        with pytest.raises(CodecError):
+            encode(Opaque())
+
+    def test_unknown_tag_rejected_on_decode(self):
+        with pytest.raises(CodecError):
+            decode({"__t": "mystery", "v": []})
+
+    def test_unknown_enum_member_rejected(self):
+        with pytest.raises(CodecError):
+            decode({"__t": "enum", "cls": "FaultKind", "name": "NOPE"})
+
+    def test_unknown_enum_class_rejected(self):
+        with pytest.raises(CodecError):
+            decode({"__t": "enum", "cls": "Ghost", "name": "X"})

@@ -1,0 +1,75 @@
+"""The torture harness's checkpoint-corruption sweep."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.torture import (
+    CHECKPOINT_MODES,
+    run_checkpoint_case,
+    run_torture,
+)
+
+
+class TestCheckpointCases:
+    @pytest.mark.parametrize("mode", CHECKPOINT_MODES)
+    def test_mode_passes_on_secssd(self, ck_config, mode):
+        case = run_checkpoint_case(ck_config, "secSSD", mode, seed=11)
+        assert case.outcome == "PASS"
+        assert case.kind == "checkpoint"
+        assert case.detail == mode
+        assert case.injected == {"checkpoint_corruption": 1}
+
+    def test_unknown_mode_rejected(self, ck_config):
+        with pytest.raises(ValueError, match="unknown checkpoint mode"):
+            run_checkpoint_case(ck_config, "secSSD", "zap", seed=11)
+
+
+class TestSweepIntegration:
+    def test_checkpoint_cases_ride_the_grid(self, ck_config, tmp_path):
+        card = run_torture(
+            ck_config,
+            variants=("baseline",),
+            seed=11,
+            n_requests=40,
+            rates=(),
+            window=0,
+            checkpoint_modes=("bitflip",),
+            resume_dir=tmp_path,
+        )
+        assert card.passed
+        assert [(c.kind, c.detail) for c in card.cases] == [
+            ("checkpoint", "bitflip")
+        ]
+        assert card.cached_shards == 0
+        # a second sweep over the same resume dir recomputes nothing
+        again = run_torture(
+            ck_config,
+            variants=("baseline",),
+            seed=11,
+            n_requests=40,
+            rates=(),
+            window=0,
+            checkpoint_modes=("bitflip",),
+            resume_dir=tmp_path,
+        )
+        assert again.cached_shards == 1
+        assert [c.to_dict() for c in again.cases] == [
+            c.to_dict() for c in card.cases
+        ]
+
+    def test_scorecard_json_carries_shard_accounting(self, ck_config):
+        card = run_torture(
+            ck_config,
+            variants=("baseline",),
+            seed=11,
+            n_requests=40,
+            rates=(0.01,),
+            window=0,
+            checkpoint_modes=(),
+        )
+        import json
+
+        payload = json.loads(card.to_json())
+        assert payload["retried_shards"] == 0
+        assert payload["cached_shards"] == 0
