@@ -294,8 +294,13 @@ def compare_bench_detailed(
     }
 
 
-def format_compare(diff: dict[str, object]) -> str:
-    """Human-readable rendering of :func:`compare_bench_detailed`."""
+def format_compare(diff: dict[str, object], verbose: bool = True) -> str:
+    """Human-readable rendering of :func:`compare_bench_detailed`.
+
+    ``verbose`` prints every metric cell; without it only the verdict
+    header and the failing rows appear (the CI-log-friendly view -- a
+    clean gate collapses to one line).
+    """
     lines = [
         f"bench compare (tolerance {diff['tolerance']:.0%}): "
         + ("REGRESSED" if diff["regressed"] else "ok")
@@ -308,6 +313,8 @@ def format_compare(diff: dict[str, object]) -> str:
             )
             continue
         for cell in row["metrics"]:
+            if not verbose and not cell["regressed"]:
+                continue
             mark = "FAIL" if cell["regressed"] else "ok  "
             bound = ">=" if cell["direction"] > 0 else "<="
             lines.append(

@@ -82,15 +82,28 @@ class GridTaskError(RuntimeError):
         )
 
 
-def derive_seed(base: int, *coordinates: object) -> int:
+def derive_seed(
+    base: int, *coordinates: object, domain: str | None = None
+) -> int:
     """A deterministic 63-bit per-task seed from grid coordinates.
 
     Hashes ``base`` plus the coordinate tuple with SHA-256 -- stable
     across processes, platforms, and Python versions, unlike the
     built-in ``hash`` (salted per process, so it would silently break
     the serial/parallel byte-identity contract).
+
+    ``domain`` is a separation tag for independent seed families:
+    two subsystems sharing one master seed (say the bench grid and a
+    fleet shard plan) pass distinct domains so their derived streams
+    can never collide, even for identical coordinate tuples.  Omitting
+    it preserves the historical derivation byte-for-byte, so existing
+    call sites keep their seeds.
     """
     text = ":".join([repr(base), *map(repr, coordinates)])
+    if domain is not None:
+        # NUL can never appear in the undomained form (it is built from
+        # repr() output), so domained and undomained texts are disjoint.
+        text = f"{domain}\x00{text}"
     digest = hashlib.sha256(text.encode("utf-8")).digest()
     return int.from_bytes(digest[:8], "big") >> 1
 

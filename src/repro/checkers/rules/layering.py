@@ -3,12 +3,13 @@
 The packages form a strict stack -- each layer may import only from
 layers *below* it::
 
-    flash  <  ftl  <  ssd  <  sim  <  telemetry  <  analysis
+    flash  <  ftl  <  ssd  <  sim  <  telemetry  <  analysis  <  fleet
 
 ``flash`` is pure device physics; ``ftl`` builds mapping policy on it;
 ``ssd`` composes an FTL with timing/config into a device; ``sim`` drives
 devices through the event engine; ``telemetry`` observes everything
-beneath it; ``analysis`` consumes finished runs.  An *upward* import
+beneath it; ``analysis`` consumes finished runs; ``fleet`` composes
+whole campaigns of devices over the analysis grid runner.  An *upward* import
 (``ftl`` importing ``sim``, say) inverts the dependency stack, and --
 because the contract is a total order -- any import cycle between named
 layers necessarily contains an upward edge, so this one rule also keeps
@@ -29,7 +30,9 @@ from collections.abc import Iterator
 from repro.checkers.lint import Finding, ProjectRule
 
 #: the layer stack, lowest first.  Index == layer height.
-LAYER_ORDER = ("flash", "ftl", "ssd", "sim", "telemetry", "analysis")
+LAYER_ORDER = (
+    "flash", "ftl", "ssd", "sim", "telemetry", "analysis", "fleet",
+)
 LAYERS = {name: i for i, name in enumerate(LAYER_ORDER)}
 
 

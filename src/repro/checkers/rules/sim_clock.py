@@ -8,7 +8,8 @@ draw silently couples the simulation to the host machine, and the
 same-seed guarantee -- which the cross-check against the open-loop
 model and every regression test depend on -- is gone.
 
-The rule bans, inside ``repro/sim/`` only:
+The rule bans, inside ``repro/sim/`` and ``repro/fleet/`` (whose merged
+campaign reports carry the same byte-identity contract):
 
 * importing the ``time`` or ``datetime`` modules (or names from them);
 * calling any ``time.*`` / ``datetime.*`` function;
@@ -46,7 +47,10 @@ class SimWallClockRule(LintRule):
     )
 
     def applies_to(self, ctx: FileContext) -> bool:
-        return ctx.in_package_dir("sim")
+        # fleet campaigns inherit the same contract: a fleet report must
+        # be byte-identical across serial/parallel/resumed runs, which
+        # one wall-clock read or global RNG draw would break.
+        return ctx.in_package_dir("sim") or ctx.in_package_dir("fleet")
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         for node in ast.walk(ctx.tree):

@@ -65,7 +65,10 @@ __all__ = [
 ]
 
 #: bump on any incompatible change to the manifest or codec format.
-FORMAT_VERSION = 1
+#: v2: the engine section grew the sanitization-backlog series
+#: (``sanitize_backlog`` / ``sanitize_backlog_us``); v1 snapshots lack
+#: the keys and must be quarantined as stale, not crash the restore.
+FORMAT_VERSION = 2
 
 _MANIFEST = "MANIFEST.json"
 _GEN_PREFIX = "gen-"

@@ -366,9 +366,68 @@ def cmd_bench(args: argparse.Namespace) -> int:
             payload, baseline, tolerance=args.tolerance
         )
         print(f"vs {args.compare}:")
-        print(format_compare(diff))
+        print(format_compare(diff, verbose=args.verbose_compare))
         if diff["regressed"]:
             return 1
+    return 0
+
+
+def cmd_fleet(args: argparse.Namespace) -> int:
+    """Fleet-scale campaign: many devices, many tenants, one report."""
+    import json
+
+    from repro.fleet import FleetConfig, format_fleet, run_fleet
+    from repro.ftl import FTL_VARIANTS
+
+    variants = tuple(
+        args.variants or ("baseline", "erSSD", "scrSSD", "secSSD")
+    )
+    unknown = [v for v in variants if v not in FTL_VARIANTS]
+    if unknown:
+        print(f"unknown variant(s) {unknown}; choose from {sorted(FTL_VARIANTS)}")
+        return 2
+    cfg = FleetConfig(
+        devices=args.devices,
+        tenants=args.tenants,
+        seed=args.seed,
+        variants=variants,
+        base_workload=args.workload,
+        zipf_s=args.zipf,
+        spread=args.spread,
+        storm=args.storm,
+        storm_count=args.storms,
+        storm_fraction=args.storm_fraction,
+        device_blocks=args.blocks,
+        device_wordlines=args.wordlines,
+        write_multiplier=args.multiplier,
+        queue_depth=args.qd,
+        devices_per_shard=args.shard,
+    )
+    run = run_fleet(
+        cfg,
+        jobs=args.jobs,
+        resume_dir=args.resume,
+        stop_after_shards=args.stop_after_shards,
+    )
+    if run is None:
+        print(
+            f"fleet: stopped after {args.stop_after_shards} shard(s); "
+            f"re-run with --resume to continue"
+        )
+        return 0
+    print(format_fleet(run.report))
+    if run.cached_shards or run.retried_shards:
+        print(
+            f"fleet shards: {run.shards} total, {run.cached_shards} cached, "
+            f"{run.retried_shards} retried"
+        )
+    if args.json:
+        # the JSON artifact holds only the merged report: byte-identical
+        # for serial, parallel, and resumed runs of the same config
+        with open(args.json, "w") as fh:
+            json.dump(run.report, fh, sort_keys=True, indent=2)
+            fh.write("\n")
+        print(f"fleet report written to {args.json}")
     return 0
 
 
@@ -581,6 +640,7 @@ COMMANDS = {
     "scorecard": cmd_scorecard,
     "simulate": cmd_simulate,
     "bench": cmd_bench,
+    "fleet": cmd_fleet,
     "profile": cmd_profile,
     "trace": cmd_trace,
     "lint": cmd_lint,
@@ -768,9 +828,65 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--tolerance", type=float, default=0.05,
                            help="allowed fractional slack for --compare "
                                 "(default 0.05 = 5%%)")
+            p.add_argument("--verbose-compare", action="store_true",
+                           help="print every --compare metric row, not "
+                                "just the verdict and regressions")
             p.add_argument("--resume", default=None, metavar="DIR",
                            help="persist completed grid shards to DIR and "
                                 "resume a killed benchmark from there")
+        elif name == "fleet":
+            # own scale options (not the shared parent): fleet devices
+            # are deliberately tiny so hundreds fit in one campaign
+            p = sub.add_parser(
+                name,
+                help="fleet-scale multi-device multi-tenant campaign",
+            )
+            p.add_argument("--devices", type=int, default=16,
+                           help="devices in the fleet")
+            p.add_argument("--tenants", type=int, default=2000,
+                           help="tenants across the fleet")
+            p.add_argument("--variants", nargs="*", default=None,
+                           help="FTL variants (default: the Figure-14 four)")
+            p.add_argument("--workload", default="MailServer",
+                           help="base workload profile tenants inherit")
+            p.add_argument("--storm", default="none",
+                           choices=("none", "deletion", "churn"),
+                           help="scripted fleet-wide storm kind")
+            p.add_argument("--storms", type=int, default=1,
+                           help="storm events per campaign")
+            p.add_argument("--storm-fraction", type=float, default=0.25,
+                           help="fraction of tenants each storm hits")
+            p.add_argument("--zipf", type=float, default=1.1,
+                           help="Zipf exponent of tenant traffic weights")
+            p.add_argument("--spread", type=int, default=1,
+                           help="candidate devices per tenant placement")
+            p.add_argument("--blocks", type=int, default=8,
+                           help="blocks per chip (per-device scale)")
+            p.add_argument("--wordlines", type=int, default=4,
+                           help="wordlines per block (per-device scale)")
+            p.add_argument("--multiplier", type=float, default=0.6,
+                           help="per-device steady writes as a multiple "
+                                "of capacity (scaled by traffic share)")
+            p.add_argument("--qd", type=int, default=16,
+                           help="closed-loop queue depth per device")
+            p.add_argument("--shard", type=int, default=8,
+                           help="devices per grid shard")
+            p.add_argument("--seed", type=int, default=1,
+                           help="master campaign seed")
+            p.add_argument("--jobs", type=int, default=1,
+                           help="worker processes for the shard grid "
+                                "(the report is identical for any count)")
+            p.add_argument("--resume", default=None, metavar="DIR",
+                           help="persist completed shards to DIR and "
+                                "resume a killed campaign from there")
+            p.add_argument("--stop-after-shards", type=int, default=None,
+                           metavar="K",
+                           help="run only the first K pending shards and "
+                                "exit (deterministic interruption, for "
+                                "tests and CI smoke)")
+            p.add_argument("--json", default=None, metavar="PATH",
+                           help="write the merged fleet report as JSON "
+                                "(byte-identical for any --jobs/resume)")
         elif name == "check":
             p = sub.add_parser(
                 name, parents=[scale],

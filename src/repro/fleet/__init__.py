@@ -1,0 +1,53 @@
+"""Fleet-scale simulation: many devices, many tenants, one campaign.
+
+The single-device pipeline answers "what does sanitization cost this
+SSD"; this package answers the operator's version of the question --
+what does a *correlated* burst of account deletions cost a fleet of
+hundreds of devices serving a heavy-tailed tenant population, and how
+far apart are the lock-based (secSSD) and erase-based (erSSD/scrSSD)
+designs when the burst lands everywhere at once?
+
+Layers (all deterministic, all derived from one master seed):
+
+* :mod:`repro.fleet.tenants` -- tenant population, Zipf traffic
+  weights, consistent-hash placement, per-device workload compilation;
+* :mod:`repro.fleet.storms` -- scripted fleet-wide deletion storms and
+  churn waves with hash-threshold membership;
+* :mod:`repro.fleet.scheduler` -- device shards fanned over the grid
+  runner with checkpoint-backed resume;
+* :mod:`repro.fleet.report` -- cross-fleet distributions (WAF spread,
+  tenant-weighted p99, fleet sanitization-backlog curves, lock-vs-erase
+  cost) published through the telemetry metrics registry.
+
+The contract throughout: a campaign's merged report is byte-identical
+whether it ran serially, over N workers, or was killed and resumed.
+"""
+
+from repro.fleet.report import aggregate_fleet, device_report, format_fleet
+from repro.fleet.scheduler import FleetRun, plan_tasks, run_device, run_fleet
+from repro.fleet.storms import StormEvent, build_schedule, storm_affects
+from repro.fleet.tenants import (
+    DeviceSpec,
+    FleetConfig,
+    TenantSlot,
+    TenantWorkload,
+    compile_fleet,
+)
+
+__all__ = [
+    "FleetConfig",
+    "FleetRun",
+    "DeviceSpec",
+    "TenantSlot",
+    "TenantWorkload",
+    "StormEvent",
+    "aggregate_fleet",
+    "build_schedule",
+    "compile_fleet",
+    "device_report",
+    "format_fleet",
+    "plan_tasks",
+    "run_device",
+    "run_fleet",
+    "storm_affects",
+]

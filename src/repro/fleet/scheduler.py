@@ -1,0 +1,191 @@
+"""Fleet campaign scheduler: device shards over the grid runner.
+
+A campaign is a grid of *(variant, device-shard)* cells.  Each cell
+renders its shard's device traces (variant-independent seeds), replays
+them through the closed-loop engine with the variant's honest-best
+scheduling policy, and returns one JSON-primitive report per device.
+Everything fans out through :func:`repro.analysis.parallel.run_grid`
+-- the repo's single multiprocessing site (rule SIM09) -- which is
+what buys the fleet the established determinism contract for free:
+
+* tasks enumerated in canonical order (variants outer, shards inner),
+  merged in that order, never in completion order;
+* per-shard seeds from :func:`derive_seed` under the ``"fleet"``
+  domain, so fleet seeds can never collide with bench-grid seeds that
+  share the same master seed;
+* shard results persisted through :class:`GridResultCache`, so a
+  killed campaign resumes from its last completed shard and the merged
+  report is byte-identical to an uninterrupted run.
+
+Shard cache keys embed :meth:`FleetConfig.fingerprint`, so a resume
+directory can never serve shards from a differently-parameterized
+campaign -- mismatched keys quarantine and recompute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.analysis.latency import policy_for_variant
+from repro.analysis.parallel import (
+    GridResultCache,
+    GridTask,
+    derive_seed,
+    run_grid_detailed,
+)
+from repro.fleet.report import aggregate_fleet, device_report
+from repro.fleet.tenants import (
+    DeviceSpec,
+    FleetConfig,
+    TenantWorkload,
+    compile_fleet,
+)
+from repro.sim.arrivals import ClosedLoopArrivals
+from repro.sim.runner import SimResult, capture_generator_trace, simulate_trace
+from repro.ssd.config import SSDConfig, scaled_config
+
+__all__ = [
+    "FleetRun",
+    "device_config",
+    "run_device",
+    "plan_tasks",
+    "run_fleet",
+]
+
+
+def device_config(cfg: FleetConfig) -> SSDConfig:
+    """The (small) per-device geometry every fleet device shares."""
+    return scaled_config(
+        blocks_per_chip=cfg.device_blocks,
+        wordlines_per_block=cfg.device_wordlines,
+    )
+
+
+def run_device(
+    cfg: FleetConfig, spec: DeviceSpec, variant: str
+) -> tuple[TenantWorkload, SimResult]:
+    """Render one device's tenant trace and replay it on one variant.
+
+    The trace capture depends only on (cfg, spec) -- never the variant
+    -- so all variants see identical host traffic, and the write budget
+    scales with the device's share of fleet traffic weight.
+    """
+    config = device_config(cfg)
+    generator = TenantWorkload(cfg, spec, config.logical_pages)
+    write_pages = int(
+        config.logical_pages * cfg.write_multiplier * spec.traffic_scale
+    )
+    requests, steady_start = capture_generator_trace(
+        config, generator, write_pages
+    )
+    result = simulate_trace(
+        config,
+        workload=f"fleet-device-{spec.device_id}",
+        variant=variant,
+        requests=requests,
+        steady_start=steady_start,
+        seed=spec.seed,
+        policy=policy_for_variant(variant),
+        arrivals=ClosedLoopArrivals(cfg.queue_depth),
+    )
+    return generator, result
+
+
+def _shards(cfg: FleetConfig, specs: tuple[DeviceSpec, ...]):
+    return [
+        specs[i: i + cfg.devices_per_shard]
+        for i in range(0, len(specs), cfg.devices_per_shard)
+    ]
+
+
+def plan_tasks(
+    cfg: FleetConfig, specs: tuple[DeviceSpec, ...]
+) -> list[GridTask]:
+    """The canonical task enumeration: variants outer, shards inner."""
+    shards = _shards(cfg, specs)
+    fingerprint = cfg.fingerprint()
+    tasks = []
+    for variant in cfg.variants:
+        for shard_index, chunk in enumerate(shards):
+            tasks.append(
+                GridTask(
+                    index=len(tasks),
+                    variant=variant,
+                    workload=f"fleet-{fingerprint}[{shard_index}]",
+                    seed=derive_seed(
+                        cfg.seed,
+                        "shard",
+                        variant,
+                        shard_index,
+                        domain="fleet",
+                    ),
+                    payload=(cfg, chunk),
+                )
+            )
+    return tasks
+
+
+def _shard_task(task: GridTask) -> dict[str, object]:
+    """Worker entry point (module-level: picklable for ``jobs > 1``).
+
+    Returns only JSON primitives so the shard cache round-trips results
+    identically and the merged report serializes byte-identically.
+    """
+    cfg, chunk = task.payload  # type: ignore[misc]
+    config = device_config(cfg)
+    devices = []
+    for spec in chunk:
+        generator, result = run_device(cfg, spec, task.variant)
+        devices.append(device_report(config, cfg, spec, generator, result))
+    return {"variant": task.variant, "devices": devices}
+
+
+@dataclass
+class FleetRun:
+    """A completed campaign: the merged report plus shard accounting.
+
+    The accounting (cache hits, retries) intentionally stays *outside*
+    ``report``: it differs between fresh and resumed invocations, while
+    the report must be byte-identical across them.
+    """
+
+    report: dict[str, object]
+    shards: int
+    cached_shards: int
+    retried_shards: int
+
+
+def run_fleet(
+    cfg: FleetConfig,
+    jobs: int = 1,
+    resume_dir: str | Path | None = None,
+    stop_after_shards: int | None = None,
+) -> FleetRun | None:
+    """Run a whole fleet campaign; ``None`` when stopped early.
+
+    ``resume_dir`` persists per-shard results; re-running with the same
+    directory (and the same config -- the fingerprint in each cache key
+    enforces it) resumes from the last completed shard.
+    ``stop_after_shards`` runs only the first N pending cells and then
+    returns ``None`` -- the injected-kill hook the resume smoke tests
+    use to interrupt a campaign at a deterministic point.
+    """
+    specs = compile_fleet(cfg)
+    tasks = plan_tasks(cfg, specs)
+    cache = (
+        GridResultCache(resume_dir) if resume_dir is not None else None
+    )
+    if stop_after_shards is not None:
+        run_grid_detailed(
+            _shard_task, tasks[:stop_after_shards], jobs=jobs, cache=cache
+        )
+        return None
+    grid = run_grid_detailed(_shard_task, tasks, jobs=jobs, cache=cache)
+    report = aggregate_fleet(cfg, grid.results)
+    return FleetRun(
+        report=report,
+        shards=len(tasks),
+        cached_shards=grid.cached_shards,
+        retried_shards=grid.retried_shards,
+    )

@@ -1,0 +1,107 @@
+"""Scripted fleet-wide deletion storms and churn waves.
+
+A *storm* is a correlated burst of tenant lifecycle events -- a GDPR
+deletion wave, a batch of account closures, a churn spike -- that hits
+many tenants across the whole fleet at once.  For the paper's question
+(how does sanitization cost scale when deletes arrive correlated rather
+than trickled?) the interesting property is that the burst is
+*fleet-wide*: the same storm must fire, against the same tenants, on
+every device shard, no matter how the campaign was partitioned over
+workers or how many times it was interrupted and resumed.
+
+That is why the schedule here is pure data and pure functions of the
+campaign's master seed:
+
+* :func:`build_schedule` derives the storm times (as fractions of each
+  device's steady-state write budget) from the requested kind/count
+  alone -- no RNG at all;
+* :func:`storm_affects` decides tenant membership with a seeded hash
+  threshold, so any shard can ask "is tenant *t* in storm *i*?" and get
+  the same answer with zero cross-shard communication.
+
+Both are consumed by :class:`repro.fleet.tenants.TenantWorkload`, which
+fires the events while rendering a device's file-level trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.parallel import derive_seed
+
+__all__ = ["STORM_KINDS", "StormEvent", "build_schedule", "storm_affects"]
+
+#: recognized storm kinds ("none" is expressed as an empty schedule).
+STORM_KINDS = ("deletion", "churn")
+
+
+@dataclass(frozen=True)
+class StormEvent:
+    """One scheduled fleet-wide storm.
+
+    ``at_fraction`` places the storm on each device's own steady-state
+    write budget (0 = start of steady state, 1 = end), so devices with
+    different traffic scales experience the storm at the same *logical*
+    point of their campaign.  ``tenant_fraction`` is the fleet-wide
+    fraction of tenants the storm touches.
+    """
+
+    index: int
+    kind: str
+    at_fraction: float
+    tenant_fraction: float
+
+    def __post_init__(self) -> None:
+        if self.kind not in STORM_KINDS:
+            raise ValueError(f"unknown storm kind {self.kind!r}")
+        if not 0.0 < self.at_fraction < 1.0:
+            raise ValueError("at_fraction must be in (0, 1)")
+        if not 0.0 < self.tenant_fraction <= 1.0:
+            raise ValueError("tenant_fraction must be in (0, 1]")
+
+
+def build_schedule(
+    kind: str,
+    count: int = 1,
+    tenant_fraction: float = 0.25,
+    start: float = 0.3,
+    end: float = 0.85,
+) -> tuple[StormEvent, ...]:
+    """``count`` storms of one kind, evenly spaced across (start, end).
+
+    ``kind="none"`` (or ``count=0``) yields an empty schedule.  The
+    spacing is closed-form -- ``build_schedule`` is called once per
+    campaign *and* once per shard and must agree byte-for-byte.
+    """
+    if kind == "none" or count == 0:
+        return ()
+    if kind not in STORM_KINDS:
+        raise ValueError(f"unknown storm kind {kind!r}")
+    if count < 0:
+        raise ValueError("count must be >= 0")
+    if not 0.0 < start < end < 1.0:
+        raise ValueError("need 0 < start < end < 1")
+    span = end - start
+    return tuple(
+        StormEvent(
+            index=i,
+            kind=kind,
+            at_fraction=start + span * (i + 1) / (count + 1),
+            tenant_fraction=tenant_fraction,
+        )
+        for i in range(count)
+    )
+
+
+def storm_affects(master_seed: int, storm: StormEvent, tenant: int) -> bool:
+    """Whether one tenant is hit by one storm -- fleet-wide consistent.
+
+    A pure hash threshold on (master seed, storm index, tenant id): the
+    expected affected fraction is ``storm.tenant_fraction``, and every
+    shard computes the identical membership without communication, which
+    is what keeps serial, parallel, and resumed campaigns byte-identical.
+    """
+    draw = derive_seed(
+        master_seed, "storm", storm.index, tenant, domain="fleet"
+    )
+    return draw / 2.0**63 < storm.tenant_fraction

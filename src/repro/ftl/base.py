@@ -275,7 +275,8 @@ class PageMappedFtl:
             self.observer.on_program(gppa, lpa, request.tag, secure)
         # sanitization is part of the same request: it completes before
         # logical time advances (the lock manager acts "immediately").
-        self._sanitize_host_batch(events)
+        with self.timing.sanitize_region():
+            self._sanitize_host_batch(events)
         self._ensure_space_all_touched(events)
         ticks = request.npages * (
             self.geometry.page_size_bytes // LOGICAL_TIME_WRITE_BYTES
@@ -290,7 +291,8 @@ class PageMappedFtl:
             old = self.l2p.unmap(lpa)
             if old != UNMAPPED:
                 events.append(self._invalidate(old, lpa, "host-trim"))
-        self._sanitize_host_batch(events)
+        with self.timing.sanitize_region():
+            self._sanitize_host_batch(events)
         self._ensure_space_all_touched(events)
 
     # ------------------------------------------------------------------

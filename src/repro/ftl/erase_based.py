@@ -45,9 +45,10 @@ class EraseBasedFtl(PageMappedFtl):
         # erSSD has no way to sanitize them short of erasing (fn. 15).
         gb = self.global_block(chip_id, local_block)
         self._note_secured_invalid_sanitized(gb)
-        if self._erase_block_now(chip_id, local_block):
-            self.stats.sanitize_erases += 1
-            self.alloc.add_erased(chip_id, local_block)
+        with self.timing.sanitize_region():
+            if self._erase_block_now(chip_id, local_block):
+                self.stats.sanitize_erases += 1
+                self.alloc.add_erased(chip_id, local_block)
         # a status-failed erase scrubbed + retired the block instead;
         # the scrub sanitize notes supersede the eager erase notes
 
@@ -57,7 +58,7 @@ class EraseBasedFtl(PageMappedFtl):
         chip_id, local_block = self.split_global_block(gb)
         with self.tel.tracer.span(
             "relocation_storm", cat="ftl.sanitize", chip=chip_id, block=gb
-        ):
+        ), self.timing.sanitize_region():
             stream = self.alloc.stream_of_block(chip_id, local_block)
             if stream is not None:
                 # the stale copy sits in an open block: close its stream so

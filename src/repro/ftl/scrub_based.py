@@ -74,7 +74,7 @@ class ScrubBasedFtl(PageMappedFtl):
     def _scrub_wordline(self, gb: int, wordline: int, relocate: bool) -> None:
         with self.tel.tracer.span(
             "scrub_pass", cat="ftl.sanitize", block=gb, wordline=wordline
-        ):
+        ), self.timing.sanitize_region():
             self._scrub_wordline_inner(gb, wordline, relocate)
 
     def _scrub_wordline_inner(

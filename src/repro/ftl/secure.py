@@ -183,7 +183,7 @@ class SecureFtl(PageMappedFtl):
         chip_id, local_block = self.split_global_block(gb)
         with self.tel.tracer.span(
             "lock_fallback", cat="ftl.sanitize", chip=chip_id, block=gb
-        ):
+        ), self.timing.sanitize_region():
             stream = self.alloc.stream_of_block(chip_id, local_block)
             if stream is not None:
                 self.alloc.close_active(chip_id, stream)
@@ -209,9 +209,10 @@ class SecureFtl(PageMappedFtl):
         """
         self.stats.fallback_erases += 1
         chip_id, local_block = self.split_global_block(gb)
-        if self._erase_block_now(chip_id, local_block):
-            self.stats.sanitize_erases += 1
-            self.alloc.add_erased(chip_id, local_block)
+        with self.timing.sanitize_region():
+            if self._erase_block_now(chip_id, local_block):
+                self.stats.sanitize_erases += 1
+                self.alloc.add_erased(chip_id, local_block)
         return True
 
     def _pad_block_full(self, chip_id: int, local_block: int) -> None:

@@ -38,7 +38,7 @@ from dataclasses import dataclass, field
 
 from repro.ftl.observer import notify_optional
 from repro.sim.events import EventHeap, SimClock
-from repro.sim.metrics import DepthSeries, LatencyRecorder
+from repro.sim.metrics import DepthSeries, LatencyRecorder, WorkSeries
 from repro.sim.ops import OpKind, RecordingTiming
 from repro.sim.policies import DeferLocksPolicy, SchedulingPolicy
 from repro.ssd.device import SSD
@@ -93,6 +93,7 @@ class Segment:
         "ready",
         "seq",
         "drain",
+        "sanitize",
     )
 
     def __init__(
@@ -102,11 +103,16 @@ class Segment:
         duration_us: float,
         request: _InFlight | None,
         follow: tuple[int, float, str] | None = None,
+        sanitize: bool = False,
     ) -> None:
         self.kind = kind
         self.stage = stage  # "cell" (chip) | "xfer" (channel)
         self.duration_us = duration_us
         self.request = request
+        #: sanitization attribution carried from the captured FlashOp;
+        #: survives a severed request link (deferred lock pulses) and
+        #: follow/successor stage creation.
+        self.sanitize = sanitize
         #: work-conserving mode: (server index, duration, stage) queued
         #: when this stage ends.
         self.follow = follow
@@ -179,6 +185,16 @@ class EngineReport:
     lock_drains: int
     suspensions: int
     checker: dict[str, int] = field(default_factory=dict)
+    #: sanitization flash work issued but not yet serviced, as a
+    #: (time_us, backlog_us) step series.  Counts every captured op the
+    #: FTL tagged as sanitization: lock and scrub pulses wherever they
+    #: appear, plus reads/programs/erases issued inside a
+    #: ``timing.sanitize_region()`` (relocation copies, padding
+    #: programs, sanitize erases).  Plain host I/O and
+    #: capacity-reclamation GC stay out (DESIGN.md 3j).
+    sanitize_backlog: list[tuple[float, float]] = field(default_factory=list)
+    sanitize_backlog_peak_us: float = 0.0
+    sanitize_backlog_mean_us: float = 0.0
 
     @property
     def iops(self) -> float:
@@ -220,6 +236,9 @@ class EngineReport:
             "lock_drains": self.lock_drains,
             "suspensions": self.suspensions,
             "checker": self.checker,
+            "sanitize_backlog": [[t, b] for t, b in self.sanitize_backlog],
+            "sanitize_backlog_peak_us": self.sanitize_backlog_peak_us,
+            "sanitize_backlog_mean_us": self.sanitize_backlog_mean_us,
         }
 
     def to_json(self) -> str:
@@ -283,6 +302,11 @@ class QueueingEngine:
         self.heap = EventHeap()
         self.latency = LatencyRecorder()
         self.depth = DepthSeries()
+        #: outstanding sanitization-class flash work (lock pulses,
+        #: scrubs, erases issued but not yet serviced), in microseconds
+        #: of chip time; sampled into a step series on every change.
+        self.sanitize_backlog = WorkSeries()
+        self._sanitize_backlog_us = 0.0
         self._seq = 0
         self._next_index = 0
         self._arrival_time_us = 0.0
@@ -409,40 +433,59 @@ class QueueingEngine:
         servers = self.servers
         chan_base = self._chan_base
         cpc = self._cpc
+        backlog_add = 0.0
         for op in ops:
             chip = op.chip_id
             chan = chan_base + chip // cpc
+            sanitize = op.sanitize
             if op.kind is OpKind.READ:
+                if sanitize:
+                    backlog_add += t_read
                 inflight.remaining += 2
                 if in_order:
                     self._enqueue_stages(
                         op.kind, inflight,
                         (chip, t_read, "cell"),
                         (chan, t_xfer, "xfer"),
+                        sanitize=sanitize,
                     )
                 else:
                     seg = Segment(
                         op.kind, "cell", t_read, inflight,
                         follow=(chan, t_xfer, "xfer"),
+                        sanitize=sanitize,
                     )
                     self._enqueue(servers[chip], seg)
             elif op.kind is OpKind.PROGRAM:
+                if sanitize:
+                    backlog_add += t_prog
                 inflight.remaining += 2
                 if in_order:
                     self._enqueue_stages(
                         op.kind, inflight,
                         (chan, t_xfer, "xfer"),
                         (chip, t_prog, "cell"),
+                        sanitize=sanitize,
                     )
                 else:
                     seg = Segment(
                         op.kind, "xfer", t_xfer, inflight,
                         follow=(chip, t_prog, "cell"),
+                        sanitize=sanitize,
                     )
                     self._enqueue(servers[chan], seg)
             else:
+                # the FlashOp carries the attribution (lock/scrub pulses
+                # always; reads/programs/erases when the FTL captured
+                # them inside a sanitize_region).  Tagged work joins the
+                # backlog the instant the FTL issues it, whether queued
+                # for service now or parked by lock deferral.
                 duration = timing.cell_duration_us(op.kind)
-                seg = Segment(op.kind, "cell", duration, inflight)
+                if sanitize:
+                    backlog_add += duration
+                seg = Segment(
+                    op.kind, "cell", duration, inflight, sanitize=sanitize
+                )
                 if deferring and self.policy.defers(seg):
                     seg.request = None  # off the request critical path
                     self._defer_lock(servers[chip], seg)
@@ -450,6 +493,10 @@ class QueueingEngine:
                     inflight.remaining += 1
                     self._enqueue(servers[chip], seg)
 
+        if backlog_add > 0.0:
+            backlog_us = self._sanitize_backlog_us + backlog_add
+            self._sanitize_backlog_us = backlog_us
+            self.sanitize_backlog.record(now, backlog_us)
         if inflight.remaining == 0:
             # unmapped reads / pure-trim bookkeeping: no flash service
             self._complete(inflight)
@@ -460,6 +507,7 @@ class QueueingEngine:
         inflight: _InFlight,
         first: tuple[int, float, str],
         second: tuple[int, float, str],
+        sanitize: bool = False,
     ) -> None:
         """In-order mode: reserve both stages of a two-stage op now.
 
@@ -470,8 +518,8 @@ class QueueingEngine:
         """
         s1_server, s1_dur, s1_stage = first
         s2_server, s2_dur, s2_stage = second
-        s1 = Segment(kind, s1_stage, s1_dur, inflight)
-        s2 = Segment(kind, s2_stage, s2_dur, inflight)
+        s1 = Segment(kind, s1_stage, s1_dur, inflight, sanitize=sanitize)
+        s2 = Segment(kind, s2_stage, s2_dur, inflight, sanitize=sanitize)
         s2.ready = False
         s1.successor = (s2_server, s2)
         if self._fifo_queues:
@@ -653,11 +701,28 @@ class QueueingEngine:
                         },
                     )
         server.current = None
+        kind = segment.kind
+        if segment.stage == "cell" and segment.sanitize:
+            # mirror of _dispatch's accounting: an op leaves the backlog
+            # only if it entered it (its FlashOp tag, carried on the
+            # segment -- robust to a deferred lock's severed request
+            # link).  It leaves at its *canonical* duration -- what
+            # _dispatch added -- not segment.duration_us, which a
+            # suspension rewrites to the remaining time.
+            backlog_us = (
+                self._sanitize_backlog_us
+                - self.timing.cell_duration_us(kind)
+            )
+            self._sanitize_backlog_us = backlog_us
+            self.sanitize_backlog.record(now, backlog_us)
         if segment.follow is not None:
             target, duration, stage = segment.follow
             self._enqueue(
                 self.servers[target],
-                Segment(segment.kind, stage, duration, segment.request),
+                Segment(
+                    segment.kind, stage, duration, segment.request,
+                    sanitize=segment.sanitize,
+                ),
             )
         if segment.successor is not None:
             target, next_segment = segment.successor
@@ -764,6 +829,11 @@ class QueueingEngine:
             "latency": self.latency.state_dict(),
             "depth": self.depth.state_dict(),
             "arrivals": self.arrivals.state_dict(),
+            "sanitize_backlog": self.sanitize_backlog.state_dict(),
+            # float residue of the add/subtract stream (quiescent means
+            # logically zero, but resumed runs must keep the exact value
+            # so their series stay byte-identical to uninterrupted ones)
+            "sanitize_backlog_us": self._sanitize_backlog_us,
         }
 
     def load_state_dict(self, state: dict[str, object]) -> None:
@@ -787,6 +857,8 @@ class QueueingEngine:
         self.latency.load_state_dict(state["latency"])
         self.depth.load_state_dict(state["depth"])
         self.arrivals.load_state_dict(state["arrivals"])
+        self.sanitize_backlog.load_state_dict(state["sanitize_backlog"])
+        self._sanitize_backlog_us = state["sanitize_backlog_us"]
 
     # ------------------------------------------------------------------
     def _report(self) -> EngineReport:
@@ -817,4 +889,7 @@ class QueueingEngine:
             lock_drains=self.lock_drains,
             suspensions=self.suspensions,
             checker=checker_summary,
+            sanitize_backlog=self.sanitize_backlog.downsample(),
+            sanitize_backlog_peak_us=self.sanitize_backlog.peak,
+            sanitize_backlog_mean_us=self.sanitize_backlog.mean_level(elapsed),
         )

@@ -39,6 +39,10 @@ LOCK_KINDS = frozenset({OpKind.PLOCK, OpKind.BLOCK_LOCK})
 #: (erase suspend / program suspend, standard on modern NAND).
 SUSPENDABLE_KINDS = frozenset({OpKind.ERASE, OpKind.PROGRAM})
 
+#: operations that are sanitization by nature, wherever they appear --
+#: a lock pulse or scrub pulse has no other purpose.
+SANITIZE_KINDS = frozenset({OpKind.PLOCK, OpKind.BLOCK_LOCK, OpKind.SCRUB})
+
 
 class FlashOp(NamedTuple):
     """One captured primitive operation on one chip.
@@ -47,10 +51,17 @@ class FlashOp(NamedTuple):
     captured flash op (hundreds of thousands per benchmark run) and
     tuple construction is several times cheaper than a frozen-dataclass
     ``__init__``.
+
+    ``sanitize`` attributes the op to data sanitization: always set for
+    :data:`SANITIZE_KINDS`, and set for reads/programs/erases captured
+    inside the FTL's :meth:`~repro.ssd.timing.TimingModel.sanitize_region`
+    (relocation copies, padding programs, sanitize erases).  Plain host
+    I/O and capacity-reclamation GC stay untagged.
     """
 
     kind: OpKind
     chip_id: int
+    sanitize: bool = False
 
 
 class RecordingTiming(TimingModel):
@@ -102,7 +113,13 @@ class RecordingTiming(TimingModel):
 
     def _emit(self, kind: OpKind, chip_id: int) -> None:
         if self._ops is not None:
-            self._ops.append(FlashOp(kind, chip_id))
+            self._ops.append(
+                FlashOp(
+                    kind,
+                    chip_id,
+                    kind in SANITIZE_KINDS or self._sanitize_depth > 0,
+                )
+            )
 
     # ------------------------------------------------------------------
     # read/program run once per data page moved, so they inline both the
@@ -133,7 +150,9 @@ class RecordingTiming(TimingModel):
         # subclass; it has no accounting effect
         ops = self._ops
         if ops is not None:
-            ops.append(FlashOp(OpKind.READ, chip_id))
+            ops.append(
+                FlashOp(OpKind.READ, chip_id, self._sanitize_depth > 0)
+            )
         # lockstep: skip-end
         return end
         # lockstep: end timing-read
@@ -160,7 +179,9 @@ class RecordingTiming(TimingModel):
         # subclass; it has no accounting effect
         ops = self._ops
         if ops is not None:
-            ops.append(FlashOp(OpKind.PROGRAM, chip_id))
+            ops.append(
+                FlashOp(OpKind.PROGRAM, chip_id, self._sanitize_depth > 0)
+            )
         # lockstep: skip-end
         return end
         # lockstep: end timing-program

@@ -52,6 +52,32 @@ class _CaptureDevice:
         self.requests.append(request)
 
 
+def capture_generator_trace(
+    config: SSDConfig,
+    generator,
+    steady_write_pages: int,
+) -> tuple[list[IoRequest], int]:
+    """Render one generator instance into block requests.
+
+    The generalized capture seam: any object with the
+    :class:`~repro.workloads.base.WorkloadGenerator` interface
+    (``setup()`` + ``steady(total_write_pages)``) renders into the
+    variant-independent block-request stream the engine replays --
+    which is how :mod:`repro.fleet` drives tenant-compiled per-device
+    workloads through the same pipeline as the named Table-2 traces.
+
+    Returns ``(requests, steady_start)`` where ``steady_start`` is the
+    index of the first steady-state request (everything before it is the
+    generator's pre-fill and is excluded from latency percentiles).
+    """
+    capture = _CaptureDevice(config.logical_pages)
+    replayer = TraceReplayer(FileSystem(capture))  # type: ignore[arg-type]
+    replayer.replay(generator.setup())
+    steady_start = len(capture.requests)
+    replayer.replay(generator.steady(steady_write_pages))
+    return capture.requests, steady_start
+
+
 def capture_block_trace(
     config: SSDConfig,
     workload: str,
@@ -59,7 +85,7 @@ def capture_block_trace(
     secure_fraction: float = 1.0,
     write_multiplier: float = 1.0,
 ) -> tuple[list[IoRequest], int]:
-    """Render one workload into block requests, variant-independently.
+    """Render one named workload into block requests, variant-independently.
 
     Returns ``(requests, steady_start)`` where ``steady_start`` is the
     index of the first steady-state request (everything before it is the
@@ -67,19 +93,14 @@ def capture_block_trace(
     """
     if workload not in WORKLOADS:
         raise ValueError(f"unknown workload {workload!r}")
-    capture = _CaptureDevice(config.logical_pages)
-    replayer = TraceReplayer(FileSystem(capture))  # type: ignore[arg-type]
     generator = WORKLOADS[workload](
         capacity_pages=config.logical_pages,
         seed=seed,
         secure_fraction=secure_fraction,
     )
-    replayer.replay(generator.setup())
-    steady_start = len(capture.requests)
-    replayer.replay(
-        generator.steady(int(config.logical_pages * write_multiplier))
+    return capture_generator_trace(
+        config, generator, int(config.logical_pages * write_multiplier)
     )
-    return capture.requests, steady_start
 
 
 @dataclass
@@ -108,6 +129,61 @@ class SimResult:
 
     def to_json(self) -> str:
         return json.dumps(self.to_dict(), sort_keys=True, indent=2)
+
+
+def simulate_trace(
+    config: SSDConfig,
+    workload: str,
+    variant: str,
+    requests: list[IoRequest],
+    steady_start: int,
+    seed: int = 1,
+    policy: SchedulingPolicy | str = "fifo",
+    arrivals: ArrivalProcess | None = None,
+    checked: bool | None = None,
+    check_interval: int | None = None,
+    faults: FaultPlan | None = None,
+    telemetry: Telemetry | None = None,
+) -> SimResult:
+    """Simulate a pre-captured block-request trace on one variant.
+
+    The seam between trace capture and queueing simulation: callers
+    that render their own traces (the fleet scheduler renders one
+    variant-independent trace per device and replays it against every
+    variant) dispatch them here.  ``workload`` is only a label carried
+    into the result.
+    """
+    if isinstance(policy, str):
+        policy = policy_by_name(policy)
+    if arrivals is None:
+        arrivals = ClosedLoopArrivals()
+    ssd = SSD(
+        config,
+        variant,
+        seed=seed,
+        checked=checked,
+        check_interval=check_interval,
+        faults=faults,
+        telemetry=telemetry,
+    )
+    ssd.instrument_timing(RecordingTiming.from_config(config))
+    engine = QueueingEngine(
+        ssd, requests, arrivals, policy, steady_start=steady_start
+    )
+    report = engine.run()
+    run = ssd.result()
+    run.latency = report.latency
+    run.utilization = report.utilization
+    return SimResult(
+        workload=workload,
+        variant=variant,
+        policy=policy.describe(),
+        arrivals=arrivals.describe(),
+        requests=len(requests),
+        steady_start=steady_start,
+        report=report,
+        run=run,
+    )
 
 
 def simulate_workload(
@@ -141,34 +217,17 @@ def simulate_workload(
         secure_fraction=secure_fraction,
         write_multiplier=write_multiplier,
     )
-    if isinstance(policy, str):
-        policy = policy_by_name(policy)
-    if arrivals is None:
-        arrivals = ClosedLoopArrivals()
-    ssd = SSD(
+    return simulate_trace(
         config,
+        workload,
         variant,
+        requests,
+        steady_start,
         seed=seed,
+        policy=policy,
+        arrivals=arrivals,
         checked=checked,
         check_interval=check_interval,
         faults=faults,
         telemetry=telemetry,
-    )
-    ssd.instrument_timing(RecordingTiming.from_config(config))
-    engine = QueueingEngine(
-        ssd, requests, arrivals, policy, steady_start=steady_start
-    )
-    report = engine.run()
-    run = ssd.result()
-    run.latency = report.latency
-    run.utilization = report.utilization
-    return SimResult(
-        workload=workload,
-        variant=variant,
-        policy=policy.describe(),
-        arrivals=arrivals.describe(),
-        requests=len(requests),
-        steady_start=steady_start,
-        report=report,
-        run=run,
     )

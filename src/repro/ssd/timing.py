@@ -45,6 +45,7 @@ cross-checks against it, so it is normative):
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from repro.flash import constants
@@ -72,6 +73,11 @@ class TimingModel:
     cell_work_us: float = field(init=False, default=0.0)
     #: channel occupancy scheduled (page transfer time).
     xfer_work_us: float = field(init=False, default=0.0)
+    #: nesting depth of :meth:`sanitize_region` -- positive while the
+    #: FTL is doing sanitization-driven work (relocations, sanitize
+    #: erases, lock fallbacks), so instrumented timing models can
+    #: attribute the flash ops they capture.
+    _sanitize_depth: int = field(init=False, default=0)
 
     #: timing fields every instance must hold positive (validation).
     TIMING_FIELDS = (
@@ -106,6 +112,29 @@ class TimingModel:
     def _check_chip(self, chip_id: int) -> None:
         if not 0 <= chip_id < self.n_chips:
             raise ValueError(f"chip {chip_id} out of range [0, {self.n_chips})")
+
+    # ------------------------------------------------------------------
+    @property
+    def in_sanitize(self) -> bool:
+        """True while the FTL is inside a sanitization scope."""
+        return self._sanitize_depth > 0
+
+    @contextmanager
+    def sanitize_region(self):
+        """Mark a region of FTL work as sanitization-driven.
+
+        The FTL brackets relocate-and-erase passes, scrub passes, and
+        lock-fallback paths with this scope; the plain model ignores it
+        (timing is unchanged), but :class:`repro.sim.ops.RecordingTiming`
+        tags the flash ops captured inside so the closed-loop engine can
+        account queued sanitization work separately from host I/O and
+        plain GC.  Re-entrant (scopes nest).
+        """
+        self._sanitize_depth += 1
+        try:
+            yield
+        finally:
+            self._sanitize_depth -= 1
 
     # ------------------------------------------------------------------
     # The scheduling methods below run once per captured flash op

@@ -1,0 +1,130 @@
+"""Campaign determinism: serial == parallel == resumed, byte for byte."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.fleet import FleetConfig, plan_tasks, run_fleet
+from repro.fleet.tenants import compile_fleet
+
+#: small but structurally honest: 8 devices over 4 shards, 2 variants,
+#: a deletion storm -- enough to exercise merge order, shard seeding,
+#: and the resume path without minutes of runtime.
+CAMPAIGN = FleetConfig(
+    devices=8,
+    tenants=240,
+    variants=("erSSD", "secSSD"),
+    storm="deletion",
+    devices_per_shard=2,
+)
+
+
+def _dumps(report: dict) -> str:
+    return json.dumps(report, sort_keys=True)
+
+
+@pytest.fixture(scope="module")
+def serial_report() -> dict:
+    run = run_fleet(CAMPAIGN)
+    assert run is not None
+    return run.report
+
+
+class TestByteIdentity:
+    def test_parallel_matches_serial(self, serial_report):
+        parallel = run_fleet(CAMPAIGN, jobs=2)
+        assert _dumps(parallel.report) == _dumps(serial_report)
+
+    def test_resumed_matches_uninterrupted(self, serial_report, tmp_path):
+        resume = tmp_path / "campaign"
+        # injected kill: run only the first 3 of 8 shards, then resume
+        assert run_fleet(CAMPAIGN, resume_dir=resume, stop_after_shards=3) is None
+        resumed = run_fleet(CAMPAIGN, jobs=2, resume_dir=resume)
+        assert resumed.cached_shards >= 3
+        assert _dumps(resumed.report) == _dumps(serial_report)
+
+    def test_report_is_json_round_trippable(self, serial_report):
+        assert json.loads(_dumps(serial_report)) == serial_report
+
+
+class TestShardPlan:
+    def test_canonical_order_variants_outer(self):
+        specs = compile_fleet(CAMPAIGN)
+        tasks = plan_tasks(CAMPAIGN, specs)
+        assert [t.index for t in tasks] == list(range(len(tasks)))
+        assert [t.variant for t in tasks[:4]] == ["erSSD"] * 4
+        assert [t.variant for t in tasks[4:]] == ["secSSD"] * 4
+
+    def test_seeds_unique_per_cell(self):
+        tasks = plan_tasks(CAMPAIGN, compile_fleet(CAMPAIGN))
+        seeds = [t.seed for t in tasks]
+        assert len(set(seeds)) == len(seeds)
+
+    def test_fingerprint_in_cache_key(self):
+        tasks = plan_tasks(CAMPAIGN, compile_fleet(CAMPAIGN))
+        fingerprint = CAMPAIGN.fingerprint()
+        assert all(fingerprint in t.workload for t in tasks)
+
+
+class TestHeadlineResult:
+    def test_secssd_storm_backlog_below_erssd(self, serial_report):
+        # the acceptance criterion: under a fleet-wide deletion storm,
+        # lock-based sanitization keeps the queued-sanitization backlog
+        # measurably below the erase-based design's relocation storms
+        variants = serial_report["variants"]
+        sec = variants["secSSD"]["backlog_peak_us"]
+        er = variants["erSSD"]["backlog_peak_us"]
+        assert er > 0.0
+        assert sec < 0.5 * er, (sec, er)
+
+    def test_backlog_fully_drains(self, serial_report):
+        for data in serial_report["variants"].values():
+            for device in data["devices_detail"]:
+                curve = device["backlog"]
+                if curve:
+                    assert abs(curve[-1][1]) < 1e-6
+
+    def test_metrics_snapshot_published(self, serial_report):
+        metrics = serial_report["metrics"]
+        gauges = metrics["gauges"]
+        assert "fleet.secSSD.backlog_peak_us" in gauges
+        assert "fleet.erSSD.backlog_peak_us" in gauges
+
+    def test_storm_counters_aggregated(self, serial_report):
+        for data in serial_report["variants"].values():
+            assert data["storms"]["storm_files_deleted"] > 0
+
+
+class TestAccountingOutsideReport:
+    def test_no_wall_clock_or_shard_accounting_in_report(self, serial_report):
+        text = _dumps(serial_report)
+        for forbidden in ("wall_", "cached_shards", "retried_shards"):
+            assert forbidden not in text
+
+    def test_config_echoed_with_fingerprint(self, serial_report):
+        echoed = serial_report["config"]
+        assert echoed["devices"] == CAMPAIGN.devices
+        assert echoed["fingerprint"] == CAMPAIGN.fingerprint()
+
+
+class TestStormContrast:
+    def test_storm_raises_secssd_lock_cost_over_quiet(self):
+        quiet_cfg = dataclasses.replace(
+            CAMPAIGN,
+            devices=2,
+            tenants=80,
+            variants=("secSSD",),
+            storm="none",
+            devices_per_shard=2,
+        )
+        storm_cfg = dataclasses.replace(
+            quiet_cfg, storm="deletion", storm_fraction=0.5
+        )
+        quiet = run_fleet(quiet_cfg).report["variants"]["secSSD"]
+        storm = run_fleet(storm_cfg).report["variants"]["secSSD"]
+        assert (
+            storm["stats"]["host_trims"] > quiet["stats"]["host_trims"]
+        )

@@ -1,0 +1,91 @@
+"""Storm schedules and seeded membership."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.fleet.scheduler import device_config
+from repro.fleet.storms import StormEvent, build_schedule, storm_affects
+from repro.fleet.tenants import FleetConfig, TenantWorkload, compile_fleet
+from repro.sim.runner import capture_generator_trace
+
+
+class TestSchedule:
+    def test_none_is_empty(self):
+        assert build_schedule("none") == ()
+        assert build_schedule("deletion", count=0) == ()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            build_schedule("hurricane")
+
+    def test_events_evenly_spaced_and_ordered(self):
+        events = build_schedule("deletion", count=3, tenant_fraction=0.5)
+        assert [e.index for e in events] == [0, 1, 2]
+        ats = [e.at_fraction for e in events]
+        assert ats == sorted(ats)
+        assert all(0.0 < a < 1.0 for a in ats)
+        assert all(e.kind == "deletion" for e in events)
+        assert all(e.tenant_fraction == 0.5 for e in events)
+
+    def test_event_validation(self):
+        with pytest.raises(ValueError):
+            StormEvent(0, "deletion", at_fraction=1.5, tenant_fraction=0.5)
+        with pytest.raises(ValueError):
+            StormEvent(0, "deletion", at_fraction=0.5, tenant_fraction=0.0)
+
+
+class TestMembership:
+    def test_deterministic(self):
+        storm = build_schedule("deletion", tenant_fraction=0.3)[0]
+        hits = [storm_affects(1, storm, t) for t in range(200)]
+        assert hits == [storm_affects(1, storm, t) for t in range(200)]
+
+    def test_fraction_is_approximately_honored(self):
+        storm = build_schedule("deletion", tenant_fraction=0.25)[0]
+        hits = sum(storm_affects(1, storm, t) for t in range(4000))
+        assert 0.18 < hits / 4000 < 0.32
+
+    def test_storms_select_different_tenants(self):
+        a, b = build_schedule("deletion", count=2, tenant_fraction=0.5)
+        hits_a = {t for t in range(500) if storm_affects(1, a, t)}
+        hits_b = {t for t in range(500) if storm_affects(1, b, t)}
+        assert hits_a != hits_b
+
+
+class TestStormTraffic:
+    def _trace(self, cfg: FleetConfig):
+        spec = compile_fleet(cfg)[0]
+        config = device_config(cfg)
+        generator = TenantWorkload(cfg, spec, config.logical_pages)
+        requests, steady = capture_generator_trace(config, generator, 600)
+        return generator, requests, steady
+
+    def test_deletion_storm_fires_and_deletes(self):
+        cfg = FleetConfig(devices=2, tenants=120, storm="deletion")
+        generator, _, _ = self._trace(cfg)
+        counters = generator.storm_counters()
+        assert counters["storms_fired"] == 1
+        assert counters["storm_tenants_hit"] > 0
+        assert counters["storm_pages_deleted"] > 0
+
+    def test_storm_adds_trims_over_quiet_run(self):
+        quiet = FleetConfig(devices=2, tenants=120)
+        stormy = dataclasses.replace(
+            quiet, storm="deletion", storm_fraction=0.5
+        )
+        _, quiet_reqs, qs = self._trace(quiet)
+        _, storm_reqs, ss = self._trace(stormy)
+        trims = lambda reqs, start: sum(  # noqa: E731
+            1 for r in reqs[start:] if r.op.value == "trim"
+        )
+        assert trims(storm_reqs, ss) > trims(quiet_reqs, qs)
+
+    def test_churn_replaces_tenants(self):
+        cfg = FleetConfig(devices=2, tenants=120, storm="churn")
+        generator, _, _ = self._trace(cfg)
+        counters = generator.storm_counters()
+        assert counters["storms_fired"] == 1
+        assert counters["storm_tenants_hit"] > 0

@@ -1,0 +1,60 @@
+"""Engine sanitization-backlog accounting (tag-based attribution)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import ClosedLoopArrivals, DeferLocksPolicy, simulate_workload
+
+
+def _run(tiny_config, variant, policy="fifo"):
+    return simulate_workload(
+        tiny_config,
+        "MailServer",
+        variant,
+        policy=policy,
+        arrivals=ClosedLoopArrivals(queue_depth=32),
+        checked=False,
+    ).report
+
+
+class TestBacklogAttribution:
+    def test_baseline_has_no_sanitization_backlog(self, tiny_config):
+        # baseline never enters a sanitize_region and issues no lock or
+        # scrub pulses: plain host I/O and capacity-reclamation GC must
+        # not register as sanitization work
+        report = _run(tiny_config, "baseline")
+        assert report.sanitize_backlog_peak_us == 0.0
+        assert report.sanitize_backlog_mean_us == 0.0
+
+    @pytest.mark.parametrize("variant", ("erSSD", "scrSSD", "secSSD"))
+    def test_sanitizing_variants_accumulate_backlog(self, tiny_config, variant):
+        report = _run(tiny_config, variant)
+        assert report.sanitize_backlog_peak_us > 0.0
+        assert report.sanitize_backlog_mean_us > 0.0
+
+    @pytest.mark.parametrize("variant", ("baseline", "erSSD", "secSSD"))
+    def test_backlog_fully_drains_at_quiescence(self, tiny_config, variant):
+        report = _run(tiny_config, variant)
+        if report.sanitize_backlog:
+            assert report.sanitize_backlog[-1][1] == pytest.approx(0.0, abs=1e-6)
+
+    def test_drains_even_with_deferred_locks(self, tiny_config):
+        # deferred lock pulses sever their request link; the segment tag
+        # must still decrement the backlog when the pulse finally runs
+        report = _run(
+            tiny_config, "secSSD", policy=DeferLocksPolicy(max_pending=8)
+        )
+        assert report.deferred_lock_pulses > 0
+        assert report.sanitize_backlog_peak_us > 0.0
+        assert report.sanitize_backlog[-1][1] == pytest.approx(0.0, abs=1e-6)
+
+    def test_erssd_relocation_storms_dominate_secssd_locks(self, tiny_config):
+        er = _run(tiny_config, "erSSD")
+        sec = _run(tiny_config, "secSSD")
+        assert sec.sanitize_backlog_peak_us < er.sanitize_backlog_peak_us
+
+    def test_backlog_serialized_in_report_dict(self, tiny_config):
+        payload = _run(tiny_config, "secSSD").to_dict()
+        assert "sanitize_backlog" in payload
+        assert payload["sanitize_backlog_peak_us"] > 0.0

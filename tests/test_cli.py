@@ -216,11 +216,76 @@ class TestBenchCommand:
         assert main(["bench", "--variants", "ghostSSD"]) == 2
         assert "unknown variant" in capsys.readouterr().out
 
+
+class TestFleetCommand:
+    SMALL = ["fleet", "--devices", "2", "--tenants", "60", "--shard", "2",
+             "--variants", "secSSD", "--storm", "deletion"]
+
+    def test_options_and_defaults(self):
+        args = build_parser().parse_args(["fleet"])
+        assert args.command == "fleet"
+        assert args.devices == 16
+        assert args.tenants == 2000
+        assert args.storm == "none"
+        assert args.jobs == 1
+        assert args.resume is None
+        assert args.stop_after_shards is None
+
+    def test_fleet_small_with_json(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "fleet.json"
+        assert main(self.SMALL + ["--json", str(out)]) == 0
+        printed = capsys.readouterr().out
+        assert "fleet: 2 devices" in printed
+        assert "secSSD" in printed
+        payload = json.loads(out.read_text())
+        assert payload["config"]["devices"] == 2
+        assert "secSSD" in payload["variants"]
+
+    def test_fleet_unknown_variant_rejected(self, capsys):
+        assert main(["fleet", "--variants", "ghostSSD"]) == 2
+        assert "unknown variant" in capsys.readouterr().out
+
+    def test_fleet_unknown_storm_rejected(self):
+        import pytest
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fleet", "--storm", "hurricane"])
+
+    def test_fleet_stop_and_resume(self, tmp_path, capsys):
+        resume = tmp_path / "campaign"
+        cmd = self.SMALL + ["--resume", str(resume)]
+        assert main(cmd + ["--stop-after-shards", "1"]) == 0
+        assert "stopped after 1 shard" in capsys.readouterr().out
+        assert main(cmd) == 0
+        assert "cached" in capsys.readouterr().out
+
     def test_bench_jobs_and_compare_defaults(self):
         args = build_parser().parse_args(["bench"])
         assert args.jobs == 1
         assert args.compare is None
         assert args.tolerance == 0.05
+        assert args.verbose_compare is False
+
+    def test_verbose_compare_prints_passing_rows(self, tmp_path, capsys):
+        base = ["bench", "--workload", "Mobile", "--variants", "baseline",
+                "--blocks", "8", "--wordlines", "4", "--multiplier", "0.5",
+                "--qd", "8", "--repeats", "1"]
+        baseline_path = tmp_path / "baseline.json"
+        assert main(base + ["--out", str(baseline_path)]) == 0
+        capsys.readouterr()
+        out_path = tmp_path / "BENCH_sim.json"
+        compare = base + ["--out", str(out_path),
+                          "--compare", str(baseline_path)]
+        # compact default: clean gate collapses to the verdict line
+        assert main(compare) == 0
+        compact = capsys.readouterr().out
+        assert "bench compare" in compact
+        assert "ok   Mobile/baseline" not in compact
+        assert main(compare + ["--verbose-compare"]) == 0
+        verbose = capsys.readouterr().out
+        assert "ok   Mobile/baseline" in verbose
 
     def test_bench_compare_gate(self, tmp_path, capsys):
         import json
