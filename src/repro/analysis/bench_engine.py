@@ -30,6 +30,7 @@ from collections.abc import Callable
 from pathlib import Path
 
 from repro.analysis.parallel import GridResultCache, GridTask, run_grid_detailed
+from repro.analysis.progress import ProgressReporter
 from repro.sim.arrivals import ClosedLoopArrivals
 from repro.sim.policies import policy_by_name
 from repro.sim.runner import simulate_workload
@@ -134,6 +135,7 @@ def run_bench(
     jobs: int = 1,
     timer: Callable[[], float] | None = None,
     resume_dir: str | Path | None = None,
+    progress: ProgressReporter | None = None,
 ) -> dict[str, object]:
     """Benchmark the engine on each variant; keep each variant's best run.
 
@@ -170,7 +172,9 @@ def run_bench(
         for repeat in range(repeats)
     ]
     cache = None if resume_dir is None else GridResultCache(resume_dir)
-    grid = run_grid_detailed(_bench_task, tasks, jobs=jobs, cache=cache)
+    grid = run_grid_detailed(
+        _bench_task, tasks, jobs=jobs, cache=cache, progress=progress
+    )
     results = grid.results
     runs = []
     for v_index in range(len(variants)):

@@ -32,9 +32,10 @@ import hashlib
 import json
 import os
 from collections.abc import Callable, Iterable, Sequence
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 from repro.checkpoint.codec import (
     CodecError,
@@ -43,6 +44,9 @@ from repro.checkpoint.codec import (
     encode,
     section_checksum,
 )
+
+if TYPE_CHECKING:
+    from repro.analysis.progress import ProgressReporter
 
 
 @dataclass(frozen=True)
@@ -236,8 +240,15 @@ def _first_pass(
     fn: Callable[[GridTask], object],
     pending: Sequence[GridTask],
     jobs: int,
+    progress: ProgressReporter | None = None,
 ) -> dict[int, object | BaseException]:
-    """Run every pending task once; map index -> result or exception."""
+    """Run every pending task once; map index -> result or exception.
+
+    Progress is reported in *completion* order (that is what a human
+    watching a campaign wants to see) while the returned mapping is
+    keyed by canonical index, so downstream merging stays byte-identical
+    with or without a reporter attached.
+    """
     outcome: dict[int, object | BaseException] = {}
     if jobs == 1 or len(pending) <= 1:
         for task in pending:
@@ -245,14 +256,19 @@ def _first_pass(
                 outcome[task.index] = fn(task)
             except Exception as exc:
                 outcome[task.index] = exc
+            if progress is not None:
+                progress.done(task)
         return outcome
     with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
-        futures = [pool.submit(fn, task) for task in pending]
-        for task, future in zip(pending, futures):
+        task_of = {pool.submit(fn, task): task for task in pending}
+        for future in as_completed(task_of):
+            task = task_of[future]
             try:
                 outcome[task.index] = future.result()
             except Exception as exc:
                 outcome[task.index] = exc
+            if progress is not None:
+                progress.done(task)
     return outcome
 
 
@@ -261,6 +277,7 @@ def run_grid_detailed(
     tasks: Iterable[GridTask],
     jobs: int = 1,
     cache: GridResultCache | None = None,
+    progress: ProgressReporter | None = None,
 ) -> GridResult:
     """:func:`run_grid` plus retry/cache accounting.
 
@@ -294,13 +311,17 @@ def run_grid_detailed(
         pending.append(task)
     if cache is not None:
         cache.hits = cached
-    outcome = _first_pass(fn, pending, jobs)
+    if progress is not None:
+        progress.begin(len(ordered), cached=cached)
+    outcome = _first_pass(fn, pending, jobs, progress=progress)
     retried: list[int] = []
     failures: list[tuple[GridTask, BaseException]] = []
     for task in pending:
         result = outcome[task.index]
         if isinstance(result, BaseException):
             # single bounded retry, same task, same seed, in index order
+            if progress is not None:
+                progress.retry(task)
             try:
                 result = fn(task)
             except Exception as exc:
@@ -310,6 +331,8 @@ def run_grid_detailed(
         merged[task.index] = result
         if cache is not None:
             cache.store(task, result)
+    if progress is not None:
+        progress.finish()
     if failures:
         task, cause = failures[0]
         raise GridTaskError(task, cause) from cause

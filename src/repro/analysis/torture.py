@@ -39,6 +39,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.analysis.parallel import GridResultCache, GridTask, run_grid_detailed
+from repro.analysis.progress import ProgressReporter
 from repro.checkers.sanitizer import InvariantViolation
 from repro.checkpoint import run_chunked_simulation
 from repro.checkpoint.store import StoreCrashInjected
@@ -309,6 +310,35 @@ def run_rate_case(
     --trace-out`` uses this to record one representative faulted run
     per variant, fault instants included).
     """
+    case, _ = traced_rate_case(
+        config,
+        variant,
+        plan,
+        kind_label,
+        detail,
+        n_requests,
+        seed,
+        telemetry=telemetry,
+    )
+    return case
+
+
+def traced_rate_case(
+    config: SSDConfig,
+    variant: str,
+    plan: FaultPlan,
+    kind_label: str,
+    detail: str,
+    n_requests: int,
+    seed: int,
+    telemetry: Telemetry | None = None,
+) -> tuple[TortureCase, SSD]:
+    """:func:`run_rate_case`, plus the simulated device itself.
+
+    The device stays alive for post-run forensic probing: the audit
+    layer's ``repro torture --cert-out`` path issues a sanitization
+    certificate against the raw chips a faulted run left behind.
+    """
     ssd = SSD(
         config,
         variant=variant,
@@ -335,7 +365,7 @@ def run_rate_case(
         )
     except (InvariantViolation, FlashError, RuntimeError) as exc:
         outcome = f"FAIL: {type(exc).__name__}: {exc}"
-    return _case_result(ssd, variant, kind_label, detail, outcome)
+    return _case_result(ssd, variant, kind_label, detail, outcome), ssd
 
 
 def run_power_loss_case(
@@ -559,6 +589,7 @@ def run_torture(
     jobs: int = 1,
     checkpoint_modes: tuple[str, ...] = CHECKPOINT_MODES,
     resume_dir: str | Path | None = None,
+    progress: ProgressReporter | None = None,
 ) -> TortureScorecard:
     """Rate + forced-lock + power-loss + checkpoint-corruption sweeps.
 
@@ -648,7 +679,9 @@ def run_torture(
             to_state=lambda case: case.to_dict(),
             from_state=TortureCase.from_dict,
         )
-    grid = run_grid_detailed(_run_torture_case, tasks, jobs=jobs, cache=cache)
+    grid = run_grid_detailed(
+        _run_torture_case, tasks, jobs=jobs, cache=cache, progress=progress
+    )
     card.cases.extend(grid.results)
     card.retried_shards = grid.retried_shards
     card.cached_shards = grid.cached_shards

@@ -25,7 +25,7 @@ from repro.sim.policies import policy_by_name
 from repro.sim.runner import SimResult, simulate_workload
 from repro.ssd.config import SSDConfig
 from repro.telemetry import Telemetry
-from repro.telemetry.export import to_jsonl, write_chrome_trace
+from repro.telemetry.export import to_jsonl, trace_header, write_chrome_trace
 
 
 @dataclass
@@ -34,6 +34,14 @@ class TracedRun:
 
     sim: SimResult
     telemetry: Telemetry
+    #: run-identity fields carried into the export headers (workload,
+    #: variant, seed, geometry) so a trace file is self-describing
+    #: evidence for the audit layer.
+    meta: dict[str, object] | None = None
+
+    def header(self) -> dict[str, object]:
+        """Evidence-disclosure header for this run's event stream."""
+        return trace_header(self.telemetry.bus, **(self.meta or {}))
 
 
 def run_traced_study(
@@ -74,7 +82,26 @@ def run_traced_study(
             check_interval=check_interval,
             telemetry=telemetry,
         )
-        out[variant] = TracedRun(sim=sim, telemetry=telemetry)
+        out[variant] = TracedRun(
+            sim=sim,
+            telemetry=telemetry,
+            meta={
+                "workload": workload,
+                "variant": variant,
+                "seed": seed,
+                "pages_per_block": config.geometry.pages_per_block,
+                # per-method pulse latencies: what the audit layer adds
+                # onto timestamp deltas when deriving exposure windows
+                # from this file offline (key deletion is a RAM update).
+                "sanitize_latency_us": {
+                    "plock": config.t_plock_us,
+                    "block_lock": config.t_block_lock_us,
+                    "erase": config.t_erase_us,
+                    "scrub": config.t_scrub_us,
+                    "key_delete": 0.0,
+                },
+            },
+        )
     return out
 
 
@@ -92,8 +119,11 @@ def write_trace_files(
     """
     written: list[Path] = []
     target = Path(out)
+    headers = {name: run.header() for name, run in runs.items()}
     write_chrome_trace(
-        target, {name: run.telemetry.bus.events for name, run in runs.items()}
+        target,
+        {name: run.telemetry.bus.events for name, run in runs.items()},
+        headers=headers,
     )
     written.append(target)
     if jsonl is not None:
@@ -104,7 +134,9 @@ def write_trace_files(
                 if len(runs) == 1
                 else base.with_name(f"{base.stem}.{name}{base.suffix}")
             )
-            path.write_text(to_jsonl(run.telemetry.bus.events))
+            path.write_text(
+                to_jsonl(run.telemetry.bus.events, header=headers[name])
+            )
             written.append(path)
     return written
 

@@ -1,0 +1,59 @@
+"""Trace-replay sanitization audit (ROADMAP item 4).
+
+The simulator already *asserts* sanitization in-process (the runtime
+sanitizer, the torture campaign's leak checks); this package turns a
+finished run into inspectable **evidence**:
+
+* :mod:`repro.audit.ledger` replays the byte-deterministic telemetry
+  JSONL stream into a per-page lifecycle ledger (program -> invalidate
+  -> pLock/bLock/scrub/erase with simulated timestamps) and derives the
+  paper's core privacy metric, the **exposure window** -- how long
+  deleted secured data stayed readable.
+* :mod:`repro.audit.certificate` folds the ledger, the evidence
+  disclosure (ring-buffer drops, sample strides), and the run identity
+  into a canonical sorted-key JSON **sanitization certificate** with a
+  sha256 hash chain over its sections and an HMAC seal.
+* :mod:`repro.audit.verifier` is the adversarial side: it re-derives
+  every checksum, replays the lifecycle rules over the raw events, and
+  -- when the live device is available -- cross-checks the ledger's
+  claims against a raw-chip forensic image.  A tampered trace or a
+  readable "sanitized" page fails the certificate with a structured
+  finding, never silently.
+* :mod:`repro.audit.run` glues the three together for ``repro audit``
+  and the ``--cert-out`` flags of ``repro simulate`` / ``repro fleet``
+  / ``repro torture``.
+"""
+
+from __future__ import annotations
+
+from repro.audit.certificate import (
+    CERT_FORMAT,
+    build_certificate,
+    certificate_text,
+)
+from repro.audit.ledger import PageGeneration, PageLedger, build_ledger
+from repro.audit.run import (
+    AuditResult,
+    audit_live_run,
+    audit_sim_result,
+    audit_telemetry,
+    audit_trace_file,
+)
+from repro.audit.verifier import AuditFinding, AuditReport, verify_all
+
+__all__ = [
+    "AuditFinding",
+    "AuditReport",
+    "AuditResult",
+    "CERT_FORMAT",
+    "PageGeneration",
+    "PageLedger",
+    "audit_live_run",
+    "audit_sim_result",
+    "audit_telemetry",
+    "audit_trace_file",
+    "build_certificate",
+    "build_ledger",
+    "certificate_text",
+    "verify_all",
+]

@@ -1,0 +1,82 @@
+"""Sanitization certificates: canonical JSON, hash-chained, HMAC-sealed.
+
+A certificate packages one run's sanitization evidence into a single
+deterministic artifact (DESIGN 3k).  Layout::
+
+    {
+      "format":  "evanesco-cert/1",
+      "key_id":  "evanesco-repro-audit/1",
+      "sections": {
+        "run":      { workload, variant, seed, config fingerprint, ... },
+        "evidence": { trace-header disclosure: published counts, drops,
+                      sample strides, device_verified flag },
+        "ledger":   { digest, coverage counters, anomalies },
+        "exposure": { count, p50_us, p99_us, max_us }
+      },
+      "chain": [ {section, checksum, chained}, ... ],   # sorted order
+      "signature": "<hmac-sha256 hex>"
+    }
+
+Every section is serialized with the checkpoint codec's
+:func:`~repro.checkpoint.codec.canonical_dumps` (sorted keys, compact,
+trailing newline) and hashed with
+:func:`~repro.checkpoint.codec.section_checksum`; ``chained[i]`` is
+sha256 over ``chained[i-1] + checksum[i]`` seeded from the format tag,
+so flipping a bit in any section breaks that section's checksum, every
+later chain link, and the signature all at once.
+
+The HMAC uses a fixed in-repo key: this is a *simulation artifact*, the
+seal proves integrity (the bytes match what the audit layer emitted),
+not provenance against an attacker who holds the repository.  Swapping
+in a real key store only means replacing :data:`DEFAULT_KEY`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from collections.abc import Mapping
+
+from repro.checkpoint.codec import canonical_dumps, section_checksum
+
+CERT_FORMAT = "evanesco-cert/1"
+KEY_ID = "evanesco-repro-audit/1"
+
+#: fixed HMAC key for repo-local certificates (see module docstring).
+DEFAULT_KEY = b"evanesco-repro-audit"
+
+
+def _chain(sections: Mapping[str, object]) -> tuple[list[dict[str, str]], str]:
+    """Hash-chain the sections in sorted-name order; returns (links, tip)."""
+    tip = hashlib.sha256(f"{CERT_FORMAT}:{KEY_ID}".encode()).hexdigest()
+    links: list[dict[str, str]] = []
+    for name in sorted(sections):
+        checksum = section_checksum(canonical_dumps(sections[name]))
+        tip = hashlib.sha256((tip + checksum).encode()).hexdigest()
+        links.append({"section": name, "checksum": checksum, "chained": tip})
+    return links, tip
+
+
+def sign(tip: str, key: bytes = DEFAULT_KEY) -> str:
+    return hmac.new(key, tip.encode(), hashlib.sha256).hexdigest()
+
+
+def build_certificate(
+    sections: Mapping[str, object], key: bytes = DEFAULT_KEY
+) -> dict[str, object]:
+    """Assemble a certificate over JSON-safe evidence sections."""
+    if not sections:
+        raise ValueError("a certificate needs at least one evidence section")
+    links, tip = _chain(sections)
+    return {
+        "format": CERT_FORMAT,
+        "key_id": KEY_ID,
+        "sections": {name: sections[name] for name in sorted(sections)},
+        "chain": links,
+        "signature": sign(tip, key),
+    }
+
+
+def certificate_text(cert: Mapping[str, object]) -> str:
+    """Canonical byte-deterministic serialization of a certificate."""
+    return canonical_dumps(cert)

@@ -1,4 +1,4 @@
-"""The domain rule catalogue (SIM01..SIM15).
+"""The domain rule catalogue (SIM01..SIM16).
 
 Each rule lives in its own module and encodes one simulator invariant:
 
@@ -23,7 +23,11 @@ Each rule lives in its own module and encodes one simulator invariant:
   (process fan-out goes through ``run_grid``'s determinism contract);
 * ``SIM15`` (:mod:`.serialization`) -- no ``pickle``/``marshal``/
   ``shelve`` imports outside ``checkpoint/`` (durable state goes
-  through the versioned, checksummed checkpoint codec).
+  through the versioned, checksummed checkpoint codec);
+* ``SIM16`` (:mod:`.artifacts`) -- no ad-hoc ``json.dump``/``dumps``
+  outside the telemetry exporters and the checkpoint codec (run
+  evidence must stay canonical and re-verifiable; existing report
+  emitters are baselined).
 
 The whole-program families (SIM10..SIM14) run over the
 :class:`~repro.checkers.project.ProjectContext` built from every linted
@@ -49,6 +53,7 @@ after ``--``).
 """
 
 from repro.checkers.rules.accounting import LockAccountingRule
+from repro.checkers.rules.artifacts import ArtifactSerializationRule
 from repro.checkers.rules.determinism import UnseededRandomnessRule
 from repro.checkers.rules.encapsulation import StatusTableEncapsulationRule
 from repro.checkers.rules.fault_handling import SwallowedFlashErrorRule
@@ -81,6 +86,7 @@ ALL_RULES = (
     TimeUnitConsistencyRule,
     ImportLayeringRule,
     SerializationBoundaryRule,
+    ArtifactSerializationRule,
 )
 
 RULES_BY_ID = {cls.rule_id: cls for cls in ALL_RULES}
@@ -88,6 +94,7 @@ RULES_BY_ID = {cls.rule_id: cls for cls in ALL_RULES}
 __all__ = [
     "ALL_RULES",
     "RULES_BY_ID",
+    "ArtifactSerializationRule",
     "DeterminismTaintRule",
     "FloatEqualityRule",
     "ImportLayeringRule",

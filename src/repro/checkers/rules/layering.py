@@ -3,12 +3,15 @@
 The packages form a strict stack -- each layer may import only from
 layers *below* it::
 
-    flash  <  ftl  <  ssd  <  sim  <  telemetry  <  analysis  <  fleet
+    flash  <  ftl  <  ssd  <  sim  <  telemetry  <  analysis  <  audit  <  fleet
 
 ``flash`` is pure device physics; ``ftl`` builds mapping policy on it;
 ``ssd`` composes an FTL with timing/config into a device; ``sim`` drives
 devices through the event engine; ``telemetry`` observes everything
-beneath it; ``analysis`` consumes finished runs; ``fleet`` composes
+beneath it; ``analysis`` consumes finished runs; ``audit`` replays
+finished traces into sanitization certificates (so it may drive runs via
+``analysis`` and probe devices, while ``fleet`` folds its certificates
+into campaign reports); ``fleet`` composes
 whole campaigns of devices over the analysis grid runner.  An *upward* import
 (``ftl`` importing ``sim``, say) inverts the dependency stack, and --
 because the contract is a total order -- any import cycle between named
@@ -31,7 +34,7 @@ from repro.checkers.lint import Finding, ProjectRule
 
 #: the layer stack, lowest first.  Index == layer height.
 LAYER_ORDER = (
-    "flash", "ftl", "ssd", "sim", "telemetry", "analysis", "fleet",
+    "flash", "ftl", "ssd", "sim", "telemetry", "analysis", "audit", "fleet",
 )
 LAYERS = {name: i for i, name in enumerate(LAYER_ORDER)}
 

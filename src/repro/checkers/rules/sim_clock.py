@@ -8,8 +8,9 @@ draw silently couples the simulation to the host machine, and the
 same-seed guarantee -- which the cross-check against the open-loop
 model and every regression test depend on -- is gone.
 
-The rule bans, inside ``repro/sim/`` and ``repro/fleet/`` (whose merged
-campaign reports carry the same byte-identity contract):
+The rule bans, inside ``repro/sim/``, ``repro/fleet/`` (whose merged
+campaign reports carry the same byte-identity contract), and
+``repro/audit/`` (whose certificates must be byte-deterministic):
 
 * importing the ``time`` or ``datetime`` modules (or names from them);
 * calling any ``time.*`` / ``datetime.*`` function;
@@ -47,10 +48,15 @@ class SimWallClockRule(LintRule):
     )
 
     def applies_to(self, ctx: FileContext) -> bool:
-        # fleet campaigns inherit the same contract: a fleet report must
-        # be byte-identical across serial/parallel/resumed runs, which
-        # one wall-clock read or global RNG draw would break.
-        return ctx.in_package_dir("sim") or ctx.in_package_dir("fleet")
+        # fleet campaigns and audit certificates inherit the same
+        # contract: reports and certificates must be byte-identical
+        # across serial/parallel/resumed runs, which one wall-clock read
+        # or global RNG draw would break.
+        return (
+            ctx.in_package_dir("sim")
+            or ctx.in_package_dir("fleet")
+            or ctx.in_package_dir("audit")
+        )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         for node in ast.walk(ctx.tree):

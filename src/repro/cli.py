@@ -21,7 +21,13 @@ Three commands drive the closed-loop discrete-event engine (repro.sim)::
     python -m repro trace                  # traced run -> Perfetto/Chrome trace
 
 ``simulate`` and ``torture`` also take ``--trace-out PATH`` to record
-the run's structured event trace as a Chrome-trace-event file.
+the run's structured event trace as a Chrome-trace-event file, and
+``--cert-out PATH`` to issue a signed sanitization certificate
+(``repro audit`` verifies archived traces and certificates offline;
+``fleet --audit`` certifies every device in a campaign).  ``bench``,
+``torture``, and ``fleet`` take ``--progress`` to stream live
+shard-completion/backlog/ETA lines to stderr without touching any
+artifact.
 
 ``simulate --checkpoint-every N --checkpoint-dir DIR`` writes a
 crash-consistent device checkpoint every N requests; an interrupted
@@ -33,7 +39,7 @@ sweep resumes instead of recomputing.
 
 Four maintenance commands ship with the simulator itself::
 
-    python -m repro lint                   # static domain lint (SIM01-SIM15)
+    python -m repro lint                   # static domain lint (SIM01-SIM16)
     python -m repro check                  # runtime invariant sanitizer run
     python -m repro torture                # fault-injection robustness sweep
     python -m repro profile -- bench ...   # cProfile any repro command
@@ -184,6 +190,98 @@ def cmd_scorecard(args: argparse.Namespace) -> None:
     print(f"\n{len(checks) - failed}/{len(checks)} targets pass")
 
 
+def _print_audit(target: str, audited, device_probe: bool) -> None:
+    """Human-readable audit verdict (shared by ``repro audit`` modes)."""
+    header = audited.header or {}
+    ledger = audited.ledger.summary()
+    exposure = audited.ledger.exposure_summary()
+    report = audited.report
+    print(f"audit: {target}")
+    print(
+        f"  evidence: dropped={header.get('dropped_events', 'n/a')}"
+        f" sampled_out={header.get('sampled_out', 'n/a')}"
+        f" device_probe={'yes' if device_probe else 'no'}"
+    )
+    print(
+        f"  ledger: {ledger['generations']} generations,"
+        f" {ledger['open_at_end']} open at end,"
+        f" residual secured {ledger['residual_secured']},"
+        f" digest {str(ledger['digest'])[:12]}"
+    )
+    print(
+        f"  exposure: n={exposure['count']}"
+        f" p50={exposure['p50_us']:.0f}us"
+        f" p99={exposure['p99_us']:.0f}us"
+        f" max={exposure['max_us']:.0f}us"
+    )
+    checks = " ".join(
+        f"{name}={n}" for name, n in sorted(report.checks.items())
+    )
+    print(f"  checks: {checks or 'none'}")
+    for finding in report.findings:
+        kind = "FATAL" if finding.fatal else "note"
+        print(
+            f"  [{kind}] {finding.code} ({finding.section}): {finding.detail}"
+        )
+    print(f"verdict: {'PASS' if report.ok else 'FAIL'}")
+
+
+def cmd_audit(args: argparse.Namespace) -> int:
+    """Sanitization audit: trace file or live run -> signed certificate."""
+    import json
+    from pathlib import Path
+
+    from repro.audit import audit_trace_file, certificate_text
+
+    if args.trace is not None:
+        cert = None
+        if args.cert:
+            with open(args.cert) as fh:
+                cert = json.load(fh)
+        try:
+            audited = audit_trace_file(
+                args.trace,
+                certificate=cert,
+                pages_per_block=args.pages_per_block,
+            )
+        except (OSError, ValueError) as exc:
+            print(f"audit: {exc}")
+            return 2
+        target = str(args.trace)
+        device_probe = False
+    else:
+        from repro.analysis.tracing import run_traced_study
+        from repro.audit import audit_sim_result
+        from repro.audit.run import AUDIT_CAPACITY
+        from repro.ftl import FTL_VARIANTS
+
+        if args.variant not in FTL_VARIANTS:
+            print(f"unknown variant {args.variant!r}; choose from "
+                  f"{sorted(FTL_VARIANTS)}")
+            return 2
+        runs = run_traced_study(
+            _config(args),
+            args.workload,
+            (args.variant,),
+            seed=args.seed,
+            write_multiplier=args.multiplier,
+            capacity=AUDIT_CAPACITY,
+        )
+        run = runs[args.variant]
+        audited = audit_sim_result(
+            run.sim, run.telemetry, _config(args), seed=args.seed
+        )
+        target = f"{args.workload}/{args.variant} (live run)"
+        device_probe = True
+    _print_audit(target, audited, device_probe)
+    if args.cert_out:
+        Path(args.cert_out).write_text(
+            certificate_text(audited.certificate)
+        )
+        print(f"certificate written to {args.cert_out}")
+    return 0 if audited.ok else 1
+
+
 def cmd_simulate(args: argparse.Namespace) -> int:
     """Closed-loop tail-latency study on the discrete-event engine."""
     import json
@@ -234,10 +332,18 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             else policy_by_name(args.policy)
         )
         telemetry = None
-        if args.trace_out:
-            from repro.telemetry import Telemetry
+        if args.trace_out or args.cert_out:
+            if args.cert_out:
+                # audit-grade session: big ring, no sampling -- a lossy
+                # stream would poison the ledger behind the certificate
+                from repro.audit.run import audit_telemetry
 
-            telemetry = trace_sessions[variant] = Telemetry()
+                telemetry = audit_telemetry()
+            else:
+                from repro.telemetry import Telemetry
+
+                telemetry = Telemetry()
+            trace_sessions[variant] = telemetry
         if checkpointing:
             from pathlib import Path
 
@@ -300,11 +406,26 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     if results:
         print(format_tail_latency(results))
     if args.trace_out:
-        from repro.telemetry.export import write_chrome_trace
+        from repro.audit.run import config_fingerprint, sanitize_latency_map
+        from repro.telemetry.export import trace_header, write_chrome_trace
 
+        config = _config(args)
+        headers = {
+            v: trace_header(
+                tel.bus,
+                workload=args.workload,
+                variant=v,
+                seed=args.seed,
+                pages_per_block=config.geometry.pages_per_block,
+                config_fingerprint=config_fingerprint(config),
+                sanitize_latency_us=sanitize_latency_map(config),
+            )
+            for v, tel in trace_sessions.items()
+        }
         write_chrome_trace(
             args.trace_out,
             {v: tel.bus.events for v, tel in trace_sessions.items()},
+            headers=headers,
         )
         print(f"trace written to {args.trace_out}")
     if args.json:
@@ -313,6 +434,28 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             json.dump(payload, fh, sort_keys=True, indent=2)
             fh.write("\n")
         print(f"full reports written to {args.json}")
+    if args.cert_out:
+        from pathlib import Path
+
+        from repro.audit import audit_sim_result, certificate_text
+
+        base = Path(args.cert_out)
+        failed = 0
+        for variant, result in results.items():
+            audited = audit_sim_result(
+                result, trace_sessions[variant], _config(args), seed=args.seed
+            )
+            path = (
+                base
+                if len(results) == 1
+                else base.with_name(f"{base.stem}.{variant}{base.suffix}")
+            )
+            path.write_text(certificate_text(audited.certificate))
+            status = "ok" if audited.ok else "AUDIT FAILED"
+            print(f"certificate written to {path} ({status})")
+            failed += 0 if audited.ok else 1
+        if failed:
+            return 1
     return 0
 
 
@@ -341,6 +484,11 @@ def cmd_bench(args: argparse.Namespace) -> int:
     if args.compare:
         with open(args.compare) as fh:
             baseline = json.load(fh)
+    progress = None
+    if args.progress:
+        from repro.analysis.progress import ProgressReporter
+
+        progress = ProgressReporter("bench")
     payload = run_bench(
         _config(args),
         workload=args.workload,
@@ -352,6 +500,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         repeats=args.repeats,
         jobs=args.jobs,
         resume_dir=args.resume,
+        progress=progress,
     )
     print(format_bench(payload))
     if payload.get("cached_shards") or payload.get("retried_shards"):
@@ -403,11 +552,19 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         queue_depth=args.qd,
         devices_per_shard=args.shard,
     )
+    progress = None
+    if args.progress:
+        from repro.analysis.progress import ProgressReporter
+
+        progress = ProgressReporter("fleet")
     run = run_fleet(
         cfg,
         jobs=args.jobs,
         resume_dir=args.resume,
         stop_after_shards=args.stop_after_shards,
+        audit=args.audit,
+        trace_dir=args.trace_out,
+        progress=progress,
     )
     if run is None:
         print(
@@ -416,6 +573,8 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         )
         return 0
     print(format_fleet(run.report))
+    for path in run.trace_files:
+        print(f"trace written to {path}")
     if run.cached_shards or run.retried_shards:
         print(
             f"fleet shards: {run.shards} total, {run.cached_shards} cached, "
@@ -428,6 +587,17 @@ def cmd_fleet(args: argparse.Namespace) -> int:
             json.dump(run.report, fh, sort_keys=True, indent=2)
             fh.write("\n")
         print(f"fleet report written to {args.json}")
+    if args.audit:
+        failed = sum(
+            int(s["sanitization"]["certified_devices"])
+            - int(s["sanitization"]["verified_ok"])
+            for s in run.report["variants"].values()  # type: ignore[union-attr]
+            if "sanitization" in s
+        )
+        if failed:
+            print(f"fleet audit: {failed} device certificate(s) failed "
+                  "verification")
+            return 1
     return 0
 
 
@@ -461,7 +631,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
-    """Static domain lint (SIM01-SIM15) over the simulator sources."""
+    """Static domain lint (SIM01-SIM16) over the simulator sources."""
     from repro.checkers.lint import rule_catalogue, run_lint
 
     if args.rules:
@@ -545,6 +715,11 @@ def cmd_torture(args: argparse.Namespace) -> int:
         print(f"unknown checkpoint mode(s) {bad_modes}; "
               f"choose from {list(CHECKPOINT_MODES)}")
         return 2
+    progress = None
+    if args.progress:
+        from repro.analysis.progress import ProgressReporter
+
+        progress = ProgressReporter("torture")
     card = run_torture(
         _config(args),
         variants=variants,
@@ -556,6 +731,7 @@ def cmd_torture(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         checkpoint_modes=modes,
         resume_dir=args.resume,
+        progress=progress,
     )
     print(card.to_json() if args.json else card.format())
     if args.trace_out:
@@ -583,6 +759,54 @@ def cmd_torture(args: argparse.Namespace) -> int:
             streams[variant] = telemetry.bus.events
         write_chrome_trace(args.trace_out, streams)
         print(f"trace written to {args.trace_out}")
+    if args.cert_out:
+        from pathlib import Path
+
+        from repro.analysis.torture import traced_rate_case
+        from repro.audit import (
+            audit_live_run,
+            audit_telemetry,
+            certificate_text,
+        )
+        from repro.faults import FaultKind, FaultPlan
+
+        # one representative faulted replay per variant, audited: the
+        # certificate's forensic pass proves no sanitized page survived
+        # readable on the raw chips even with faults firing
+        rate = max(args.rates) if args.rates else 1e-2
+        base = Path(args.cert_out)
+        failed = 0
+        for variant in variants:
+            telemetry = audit_telemetry()
+            _, ssd = traced_rate_case(
+                _config(args),
+                variant,
+                FaultPlan.single(FaultKind.PROGRAM_FAIL, rate, seed=args.seed),
+                FaultKind.PROGRAM_FAIL.value,
+                f"rate={rate:g}",
+                args.ops,
+                args.seed,
+                telemetry=telemetry,
+            )
+            audited = audit_live_run(
+                telemetry,
+                _config(args),
+                workload="torture",
+                variant=variant,
+                ssd=ssd,
+                seed=args.seed,
+            )
+            path = (
+                base
+                if len(variants) == 1
+                else base.with_name(f"{base.stem}.{variant}{base.suffix}")
+            )
+            path.write_text(certificate_text(audited.certificate))
+            status = "ok" if audited.ok else "AUDIT FAILED"
+            print(f"certificate written to {path} ({status})")
+            failed += 0 if audited.ok else 1
+        if failed:
+            return 1
     return 0 if card.passed else 1
 
 
@@ -629,6 +853,7 @@ def cmd_check(args: argparse.Namespace) -> int:
 
 
 COMMANDS = {
+    "audit": cmd_audit,
     "table1": cmd_table1,
     "fig6": cmd_fig6,
     "fig9": cmd_fig9,
@@ -665,9 +890,28 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True,
                                 metavar="command")
     for name in sorted(COMMANDS):
-        if name == "lint":
+        if name == "audit":
             p = sub.add_parser(
-                name, help="static domain lint (rules SIM01-SIM15)"
+                name, parents=[scale],
+                help="sanitization audit: trace or live run -> certificate",
+            )
+            p.add_argument("trace", nargs="?", default=None,
+                           help="archived JSONL trace to audit (omit to "
+                                "run and audit a live workload instead)")
+            p.add_argument("--workload", default="MailServer",
+                           help="live-run mode: workload trace to simulate")
+            p.add_argument("--variant", default="secSSD",
+                           help="live-run mode: FTL variant to audit")
+            p.add_argument("--cert", default=None, metavar="CERT",
+                           help="verify the trace against this previously "
+                                "issued certificate instead of issuing one")
+            p.add_argument("--cert-out", default=None, metavar="PATH",
+                           help="write the signed sanitization certificate")
+            p.add_argument("--pages-per-block", type=int, default=None,
+                           help="device geometry for headerless traces")
+        elif name == "lint":
+            p = sub.add_parser(
+                name, help="static domain lint (rules SIM01-SIM16)"
             )
             p.add_argument("paths", nargs="*", default=None,
                            help="files/dirs to lint (default: the package)")
@@ -731,6 +975,12 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--trace-out", default=None, metavar="PATH",
                            help="record one traced faulted replay per "
                                 "variant as a Chrome trace")
+            p.add_argument("--cert-out", default=None, metavar="PATH",
+                           help="audit one faulted replay per variant and "
+                                "write signed sanitization certificates")
+            p.add_argument("--progress", action="store_true",
+                           help="stream shard-completion/ETA lines to "
+                                "stderr (artifacts unchanged)")
         elif name == "simulate":
             p = sub.add_parser(
                 name, parents=[scale],
@@ -759,6 +1009,10 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--trace-out", default=None, metavar="PATH",
                            help="record each variant's event trace into "
                                 "one Chrome-trace-event file")
+            p.add_argument("--cert-out", default=None, metavar="PATH",
+                           help="audit each variant's run (device probe "
+                                "included) and write signed sanitization "
+                                "certificates")
             p.add_argument("--checkpoint-every", type=int, default=None,
                            metavar="N",
                            help="write a crash-consistent device "
@@ -834,6 +1088,9 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--resume", default=None, metavar="DIR",
                            help="persist completed grid shards to DIR and "
                                 "resume a killed benchmark from there")
+            p.add_argument("--progress", action="store_true",
+                           help="stream shard-completion/ETA lines to "
+                                "stderr (artifacts unchanged)")
         elif name == "fleet":
             # own scale options (not the shared parent): fleet devices
             # are deliberately tiny so hundreds fit in one campaign
@@ -887,6 +1144,16 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--json", default=None, metavar="PATH",
                            help="write the merged fleet report as JSON "
                                 "(byte-identical for any --jobs/resume)")
+            p.add_argument("--audit", action="store_true",
+                           help="issue a signed sanitization certificate "
+                                "per device and fold fleet exposure/"
+                                "coverage gauges into the report")
+            p.add_argument("--trace-out", default=None, metavar="DIR",
+                           help="export per-device JSONL streams plus one "
+                                "merged Chrome trace into DIR")
+            p.add_argument("--progress", action="store_true",
+                           help="stream shard-completion/ETA lines to "
+                                "stderr (artifacts unchanged)")
         elif name == "check":
             p = sub.add_parser(
                 name, parents=[scale],

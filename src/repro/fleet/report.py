@@ -187,6 +187,48 @@ def _fleet_backlog(devices: list[dict[str, object]]) -> list[list[float]]:
     return grid
 
 
+def _fold_certificates(
+    devices: list[dict[str, object]],
+) -> dict[str, object] | None:
+    """Fleet-level exposure/coverage gauges from per-device certificates.
+
+    Each audited device record carries its signed certificate plus the
+    verifier's verdict (``repro.fleet.scheduler._shard_task`` issues
+    them in-worker, forensic probe included).  The fold reads only the
+    certificate's chained evidence sections -- exposure summary and
+    ledger accounting -- so the fleet gauges are backed by exactly the
+    bytes an offline re-verification would check.
+    """
+    audited = [d["audit"] for d in devices if "audit" in d]
+    if not audited:
+        return None
+    exposures = [
+        a["certificate"]["sections"]["exposure"] for a in audited  # type: ignore[index]
+    ]
+    ledgers = [
+        a["certificate"]["sections"]["ledger"] for a in audited  # type: ignore[index]
+    ]
+    return {
+        "certified_devices": len(audited),
+        "verified_ok": sum(
+            1 for a in audited if a["report"]["ok"]  # type: ignore[index]
+        ),
+        "windows": sum(int(e["count"]) for e in exposures),
+        "exposure_p50_us": percentile(
+            sorted(float(e["p50_us"]) for e in exposures), 50.0
+        ),
+        "exposure_p99_us": max(
+            (float(e["p99_us"]) for e in exposures), default=0.0
+        ),
+        "exposure_max_us": max(
+            (float(e["max_us"]) for e in exposures), default=0.0
+        ),
+        "residual_secured": sum(
+            int(led["residual_secured"]) for led in ledgers
+        ),
+    }
+
+
 def aggregate_fleet(
     cfg: FleetConfig, shard_results: list[object]
 ) -> dict[str, object]:
@@ -251,6 +293,9 @@ def aggregate_fleet(
             "stats": totals,
             "devices_detail": devices,
         }
+        sanitization = _fold_certificates(devices)
+        if sanitization is not None:
+            summary["sanitization"] = sanitization
         variants[variant] = summary
         prefix = f"fleet.{variant}"
         registry.gauge(f"{prefix}.backlog_peak_us").set(peak)
@@ -266,6 +311,20 @@ def aggregate_fleet(
         registry.gauge(f"{prefix}.erase_cost_us").set(
             cost["erase_us"] + cost["relocation_us"]
         )
+        if sanitization is not None:
+            registry.gauge(f"{prefix}.certified_devices").set(
+                sanitization["certified_devices"]
+            )
+            registry.gauge(f"{prefix}.audit_failures").set(
+                sanitization["certified_devices"]
+                - sanitization["verified_ok"]  # type: ignore[operator]
+            )
+            registry.gauge(f"{prefix}.exposure_p99_us").set(
+                sanitization["exposure_p99_us"]
+            )
+            registry.gauge(f"{prefix}.residual_secured").set(
+                sanitization["residual_secured"]
+            )
     return {
         "config": {
             "devices": cfg.devices,
@@ -310,4 +369,26 @@ def format_fleet(report: dict[str, object]) -> str:
             f" {(cost['erase_us'] + cost['relocation_us']) / 1000.0:>10.2f}"
             f" {summary['storms']['storm_files_deleted']:>10}"
         )
+    audited = [
+        (variant, summary["sanitization"])
+        for variant, summary in report["variants"].items()  # type: ignore[union-attr]
+        if "sanitization" in summary
+    ]
+    if audited:
+        lines.append("")
+        header = (
+            f"{'variant':<16} {'certified':>10} {'verified ok':>12}"
+            f" {'windows':>9} {'exposure p99 us':>16} {'residual':>9}"
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for variant, sanitization in audited:
+            lines.append(
+                f"{variant:<16}"
+                f" {sanitization['certified_devices']:>10}"
+                f" {sanitization['verified_ok']:>12}"
+                f" {sanitization['windows']:>9}"
+                f" {sanitization['exposure_p99_us']:>16.0f}"
+                f" {sanitization['residual_secured']:>9}"
+            )
     return "\n".join(lines)

@@ -24,8 +24,9 @@ campaign -- mismatched keys quarantine and recompute.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 from repro.analysis.latency import policy_for_variant
 from repro.analysis.parallel import (
@@ -33,6 +34,12 @@ from repro.analysis.parallel import (
     GridTask,
     derive_seed,
     run_grid_detailed,
+)
+from repro.audit.run import (
+    audit_sim_result,
+    audit_telemetry,
+    config_fingerprint,
+    sanitize_latency_map,
 )
 from repro.fleet.report import aggregate_fleet, device_report
 from repro.fleet.tenants import (
@@ -44,6 +51,11 @@ from repro.fleet.tenants import (
 from repro.sim.arrivals import ClosedLoopArrivals
 from repro.sim.runner import SimResult, capture_generator_trace, simulate_trace
 from repro.ssd.config import SSDConfig, scaled_config
+from repro.telemetry import Telemetry, TraceEvent
+from repro.telemetry.export import trace_header, write_chrome_trace, write_jsonl
+
+if TYPE_CHECKING:
+    from repro.analysis.progress import ProgressReporter
 
 __all__ = [
     "FleetRun",
@@ -51,6 +63,7 @@ __all__ = [
     "run_device",
     "plan_tasks",
     "run_fleet",
+    "write_fleet_traces",
 ]
 
 
@@ -63,13 +76,18 @@ def device_config(cfg: FleetConfig) -> SSDConfig:
 
 
 def run_device(
-    cfg: FleetConfig, spec: DeviceSpec, variant: str
+    cfg: FleetConfig,
+    spec: DeviceSpec,
+    variant: str,
+    telemetry: Telemetry | None = None,
 ) -> tuple[TenantWorkload, SimResult]:
     """Render one device's tenant trace and replay it on one variant.
 
     The trace capture depends only on (cfg, spec) -- never the variant
     -- so all variants see identical host traffic, and the write budget
-    scales with the device's share of fleet traffic weight.
+    scales with the device's share of fleet traffic weight.  Passing a
+    :class:`~repro.telemetry.Telemetry` session records the device's
+    structured event stream (the audit/trace paths attach one).
     """
     config = device_config(cfg)
     generator = TenantWorkload(cfg, spec, config.logical_pages)
@@ -88,6 +106,7 @@ def run_device(
         seed=spec.seed,
         policy=policy_for_variant(variant),
         arrivals=ClosedLoopArrivals(cfg.queue_depth),
+        telemetry=telemetry,
     )
     return generator, result
 
@@ -100,11 +119,22 @@ def _shards(cfg: FleetConfig, specs: tuple[DeviceSpec, ...]):
 
 
 def plan_tasks(
-    cfg: FleetConfig, specs: tuple[DeviceSpec, ...]
+    cfg: FleetConfig,
+    specs: tuple[DeviceSpec, ...],
+    audit: bool = False,
+    trace: bool = False,
 ) -> list[GridTask]:
-    """The canonical task enumeration: variants outer, shards inner."""
+    """The canonical task enumeration: variants outer, shards inner.
+
+    ``audit``/``trace`` grow each shard's result with per-device
+    certificates / event streams, so they are folded into the workload
+    label: shard cache keys embed the label, and an audit-enabled
+    campaign must never be served a cached shard that carries no
+    evidence (or vice versa).
+    """
     shards = _shards(cfg, specs)
     fingerprint = cfg.fingerprint()
+    tag = ("+audit" if audit else "") + ("+trace" if trace else "")
     tasks = []
     for variant in cfg.variants:
         for shard_index, chunk in enumerate(shards):
@@ -112,7 +142,7 @@ def plan_tasks(
                 GridTask(
                     index=len(tasks),
                     variant=variant,
-                    workload=f"fleet-{fingerprint}[{shard_index}]",
+                    workload=f"fleet-{fingerprint}[{shard_index}]{tag}",
                     seed=derive_seed(
                         cfg.seed,
                         "shard",
@@ -120,10 +150,29 @@ def plan_tasks(
                         shard_index,
                         domain="fleet",
                     ),
-                    payload=(cfg, chunk),
+                    payload=(cfg, chunk, audit, trace),
                 )
             )
     return tasks
+
+
+def _device_header(
+    telemetry: Telemetry,
+    config: SSDConfig,
+    spec: DeviceSpec,
+    variant: str,
+) -> dict[str, object]:
+    """The evidence-disclosure header for one fleet device's stream."""
+    return trace_header(
+        telemetry.bus,
+        workload=f"fleet-device-{spec.device_id}",
+        variant=variant,
+        seed=spec.seed,
+        device=spec.device_id,
+        pages_per_block=config.geometry.pages_per_block,
+        config_fingerprint=config_fingerprint(config),
+        sanitize_latency_us=sanitize_latency_map(config),
+    )
 
 
 def _shard_task(task: GridTask) -> dict[str, object]:
@@ -131,14 +180,89 @@ def _shard_task(task: GridTask) -> dict[str, object]:
 
     Returns only JSON primitives so the shard cache round-trips results
     identically and the merged report serializes byte-identically.
+    With ``audit`` each device record gains a signed sanitization
+    certificate (issued and forensically verified here, while the
+    simulated device is still alive); with ``trace`` it gains the raw
+    event stream plus header for the merge-time trace export.
     """
-    cfg, chunk = task.payload  # type: ignore[misc]
+    cfg, chunk, audit, trace = task.payload  # type: ignore[misc]
     config = device_config(cfg)
     devices = []
     for spec in chunk:
-        generator, result = run_device(cfg, spec, task.variant)
-        devices.append(device_report(config, cfg, spec, generator, result))
+        telemetry = audit_telemetry() if (audit or trace) else None
+        generator, result = run_device(
+            cfg, spec, task.variant, telemetry=telemetry
+        )
+        record = device_report(config, cfg, spec, generator, result)
+        if audit:
+            assert telemetry is not None
+            audited = audit_sim_result(
+                result,
+                telemetry,
+                config,
+                seed=spec.seed,
+                device=spec.device_id,
+            )
+            record["audit"] = audited.to_dict()
+        if trace:
+            assert telemetry is not None
+            record["trace"] = {
+                "header": _device_header(
+                    telemetry, config, spec, task.variant
+                ),
+                "events": [
+                    [e.name, e.cat, e.ph, e.ts_us, e.dur_us, e.tid, dict(e.args)]
+                    for e in telemetry.bus.events
+                ],
+            }
+        devices.append(record)
     return {"variant": task.variant, "devices": devices}
+
+
+def write_fleet_traces(
+    out_dir: str | Path, shard_results: list[object]
+) -> list[Path]:
+    """Export a traced campaign: per-device JSONL + one merged Chrome trace.
+
+    ``shard_results`` is the merged grid output (canonical order), so
+    file enumeration -- and therefore the merged trace's process order
+    -- is deterministic.  Each device's JSONL leads with its disclosure
+    header; the Chrome trace carries every ``variant/device`` stream as
+    its own process with the header attached as process metadata.
+    """
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+    processes: dict[str, list[TraceEvent]] = {}
+    headers: dict[str, dict[str, object]] = {}
+    for shard in shard_results:
+        variant = shard["variant"]  # type: ignore[index]
+        for device in shard["devices"]:  # type: ignore[index]
+            payload = device.get("trace")
+            if payload is None:
+                continue
+            events = [
+                TraceEvent(name, cat, ph, ts_us, dur_us=dur_us, tid=tid, args=args)
+                for name, cat, ph, ts_us, dur_us, tid, args in payload["events"]
+            ]
+            name = f"{variant}-device-{int(device['device']):04d}"
+            path = out / f"{name}.jsonl"
+            write_jsonl(path, events, header=payload["header"])
+            written.append(path)
+            processes[name] = events
+            headers[name] = payload["header"]
+    merged = out / "trace.json"
+    write_chrome_trace(merged, processes, headers=headers)
+    written.append(merged)
+    return written
+
+
+def _strip_traces(shard_results: list[object]) -> None:
+    """Drop raw event payloads before aggregation: the fleet report must
+    not depend on whether ``--trace-out`` was requested."""
+    for shard in shard_results:
+        for device in shard["devices"]:  # type: ignore[index]
+            device.pop("trace", None)
 
 
 @dataclass
@@ -154,6 +278,8 @@ class FleetRun:
     shards: int
     cached_shards: int
     retried_shards: int
+    #: files written by ``--trace-out`` (empty when tracing was off).
+    trace_files: list[Path] = field(default_factory=list)
 
 
 def run_fleet(
@@ -161,6 +287,9 @@ def run_fleet(
     jobs: int = 1,
     resume_dir: str | Path | None = None,
     stop_after_shards: int | None = None,
+    audit: bool = False,
+    trace_dir: str | Path | None = None,
+    progress: ProgressReporter | None = None,
 ) -> FleetRun | None:
     """Run a whole fleet campaign; ``None`` when stopped early.
 
@@ -170,22 +299,40 @@ def run_fleet(
     ``stop_after_shards`` runs only the first N pending cells and then
     returns ``None`` -- the injected-kill hook the resume smoke tests
     use to interrupt a campaign at a deterministic point.
+
+    ``audit`` issues a signed sanitization certificate per device and
+    folds the fleet-level exposure/coverage gauges into the report;
+    ``trace_dir`` exports per-device JSONL streams plus one merged
+    Chrome trace there.  ``progress`` streams shard-completion lines to
+    stderr and has zero effect on any artifact.
     """
     specs = compile_fleet(cfg)
-    tasks = plan_tasks(cfg, specs)
+    trace = trace_dir is not None
+    tasks = plan_tasks(cfg, specs, audit=audit, trace=trace)
     cache = (
         GridResultCache(resume_dir) if resume_dir is not None else None
     )
     if stop_after_shards is not None:
         run_grid_detailed(
-            _shard_task, tasks[:stop_after_shards], jobs=jobs, cache=cache
+            _shard_task,
+            tasks[:stop_after_shards],
+            jobs=jobs,
+            cache=cache,
+            progress=progress,
         )
         return None
-    grid = run_grid_detailed(_shard_task, tasks, jobs=jobs, cache=cache)
+    grid = run_grid_detailed(
+        _shard_task, tasks, jobs=jobs, cache=cache, progress=progress
+    )
+    trace_files: list[Path] = []
+    if trace_dir is not None:
+        trace_files = write_fleet_traces(trace_dir, grid.results)
+        _strip_traces(grid.results)
     report = aggregate_fleet(cfg, grid.results)
     return FleetRun(
         report=report,
         shards=len(tasks),
         cached_shards=grid.cached_shards,
         retried_shards=grid.retried_shards,
+        trace_files=trace_files,
     )

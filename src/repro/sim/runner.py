@@ -16,7 +16,7 @@ and examples share.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 import json
 
 from repro.faults import FaultPlan
@@ -115,6 +115,9 @@ class SimResult:
     steady_start: int
     report: EngineReport
     run: RunResult
+    #: the simulated device itself, for post-run forensic probing by the
+    #: audit layer (never serialized; excluded from comparisons).
+    device: SSD | None = field(default=None, repr=False, compare=False)
 
     def to_dict(self) -> dict[str, object]:
         return {
@@ -183,6 +186,7 @@ def simulate_trace(
         steady_start=steady_start,
         report=report,
         run=run,
+        device=ssd,
     )
 
 

@@ -14,6 +14,14 @@ Two output shapes for the same event stream:
   metadata records.  Timestamps pass through unscaled: simulated
   microseconds are exactly the ``ts`` unit the format expects.
 
+Both shapes carry an **evidence disclosure**: the bus's retention
+accounting (events dropped to ring-buffer capacity, events sampled out
+by category strides) rides along as a JSONL *header line* /
+Chrome-trace ``metadata`` entry, so a downstream consumer -- the
+``repro.audit`` trace-replay verifier above all -- can tell a complete
+event record from a lossy one instead of silently treating a truncated
+stream as the whole truth.
+
 :func:`validate_chrome_trace` is the schema check CI and the tests run
 over every emitted file -- catching a malformed field here beats
 debugging a silently empty Perfetto UI.
@@ -25,29 +33,132 @@ import json
 from collections.abc import Mapping, Sequence
 from pathlib import Path
 
-from repro.telemetry.events import TraceEvent
+from repro.telemetry.events import TraceBus, TraceEvent
+
+#: key of the JSONL header line and the Chrome-trace metadata entry.
+HEADER_KEY = "repro_trace"
+
+#: format tag embedded in every header (bump on layout change).
+HEADER_FORMAT = "repro-trace-jsonl/1"
 
 
-def to_jsonl(events: Sequence[TraceEvent]) -> str:
-    """Serialize events as deterministic JSON lines (trailing newline)."""
-    lines = [
+def trace_header(bus: TraceBus, **run_meta: object) -> dict[str, object]:
+    """Evidence-disclosure header for one bus's event stream.
+
+    Carries the retention accounting the audit layer needs to decide
+    whether the stream is complete evidence: per-category published
+    counts (pre-sampling, pre-eviction), the drop and sample counters,
+    and the configured sample strides.  ``run_meta`` adds run identity
+    (workload/variant/seed/geometry) when the writer knows it.
+    """
+    stats = bus.stats()
+    header: dict[str, object] = {
+        "format": HEADER_FORMAT,
+        "capacity": stats["capacity"],
+        "retained": stats["retained"],
+        "dropped_events": stats["dropped"],
+        "sampled_out": stats["sampled_out"],
+        "sample_strides": dict(sorted(bus.sample.items())),
+        "published": stats["published"],
+    }
+    for key, value in sorted(run_meta.items()):
+        header[key] = value
+    return header
+
+
+def to_jsonl(
+    events: Sequence[TraceEvent],
+    header: Mapping[str, object] | None = None,
+) -> str:
+    """Serialize events as deterministic JSON lines (trailing newline).
+
+    With ``header`` the first line is ``{"repro_trace": {...}}`` -- the
+    evidence-disclosure record of :func:`trace_header`.  Event lines
+    never have a ``repro_trace`` key, so readers can distinguish the
+    two without positional guessing.
+    """
+    lines = []
+    if header is not None:
+        lines.append(
+            json.dumps(
+                {HEADER_KEY: dict(header)},
+                sort_keys=True,
+                separators=(",", ":"),
+            )
+        )
+    lines.extend(
         json.dumps(event.to_dict(), sort_keys=True, separators=(",", ":"))
         for event in events
-    ]
+    )
     return "\n".join(lines) + ("\n" if lines else "")
 
 
-def write_jsonl(path: str | Path, events: Sequence[TraceEvent]) -> Path:
+def write_jsonl(
+    path: str | Path,
+    events: Sequence[TraceEvent],
+    header: Mapping[str, object] | None = None,
+) -> Path:
     target = Path(path)
-    target.write_text(to_jsonl(events), encoding="utf-8")
+    target.write_text(to_jsonl(events, header=header), encoding="utf-8")
     return target
+
+
+def read_jsonl(
+    path: str | Path,
+) -> tuple[dict[str, object] | None, list[TraceEvent]]:
+    """Parse a JSONL trace back into ``(header, events)``.
+
+    The inverse of :func:`write_jsonl`: the optional first-line header
+    comes back as a plain dict (``None`` for headerless legacy files),
+    and every event line is rebuilt into a :class:`TraceEvent`.  Raises
+    ``ValueError`` on a line that is neither -- a trace that does not
+    parse must fail loudly, not silently audit as empty.
+    """
+    header: dict[str, object] | None = None
+    events: list[TraceEvent] = []
+    for lineno, line in enumerate(
+        Path(path).read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}:{lineno}: not JSON: {exc}") from exc
+        if not isinstance(record, dict):
+            raise ValueError(f"{path}:{lineno}: not a JSON object")
+        if HEADER_KEY in record:
+            if lineno != 1 or header is not None:
+                raise ValueError(
+                    f"{path}:{lineno}: stray {HEADER_KEY!r} header record"
+                )
+            header = record[HEADER_KEY]
+            continue
+        try:
+            events.append(
+                TraceEvent(
+                    record["name"],
+                    record["cat"],
+                    record["ph"],
+                    record["ts_us"],
+                    dur_us=record.get("dur_us", 0.0),
+                    tid=record["tid"],
+                    args=record.get("args") or {},
+                )
+            )
+        except KeyError as exc:
+            raise ValueError(
+                f"{path}:{lineno}: event record missing field {exc}"
+            ) from exc
+    return header, events
 
 
 # ---------------------------------------------------------------------------
 # Chrome trace-event JSON
 # ---------------------------------------------------------------------------
 def chrome_trace(
-    processes: Mapping[str, Sequence[TraceEvent]]
+    processes: Mapping[str, Sequence[TraceEvent]],
+    headers: Mapping[str, Mapping[str, object]] | None = None,
 ) -> dict[str, object]:
     """Merge per-run event streams into one Chrome trace-event payload.
 
@@ -56,6 +167,11 @@ def chrome_trace(
     names map to integer ``tid``s (sorted for determinism) with
     ``thread_name`` metadata alongside, so Perfetto shows ``chip0`` /
     ``chan1`` / ``host`` rows instead of bare numbers.
+
+    ``headers`` (per-process evidence disclosures from
+    :func:`trace_header`) ride along as ``"M"`` metadata records named
+    :data:`HEADER_KEY`, so a merged trace discloses drops and sample
+    strides with the same fidelity as the JSONL stream.
     """
     trace_events: list[dict[str, object]] = []
     for pid, (process, events) in enumerate(processes.items(), start=1):
@@ -68,6 +184,16 @@ def chrome_trace(
                 "args": {"name": process},
             }
         )
+        if headers is not None and process in headers:
+            trace_events.append(
+                {
+                    "name": HEADER_KEY,
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": dict(headers[process]),
+                }
+            )
         tids = sorted({event.tid for event in events})
         tid_of = {name: i for i, name in enumerate(tids, start=1)}
         for name, tid in tid_of.items():
@@ -99,10 +225,12 @@ def chrome_trace(
 
 
 def write_chrome_trace(
-    path: str | Path, processes: Mapping[str, Sequence[TraceEvent]]
+    path: str | Path,
+    processes: Mapping[str, Sequence[TraceEvent]],
+    headers: Mapping[str, Mapping[str, object]] | None = None,
 ) -> Path:
     """Write a merged Chrome trace; refuses to emit an invalid payload."""
-    payload = chrome_trace(processes)
+    payload = chrome_trace(processes, headers=headers)
     errors = validate_chrome_trace(payload)
     if errors:  # pragma: no cover - guarded by construction
         raise ValueError(f"refusing to write invalid trace: {errors[:3]}")

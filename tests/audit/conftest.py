@@ -1,0 +1,41 @@
+"""Shared audited runs: four variants, one MailServer trace, one audit each.
+
+Session-scoped on purpose -- the traced study is the expensive part and
+every audit test file reads from it without mutating it (tamper tests
+copy the serialized trace, never the live objects).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tracing import run_traced_study
+from repro.audit import audit_sim_result
+from repro.ssd import scaled_config
+
+AUDIT_VARIANTS = ("erSSD", "scrSSD", "secSSD", "secSSD_nobLock")
+AUDIT_SEED = 7
+
+
+@pytest.fixture(scope="session")
+def audit_config():
+    return scaled_config(blocks_per_chip=8, wordlines_per_block=4)
+
+
+@pytest.fixture(scope="session")
+def audited_runs(audit_config):
+    """variant -> (TracedRun, AuditResult) for the four sanitizing variants."""
+    runs = run_traced_study(
+        audit_config,
+        "MailServer",
+        AUDIT_VARIANTS,
+        seed=AUDIT_SEED,
+        capacity=1 << 20,
+    )
+    return {
+        variant: (
+            run,
+            audit_sim_result(run.sim, run.telemetry, audit_config, seed=AUDIT_SEED),
+        )
+        for variant, run in runs.items()
+    }

@@ -1,0 +1,111 @@
+"""Fleet-audited campaigns: certificates fold in, bytes stay identical."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.audit import audit_trace_file
+from repro.analysis.progress import ProgressReporter
+from repro.fleet import FleetConfig, run_fleet
+from repro.telemetry.export import validate_chrome_trace
+
+CAMPAIGN = FleetConfig(
+    devices=4,
+    tenants=96,
+    variants=("erSSD", "secSSD"),
+    storm="deletion",
+    devices_per_shard=2,
+)
+
+
+def _dumps(report: dict) -> str:
+    return json.dumps(report, sort_keys=True)
+
+
+@pytest.fixture(scope="module")
+def audited_report() -> dict:
+    return run_fleet(CAMPAIGN, audit=True).report
+
+
+class TestCertificateFolding:
+    def test_every_device_certified_and_verified(self, audited_report):
+        for variant in CAMPAIGN.variants:
+            fold = audited_report["variants"][variant]["sanitization"]
+            assert fold["certified_devices"] == CAMPAIGN.devices
+            assert fold["verified_ok"] == CAMPAIGN.devices
+
+    def test_fleet_exposure_reproduces_paper_asymmetry(self, audited_report):
+        variants = audited_report["variants"]
+        sec = variants["secSSD"]["sanitization"]
+        er = variants["erSSD"]["sanitization"]
+        assert sec["exposure_p99_us"] < er["exposure_p99_us"]
+        assert sec["residual_secured"] == 0
+
+    def test_gauges_published(self, audited_report):
+        gauges = audited_report["metrics"]["gauges"]
+        for variant in CAMPAIGN.variants:
+            assert gauges[f"fleet.{variant}.certified_devices"] == CAMPAIGN.devices
+            assert gauges[f"fleet.{variant}.audit_failures"] == 0
+            assert f"fleet.{variant}.exposure_p99_us" in gauges
+            assert f"fleet.{variant}.residual_secured" in gauges
+
+    def test_unaudited_campaign_carries_no_sanitization(self):
+        report = run_fleet(
+            FleetConfig(
+                devices=2,
+                tenants=48,
+                variants=("secSSD",),
+                storm="deletion",
+                devices_per_shard=2,
+            )
+        ).report
+        assert "sanitization" not in _dumps(report)
+
+
+class TestByteIdentity:
+    def test_parallel_with_progress_matches_serial(self, audited_report):
+        progress = ProgressReporter(
+            "fleet", stream=io.StringIO(), clock=lambda: 0.0
+        )
+        parallel = run_fleet(CAMPAIGN, jobs=2, audit=True, progress=progress)
+        assert _dumps(parallel.report) == _dumps(audited_report)
+        assert "+audit" in progress.stream.getvalue()
+
+    def test_killed_and_resumed_matches_uninterrupted(
+        self, audited_report, tmp_path
+    ):
+        resume = tmp_path / "campaign"
+        assert (
+            run_fleet(
+                CAMPAIGN, resume_dir=resume, stop_after_shards=2, audit=True
+            )
+            is None
+        )
+        resumed = run_fleet(CAMPAIGN, jobs=2, resume_dir=resume, audit=True)
+        assert resumed.cached_shards >= 2
+        assert _dumps(resumed.report) == _dumps(audited_report)
+
+
+class TestFleetTraces:
+    def test_per_device_archives_audit_offline(self, tmp_path):
+        cfg = FleetConfig(
+            devices=2,
+            tenants=48,
+            variants=("secSSD",),
+            storm="deletion",
+            devices_per_shard=2,
+        )
+        run = run_fleet(cfg, trace_dir=tmp_path)
+        jsonl = sorted(p for p in run.trace_files if p.suffix == ".jsonl")
+        assert len(jsonl) == cfg.devices
+        for path in jsonl:
+            audit = audit_trace_file(path)
+            assert audit.ok, [f.to_dict() for f in audit.report.findings]
+        merged = tmp_path / "trace.json"
+        assert merged in run.trace_files
+        assert validate_chrome_trace(json.loads(merged.read_text())) == []
+        # the emitted report is byte-independent of tracing
+        assert _dumps(run.report) == _dumps(run_fleet(cfg).report)

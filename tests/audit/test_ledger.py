@@ -1,0 +1,171 @@
+"""Page-ledger replay: window math, erase expansion, exposure goldens."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.audit.ledger import PageLedger, build_ledger
+from repro.telemetry import TraceEvent
+
+LATENCY = {"plock": 100.0, "block_lock": 300.0, "erase": 3500.0, "scrub": 100.0}
+
+
+def _program(ts, gppa, lpa=0, secure=True):
+    return TraceEvent(
+        "program", "ftl.page", "i", ts,
+        args={"gppa": gppa, "lpa": lpa, "secure": secure},
+    )
+
+
+def _invalidate(ts, gppa, lpa=0, reason="host-trim"):
+    return TraceEvent(
+        "invalidate", "ftl.page", "i", ts,
+        args={"gppa": gppa, "lpa": lpa, "reason": reason},
+    )
+
+
+def _sanitize(ts, gppa, method="plock"):
+    return TraceEvent(
+        "sanitize", "ftl.sanitize", "i", ts,
+        args={"gppa": gppa, "method": method},
+    )
+
+
+def _erase(ts, block):
+    return TraceEvent("erase", "ftl.flash", "i", ts, args={"block": block})
+
+
+def _ledger(events, pages_per_block=4):
+    return build_ledger(events, pages_per_block, sanitize_latency_us=LATENCY)
+
+
+class TestReplay:
+    def test_window_adds_pulse_latency(self):
+        ledger = _ledger(
+            [_program(0.0, 7), _invalidate(10.0, 7), _sanitize(12.0, 7)]
+        )
+        (gen,) = ledger.generations
+        assert gen.closed
+        assert gen.exposure_us == pytest.approx(2.0)  # raw issue delta
+        assert ledger.window_of(gen) == pytest.approx(102.0)  # + pLock pulse
+        assert ledger.exposure_windows() == [pytest.approx(102.0)]
+
+    def test_erase_expands_over_block_geometry(self):
+        # four pages of block 1 programmed, two invalidated, block erased:
+        # every still-open generation closes with the erase method.
+        events = [_program(float(i), gppa, lpa=i) for i, gppa in enumerate(range(4, 8))]
+        events += [_invalidate(10.0, 4), _invalidate(11.0, 5)]
+        events.append(_erase(20.0, 1))
+        ledger = _ledger(events, pages_per_block=4)
+        assert ledger.open_generations() == []
+        assert ledger.sanitized_by_method == {"erase": 4}
+        assert ledger.exposure_windows() == [
+            pytest.approx(3509.0),
+            pytest.approx(3510.0),
+        ]
+
+    def test_insecure_pages_carry_no_windows(self):
+        ledger = _ledger(
+            [
+                _program(0.0, 0, secure=False),
+                _invalidate(1.0, 0),
+                _sanitize(2.0, 0),
+            ]
+        )
+        assert ledger.exposure_windows() == []
+
+    def test_residual_secured_is_invalidated_but_open(self):
+        ledger = _ledger([_program(0.0, 0), _invalidate(5.0, 0)])
+        (residual,) = ledger.residual_secured()
+        assert residual.gppa == 0
+        assert ledger.summary()["residual_secured"] == 1
+
+    def test_anomalies_counted(self):
+        ledger = _ledger(
+            [
+                _program(0.0, 0),
+                _program(1.0, 0),  # program over an open page
+                _invalidate(2.0, 9),  # never programmed
+                _invalidate(3.0, 0),
+                _invalidate(4.0, 0),  # double invalidate
+                _sanitize(5.0, 42),  # never programmed
+            ]
+        )
+        assert ledger.anomalies == {
+            "program-over-open-page": 1,
+            "invalidate-without-program": 1,
+            "double-invalidate": 1,
+            "sanitize-without-program": 1,
+        }
+
+    def test_summary_count_is_integer(self):
+        summary = _ledger(
+            [_program(0.0, 0), _invalidate(1.0, 0), _sanitize(2.0, 0)]
+        ).exposure_summary()
+        assert summary["count"] == 1
+        assert isinstance(summary["count"], int)
+
+    def test_geometry_required(self):
+        with pytest.raises(ValueError):
+            build_ledger([], 0)
+
+
+class TestDigest:
+    EVENTS = [
+        _program(0.0, 0),
+        _program(1.0, 1, lpa=1),
+        _invalidate(5.0, 0),
+        _sanitize(7.0, 0),
+    ]
+
+    def test_stable_across_replays(self):
+        assert _ledger(self.EVENTS).digest() == _ledger(self.EVENTS).digest()
+
+    def test_sensitive_to_one_timestamp(self):
+        edited = list(self.EVENTS)
+        edited[3] = _sanitize(7.5, 0)
+        assert _ledger(edited).digest() != _ledger(self.EVENTS).digest()
+
+    def test_empty_ledger_digests(self):
+        assert isinstance(PageLedger(pages_per_block=4).digest(), str)
+
+
+class TestExposureGoldens:
+    """Pinned paper-shaped asymmetry on the shared MailServer study.
+
+    The absolute numbers are determinism goldens (same seed, same
+    config -> same ledger); the *ordering* is the paper's claim: the
+    erase-based design holds deleted data readable for a full relocate
+    + erase (~3.5 ms) where Evanesco's locks close the window in one
+    pulse (~100/300 us).
+    """
+
+    GOLDEN = {
+        "erSSD": {"count": 6642, "p99_us": 3500.0},
+        "scrSSD": {"count": 6961, "p99_us": 100.0},
+        "secSSD": {"count": 6888, "p99_us": 300.0},
+        "secSSD_nobLock": {"count": 6888, "p99_us": 100.0},
+    }
+
+    def test_exposure_summaries_match_goldens(self, audited_runs):
+        for variant, golden in self.GOLDEN.items():
+            summary = audited_runs[variant][1].ledger.exposure_summary()
+            assert summary["count"] == golden["count"], variant
+            assert summary["p99_us"] == pytest.approx(golden["p99_us"]), variant
+
+    def test_secssd_p99_strictly_below_erssd(self, audited_runs):
+        sec = audited_runs["secSSD"][1].ledger.exposure_summary()["p99_us"]
+        er = audited_runs["erSSD"][1].ledger.exposure_summary()["p99_us"]
+        assert sec < er
+
+    def test_every_variant_audits_clean(self, audited_runs):
+        for variant, (_, audit) in audited_runs.items():
+            assert audit.ok, (variant, [f.to_dict() for f in audit.report.findings])
+            assert audit.ledger.summary()["residual_secured"] == 0, variant
+            assert audit.ledger.anomalies == {}, variant
+
+    def test_exposure_section_matches_certificate(self, audited_runs):
+        for _, audit in audited_runs.values():
+            sections = audit.certificate["sections"]
+            assert sections["exposure"] == audit.ledger.exposure_summary()
+            assert sections["ledger"]["digest"] == audit.ledger.digest()

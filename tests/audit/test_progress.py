@@ -1,0 +1,111 @@
+"""Live progress lines: observability with zero artifact effect."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.analysis.parallel import GridTask, run_grid_detailed
+from repro.analysis.progress import ProgressReporter
+
+
+class FakeClock:
+    """Deterministic monotonic clock: +1 s per reading."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        self.now += 1.0
+        return self.now
+
+
+def _reporter():
+    stream = io.StringIO()
+    return ProgressReporter("fleet", stream=stream, clock=FakeClock()), stream
+
+
+def _task(index, variant="secSSD"):
+    return GridTask(index=index, variant=variant, workload="MailServer", seed=7)
+
+
+class TestLineFormat:
+    def test_begin_discloses_cache_split(self):
+        reporter, stream = _reporter()
+        reporter.begin(8, cached=3)
+        assert stream.getvalue() == (
+            "[fleet] 8 shard(s): running 5, 3 served from cache\n"
+        )
+
+    def test_done_counts_backlog_and_rate(self):
+        reporter, stream = _reporter()
+        reporter.begin(4)
+        reporter.done(_task(0))
+        last = stream.getvalue().splitlines()[-1]
+        assert last.startswith("[fleet] shard 1/4 done (secSSD/MailServer)")
+        assert "backlog 3" in last
+        assert "shard/s" in last
+
+    def test_retry_names_the_shard(self):
+        reporter, stream = _reporter()
+        reporter.begin(2)
+        reporter.retry(_task(1, variant="erSSD"))
+        assert "shard 1 (erSSD/MailServer) failed once" in stream.getvalue()
+
+    def test_finish_summarizes(self):
+        reporter, stream = _reporter()
+        reporter.begin(2, cached=1)
+        reporter.done(_task(0))
+        reporter.finish()
+        assert "complete: 1 run, 1 cached" in stream.getvalue()
+
+    def test_default_stream_is_stderr_never_stdout(self, capsys):
+        reporter = ProgressReporter("bench", clock=FakeClock())
+        reporter.begin(1)
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "[bench] 1 shard(s)" in captured.err
+
+
+def _square(task: GridTask) -> int:
+    return task.index * task.index
+
+
+class TestGridIntegration:
+    TASKS = [_task(i) for i in range(5)]
+
+    def test_results_identical_with_and_without_progress(self):
+        reporter, stream = _reporter()
+        plain = run_grid_detailed(_square, self.TASKS)
+        watched = run_grid_detailed(_square, self.TASKS, progress=reporter)
+        assert watched.results == plain.results == [0, 1, 4, 9, 16]
+        lines = stream.getvalue().splitlines()
+        # begin + one line per shard + finish
+        assert len(lines) == 2 + len(self.TASKS)
+        assert lines[-1].startswith("[fleet] complete: 5 run")
+
+    def test_retry_reported_and_result_unchanged(self):
+        calls: dict[int, int] = {}
+
+        def flaky(task: GridTask) -> int:
+            calls[task.index] = calls.get(task.index, 0) + 1
+            if task.index == 2 and calls[task.index] == 1:
+                raise RuntimeError("transient shard failure")
+            return task.index
+
+        reporter, stream = _reporter()
+        result = run_grid_detailed(flaky, self.TASKS, progress=reporter)
+        assert result.results == [0, 1, 2, 3, 4]
+        assert result.retried == (2,)
+        assert "failed once; retrying with the same seed" in stream.getvalue()
+
+    def test_progress_failure_is_not_swallowed(self):
+        # the reporter is observability, but a broken stream should not
+        # silently corrupt a campaign either -- it surfaces.
+        reporter = ProgressReporter(
+            "fleet", stream=io.StringIO(), clock=FakeClock()
+        )
+        reporter.stream.close()
+        with pytest.raises(ValueError):
+            run_grid_detailed(_square, self.TASKS, progress=reporter)

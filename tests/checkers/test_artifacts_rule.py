@@ -1,0 +1,110 @@
+"""SIM16: run evidence goes through the sanctioned canonical writers."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.checkers.lint import lint_file
+
+
+def _lint(tmp_path, relpath: str, body: str):
+    path = tmp_path.joinpath(*relpath.split("/"))
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(body), encoding="utf-8")
+    return lint_file(path)
+
+
+def _sim16(findings):
+    return [f for f in findings if f.rule_id == "SIM16"]
+
+
+class TestFlagged:
+    def test_json_dumps_call_in_analysis(self, tmp_path):
+        findings = _sim16(
+            _lint(
+                tmp_path,
+                "repro/analysis/rogue.py",
+                """
+                import json
+
+                def emit(report, path):
+                    path.write_text(json.dumps(report))
+                """,
+            )
+        )
+        assert len(findings) == 1
+        assert "json.dumps" in findings[0].message
+
+    def test_json_dump_call_in_audit(self, tmp_path):
+        findings = _sim16(
+            _lint(
+                tmp_path,
+                "repro/audit/rogue.py",
+                """
+                import json
+
+                def emit(cert, handle):
+                    json.dump(cert, handle)
+                """,
+            )
+        )
+        assert len(findings) == 1
+
+    def test_from_import_of_dumps(self, tmp_path):
+        findings = _sim16(
+            _lint(
+                tmp_path,
+                "repro/fleet/rogue.py",
+                """
+                from json import dumps
+                """,
+            )
+        )
+        assert len(findings) == 1
+
+
+class TestSanctioned:
+    def test_telemetry_export_is_the_writer(self, tmp_path):
+        findings = _sim16(
+            _lint(
+                tmp_path,
+                "repro/telemetry/export.py",
+                """
+                import json
+
+                def to_jsonl(events):
+                    return json.dumps(events, sort_keys=True)
+                """,
+            )
+        )
+        assert findings == []
+
+    def test_checkpoint_codec_is_the_writer(self, tmp_path):
+        findings = _sim16(
+            _lint(
+                tmp_path,
+                "repro/checkpoint/codec.py",
+                """
+                import json
+
+                def canonical_dumps(payload):
+                    return json.dumps(payload, sort_keys=True) + "\\n"
+                """,
+            )
+        )
+        assert findings == []
+
+    def test_reading_json_is_free(self, tmp_path):
+        findings = _sim16(
+            _lint(
+                tmp_path,
+                "repro/analysis/reader.py",
+                """
+                import json
+
+                def load(path):
+                    return json.loads(path.read_text())
+                """,
+            )
+        )
+        assert findings == []

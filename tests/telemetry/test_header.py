@@ -1,0 +1,107 @@
+"""Evidence-disclosure headers: JSONL round-trip and Chrome metadata."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.telemetry import TraceBus, TraceEvent
+from repro.telemetry.export import (
+    HEADER_FORMAT,
+    HEADER_KEY,
+    chrome_trace,
+    read_jsonl,
+    to_jsonl,
+    trace_header,
+)
+
+
+def _bus(capacity=4, sample=None, n=6):
+    bus = TraceBus(capacity=capacity, sample=sample, clock=None)
+    for i in range(n):
+        bus.instant("ftl.page", "program", args={"gppa": i, "lpa": i, "secure": True})
+    return bus
+
+
+class TestHeader:
+    def test_discloses_ring_buffer_drops(self):
+        header = trace_header(_bus(capacity=4, n=6))
+        assert header["format"] == HEADER_FORMAT
+        assert header["capacity"] == 4
+        assert header["retained"] == 4
+        assert header["dropped_events"] == 2
+        assert header["published"] == {"ftl.page": 6}
+
+    def test_discloses_sample_strides(self):
+        header = trace_header(_bus(capacity=64, sample={"ftl.page": 3}, n=6))
+        assert header["sample_strides"] == {"ftl.page": 3}
+        assert header["sampled_out"] == 4
+        assert header["published"] == {"ftl.page": 6}  # pre-sampling count
+
+    def test_run_meta_rides_along(self):
+        header = trace_header(_bus(), workload="MailServer", seed=7)
+        assert header["workload"] == "MailServer"
+        assert header["seed"] == 7
+
+
+class TestJsonlRoundTrip:
+    def test_header_is_first_line_and_round_trips(self, tmp_path):
+        bus = _bus(capacity=64, n=3)
+        header = trace_header(bus, variant="secSSD")
+        path = tmp_path / "t.jsonl"
+        path.write_text(to_jsonl(bus.events, header=header))
+        first = json.loads(path.read_text().splitlines()[0])
+        assert first == {HEADER_KEY: header}
+        read_header, events = read_jsonl(path)
+        assert read_header == header
+        assert [e.to_dict() for e in events] == [e.to_dict() for e in bus.events]
+
+    def test_headerless_stream_reads_back_none(self, tmp_path):
+        bus = _bus(capacity=64, n=2)
+        path = tmp_path / "t.jsonl"
+        path.write_text(to_jsonl(bus.events))
+        assert HEADER_KEY not in path.read_text()
+        header, events = read_jsonl(path)
+        assert header is None
+        assert len(events) == 2
+
+    def test_garbage_line_fails_loudly(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"name": "x"\nnot json\n')
+        with pytest.raises(ValueError, match="not JSON"):
+            read_jsonl(path)
+
+    def test_stray_header_mid_stream_rejected(self, tmp_path):
+        bus = _bus(capacity=64, n=1)
+        path = tmp_path / "t.jsonl"
+        text = to_jsonl(bus.events, header=trace_header(bus))
+        path.write_text(text + text.splitlines()[0] + "\n")
+        with pytest.raises(ValueError, match="stray"):
+            read_jsonl(path)
+
+    def test_event_missing_field_rejected(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"name": "program", "cat": "ftl.page"}\n')
+        with pytest.raises(ValueError, match="missing field"):
+            read_jsonl(path)
+
+
+class TestChromeMetadata:
+    def test_header_rides_as_metadata_record(self):
+        bus = _bus(capacity=4, n=6)
+        header = trace_header(bus, variant="secSSD")
+        payload = chrome_trace({"secSSD": bus.events}, headers={"secSSD": header})
+        records = [
+            e
+            for e in payload["traceEvents"]
+            if e["ph"] == "M" and e["name"] == HEADER_KEY
+        ]
+        assert len(records) == 1
+        assert records[0]["args"]["dropped_events"] == 2
+
+    def test_event_serialization_is_deterministic(self):
+        event = TraceEvent("program", "ftl.page", "i", 1.0, args={"gppa": 1})
+        bus_a, bus_b = _bus(n=4), _bus(n=4)
+        assert to_jsonl(bus_a.events) == to_jsonl(bus_b.events)
+        assert "dur_us" not in event.to_dict()  # instants stay compact

@@ -479,3 +479,86 @@ class TestTraceOutFlags:
         assert any(
             e.get("cat") == "fault" for e in payload["traceEvents"]
         )
+
+
+class TestAuditCommand:
+    def test_options_and_defaults(self):
+        args = build_parser().parse_args(["audit"])
+        assert args.command == "audit"
+        assert args.trace is None
+        assert args.workload == "MailServer"
+        assert args.variant == "secSSD"
+        assert args.cert is None and args.cert_out is None
+        assert args.pages_per_block is None
+
+    def test_trace_mode_options(self):
+        args = build_parser().parse_args(
+            ["audit", "t.jsonl", "--cert", "c.json", "--pages-per-block", "4"]
+        )
+        assert args.trace == "t.jsonl"
+        assert args.cert == "c.json"
+        assert args.pages_per_block == 4
+
+    @staticmethod
+    def _archive(tmp_path):
+        from repro.analysis.tracing import run_traced_study
+        from repro.ssd import scaled_config
+        from repro.telemetry.export import write_jsonl
+
+        config = scaled_config(blocks_per_chip=8, wordlines_per_block=4)
+        (run,) = run_traced_study(
+            config, "MailServer", ("secSSD",), seed=3,
+            write_multiplier=0.5, capacity=1 << 20,
+        ).values()
+        path = tmp_path / "secSSD.jsonl"
+        write_jsonl(path, run.telemetry.bus.events, header=run.header())
+        return path
+
+    def test_live_run_audit_writes_certificate(self, tmp_path, capsys):
+        import json
+
+        cert_path = tmp_path / "cert.json"
+        code = main(
+            ["audit", "--blocks", "8", "--wordlines", "4",
+             "--multiplier", "0.5", "--variant", "secSSD",
+             "--cert-out", str(cert_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "verdict: PASS" in out
+        assert "device_probe=yes" in out
+        cert = json.loads(cert_path.read_text())
+        assert cert["format"] == "evanesco-cert/1"
+        assert "signature" in cert
+
+    def test_offline_audit_passes_then_fails_after_tamper(
+        self, tmp_path, capsys
+    ):
+        import json
+
+        path = self._archive(tmp_path)
+        assert main(["audit", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "verdict: PASS" in out
+        assert "device_probe=no" in out
+
+        # delete one sanitize event (line 0 is the disclosure header)
+        lines = path.read_text().splitlines()
+        victim = next(
+            i for i, line in enumerate(lines[1:], start=1)
+            if json.loads(line).get("cat") == "ftl.sanitize"
+        )
+        del lines[victim]
+        path.write_text("\n".join(lines) + "\n")
+        assert main(["audit", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "verdict: FAIL" in out
+        assert "event-count-mismatch" in out
+
+    def test_unreadable_trace_is_usage_error(self, tmp_path, capsys):
+        assert main(["audit", str(tmp_path / "missing.jsonl")]) == 2
+        assert "audit:" in capsys.readouterr().out
+
+    def test_unknown_variant_rejected(self, capsys):
+        assert main(["audit", "--variant", "nope"]) == 2
+        assert "unknown variant" in capsys.readouterr().out
