@@ -13,15 +13,26 @@ standard lifetime estimate:
 
 so variants can be compared on *how much user data the device can absorb
 before its first block wears out*.
+
+With the device-aging subsystem (``repro age``), the projection gets a
+measured counterpart: campaigns run with a real ``pe_limit`` until the
+first block actually dies, and :class:`LifetimeReport` carries the
+observed host-pages-to-first-block-death next to the projection, plus
+the wear attribution that explains *why* the variants differ (locks do
+not erase; relocation storms do).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from statistics import mean, pstdev
+from typing import TYPE_CHECKING, Any
 
 from repro.flash.constants import TLC_PE_LIMIT
 from repro.ftl.base import PageMappedFtl
+
+if TYPE_CHECKING:
+    from repro.sim.runner import SimResult
 
 
 @dataclass(frozen=True)
@@ -106,3 +117,133 @@ def erase_reduction(ours: WearStats, theirs: WearStats) -> float:
     if theirs.total_erases == 0:
         return 0.0
     return 1.0 - ours.total_erases / theirs.total_erases
+
+
+@dataclass(frozen=True)
+class LifetimeReport:
+    """One variant's measured + projected lifetime from an aging run.
+
+    The headline is ``host_pages_to_first_block_death``: how many host
+    pages the device absorbed before any block hit its P/E limit.
+    ``None`` means the device *survived* the whole campaign horizon --
+    for ordering, a survivor outlives any finite death (the aging
+    campaigns stop at first wear-out, so a finite value is exact, not
+    censored).  The attribution counters separate sanitization work
+    that costs erases (erSSD's sanitize-now, GC) from work that does
+    not (secSSD's pLock/bLock pulses, scrubs), which is the mechanism
+    behind the paper's lifetime claim.
+    """
+
+    variant: str
+    workload: str
+    pe_limit: int | None
+    #: host pages written over the whole (possibly early-stopped) run.
+    host_pages_written: int
+    host_pages_to_first_block_death: int | None
+    worn_out_blocks: int
+    grown_bad_blocks: int
+    wear: WearStats
+    #: wear attribution: who erased, who locked, who scrubbed.
+    flash_erases: int
+    sanitize_erases: int
+    plocks: int
+    block_locks: int
+    scrubs: int
+    relocation_copies: int
+    wear_levelings: int
+    wear_level_copies: int
+    #: model projection at the same endurance (sanity cross-check for
+    #: the measured death point; ``inf`` when no erases happened).
+    projected_lifetime_host_pages: float
+    erases_per_host_page: float
+
+    @property
+    def survived(self) -> bool:
+        return self.host_pages_to_first_block_death is None
+
+    @property
+    def death_rank(self) -> float:
+        """First-death point with survivors ranked as infinite."""
+        if self.host_pages_to_first_block_death is None:
+            return float("inf")
+        return float(self.host_pages_to_first_block_death)
+
+    @classmethod
+    def from_result(
+        cls, result: "SimResult", pe_limit: int | None
+    ) -> "LifetimeReport":
+        if result.device is None:
+            raise ValueError(
+                "aging result carries no device; lifetime needs the "
+                "per-block wear survey"
+            )
+        ftl = result.device.ftl
+        stats = ftl.stats
+        endurance = pe_limit if pe_limit is not None else TLC_PE_LIMIT
+        estimate = LifetimeEstimate.from_ftl(ftl, endurance_cycles=endurance)
+        first = stats.host_writes_at_first_wearout
+        return cls(
+            variant=result.variant,
+            workload=result.workload,
+            pe_limit=pe_limit,
+            host_pages_written=stats.host_writes,
+            host_pages_to_first_block_death=None if first < 0 else first,
+            worn_out_blocks=stats.worn_out_blocks,
+            grown_bad_blocks=stats.grown_bad_blocks,
+            wear=estimate.wear,
+            flash_erases=stats.flash_erases,
+            sanitize_erases=stats.sanitize_erases,
+            plocks=stats.plocks,
+            block_locks=stats.block_locks,
+            scrubs=stats.scrubs,
+            relocation_copies=stats.relocation_copies,
+            wear_levelings=stats.wear_levelings,
+            wear_level_copies=stats.wear_level_copies,
+            projected_lifetime_host_pages=estimate.lifetime_host_pages,
+            erases_per_host_page=estimate.erases_per_host_page,
+        )
+
+    # -- round-trippable serialization (GridResultCache / --json) ------
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "variant": self.variant,
+            "workload": self.workload,
+            "pe_limit": self.pe_limit,
+            "host_pages_written": self.host_pages_written,
+            "host_pages_to_first_block_death": (
+                self.host_pages_to_first_block_death
+            ),
+            "worn_out_blocks": self.worn_out_blocks,
+            "grown_bad_blocks": self.grown_bad_blocks,
+            "wear": {
+                "total_erases": self.wear.total_erases,
+                "mean_erases": self.wear.mean_erases,
+                "max_erases": self.wear.max_erases,
+                "min_erases": self.wear.min_erases,
+                "cv": self.wear.cv,
+            },
+            "flash_erases": self.flash_erases,
+            "sanitize_erases": self.sanitize_erases,
+            "plocks": self.plocks,
+            "block_locks": self.block_locks,
+            "scrubs": self.scrubs,
+            "relocation_copies": self.relocation_copies,
+            "wear_levelings": self.wear_levelings,
+            "wear_level_copies": self.wear_level_copies,
+            # inf (no erases at all) is stored as None: strict-JSON
+            # artifacts must not carry the nonstandard Infinity token
+            "projected_lifetime_host_pages": (
+                None
+                if self.projected_lifetime_host_pages == float("inf")
+                else self.projected_lifetime_host_pages
+            ),
+            "erases_per_host_page": self.erases_per_host_page,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "LifetimeReport":
+        fields = dict(data)
+        fields["wear"] = WearStats(**fields["wear"])
+        if fields.get("projected_lifetime_host_pages") is None:
+            fields["projected_lifetime_host_pages"] = float("inf")
+        return cls(**fields)

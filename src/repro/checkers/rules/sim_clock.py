@@ -9,8 +9,11 @@ same-seed guarantee -- which the cross-check against the open-loop
 model and every regression test depend on -- is gone.
 
 The rule bans, inside ``repro/sim/``, ``repro/fleet/`` (whose merged
-campaign reports carry the same byte-identity contract), and
-``repro/audit/`` (whose certificates must be byte-deterministic):
+campaign reports carry the same byte-identity contract),
+``repro/audit/`` (whose certificates must be byte-deterministic), and
+``repro/checkpoint/`` (whose manifests, section checksums, and resumed
+campaigns -- the aging studies ride on them -- must be reproducible
+bit-for-bit):
 
 * importing the ``time`` or ``datetime`` modules (or names from them);
 * calling any ``time.*`` / ``datetime.*`` function;
@@ -56,6 +59,7 @@ class SimWallClockRule(LintRule):
             ctx.in_package_dir("sim")
             or ctx.in_package_dir("fleet")
             or ctx.in_package_dir("audit")
+            or ctx.in_package_dir("checkpoint")
         )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import os
 from collections import deque
+from contextlib import ExitStack
 from typing import TYPE_CHECKING, Any
 
 from repro.flash.chip import ERASED_DATA, SCRUBBED_DATA, ZERO_DATA
@@ -391,22 +392,27 @@ class FtlSanitizer:
         """Read a sanitized stale copy and assert it is unreadable.
 
         Probe reads restore the chip's operation counters -- and run with
-        fault injection suspended -- so that a checked run reports
-        identical statistics *and* an identical fault sequence to an
-        unchecked one.
+        fault injection and the wear gate suspended -- so that a checked
+        run reports identical statistics *and* an identical fault
+        sequence to an unchecked one.  (The wear gate answers "is this
+        block still serviceable?"; the probe asks "was this page
+        sanitized?" -- a wear-degraded scrubbed page must still probe as
+        scrubbed, not crash the probe with an ECC error.)
         """
         self.probes += 1
         ftl = self.ftl
         chip_id, ppn = ftl.split_gppa(gppa)
         chip = ftl.chips[chip_id]
         injector = getattr(ftl, "fault_injector", None)
+        wear_gate = getattr(ftl, "wear_gate", None)
         saved_reads = chip.stats.reads
         saved_busy = chip.stats.busy_time_us
         try:
-            if injector is not None:
-                with injector.suspended():
-                    result = chip.read_page(ppn)
-            else:
+            with ExitStack() as stack:
+                if injector is not None:
+                    stack.enter_context(injector.suspended())
+                if wear_gate is not None:
+                    stack.enter_context(wear_gate.suspended())
                 result = chip.read_page(ppn)
         finally:
             chip.stats.reads = saved_reads
@@ -423,6 +429,11 @@ class FtlSanitizer:
                     "expected the all-zero locked pattern",
                 )
         elif method == "scrub":
+            if result.blocked and data == ZERO_DATA:
+                # scrubbed beneath a still-enforcing lock: wear-out
+                # retirement scrubs bLocked GC victims whose clearing
+                # erase never happened -- doubly unreadable
+                return
             if data not in (SCRUBBED_DATA, ERASED_DATA):
                 self._fail(
                     "unreadable-probe",

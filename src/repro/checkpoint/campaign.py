@@ -53,6 +53,7 @@ from repro.ssd.device import SSD
 from repro.telemetry import Telemetry
 
 __all__ = [
+    "STOP_CONDITIONS",
     "CampaignMismatchError",
     "run_chunked_simulation",
 ]
@@ -60,6 +61,21 @@ __all__ = [
 
 class CampaignMismatchError(Exception):
     """Resume parameters disagree with the stored campaign manifest."""
+
+
+def _first_wearout(ssd: SSD) -> bool:
+    return ssd.ftl.stats.worn_out_blocks > 0
+
+
+#: named early-stop predicates for :func:`run_chunked_simulation`,
+#: evaluated only at checkpoint boundaries so serial, sharded, and
+#: killed+resumed campaigns all stop at the identical request index.
+#: Names (not callables) go into the campaign fingerprint.  The aging
+#: campaigns use ``first-wearout`` to halt at first block death --
+#: before endurance-limited variants spiral into pool exhaustion.
+STOP_CONDITIONS: dict[str, Any] = {
+    "first-wearout": _first_wearout,
+}
 
 
 def _fingerprint(
@@ -76,6 +92,7 @@ def _fingerprint(
     faults: FaultPlan | None,
     telemetry: bool,
     checkpoint_every: int,
+    stop_when: str | None,
 ) -> dict[str, Any]:
     """Every parameter that determines the request/result byte stream."""
     return {
@@ -93,6 +110,7 @@ def _fingerprint(
         "faults": None if faults is None else faults.to_state(),
         "telemetry": telemetry,
         "checkpoint_every": checkpoint_every,
+        "stop_when": stop_when,
     }
 
 
@@ -128,6 +146,7 @@ def run_chunked_simulation(
     telemetry: Telemetry | None = None,
     resume: bool = False,
     stop_after: int | None = None,
+    stop_when: str | None = None,
     _crash_after: str | None = None,
 ) -> SimResult | None:
     """Run (or resume) one simulation in checkpointed windows.
@@ -135,9 +154,15 @@ def run_chunked_simulation(
     ``stop_after=k`` exits (returning ``None``) after writing ``k``
     checkpoint generations -- the deterministic stand-in for "the
     process was killed here" that tests and the torture harness use.
-    Every other parameter matches :func:`~repro.sim.runner.
-    simulate_workload`; the completed run returns the identical
-    :class:`~repro.sim.runner.SimResult`.
+    ``stop_when`` names a :data:`STOP_CONDITIONS` predicate evaluated
+    at every checkpoint boundary (and right after a resume restore);
+    when it fires the campaign completes early with the state at that
+    boundary -- the same boundary on every run shape, so the byte-
+    identity contract extends to early-stopped campaigns.  Every other
+    parameter matches :func:`~repro.sim.runner.simulate_workload`; the
+    completed run returns the identical :class:`~repro.sim.runner.
+    SimResult` (with ``result.device`` attached for post-run forensics
+    such as per-block wear surveys).
 
     Recovery reporting: corrupt or audit-failed generations encountered
     while resuming are quarantined and surfaced on the result as
@@ -146,6 +171,11 @@ def run_chunked_simulation(
     """
     if checkpoint_every < 1:
         raise ValueError("checkpoint_every must be >= 1")
+    if stop_when is not None and stop_when not in STOP_CONDITIONS:
+        raise ValueError(
+            f"unknown stop_when {stop_when!r}; "
+            f"choose from {sorted(STOP_CONDITIONS)}"
+        )
     if isinstance(policy, str):
         policy = policy_by_name(policy)
     if arrivals is None:
@@ -173,6 +203,7 @@ def run_chunked_simulation(
         faults,
         telemetry is not None,
         checkpoint_every,
+        stop_when,
     )
     stored = store.read_campaign_manifest()
     if resume and stored is None:
@@ -241,7 +272,10 @@ def run_chunked_simulation(
     n = len(requests)
     written = 0
     stop = start
+    stop_predicate = None if stop_when is None else STOP_CONDITIONS[stop_when]
     while stop < n:
+        if stop_predicate is not None and stop_predicate(ssd):
+            break  # fired at a prior boundary (possibly pre-resume)
         stop = min(stop + checkpoint_every, n)
         engine.run_window(stop)
         store.write_generation(
@@ -267,4 +301,5 @@ def run_chunked_simulation(
         steady_start=steady_start,
         report=report,
         run=run,
+        device=ssd,
     )

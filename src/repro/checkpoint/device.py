@@ -35,6 +35,7 @@ turns into quarantine + fallback, never a traceback.
 
 from __future__ import annotations
 
+from contextlib import ExitStack
 from typing import TYPE_CHECKING, Any
 
 from repro.checkers.sanitizer import FtlSanitizer, InvariantViolation
@@ -191,19 +192,25 @@ def restore_audit(ssd: SSD) -> None:
 
 
 def _probe_locked_pages(ssd: SSD) -> None:
-    """Assert every locked page on every Evanesco chip is unreadable."""
+    """Assert every locked page on every Evanesco chip is unreadable.
+
+    Fault injection and the wear gate are suspended: the probe asserts
+    the lock state, and a locked read is blocked before sensing anyway.
+    """
     ftl = ssd.ftl
     injector = ftl.fault_injector
+    wear_gate = getattr(ftl, "wear_gate", None)
     for chip_id, chip in enumerate(ftl.chips):
         if not isinstance(chip, EvanescoChip):
             continue
         saved_reads = chip.stats.reads
         saved_busy = chip.stats.busy_time_us
         try:
-            if injector is not None:
-                with injector.suspended():
-                    _probe_chip(chip_id, chip)
-            else:
+            with ExitStack() as stack:
+                if injector is not None:
+                    stack.enter_context(injector.suspended())
+                if wear_gate is not None:
+                    stack.enter_context(wear_gate.suspended())
                 _probe_chip(chip_id, chip)
         finally:
             chip.stats.reads = saved_reads

@@ -76,8 +76,16 @@ from repro.ssd import scaled_config
 
 
 def _config(args: argparse.Namespace):
+    # endurance/wear knobs exist only on the commands that expose them;
+    # getattr defaults keep every other command on the fresh-forever
+    # device its committed artifacts were produced with
     return scaled_config(
-        blocks_per_chip=args.blocks, wordlines_per_block=args.wordlines
+        blocks_per_chip=args.blocks,
+        wordlines_per_block=args.wordlines,
+        pe_limit=getattr(args, "pe_limit", None),
+        wear_coupling=getattr(args, "wear_coupling", False),
+        wear_leveling_threshold=getattr(args, "wear_leveling", None),
+        wear_aware_allocation=getattr(args, "wear_alloc", False),
     )
 
 
@@ -810,6 +818,95 @@ def cmd_torture(args: argparse.Namespace) -> int:
     return 0 if card.passed else 1
 
 
+def cmd_age(args: argparse.Namespace) -> int:
+    """Device-aging lifetime campaign: wear each variant to first death."""
+    import json
+
+    from repro.analysis.aging import (
+        AGING_VARIANTS,
+        format_lifetime,
+        run_aging_campaign,
+    )
+    from repro.analysis.parallel import GridTaskError
+    from repro.checkpoint import CampaignMismatchError, CheckpointError
+    from repro.ftl import FTL_VARIANTS
+    from repro.ftl.allocator import OutOfBlocksError
+    from repro.telemetry import Telemetry
+
+    variants = tuple(args.variants or AGING_VARIANTS)
+    unknown = [v for v in variants if v not in FTL_VARIANTS]
+    if unknown:
+        print(f"unknown variant(s) {unknown}; choose from {sorted(FTL_VARIANTS)}")
+        return 2
+    progress = None
+    if args.progress:
+        from repro.analysis.progress import ProgressReporter
+
+        progress = ProgressReporter("age")
+    telemetry = Telemetry()
+
+    def _died(exc: OutOfBlocksError) -> int:
+        print(f"age: device died mid-window ({exc})")
+        print(
+            "age: a block pool ran dry between checkpoint boundaries, "
+            "before the first-wearout stop could fire; lower "
+            "--checkpoint-every (finer stop granularity) or raise "
+            "--pe-limit"
+        )
+        return 1
+
+    try:
+        payload = run_aging_campaign(
+            _config(args),
+            args.workload,
+            args.dir,
+            args.checkpoint_every,
+            variants=variants,
+            seed=args.seed,
+            write_multiplier=args.multiplier,
+            checked=True if args.checked else None,
+            jobs=args.jobs,
+            stop_after=args.stop_after,
+            progress=progress,
+            telemetry=telemetry,
+        )
+    except OutOfBlocksError as exc:
+        return _died(exc)
+    except GridTaskError as exc:
+        # jobs > 1: worker exceptions arrive wrapped with the cell name
+        if isinstance(exc.__cause__, OutOfBlocksError):
+            return _died(exc.__cause__)
+        raise
+    except CheckpointError as exc:
+        print(exc.render())
+        return 1
+    except CampaignMismatchError as exc:
+        print(f"age: {exc}")
+        return 2
+    if payload.get("paused"):
+        print(
+            f"age: stopped after {args.stop_after} checkpoint(s) per "
+            f"variant in {args.dir}; re-run the same command to continue"
+        )
+        return 0
+    print(format_lifetime(payload))
+    if payload.get("cached_shards") or payload.get("retried_shards"):
+        print(
+            f"grid shards: {payload.get('cached_shards', 0)} cached, "
+            f"{payload.get('retried_shards', 0)} retried"
+        )
+    if args.json:
+        from pathlib import Path
+
+        from repro.checkpoint.codec import canonical_dumps
+
+        report = dict(payload)
+        report["gauges"] = telemetry.metrics.snapshot()
+        Path(args.json).write_text(canonical_dumps(report))
+        print(f"lifetime report written to {args.json}")
+    return 0
+
+
 def cmd_check(args: argparse.Namespace) -> int:
     """Replay workloads on every variant under the runtime sanitizer."""
     from repro.analysis.experiments import run_workload_on_variant
@@ -871,6 +968,7 @@ COMMANDS = {
     "lint": cmd_lint,
     "check": cmd_check,
     "torture": cmd_torture,
+    "age": cmd_age,
 }
 
 
@@ -952,6 +1050,10 @@ def build_parser() -> argparse.ArgumentParser:
             # so the rate sweep reaches GC and lazy-erase activity
             p.add_argument("--ops", type=int, default=700,
                            help="host requests per torture case")
+            p.add_argument("--pe-limit", type=int, default=None,
+                           help="block P/E endurance; worn-out blocks are "
+                                "scrub-retired as grown-bad (default: "
+                                "unlimited)")
             p.add_argument("--rates", nargs="*", type=float,
                            default=[1e-3, 1e-2],
                            help="per-op fault probabilities for the sweep")
@@ -981,6 +1083,71 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--progress", action="store_true",
                            help="stream shard-completion/ETA lines to "
                                 "stderr (artifacts unchanged)")
+        elif name == "age":
+            p = sub.add_parser(
+                name,
+                help="device-aging lifetime campaign (wear to first "
+                     "block death)",
+            )
+            # own scale options (not the shared parent: different
+            # defaults): a device big enough that wear spread develops
+            # before the horizon ends, at the calibrated P/E budget
+            p.add_argument("--blocks", type=int, default=16,
+                           help="blocks per chip (device scale)")
+            p.add_argument("--wordlines", type=int, default=8,
+                           help="wordlines per block (device scale)")
+            p.add_argument("--seed", type=int, default=1)
+            p.add_argument("--multiplier", type=float, default=1.0,
+                           help="steady-state writes as a multiple of "
+                                "capacity")
+            p.add_argument("--workload", default="MailServer",
+                           help="workload trace to replay until wear-out")
+            p.add_argument("--variants", nargs="*", default=None,
+                           help="FTL variants (default: the Figure-14 "
+                                "four)")
+            p.add_argument("--pe-limit", type=int, default=25,
+                           help="block P/E endurance; erases beyond it "
+                                "raise WearOutError and retire the block")
+            p.add_argument("--wear-leveling", type=int, default=4,
+                           metavar="DELTA",
+                           help="static wear-leveling threshold "
+                                "(max-min erase spread that triggers a "
+                                "cold-block migration; omit to disable)")
+            p.add_argument("--wear-alloc", action="store_true",
+                           help="wear-aware dynamic allocation: open the "
+                                "least-worn reusable block, not the "
+                                "FIFO head")
+            p.add_argument("--wear-coupling", action="store_true",
+                           help="derive read reliability from live block "
+                                "wear (off by default: keeps same-seed "
+                                "artifacts of other commands identical)")
+            p.add_argument("--dir", default="age-ck", metavar="DIR",
+                           help="campaign root (per-variant checkpoint "
+                                "stores + grid result cache); killable "
+                                "and resumable by re-running the same "
+                                "command (default: ./age-ck)")
+            p.add_argument("--checkpoint-every", type=int, default=50,
+                           metavar="N",
+                           help="requests per checkpoint window; also the "
+                                "first-wearout stop granularity, so keep "
+                                "it small enough that retirement cannot "
+                                "spiral into pool exhaustion mid-window")
+            p.add_argument("--jobs", type=int, default=1,
+                           help="worker processes for the variant grid "
+                                "(the report is identical for any count)")
+            p.add_argument("--stop-after", type=int, default=None,
+                           metavar="K",
+                           help="pause each variant after K new "
+                                "checkpoints (deterministic interruption, "
+                                "for tests and CI smoke)")
+            p.add_argument("--checked", action="store_true",
+                           help="attach the runtime invariant sanitizer")
+            p.add_argument("--json", default=None, metavar="PATH",
+                           help="write the lifetime report plus wear "
+                                "gauges as JSON")
+            p.add_argument("--progress", action="store_true",
+                           help="stream shard-completion/ETA lines to "
+                                "stderr (artifacts unchanged)")
         elif name == "simulate":
             p = sub.add_parser(
                 name, parents=[scale],
@@ -1004,6 +1171,10 @@ def build_parser() -> argparse.ArgumentParser:
                            help="attach the runtime invariant sanitizer")
             p.add_argument("--interval", type=int, default=50,
                            help="host batches between full sanitizer checks")
+            p.add_argument("--pe-limit", type=int, default=None,
+                           help="block P/E endurance; worn-out blocks are "
+                                "scrub-retired as grown-bad (default: "
+                                "unlimited)")
             p.add_argument("--json", default=None, metavar="PATH",
                            help="also write full reports as JSON")
             p.add_argument("--trace-out", default=None, metavar="PATH",
@@ -1070,6 +1241,10 @@ def build_parser() -> argparse.ArgumentParser:
                            help="closed-loop queue depth")
             p.add_argument("--repeats", type=int, default=3,
                            help="timed repeats per variant (best kept)")
+            p.add_argument("--pe-limit", type=int, default=None,
+                           help="block P/E endurance; worn-out blocks are "
+                                "scrub-retired as grown-bad (default: "
+                                "unlimited)")
             p.add_argument("--jobs", type=int, default=1,
                            help="worker processes for the variant x repeat "
                                 "grid (simulated metrics are identical for "

@@ -106,6 +106,12 @@ class FlashChip:
     #: optional fault hook (duck-typed :class:`repro.faults.FaultInjector`):
     #: consulted once per chip command; may fail the op or cut power.
     fault_hook: Any = None
+    #: optional wear gate (duck-typed :class:`repro.flash.wear.
+    #: WearReadGate`): consulted on every data sense; fails the read when
+    #: the owning block's accumulated P/E wear pushes the expected RBER
+    #: past the ECC limit.  None (the default) keeps the historical
+    #: fresh-forever sense path bit-for-bit.
+    wear_gate: Any = None
     blocks: list[Block] = field(init=False)
     stats: ChipStats = field(init=False)
 
@@ -193,6 +199,8 @@ class FlashChip:
                 rber=1.0,
                 limit=constants.ECC_LIMIT_RBER,
             )
+        if self.wear_gate is not None:
+            self.wear_gate.check_readable(self.blocks[block_index], ppn)
         return ReadResult(page.data, dict(page.spare), self.t_read_us)
 
     def program_page(

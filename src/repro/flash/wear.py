@@ -1,0 +1,87 @@
+"""Live wear -> read-path reliability coupling.
+
+ROADMAP item 3's missing link: the reliability model's ``pe_cycles``
+stress axis was only ever exercised by the offline studies in
+:mod:`repro.flash.osr` and :mod:`repro.flash.reliability` -- the live
+simulation aged blocks (``Block.erase_count``) without the read path
+ever noticing.  :class:`WearReadGate` closes the loop: attached to a
+chip (like the fault hook), it derives a :class:`~repro.flash.vth.
+StressState` from the owning block's erase count on every data sense
+and fails the read with :class:`~repro.flash.errors.UncorrectableError`
+once the expected worst-role RBER crosses the ECC limit.
+
+Evaluations go through the process-wide shared
+:class:`~repro.flash.reliability.StressBucketCache`, so the aging
+campaigns inherit both its memoization (one mixture integration per
+25-cycle bucket, not per read) and its documented <=2 % quantization
+bound -- the gate's pass/fail threshold is exact at bucket centers and
+within that bound everywhere else.
+
+The gate is **deterministic** (same erase count, same verdict -- no
+sampling), which keeps the serial == parallel == resumed byte-identity
+contract intact, and it is *off by default*: chips without a gate run
+the exact historical sense path.
+
+``suspended()`` mirrors the fault injector's escape hatch: salvage
+reads (a live page must not be lost to wear during GC) and the runtime
+sanitizer's probe reads (which ask about sanitization state, not
+readability) bypass the gate without mutating it.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.flash.block import Block
+from repro.flash.constants import ECC_LIMIT_RBER
+from repro.flash.errors import UncorrectableError
+from repro.flash.geometry import CellType
+from repro.flash.reliability import StressBucketCache, bucket_cache_for
+from repro.flash.vth import StressState, model_for
+
+
+@dataclass
+class WearReadGate:
+    """Deterministic wear-vs-ECC check for the chip sense path."""
+
+    cache: StressBucketCache
+    #: RBER above which the (fixed-strength) ECC can no longer correct.
+    limit_rber: float = ECC_LIMIT_RBER
+    _suspend_depth: int = field(default=0, repr=False)
+
+    @classmethod
+    def for_cell_type(cls, cell_type: CellType) -> "WearReadGate":
+        """A gate over the shared bucket cache for this cell type."""
+        return cls(cache=bucket_cache_for(model_for(cell_type)))
+
+    # ------------------------------------------------------------------
+    def expected_rber(self, erase_count: int) -> float:
+        """Worst-role RBER at this wear level (memoized per bucket)."""
+        return self.cache.worst_role_rber(StressState(pe_cycles=erase_count))
+
+    def readable(self, erase_count: int) -> bool:
+        return self.expected_rber(erase_count) <= self.limit_rber
+
+    def check_readable(self, block: Block, ppn: int) -> None:
+        """Raise ``UncorrectableError`` when wear defeats the ECC."""
+        if self._suspend_depth:
+            return
+        rber = self.expected_rber(block.erase_count)
+        if rber > self.limit_rber:
+            raise UncorrectableError(
+                f"ppn {ppn}: wear-induced RBER exceeds the ECC limit "
+                f"(block {block.index} at {block.erase_count} P/E cycles)",
+                rber=rber,
+                limit=self.limit_rber,
+            )
+
+    @contextmanager
+    def suspended(self) -> Iterator[None]:
+        """Temporarily disable the gate (salvage / sanitizer probes)."""
+        self._suspend_depth += 1
+        try:
+            yield
+        finally:
+            self._suspend_depth -= 1

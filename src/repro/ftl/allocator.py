@@ -19,9 +19,21 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
+from typing import Callable
 
 HOST_STREAM = "host"
 GC_STREAM = "gc"
+
+
+class OutOfBlocksError(RuntimeError):
+    """A chip has no erased or erase-pending block left to open.
+
+    End of device life: grown-bad retirement (erase failures, P/E
+    exhaustion) shrank a chip's pool until a write had nowhere to go.
+    Subclasses ``RuntimeError`` so long-standing callers that treated
+    exhaustion as a generic runtime failure keep working; endurance
+    studies catch this type to report "device died" cleanly.
+    """
 
 
 @dataclass
@@ -66,6 +78,15 @@ class BlockAllocator:
         self._chips = [ChipAllocState() for _ in range(n_chips)]
         for state in self._chips:
             state.free_blocks.extend(range(blocks_per_chip))
+        #: optional wear oracle ``(chip_id, block) -> erase_count``.  When
+        #: set (``SSDConfig.wear_aware_allocation``), a stream opens the
+        #: least-worn reusable block instead of the FIFO head -- dynamic
+        #: wear leveling.  Ties break on block index, so the choice is a
+        #: pure function of (wear counts, pool membership) and stays
+        #: deterministic whatever order the deque holds.  Config-derived
+        #: and re-wired by the FTL on construction, so it is deliberately
+        #: not part of :meth:`state_dict`.
+        self.wear_fn: Callable[[int, int], int] | None = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -171,12 +192,14 @@ class BlockAllocator:
         erase_needed: int | None = None
         if st.active_block is None:
             if chip.free_blocks:
-                st.active_block = chip.free_blocks.popleft()
+                st.active_block = self._pick_block(chip_id, chip.free_blocks)
             elif chip.pending_blocks:
-                st.active_block = chip.pending_blocks.popleft()
+                st.active_block = self._pick_block(chip_id, chip.pending_blocks)
                 erase_needed = st.active_block
             else:
-                raise RuntimeError(f"chip {chip_id} has no reusable blocks")
+                raise OutOfBlocksError(
+                    f"chip {chip_id} has no reusable blocks"
+                )
             st.next_offset = 0
         block = st.active_block
         offset = st.next_offset
@@ -185,6 +208,15 @@ class BlockAllocator:
             st.active_block = None
             st.next_offset = 0
         return block, offset, erase_needed
+
+    def _pick_block(self, chip_id: int, pool: deque[int]) -> int:
+        """Next block from a pool: FIFO head, or least-worn if wear-aware."""
+        wear_fn = self.wear_fn
+        if wear_fn is None:
+            return pool.popleft()
+        best = min(pool, key=lambda block: (wear_fn(chip_id, block), block))
+        pool.remove(best)
+        return best
 
     def active_position(
         self, chip_id: int, stream: str = HOST_STREAM

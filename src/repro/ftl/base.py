@@ -22,6 +22,7 @@ normalized to.
 
 from __future__ import annotations
 
+from contextlib import ExitStack
 from typing import NamedTuple
 
 from repro.checkers.sanitizer import FtlSanitizer, default_checked
@@ -33,7 +34,9 @@ from repro.flash.errors import (
     EraseFailError,
     ProgramFailError,
     UncorrectableError,
+    WearOutError,
 )
+from repro.flash.wear import WearReadGate
 from repro.ftl.allocator import BlockAllocator, GC_STREAM, HOST_STREAM
 from repro.ftl.gc_policies import VictimView, policy_by_name
 from repro.ftl.mapping import L2PTable, UNMAPPED
@@ -114,6 +117,15 @@ class PageMappedFtl:
             self.fault_injector = FaultInjector(faults)
             for chip in self.chips:
                 chip.fault_hook = self.fault_injector
+        #: one wear gate shared by all chips (wear is per-block state;
+        #: the gate itself only holds the memoized RBER cache) or None.
+        self.wear_gate: WearReadGate | None = None
+        if config.wear_coupling:
+            self.wear_gate = WearReadGate.for_cell_type(
+                self.geometry.cell_type
+            )
+            for chip in self.chips:
+                chip.wear_gate = self.wear_gate
         self.l2p = L2PTable(config.logical_pages, config.physical_pages)
         self.status = StatusTable(
             config.physical_pages, self.geometry.pages_per_block
@@ -123,7 +135,15 @@ class PageMappedFtl:
             self.geometry.blocks_per_chip,
             self.geometry.pages_per_block,
         )
+        if config.wear_aware_allocation:
+            self.alloc.wear_fn = self._block_wear
         self._pending_victims: set[int] = set()  # global block ids
+        #: chips whose wear spread must be re-checked (marked by each
+        #: erase, drained at the end of the host request -- migrating
+        #: inline from under an in-flight program would interleave page
+        #: programs within one block).  Checkpointed: a residue can
+        #: survive a request when a migration's own GC re-marks a chip.
+        self._wear_level_due: set[int] = set()
         #: cached geometry scalars: the address helpers below run once
         #: per flash op, and a plain attribute beats a property call
         self._pages_per_chip = self.geometry.pages_per_chip
@@ -156,7 +176,11 @@ class PageMappedFtl:
     # chip construction and address arithmetic
     # ------------------------------------------------------------------
     def _make_chip(self, chip_id: int) -> FlashChip:
-        return FlashChip(self.geometry)
+        return FlashChip(self.geometry, pe_limit=self.config.pe_limit)
+
+    def _block_wear(self, chip_id: int, local_block: int) -> int:
+        """Wear oracle the allocator consults for wear-aware allocation."""
+        return self.chips[chip_id].blocks[local_block].erase_count
 
     @property
     def n_chips(self) -> int:
@@ -200,6 +224,8 @@ class PageMappedFtl:
             self._host_trim(request)
         else:  # pragma: no cover - enum is closed
             raise ValueError(f"unknown op {request.op!r}")
+        if self._wear_level_due:
+            self._drain_wear_leveling()
         if self._sanitizer is not None:
             self._sanitizer.check_batch()
 
@@ -329,18 +355,21 @@ class PageMappedFtl:
         """Last-resort read of a live page past the retry budget.
 
         Models the soft-decode / voltage-shift heroics controllers keep
-        for GC of a must-not-lose page.  Injection is suspended: salvage
-        succeeds against transient faults (the only way a *live* page
-        can exhaust the normal budget) and preserves the L2P bijection.
+        for GC of a must-not-lose page.  Injection and the wear gate are
+        suspended: salvage succeeds against transient faults and against
+        wear-degraded (but physically intact) cells -- the only ways a
+        *live* page can exhaust the normal budget -- preserving the L2P
+        bijection.
         """
         self.stats.salvage_reads += 1
         self.timing.read(chip_id)
         self.stats.flash_reads += 1
-        injector = self.fault_injector
-        if injector is not None:
-            with injector.suspended():
-                return self.chips[chip_id].read_page(ppn)
-        return self.chips[chip_id].read_page(ppn)
+        with ExitStack() as stack:
+            if self.fault_injector is not None:
+                stack.enter_context(self.fault_injector.suspended())
+            if self.wear_gate is not None:
+                stack.enter_context(self.wear_gate.suspended())
+            return self.chips[chip_id].read_page(ppn)
 
     # ------------------------------------------------------------------
     # write-path plumbing
@@ -422,13 +451,27 @@ class PageMappedFtl:
         """Erase one block; a status-fail scrubs + retires it instead.
 
         Returns True when the block is erased and reusable, False when
-        it went to the grown-bad table (its pages stay INVALID).
+        it went to the grown-bad table (its pages stay INVALID).  Every
+        erase in the FTL -- lazy reuse, sanitize-now, fallback chains --
+        funnels through here, so this is the single place P/E exhaustion
+        (``WearOutError``) is translated into grown-bad retirement: the
+        worn block is scrubbed (scrub pulses do not need the erase
+        circuitry, so the sanitization guarantee survives end-of-life)
+        and pulled from service like any other bad block.
         """
         gb = self.global_block(chip_id, local_block)
         try:
             self.chips[chip_id].erase_block(local_block)
         except EraseFailError:
             self.stats.erase_fails += 1
+            self._retire_bad_block(chip_id, local_block)
+            return False
+        except WearOutError:
+            # raised before any erase pulse: the block still holds its
+            # data and its counters; retire it the scrubbed way.
+            self.stats.worn_out_blocks += 1
+            if self.stats.worn_out_blocks == 1:
+                self.stats.host_writes_at_first_wearout = self.stats.host_writes
             self._retire_bad_block(chip_id, local_block)
             return False
         self.timing.erase(chip_id)
@@ -438,6 +481,8 @@ class PageMappedFtl:
         self._block_reads[gb] = 0
         self._block_program_fails[gb] = 0
         self.observer.on_erase(gb)
+        if self.config.wear_leveling_threshold is not None:
+            self._wear_level_due.add(chip_id)
         return True
 
     def _retire_bad_block(self, chip_id: int, local_block: int) -> None:
@@ -542,6 +587,7 @@ class PageMappedFtl:
                     erase_count=block.erase_count,
                     last_program_seq=self._block_last_program[gb],
                     now_seq=self.stats.flash_programs,
+                    pe_limit=self.config.pe_limit,
                 )
             )
             if score > best_score:
@@ -625,6 +671,91 @@ class PageMappedFtl:
         self._ensure_space(chip_id)
 
     # ------------------------------------------------------------------
+    # static wear leveling (another Section-6 flash-management task)
+    # ------------------------------------------------------------------
+    def _drain_wear_leveling(self) -> None:
+        """Re-check wear spread on every chip an erase just touched."""
+        due = sorted(self._wear_level_due)
+        self._wear_level_due.clear()
+        for chip_id in due:
+            self._maybe_level_wear(chip_id)
+
+    def _maybe_level_wear(self, chip_id: int) -> None:
+        """Migrate the coldest block's live data when wear spreads.
+
+        Classic static wear leveling: dynamic allocation can only even
+        out wear among blocks that *circulate*; a block pinned full of
+        cold data never rejoins the pool and falls ever further behind.
+        When a full block's erase count lags the chip's in-service
+        maximum by ``wear_leveling_threshold`` or more, the coldest such
+        laggard is evacuated exactly like a GC victim (its stale copies
+        run through the variant's sanitization hook) and queued for
+        reuse, so the hot write stream starts wearing it.  Anchoring the
+        trigger on the *victim's* lag (not just the chip-wide min, which
+        a soon-to-circulate free block can pin forever) makes the
+        process convergent: once every full block is within the
+        threshold of the leader there is nothing left to migrate.
+        Migration transiently draws on the free pool for its copies --
+        at most one block open mid-move (the stream cursor absorbs the
+        rest), plus one spare in case that open lazy-erases into a
+        wear-out retirement -- so it defers on a leaner chip until the
+        next erase re-marks it due.  Ties break on
+        block index; the whole decision is a pure function of table
+        state, keeping determinism.
+        """
+        threshold = self.config.wear_leveling_threshold
+        if threshold is None:
+            return
+        if self.alloc.reserve_blocks(chip_id) < 2:
+            return
+        chip = self.chips[chip_id]
+        base_gb = chip_id * self._blocks_per_chip
+        hi: int | None = None
+        for local_block in range(self._blocks_per_chip):
+            if base_gb + local_block in self._bad_blocks:
+                continue  # retired: out of service, not levelable wear
+            count = chip.blocks[local_block].erase_count
+            if hi is None or count > hi:
+                hi = count
+        if hi is None:
+            return
+        actives = set(self.alloc.active_blocks(chip_id))
+        best: int | None = None
+        best_key: tuple[int, int] | None = None
+        for local_block in range(self._blocks_per_chip):
+            gb = base_gb + local_block
+            if (
+                gb in self._bad_blocks
+                or gb in self._pending_victims
+                or gb in self._condemned
+                or local_block in actives
+            ):
+                continue
+            block = chip.blocks[local_block]
+            if hi - block.erase_count < threshold:
+                continue  # circulating healthily; migration buys nothing
+            if not block.is_full or self.status.live_count(gb) == 0:
+                continue
+            key = (block.erase_count, local_block)
+            if best_key is None or key < best_key:
+                best_key = key
+                best = local_block
+        if best is None:
+            return  # nothing cold and migratable right now
+        gb = base_gb + best
+        self.stats.wear_levelings += 1
+        with self.tel.tracer.span(
+            "wear-level", cat="ftl.wear", chip=chip_id, block=gb
+        ):
+            events = [
+                self._move_page(gppa, reason="wear-level")
+                for gppa in self.status.live_pages(gb)
+            ]
+            self.stats.wear_level_copies += len(events)
+            self._finish_victim(chip_id, best, events)
+        self._ensure_space(chip_id)
+
+    # ------------------------------------------------------------------
     # sanitization hooks (overridden by the evaluated variants)
     # ------------------------------------------------------------------
     def _sanitize_host_batch(self, events: list[InvalidationEvent]) -> None:
@@ -695,6 +826,7 @@ class PageMappedFtl:
             "bad_blocks": set(self._bad_blocks),
             "condemned": set(self._condemned),
             "block_program_fails": list(self._block_program_fails),
+            "wear_level_due": set(self._wear_level_due),
             "stats": self.stats.to_dict(),
         }
 
@@ -711,4 +843,5 @@ class PageMappedFtl:
         self._bad_blocks = set(state["bad_blocks"])
         self._condemned = set(state["condemned"])
         self._block_program_fails = list(state["block_program_fails"])
+        self._wear_level_due = set(state.get("wear_level_due", ()))
         self.stats = DeviceStats.from_dict(state["stats"])

@@ -38,6 +38,9 @@ class VictimView:
     last_program_seq: int
     #: current global write sequence number.
     now_seq: int
+    #: the device's configured P/E endurance limit, or None (no limit).
+    #: Wear-aware policies normalize their erase-count terms by it.
+    pe_limit: int | None = None
 
     @property
     def utilization(self) -> float:
@@ -71,13 +74,25 @@ def fifo(view: VictimView) -> float:
     return view.age
 
 
+#: erase-count normalization cap for wear tie-breaks when no ``pe_limit``
+#: is configured.  The tie term is ``min(count, cap) / (cap + 1)``, which
+#: is provably in [0, 1) for *any* erase count -- the historical
+#: ``count / 1e6`` form silently broke (the term crossed one page and
+#: started overriding the greedy score) once counts reached 1e6.
+WEAR_TIEBREAK_CAP = 1_000_000
+
+
 def wear_aware_greedy(view: VictimView) -> float:
     """Greedy with a low-wear tie-break.
 
-    The erase-count term is scaled far below one page so it only breaks
-    ties between equally-invalid candidates.
+    The erase-count term is normalized by the configured ``pe_limit``
+    (or :data:`WEAR_TIEBREAK_CAP`) and clamped, so it stays strictly
+    below one page for any endurance setting: it can only break ties
+    between equally-invalid candidates, never outvote a whole page.
     """
-    return float(view.invalid_pages) - view.erase_count / 1e6
+    cap = view.pe_limit if view.pe_limit is not None else WEAR_TIEBREAK_CAP
+    worn = min(view.erase_count, cap) / (cap + 1)
+    return float(view.invalid_pages) - worn
 
 
 GC_POLICIES: dict[str, PolicyFn] = {

@@ -52,7 +52,11 @@ class SecureFtl(PageMappedFtl):
     block_lock_threshold_pages: int | None = None
 
     def _make_chip(self, chip_id: int) -> EvanescoChip:
-        return EvanescoChip(self.geometry, seed=self.seed * 7919 + chip_id)
+        return EvanescoChip(
+            self.geometry,
+            pe_limit=self.config.pe_limit,
+            seed=self.seed * 7919 + chip_id,
+        )
 
     # ------------------------------------------------------------------
     def _sanitize_host_batch(self, events: list[InvalidationEvent]) -> None:

@@ -53,6 +53,24 @@ class SSDConfig:
     #: retired to the grown-bad table at its next collection; 0 disables
     #: program-failure retirement.
     program_fail_retire_threshold: int = 2
+    #: per-block P/E endurance limit: an erase at this count raises
+    #: ``WearOutError`` and the FTL scrubs + retires the block (the
+    #: grown-bad flow).  None models an ideal, never-wearing device --
+    #: the historical default every existing artifact was produced with.
+    pe_limit: int | None = None
+    #: couple live block wear into the read path: a read's expected RBER
+    #: is derived from the owning block's erase count through the shared
+    #: StressBucketCache, and reads past the ECC limit fail.  Off by
+    #: default so same-seed artifacts stay byte-identical.
+    wear_coupling: bool = False
+    #: static wear-leveling trigger: when a chip's (max - min) erase-count
+    #: delta reaches this, the coldest full block's live data is migrated
+    #: so the low-wear block re-enters circulation.  None disables it.
+    wear_leveling_threshold: int | None = None
+    #: dynamic wear-aware allocation: open the least-worn reusable block
+    #: instead of the FIFO head.  Off by default (FIFO is the paper's
+    #: FlashBench FTL and the historical byte-identity baseline).
+    wear_aware_allocation: bool = False
     t_read_us: float = constants.T_READ_US
     t_prog_us: float = constants.T_PROG_US
     t_erase_us: float = constants.T_BERS_US
@@ -89,6 +107,15 @@ class SSDConfig:
             raise ValueError("lock_retry_limit must be >= 0")
         if self.program_fail_retire_threshold < 0:
             raise ValueError("program_fail_retire_threshold must be >= 0")
+        if self.pe_limit is not None and self.pe_limit < 1:
+            raise ValueError("pe_limit must be >= 1 (or None for no limit)")
+        if (
+            self.wear_leveling_threshold is not None
+            and self.wear_leveling_threshold < 1
+        ):
+            raise ValueError(
+                "wear_leveling_threshold must be >= 1 (or None to disable)"
+            )
         min_blocks = self.gc_target_blocks + 2
         if self.geometry.blocks_per_chip <= min_blocks:
             raise ValueError(
@@ -144,11 +171,17 @@ def scaled_config(
     wordlines_per_block: int = 32,
     n_channels: int = 2,
     chips_per_channel: int = 4,
+    pe_limit: int | None = None,
+    wear_coupling: bool = False,
+    wear_leveling_threshold: int | None = None,
+    wear_aware_allocation: bool = False,
 ) -> SSDConfig:
     """A capacity-scaled device with the paper's topology and timing.
 
     Default: 2x4 chips x 56 blocks x 96 pages x 16 KiB = ~656 MiB, small
     enough for fast trace replay yet large enough for steady-state GC.
+    The endurance/wear knobs default off, matching the fresh-forever
+    device every pre-aging artifact was produced with.
     """
     return SSDConfig(
         n_channels=n_channels,
@@ -159,4 +192,8 @@ def scaled_config(
             cell_type=CellType.TLC,
             page_size_bytes=16 * 1024,
         ),
+        pe_limit=pe_limit,
+        wear_coupling=wear_coupling,
+        wear_leveling_threshold=wear_leveling_threshold,
+        wear_aware_allocation=wear_aware_allocation,
     )

@@ -33,6 +33,8 @@ class DeviceStats:
     sanitize_erases: int = 0    # immediate erases for sanitization (erSSD)
     refreshes: int = 0          # read-disturb refresh rounds
     refresh_copies: int = 0     # pages moved by read refresh
+    wear_levelings: int = 0     # static wear-leveling migration rounds
+    wear_level_copies: int = 0  # pages moved by wear leveling
 
     # robustness counters (repro.faults fault handling)
     read_retries: int = 0        # extra read attempts after an ECC fail
@@ -45,6 +47,9 @@ class DeviceStats:
     fallback_block_locks: int = 0  # pLock failures escalated to bLock
     fallback_erases: int = 0     # bLock failures escalated to erase/scrub
     grown_bad_blocks: int = 0    # blocks retired to the grown-bad table
+    worn_out_blocks: int = 0     # blocks retired at their P/E limit
+    #: host pages written when the first block wore out; -1 = none did.
+    host_writes_at_first_wearout: int = -1
 
     # ------------------------------------------------------------------
     @property
@@ -78,6 +83,7 @@ class DeviceStats:
             "fallback_block_locks": self.fallback_block_locks,
             "fallback_erases": self.fallback_erases,
             "grown_bad_blocks": self.grown_bad_blocks,
+            "worn_out_blocks": self.worn_out_blocks,
         }
 
     def to_dict(self) -> dict[str, int]:
@@ -116,6 +122,8 @@ class DeviceStats:
             "sanitize_erases": self.sanitize_erases,
             "refreshes": self.refreshes,
             "refresh_copies": self.refresh_copies,
+            "wear_levelings": self.wear_levelings,
+            "wear_level_copies": self.wear_level_copies,
             "waf": self.waf,
             **self.robustness(),
         }
